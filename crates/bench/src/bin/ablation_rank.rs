@@ -1,0 +1,114 @@
+//! Experiment E8 (ablation, ours) — how does the clustering rank affect
+//! the backbone? Compares lowest-id, highest-degree, and random-weight
+//! elections on backbone size, degree, and spanning ratios.
+//!
+//! ```text
+//! cargo run -p geospan-bench --release --bin ablation_rank -- [--trials N] [--seed S] [--out DIR]
+//! ```
+
+use geospan_bench::{measure_stretch, CliArgs, Scenario};
+use geospan_core::{BackboneBuilder, BackboneConfig, ClusterRank};
+use geospan_graph::stats::degree_stats_over;
+
+fn main() {
+    let cli = CliArgs::parse();
+    let scenario = cli.apply(Scenario::table1());
+    println!(
+        "Ablation E8 (clustering rank), n={}, R={}, {} instances\n",
+        scenario.n, scenario.radius, scenario.trials
+    );
+    println!(
+        "{:<16} {:>10} {:>11} {:>12} {:>10} {:>10} {:>9} {:>9}",
+        "rank",
+        "dominators",
+        "connectors",
+        "backbone deg",
+        "len avg",
+        "len max",
+        "hop avg",
+        "hop max"
+    );
+
+    let mut csv = String::from(
+        "rank,dominators,connectors,backbone_deg_max,len_avg,len_max,hop_avg,hop_max\n",
+    );
+    let instances = scenario.instances();
+    for (name, rank_of) in [
+        ("lowest-id", RankKind::LowestId),
+        ("highest-degree", RankKind::HighestDegree),
+        ("random-weight", RankKind::RandomWeight),
+    ] {
+        let mut doms = 0.0;
+        let mut conns = 0.0;
+        let mut deg_max = 0usize;
+        let (mut la, mut lm, mut ha, mut hm) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for (k, (_pts, udg)) in instances.iter().enumerate() {
+            let rank = rank_of.build(udg.node_count(), scenario.seed + k as u64);
+            let backbone =
+                BackboneBuilder::new(BackboneConfig::new(scenario.radius).with_rank(rank))
+                    .build(udg)
+                    .expect("valid UDG");
+            doms += backbone.cds_graphs().dominators.len() as f64;
+            conns += backbone.cds_graphs().connectors.len() as f64;
+            let nodes = backbone.backbone_nodes();
+            deg_max = deg_max.max(degree_stats_over(backbone.ldel_icds(), nodes).max);
+            let r = measure_stretch(udg, backbone.ldel_icds_prime(), scenario.radius);
+            la += r.length_avg;
+            lm = lm.max(r.length_max);
+            ha += r.hop_avg;
+            hm = hm.max(r.hop_max);
+        }
+        let t = instances.len() as f64;
+        println!(
+            "{:<16} {:>10.1} {:>11.1} {:>12} {:>10.3} {:>10.3} {:>9.3} {:>9.3}",
+            name,
+            doms / t,
+            conns / t,
+            deg_max,
+            la / t,
+            lm,
+            ha / t,
+            hm
+        );
+        csv.push_str(&format!(
+            "{},{:.2},{:.2},{},{:.4},{:.4},{:.4},{:.4}\n",
+            name,
+            doms / t,
+            conns / t,
+            deg_max,
+            la / t,
+            lm,
+            ha / t,
+            hm
+        ));
+    }
+    cli.write_artifact("ablation_rank.csv", &csv);
+}
+
+enum RankKind {
+    LowestId,
+    HighestDegree,
+    RandomWeight,
+}
+
+impl RankKind {
+    fn build(&self, n: usize, seed: u64) -> ClusterRank {
+        match self {
+            RankKind::LowestId => ClusterRank::LowestId,
+            RankKind::HighestDegree => ClusterRank::HighestDegree,
+            RankKind::RandomWeight => {
+                // Deterministic pseudo-random weights per instance.
+                let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                let w = (0..n)
+                    .map(|_| {
+                        s ^= s << 13;
+                        s ^= s >> 7;
+                        s ^= s << 17;
+                        s % 1_000_000
+                    })
+                    .collect();
+                ClusterRank::Weight(w)
+            }
+        }
+    }
+}

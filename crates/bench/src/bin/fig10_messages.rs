@@ -1,0 +1,73 @@
+//! Experiment E5 — regenerates **Figure 10**: maximum and average
+//! per-node communication cost (messages sent) to build CDS, ICDS and
+//! LDel(ICDS) as the number of nodes varies (R = 60, 200×200 region).
+//!
+//! The protocols actually run on the message-passing simulator; the
+//! counts are measured, not modeled.
+//!
+//! ```text
+//! cargo run -p geospan-bench --release --bin fig10_messages -- [--trials N] [--seed S] [--out DIR]
+//! ```
+
+use geospan_bench::{format_series, series_csv, CliArgs, Scenario, Series};
+use geospan_core::{BackboneBuilder, BackboneConfig};
+
+fn main() {
+    let cli = CliArgs::parse();
+    let base = cli.apply(Scenario::table1());
+    let names = ["CDS", "ICDS", "LDelICDS"];
+    let mut max_series: Vec<Series> = names
+        .iter()
+        .map(|n| Series {
+            label: format!("{n} comm max"),
+            points: vec![],
+        })
+        .collect();
+    let mut avg_series: Vec<Series> = names
+        .iter()
+        .map(|n| Series {
+            label: format!("{n} comm avg"),
+            points: vec![],
+        })
+        .collect();
+
+    for n in (20..=100).step_by(10) {
+        let scenario = Scenario { n, ..base };
+        let mut maxes = [0usize; 3];
+        let mut avgs = [0.0f64; 3];
+        for (_pts, udg) in scenario.instances() {
+            let backbone = BackboneBuilder::new(BackboneConfig::new(scenario.radius).distributed())
+                .build(&udg)
+                .expect("protocols converge");
+            let stats = backbone.stats().expect("distributed build records stats");
+            // CDS: the clustering + connector protocol.
+            let cds: Vec<usize> = stats.cds.sent_per_node().to_vec();
+            // ICDS: one extra status broadcast per node.
+            let icds: Vec<usize> = cds.iter().map(|c| c + 1).collect();
+            // LDel(ICDS): everything, including the triangulation phase.
+            let total = stats.total_per_node();
+            for (k, v) in [&cds, &icds, &total].into_iter().enumerate() {
+                maxes[k] = maxes[k].max(v.iter().copied().max().unwrap_or(0));
+                avgs[k] += v.iter().sum::<usize>() as f64 / v.len() as f64;
+            }
+        }
+        for k in 0..3 {
+            max_series[k].points.push((n as f64, maxes[k] as f64));
+            avg_series[k]
+                .points
+                .push((n as f64, avgs[k] / scenario.trials as f64));
+        }
+        eprintln!("n = {n}: done ({} instances)", scenario.trials);
+    }
+
+    println!(
+        "Figure 10 (per-node communication cost vs node count), R = {}, {} trials per point\n",
+        base.radius, base.trials
+    );
+    println!("the maximum communications:");
+    print!("{}", format_series("n", &max_series));
+    println!("\nthe average communications:");
+    print!("{}", format_series("n", &avg_series));
+    cli.write_artifact("fig10_comm_max.csv", &series_csv("n", &max_series));
+    cli.write_artifact("fig10_comm_avg.csv", &series_csv("n", &avg_series));
+}

@@ -1,0 +1,83 @@
+//! Experiment E6 — regenerates **Figure 11**: maximum and average
+//! spanning ratios of CDS', ICDS' and LDel(ICDS') as the transmission
+//! radius varies from 20 to 60 (n = 500, 200×200 region).
+//!
+//! ```text
+//! cargo run -p geospan-bench --release --bin fig11_stretch_radius -- [--trials N] [--seed S] [--out DIR]
+//! ```
+//!
+//! Note: with 500 nodes the all-pairs stretch computation dominates; the
+//! default trial count is 5 (the paper's qualitative trends are stable
+//! already at that count).
+
+use geospan_bench::{
+    format_series, measure_stretch, series_csv, table1_topologies, CliArgs, Scenario, Series,
+};
+
+fn main() {
+    let cli = CliArgs::parse();
+    let base = cli.apply(Scenario {
+        n: 500,
+        trials: 5,
+        ..Scenario::table1()
+    });
+    let names = ["CDS'", "ICDS'", "LDel(ICDS')"];
+    let metrics = ["length", "hop"];
+    let mut max_series: Vec<Series> = Vec::new();
+    let mut avg_series: Vec<Series> = Vec::new();
+    for n in names {
+        for m in metrics {
+            max_series.push(Series {
+                label: format!("{n} {m} max"),
+                points: vec![],
+            });
+            avg_series.push(Series {
+                label: format!("{n} {m} avg"),
+                points: vec![],
+            });
+        }
+    }
+
+    for radius in (20..=60).step_by(5) {
+        let scenario = Scenario {
+            radius: radius as f64,
+            ..base
+        };
+        let mut maxes = vec![0.0f64; max_series.len()];
+        let mut avgs = vec![0.0f64; avg_series.len()];
+        for (_pts, udg) in scenario.instances() {
+            let topologies = table1_topologies(&udg, scenario.radius);
+            for topo in &topologies {
+                let Some(k) = names.iter().position(|&m| m == topo.name) else {
+                    continue;
+                };
+                let r = measure_stretch(&udg, &topo.graph, scenario.radius);
+                let vals_max = [r.length_max, r.hop_max];
+                let vals_avg = [r.length_avg, r.hop_avg];
+                for j in 0..2 {
+                    let idx = k * 2 + j;
+                    maxes[idx] = maxes[idx].max(vals_max[j]);
+                    avgs[idx] += vals_avg[j];
+                }
+            }
+        }
+        for idx in 0..max_series.len() {
+            max_series[idx].points.push((radius as f64, maxes[idx]));
+            avg_series[idx]
+                .points
+                .push((radius as f64, avgs[idx] / scenario.trials as f64));
+        }
+        eprintln!("R = {radius}: done ({} instances)", scenario.trials);
+    }
+
+    println!(
+        "Figure 11 (spanning ratios vs transmission radius), n = {}, {} trials per point\n",
+        base.n, base.trials
+    );
+    println!("the maximum spanning ratios:");
+    print!("{}", format_series("R", &max_series));
+    println!("\nthe average spanning ratios:");
+    print!("{}", format_series("R", &avg_series));
+    cli.write_artifact("fig11_stretch_max.csv", &series_csv("R", &max_series));
+    cli.write_artifact("fig11_stretch_avg.csv", &series_csv("R", &avg_series));
+}

@@ -1,0 +1,100 @@
+//! Experiment E7 — regenerates **Figure 12**: per-node communication
+//! cost and node degree of CDS, ICDS and LDel(ICDS) as the transmission
+//! radius varies from 20 to 60 (n = 500, 200×200 region).
+//!
+//! ```text
+//! cargo run -p geospan-bench --release --bin fig12_radius -- [--trials N] [--seed S] [--out DIR]
+//! ```
+
+use geospan_bench::{format_series, series_csv, CliArgs, Scenario, Series};
+use geospan_core::{BackboneBuilder, BackboneConfig};
+use geospan_graph::stats::degree_stats;
+
+fn main() {
+    let cli = CliArgs::parse();
+    let base = cli.apply(Scenario {
+        n: 500,
+        trials: 5,
+        ..Scenario::table1()
+    });
+    let names = ["CDS", "ICDS", "LDelICDS"];
+    let mut comm_series: Vec<Series> = Vec::new();
+    let mut deg_series: Vec<Series> = Vec::new();
+    for n in names {
+        comm_series.push(Series {
+            label: format!("{n} comm max"),
+            points: vec![],
+        });
+        comm_series.push(Series {
+            label: format!("{n} comm avg"),
+            points: vec![],
+        });
+        deg_series.push(Series {
+            label: format!("{n} deg max"),
+            points: vec![],
+        });
+        deg_series.push(Series {
+            label: format!("{n} deg avg"),
+            points: vec![],
+        });
+    }
+
+    for radius in (20..=60).step_by(5) {
+        let scenario = Scenario {
+            radius: radius as f64,
+            ..base
+        };
+        let mut comm = vec![0.0f64; comm_series.len()];
+        let mut deg = vec![0.0f64; deg_series.len()];
+        for (_pts, udg) in scenario.instances() {
+            let backbone = BackboneBuilder::new(BackboneConfig::new(scenario.radius).distributed())
+                .build(&udg)
+                .expect("protocols converge");
+            let stats = backbone.stats().expect("distributed build records stats");
+            let cds_sent: Vec<usize> = stats.cds.sent_per_node().to_vec();
+            let icds_sent: Vec<usize> = cds_sent.iter().map(|c| c + 1).collect();
+            let total = stats.total_per_node();
+            let graphs = [
+                &backbone.cds_graphs().cds,
+                &backbone.cds_graphs().icds,
+                backbone.ldel_icds(),
+            ];
+            for (k, (sent, graph)) in [&cds_sent, &icds_sent, &total]
+                .into_iter()
+                .zip(graphs)
+                .enumerate()
+            {
+                let mx = sent.iter().copied().max().unwrap_or(0) as f64;
+                let av = sent.iter().sum::<usize>() as f64 / sent.len() as f64;
+                comm[2 * k] = comm[2 * k].max(mx);
+                comm[2 * k + 1] += av;
+                let d = degree_stats(graph);
+                deg[2 * k] = deg[2 * k].max(d.max as f64);
+                deg[2 * k + 1] += d.avg;
+            }
+        }
+        for k in 0..3 {
+            let t = scenario.trials as f64;
+            comm_series[2 * k].points.push((radius as f64, comm[2 * k]));
+            comm_series[2 * k + 1]
+                .points
+                .push((radius as f64, comm[2 * k + 1] / t));
+            deg_series[2 * k].points.push((radius as f64, deg[2 * k]));
+            deg_series[2 * k + 1]
+                .points
+                .push((radius as f64, deg[2 * k + 1] / t));
+        }
+        eprintln!("R = {radius}: done ({} instances)", scenario.trials);
+    }
+
+    println!(
+        "Figure 12 (communication cost and degree vs transmission radius), n = {}, {} trials per point\n",
+        base.n, base.trials
+    );
+    println!("the communications:");
+    print!("{}", format_series("R", &comm_series));
+    println!("\nthe node degree:");
+    print!("{}", format_series("R", &deg_series));
+    cli.write_artifact("fig12_comm.csv", &series_csv("R", &comm_series));
+    cli.write_artifact("fig12_degree.csv", &series_csv("R", &deg_series));
+}

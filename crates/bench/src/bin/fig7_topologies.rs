@@ -1,0 +1,65 @@
+//! Experiment E2 — regenerates **Figures 6 and 7**: one deployment
+//! rendered as the UDG plus the nine derived topologies, with node roles
+//! drawn as in the paper's Figure 3 (dominators as squares, connectors
+//! as diamonds, dominatees as circles).
+//!
+//! ```text
+//! cargo run -p geospan-bench --release --bin fig7_topologies -- --out figures [--seed S]
+//! ```
+
+use geospan_bench::{table1_topologies, CliArgs, Scenario};
+use geospan_core::Role;
+use geospan_graph::gen::connected_unit_disk;
+use geospan_graph::svg::{render_svg, NodeRole, SvgOptions};
+
+fn main() {
+    let cli = CliArgs::parse();
+    let scenario = cli.apply(Scenario::table1());
+    let (_pts, udg, used_seed) =
+        connected_unit_disk(scenario.n, scenario.side, scenario.radius, scenario.seed);
+    println!(
+        "Figure 6/7 gallery: n={}, radius={}, accepted seed {}",
+        scenario.n, scenario.radius, used_seed
+    );
+
+    let topologies = table1_topologies(&udg, scenario.radius);
+    // Recover roles from the backbone for coloring.
+    let backbone =
+        geospan_core::BackboneBuilder::new(geospan_core::BackboneConfig::new(scenario.radius))
+            .build(&udg)
+            .expect("valid UDG");
+    let roles: Vec<NodeRole> = backbone
+        .roles()
+        .iter()
+        .map(|r| match r {
+            Role::Dominator => NodeRole::Dominator,
+            Role::Connector => NodeRole::Connector,
+            Role::Dominatee => NodeRole::Dominatee,
+        })
+        .collect();
+
+    for topo in &topologies {
+        let file = format!(
+            "fig7_{}.svg",
+            topo.name
+                .to_lowercase()
+                .replace(['(', ')'], "_")
+                .replace('\'', "p")
+        );
+        let opts = SvgOptions {
+            title: topo.name.to_string(),
+            ..SvgOptions::default()
+        };
+        let svg = render_svg(&topo.graph, &roles, &opts);
+        println!(
+            "{:<12} {:>5} edges -> {}",
+            topo.name,
+            topo.graph.edge_count(),
+            file
+        );
+        cli.write_artifact(&file, &svg);
+    }
+    if cli.out.is_none() {
+        println!("note: pass --out DIR to write the SVG files");
+    }
+}

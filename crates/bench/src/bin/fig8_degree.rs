@@ -1,0 +1,64 @@
+//! Experiment E3 — regenerates **Figure 8**: maximum and average node
+//! degree of CDS, CDS', ICDS, ICDS', LDel(ICDS), LDel(ICDS') as the
+//! number of nodes varies (R = 60, 200×200 region).
+//!
+//! ```text
+//! cargo run -p geospan-bench --release --bin fig8_degree -- [--trials N] [--seed S] [--out DIR]
+//! ```
+
+use geospan_bench::{format_series, series_csv, table1_topologies, CliArgs, Scenario, Series};
+use geospan_graph::stats::degree_stats;
+
+fn main() {
+    let cli = CliArgs::parse();
+    let base = cli.apply(Scenario::table1());
+    let names = ["CDS", "CDS'", "ICDS", "ICDS'", "LDel(ICDS)", "LDel(ICDS')"];
+    let mut max_series: Vec<Series> = names
+        .iter()
+        .map(|n| Series {
+            label: format!("{n} deg max"),
+            points: vec![],
+        })
+        .collect();
+    let mut avg_series: Vec<Series> = names
+        .iter()
+        .map(|n| Series {
+            label: format!("{n} deg avg"),
+            points: vec![],
+        })
+        .collect();
+
+    for n in (20..=100).step_by(10) {
+        let scenario = Scenario { n, ..base };
+        let mut maxes = vec![0usize; names.len()];
+        let mut avgs = vec![0.0f64; names.len()];
+        for (_pts, udg) in scenario.instances() {
+            let topologies = table1_topologies(&udg, scenario.radius);
+            for topo in &topologies {
+                if let Some(k) = names.iter().position(|&m| m == topo.name) {
+                    let d = degree_stats(&topo.graph);
+                    maxes[k] = maxes[k].max(d.max);
+                    avgs[k] += d.avg;
+                }
+            }
+        }
+        for k in 0..names.len() {
+            max_series[k].points.push((n as f64, maxes[k] as f64));
+            avg_series[k]
+                .points
+                .push((n as f64, avgs[k] / scenario.trials as f64));
+        }
+        eprintln!("n = {n}: done ({} instances)", scenario.trials);
+    }
+
+    println!(
+        "Figure 8 (degree vs node count), R = {}, {} trials per point\n",
+        base.radius, base.trials
+    );
+    println!("the maximum degree:");
+    print!("{}", format_series("n", &max_series));
+    println!("\nthe average degree:");
+    print!("{}", format_series("n", &avg_series));
+    cli.write_artifact("fig8_degree_max.csv", &series_csv("n", &max_series));
+    cli.write_artifact("fig8_degree_avg.csv", &series_csv("n", &avg_series));
+}

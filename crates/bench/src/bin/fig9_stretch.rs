@@ -1,0 +1,72 @@
+//! Experiment E4 — regenerates **Figure 9**: maximum and average
+//! spanning ratios (length and hop stretch) of CDS', ICDS' and
+//! LDel(ICDS') as the number of nodes varies (R = 60, 200×200 region).
+//!
+//! ```text
+//! cargo run -p geospan-bench --release --bin fig9_stretch -- [--trials N] [--seed S] [--out DIR]
+//! ```
+
+use geospan_bench::{
+    format_series, measure_stretch, series_csv, table1_topologies, CliArgs, Scenario, Series,
+};
+
+fn main() {
+    let cli = CliArgs::parse();
+    let base = cli.apply(Scenario::table1());
+    let names = ["CDS'", "ICDS'", "LDel(ICDS')"];
+    let metrics = ["length", "hop"];
+    let mut max_series: Vec<Series> = Vec::new();
+    let mut avg_series: Vec<Series> = Vec::new();
+    for n in names {
+        for m in metrics {
+            max_series.push(Series {
+                label: format!("{n} {m} max"),
+                points: vec![],
+            });
+            avg_series.push(Series {
+                label: format!("{n} {m} avg"),
+                points: vec![],
+            });
+        }
+    }
+
+    for n in (20..=100).step_by(10) {
+        let scenario = Scenario { n, ..base };
+        let mut maxes = vec![0.0f64; max_series.len()];
+        let mut avgs = vec![0.0f64; avg_series.len()];
+        for (_pts, udg) in scenario.instances() {
+            let topologies = table1_topologies(&udg, scenario.radius);
+            for topo in &topologies {
+                let Some(k) = names.iter().position(|&m| m == topo.name) else {
+                    continue;
+                };
+                let r = measure_stretch(&udg, &topo.graph, scenario.radius);
+                let vals_max = [r.length_max, r.hop_max];
+                let vals_avg = [r.length_avg, r.hop_avg];
+                for j in 0..2 {
+                    let idx = k * 2 + j;
+                    maxes[idx] = maxes[idx].max(vals_max[j]);
+                    avgs[idx] += vals_avg[j];
+                }
+            }
+        }
+        for idx in 0..max_series.len() {
+            max_series[idx].points.push((n as f64, maxes[idx]));
+            avg_series[idx]
+                .points
+                .push((n as f64, avgs[idx] / scenario.trials as f64));
+        }
+        eprintln!("n = {n}: done ({} instances)", scenario.trials);
+    }
+
+    println!(
+        "Figure 9 (spanning ratios vs node count), R = {}, {} trials per point\n",
+        base.radius, base.trials
+    );
+    println!("the maximum spanning ratios:");
+    print!("{}", format_series("n", &max_series));
+    println!("\nthe average spanning ratios:");
+    print!("{}", format_series("n", &avg_series));
+    cli.write_artifact("fig9_stretch_max.csv", &series_csv("n", &max_series));
+    cli.write_artifact("fig9_stretch_avg.csv", &series_csv("n", &avg_series));
+}

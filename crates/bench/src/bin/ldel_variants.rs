@@ -1,0 +1,74 @@
+//! Experiment E14 (extension) — `LDel¹`+planarization versus `LDel²`:
+//! the knowledge/communication trade the paper's design implicitly makes.
+//!
+//! `LDel²` is planar without a removal pass but needs a 2-hop neighbor
+//! exchange; `LDel¹` needs only 1-hop knowledge plus the
+//! crossing-removal phase. Both run on the simulator; both end planar;
+//! this measures what each costs and what each keeps.
+//!
+//! ```text
+//! cargo run -p geospan-bench --release --bin ldel_variants -- [--trials N] [--seed S] [--out DIR]
+//! ```
+
+use geospan_bench::{format_series, measure_stretch, series_csv, CliArgs, Scenario, Series};
+use geospan_topology::distributed::run_ldel;
+use geospan_topology::distributed2::run_ldel2;
+
+fn main() {
+    let cli = CliArgs::parse();
+    let base = cli.apply(Scenario::table1());
+    let labels = [
+        "LDel1 comm max",
+        "LDel1 comm avg",
+        "LDel2 comm max",
+        "LDel2 comm avg",
+        "LDel1 edges",
+        "LDel2 edges",
+        "LDel1 len max",
+        "LDel2 len max",
+    ];
+    let mut series: Vec<Series> = labels
+        .iter()
+        .map(|&l| Series {
+            label: l.to_string(),
+            points: vec![],
+        })
+        .collect();
+
+    for n in (20..=100).step_by(20) {
+        let scenario = Scenario { n, ..base };
+        let mut acc = [0.0f64; 8];
+        for (_pts, udg) in scenario.instances() {
+            let one = run_ldel(&udg, scenario.radius).expect("protocol converges");
+            let (two, two_stats) = run_ldel2(&udg, scenario.radius).expect("protocol converges");
+            acc[0] = acc[0].max(one.stats.max_sent() as f64);
+            acc[1] += one.stats.avg_sent();
+            acc[2] = acc[2].max(two_stats.max_sent() as f64);
+            acc[3] += two_stats.avg_sent();
+            acc[4] += one.ldel.graph.edge_count() as f64;
+            acc[5] += two.graph.edge_count() as f64;
+            acc[6] = acc[6].max(measure_stretch(&udg, &one.ldel.graph, scenario.radius).length_max);
+            acc[7] = acc[7].max(measure_stretch(&udg, &two.graph, scenario.radius).length_max);
+        }
+        let t = scenario.trials as f64;
+        for (k, s) in series.iter_mut().enumerate() {
+            let v = match k {
+                0 | 2 | 6 | 7 => acc[k],
+                _ => acc[k] / t,
+            };
+            s.points.push((n as f64, v));
+        }
+        eprintln!("n = {n}: done");
+    }
+
+    println!(
+        "LDel1+planarize vs LDel2 (extension E14), R = {}, {} trials per point\n",
+        base.radius, base.trials
+    );
+    print!("{}", format_series("n", &series));
+    println!(
+        "\nBoth end planar. LDel1 pays two extra local phases; LDel2 pays the\n\
+         2-hop neighbor-table exchange and keeps slightly fewer triangles."
+    );
+    cli.write_artifact("ldel_variants.csv", &series_csv("n", &series));
+}

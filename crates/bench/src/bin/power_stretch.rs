@@ -1,0 +1,82 @@
+//! Experiment E10 (extension) — **power stretch factors** of the Table I
+//! topologies, the third spanner metric the paper defines (§II, after
+//! length and hops) with the power-attenuation model `cost = d^β`.
+//!
+//! Convexity of `d^β` favors many short hops, so structures that keep
+//! short edges (RNG/GG/LDel and the backbone) have *better* power
+//! stretch than length stretch — often 1.0 exactly.
+//!
+//! ```text
+//! cargo run -p geospan-bench --release --bin power_stretch -- [--trials N] [--seed S] [--out DIR]
+//! ```
+
+use geospan_bench::{table1_topologies, CliArgs, Scenario, Span};
+use geospan_graph::power::power_stretch;
+use geospan_graph::stretch::StretchOptions;
+
+fn main() {
+    let cli = CliArgs::parse();
+    let scenario = cli.apply(Scenario::table1());
+    let betas = [2.0, 4.0];
+    println!(
+        "Power stretch (extension), n={}, R={}, {} instances, beta in {betas:?}\n",
+        scenario.n, scenario.radius, scenario.trials
+    );
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12}",
+        "topology", "b2 avg", "b2 max", "b4 avg", "b4 max"
+    );
+
+    let instances = scenario.instances();
+    // Aggregate per topology: [beta2_avg, beta2_max, beta4_avg, beta4_max].
+    let mut names: Vec<String> = Vec::new();
+    let mut agg: Vec<[f64; 4]> = Vec::new();
+    for (_pts, udg) in &instances {
+        let topologies = table1_topologies(udg, scenario.radius);
+        if names.is_empty() {
+            names = topologies
+                .iter()
+                .filter(|t| t.span == Span::AllNodes)
+                .map(|t| t.name.to_string())
+                .collect();
+            agg = vec![[0.0; 4]; names.len()];
+        }
+        let mut k = 0;
+        for topo in &topologies {
+            if topo.span != Span::AllNodes {
+                continue;
+            }
+            let opts = StretchOptions {
+                min_euclidean_separation: scenario.radius,
+            };
+            for (j, &beta) in betas.iter().enumerate() {
+                let r = power_stretch(udg, &topo.graph, beta, opts);
+                assert_eq!(r.disconnected_pairs, 0);
+                agg[k][2 * j] += r.power_avg;
+                agg[k][2 * j + 1] = agg[k][2 * j + 1].max(r.power_max);
+            }
+            k += 1;
+        }
+    }
+    let t = instances.len() as f64;
+    let mut csv = String::from("topology,beta2_avg,beta2_max,beta4_avg,beta4_max\n");
+    for (name, a) in names.iter().zip(&agg) {
+        println!(
+            "{:<12} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
+            name,
+            a[0] / t,
+            a[1],
+            a[2] / t,
+            a[3]
+        );
+        csv.push_str(&format!(
+            "{},{:.6},{:.6},{:.6},{:.6}\n",
+            name,
+            a[0] / t,
+            a[1],
+            a[2] / t,
+            a[3]
+        ));
+    }
+    cli.write_artifact("power_stretch.csv", &csv);
+}

@@ -1,0 +1,73 @@
+//! Experiment E13 (extension) — the paper's §II claim, measured:
+//! Gao et al.'s Restricted Delaunay Graph needs per-node communication
+//! that grows with the neighborhood size, while the localized Delaunay
+//! handshake stays constant-ish; structurally the two are near-twins.
+//!
+//! ```text
+//! cargo run -p geospan-bench --release --bin rdg_comparison -- [--trials N] [--seed S] [--out DIR]
+//! ```
+
+use geospan_bench::{format_series, measure_stretch, series_csv, CliArgs, Scenario, Series};
+use geospan_topology::distributed::run_ldel;
+use geospan_topology::rdg::run_rdg;
+
+fn main() {
+    let cli = CliArgs::parse();
+    let base = cli.apply(Scenario::table1());
+    let mut series: Vec<Series> = [
+        "RDG comm max",
+        "RDG comm avg",
+        "LDel comm max",
+        "LDel comm avg",
+        "RDG edges",
+        "LDel edges",
+        "RDG len max",
+        "LDel len max",
+    ]
+    .iter()
+    .map(|&l| Series {
+        label: l.to_string(),
+        points: vec![],
+    })
+    .collect();
+
+    for n in (20..=100).step_by(20) {
+        let scenario = Scenario { n, ..base };
+        let mut acc = [0.0f64; 8];
+        for (_pts, udg) in scenario.instances() {
+            let (rdg, rdg_stats) = run_rdg(&udg, scenario.radius).expect("protocol converges");
+            let ldel = run_ldel(&udg, scenario.radius).expect("protocol converges");
+            acc[0] = acc[0].max(rdg_stats.max_sent() as f64);
+            acc[1] += rdg_stats.avg_sent();
+            acc[2] = acc[2].max(ldel.stats.max_sent() as f64);
+            acc[3] += ldel.stats.avg_sent();
+            acc[4] += rdg.edge_count() as f64;
+            acc[5] += ldel.ldel.graph.edge_count() as f64;
+            let r1 = measure_stretch(&udg, &rdg, scenario.radius);
+            let r2 = measure_stretch(&udg, &ldel.ldel.graph, scenario.radius);
+            acc[6] = acc[6].max(r1.length_max);
+            acc[7] = acc[7].max(r2.length_max);
+        }
+        let t = scenario.trials as f64;
+        for (k, s) in series.iter_mut().enumerate() {
+            let v = match k {
+                0 | 2 | 6 | 7 => acc[k],
+                _ => acc[k] / t,
+            };
+            s.points.push((n as f64, v));
+        }
+        eprintln!("n = {n}: done");
+    }
+
+    println!(
+        "RDG vs LDel (extension E13), R = {}, {} trials per point\n",
+        base.radius, base.trials
+    );
+    print!("{}", format_series("n", &series));
+    println!(
+        "\nBoth are planar spanners of nearly identical quality; the RDG's\n\
+         per-node message cost grows with density while LDel's stays flat —\n\
+         the efficiency gap the paper's construction exists to close."
+    );
+    cli.write_artifact("rdg_comparison.csv", &series_csv("n", &series));
+}

@@ -1,0 +1,113 @@
+//! Experiment E11 (extension) — end-to-end routing quality: GPSR over
+//! the planar candidates (RNG, GG, PLDel) versus the paper's
+//! dominating-set-based routing over `LDel(ICDS')`, measured against
+//! shortest paths. Also reports the dominating-set-based broadcast cost
+//! versus blind flooding.
+//!
+//! ```text
+//! cargo run -p geospan-bench --release --bin routing_quality -- [--trials N] [--seed S] [--out DIR]
+//! ```
+
+use geospan_bench::{CliArgs, Scenario};
+use geospan_core::routing::{backbone_broadcast, backbone_route, gpsr_route};
+use geospan_core::{BackboneBuilder, BackboneConfig};
+use geospan_graph::paths::{bfs_hops, dijkstra_lengths};
+use geospan_graph::Graph;
+use geospan_topology::{gabriel, ldel, relative_neighborhood};
+
+#[derive(Default)]
+struct Tally {
+    delivered: usize,
+    total: usize,
+    hop_ratio: f64,
+    len_ratio: f64,
+}
+
+fn main() {
+    let cli = CliArgs::parse();
+    let scenario = cli.apply(Scenario::table1());
+    println!(
+        "Routing quality (extension), n={}, R={}, {} instances\n",
+        scenario.n, scenario.radius, scenario.trials
+    );
+
+    let names = ["GPSR/RNG", "GPSR/GG", "GPSR/PLDel", "backbone/LDel(ICDS')"];
+    let mut tallies: Vec<Tally> = (0..names.len()).map(|_| Tally::default()).collect();
+    let mut bcast_backbone = 0usize;
+    let mut bcast_flood = 0usize;
+
+    let instances = scenario.instances();
+    for (_pts, udg) in &instances {
+        let n = udg.node_count();
+        let graphs: Vec<Graph> = vec![
+            relative_neighborhood(udg),
+            gabriel(udg),
+            ldel::planarized(udg).graph,
+        ];
+        let backbone = BackboneBuilder::new(BackboneConfig::new(scenario.radius))
+            .build(udg)
+            .expect("valid UDG");
+        for s in (0..n).step_by(6) {
+            let oh = bfs_hops(udg, s);
+            let ol = dijkstra_lengths(udg, s);
+            for t in (1..n).step_by(9) {
+                if s == t {
+                    continue;
+                }
+                let (oh, ol) = (f64::from(oh[t].unwrap()), ol[t].unwrap());
+                for (k, g) in graphs.iter().enumerate() {
+                    let r = gpsr_route(g, s, t, 100 * n);
+                    tallies[k].total += 1;
+                    if r.delivered() {
+                        tallies[k].delivered += 1;
+                        tallies[k].hop_ratio += r.hops() as f64 / oh;
+                        tallies[k].len_ratio += r.length(g) / ol;
+                    }
+                }
+                let r = backbone_route(&backbone, udg, s, t, 100 * n);
+                tallies[3].total += 1;
+                if r.delivered() {
+                    tallies[3].delivered += 1;
+                    tallies[3].hop_ratio += r.hops() as f64 / oh;
+                    tallies[3].len_ratio += r.length(udg) / ol;
+                }
+            }
+            bcast_backbone += backbone_broadcast(&backbone, udg, s).transmissions;
+            bcast_flood += n;
+        }
+    }
+
+    println!(
+        "{:<22} {:>10} {:>14} {:>14}",
+        "scheme", "delivery", "hops/optimal", "length/optimal"
+    );
+    let mut csv = String::from("scheme,delivery,hop_ratio,len_ratio\n");
+    for (name, t) in names.iter().zip(&tallies) {
+        let d = t.delivered as f64;
+        println!(
+            "{:<22} {:>9.1}% {:>14.3} {:>14.3}",
+            name,
+            100.0 * d / t.total as f64,
+            t.hop_ratio / d,
+            t.len_ratio / d
+        );
+        csv.push_str(&format!(
+            "{},{:.4},{:.4},{:.4}\n",
+            name,
+            d / t.total as f64,
+            t.hop_ratio / d,
+            t.len_ratio / d
+        ));
+    }
+    println!(
+        "\nbroadcast: backbone {} transmissions vs flooding {} ({:.1}x cheaper)",
+        bcast_backbone,
+        bcast_flood,
+        bcast_flood as f64 / bcast_backbone as f64
+    );
+    csv.push_str(&format!(
+        "broadcast_tx,{bcast_backbone},{bcast_flood},{:.4}\n",
+        bcast_flood as f64 / bcast_backbone as f64
+    ));
+    cli.write_artifact("routing_quality.csv", &csv);
+}

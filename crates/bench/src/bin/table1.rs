@@ -1,0 +1,21 @@
+//! Experiment E1 — regenerates **Table I** (topology quality
+//! measurements): average/maximum node degree, length and hop stretch
+//! factors, and edge counts for the paper's ten topologies.
+//!
+//! ```text
+//! cargo run -p geospan-bench --release --bin table1 -- [--trials N] [--seed S] [--out DIR]
+//! ```
+
+use geospan_bench::{format_table1, table1_csv, table1_rows, CliArgs, Scenario};
+
+fn main() {
+    let cli = CliArgs::parse();
+    let scenario = cli.apply(Scenario::table1());
+    println!(
+        "Table I: n={} nodes, {}x{} region, radius {}, {} connected instances",
+        scenario.n, scenario.side, scenario.side, scenario.radius, scenario.trials
+    );
+    let rows = table1_rows(&scenario);
+    print!("{}", format_table1(&rows));
+    cli.write_artifact("table1.csv", &table1_csv(&rows));
+}

@@ -1,0 +1,215 @@
+//! Centralized reference clustering: rank-greedy maximal independent set.
+
+use geospan_graph::Graph;
+
+use crate::ClusterRank;
+
+/// The result of clustering: dominators (a maximal independent set) and,
+/// for every node, its adjacent dominators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Dominator indices, ascending.
+    pub dominators: Vec<usize>,
+    /// `true` for dominators.
+    pub is_dominator: Vec<bool>,
+    /// For each node, the sorted list of adjacent dominators (empty for
+    /// dominators themselves).
+    pub dominators_of: Vec<Vec<usize>>,
+}
+
+/// Rank-greedy clustering: processing nodes in ascending rank order, an
+/// unmarked node becomes a dominator and marks its neighbors dominatees.
+///
+/// This sequential greedy produces **exactly** the maximal independent
+/// set that the distributed election of the paper computes ("a white node
+/// claims itself to be a dominator if it has the smallest rank among all
+/// of its white neighbors"), because in both processes a node becomes a
+/// dominator precisely when every better-ranked neighbor has been
+/// eliminated by an even better dominator.
+///
+/// # Panics
+/// Panics if a `Weight` rank does not cover all nodes.
+///
+/// # Example
+/// ```
+/// use geospan_cds::{cluster, ClusterRank};
+/// use geospan_graph::{Graph, Point};
+/// // A path 0-1-2: node 0 dominates 1, then 2 becomes a dominator.
+/// let g = Graph::with_edges(
+///     vec![Point::new(0.,0.), Point::new(1.,0.), Point::new(2.,0.)],
+///     [(0,1),(1,2)]);
+/// let c = cluster(&g, &ClusterRank::LowestId);
+/// assert_eq!(c.dominators, vec![0, 2]);
+/// assert_eq!(c.dominators_of[1], vec![0, 2]);
+/// ```
+pub fn cluster(g: &Graph, rank: &ClusterRank) -> Clustering {
+    let n = g.node_count();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| rank.key(g, v));
+
+    let mut is_dominator = vec![false; n];
+    let mut dominated = vec![false; n];
+    let mut dominators = Vec::new();
+    for &v in &order {
+        if dominated[v] || is_dominator[v] {
+            continue;
+        }
+        is_dominator[v] = true;
+        dominators.push(v);
+        for &w in g.neighbors(v) {
+            dominated[w] = true;
+        }
+    }
+    dominators.sort_unstable();
+
+    let mut dominators_of = vec![Vec::new(); n];
+    for v in 0..n {
+        if is_dominator[v] {
+            continue;
+        }
+        for &w in g.neighbors(v) {
+            if is_dominator[w] {
+                dominators_of[v].push(w);
+            }
+        }
+        // Neighbor lists are sorted, so dominators_of[v] is sorted.
+    }
+    Clustering {
+        dominators,
+        is_dominator,
+        dominators_of,
+    }
+}
+
+/// Number of dominators within `k` hops of `v` (Lemma 2's quantity).
+///
+/// The paper proves this is bounded by a constant `c_k <= (2k + 1)²`
+/// via a disk-packing argument (any two dominators are more than one
+/// radius apart, and a `k`-hop neighbor lies within distance `k·r`);
+/// [`lemma2_bound`] exposes that constant and the tests check the bound
+/// empirically.
+///
+/// # Panics
+/// Panics if `v` is out of bounds.
+pub fn dominators_within_hops(g: &Graph, clustering: &Clustering, v: usize, k: usize) -> usize {
+    let mut dist = vec![usize::MAX; g.node_count()];
+    dist[v] = 0;
+    let mut frontier = vec![v];
+    let mut count = usize::from(clustering.is_dominator[v]);
+    for d in 1..=k {
+        let mut next = Vec::new();
+        for &x in &frontier {
+            for &y in g.neighbors(x) {
+                if dist[y] == usize::MAX {
+                    dist[y] = d;
+                    if clustering.is_dominator[y] {
+                        count += 1;
+                    }
+                    next.push(y);
+                }
+            }
+        }
+        frontier = next;
+    }
+    count
+}
+
+/// The paper's Lemma 2 packing bound: at most `(2k + 1)²` dominators
+/// within `k` hops of any node.
+pub fn lemma2_bound(k: usize) -> usize {
+    (2 * k + 1).pow(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geospan_graph::gen::{uniform_points, UnitDiskBuilder};
+    use geospan_graph::Point;
+
+    fn check_mis(g: &Graph, c: &Clustering) {
+        // Independence.
+        for &a in &c.dominators {
+            for &b in &c.dominators {
+                if a != b {
+                    assert!(!g.has_edge(a, b), "adjacent dominators {a}, {b}");
+                }
+            }
+        }
+        // Maximality == domination for an independent set.
+        for v in 0..g.node_count() {
+            if !c.is_dominator[v] {
+                assert!(
+                    !c.dominators_of[v].is_empty(),
+                    "node {v} neither dominator nor dominated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mis_on_random_graphs() {
+        for seed in 0..8 {
+            let pts = uniform_points(90, 120.0, seed);
+            let g = UnitDiskBuilder::new(30.0).build(&pts);
+            for rank in [ClusterRank::LowestId, ClusterRank::HighestDegree] {
+                let c = cluster(&g, &rank);
+                check_mis(&g, &c);
+            }
+        }
+    }
+
+    #[test]
+    fn weight_rank_changes_heads() {
+        let g = Graph::with_edges(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)], [(0, 1)]);
+        let by_id = cluster(&g, &ClusterRank::LowestId);
+        assert_eq!(by_id.dominators, vec![0]);
+        let by_w = cluster(&g, &ClusterRank::Weight(vec![0, 10]));
+        assert_eq!(by_w.dominators, vec![1]);
+        check_mis(&g, &by_w);
+    }
+
+    #[test]
+    fn isolated_nodes_become_dominators() {
+        let g = Graph::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)]);
+        let c = cluster(&g, &ClusterRank::LowestId);
+        assert_eq!(c.dominators, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let c = cluster(&Graph::new(vec![]), &ClusterRank::LowestId);
+        assert!(c.dominators.is_empty());
+    }
+
+    #[test]
+    fn lemma2_holds_on_random_instances() {
+        for seed in 0..6 {
+            let pts = uniform_points(120, 120.0, seed + 70);
+            let g = UnitDiskBuilder::new(30.0).build(&pts);
+            let c = cluster(&g, &ClusterRank::LowestId);
+            for k in 1..=3 {
+                let bound = lemma2_bound(k);
+                for v in 0..g.node_count() {
+                    let count = dominators_within_hops(&g, &c, v, k);
+                    assert!(
+                        count <= bound,
+                        "seed {seed}: node {v} sees {count} dominators within {k} hops (bound {bound})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dominators_within_hops_counts_correctly() {
+        // Path 0-1-2-3-4: dominators {0, 2, 4}.
+        let pts = (0..5).map(|i| Point::new(i as f64, 0.0)).collect();
+        let g = Graph::with_edges(pts, (0..4).map(|i| (i, i + 1)));
+        let c = cluster(&g, &ClusterRank::LowestId);
+        assert_eq!(c.dominators, vec![0, 2, 4]);
+        assert_eq!(dominators_within_hops(&g, &c, 0, 0), 1); // itself
+        assert_eq!(dominators_within_hops(&g, &c, 1, 1), 2); // 0 and 2
+        assert_eq!(dominators_within_hops(&g, &c, 1, 3), 3); // all
+        assert_eq!(dominators_within_hops(&g, &c, 3, 1), 2); // 2 and 4
+    }
+}

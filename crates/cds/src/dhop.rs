@@ -1,0 +1,165 @@
+//! `d`-hop clustering: the *k-dominating set* generalization the paper's
+//! introduction cites (Amis–Prakash–Huynh–Vuong, "Max-min d-cluster
+//! formation", INFOCOM 2000).
+//!
+//! A `d`-hop dominating set covers every node within `d` hops instead of
+//! one; larger `d` trades fewer, larger clusters (less backbone state)
+//! for longer intra-cluster detours. [`cluster_d`] computes the
+//! rank-greedy variant, which for `d = 1` coincides exactly with the
+//! paper's MIS clustering.
+
+use geospan_graph::paths::bfs_hops;
+use geospan_graph::Graph;
+
+use crate::ClusterRank;
+
+/// The result of `d`-hop clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DHopClustering {
+    /// Cluster-head indices, ascending.
+    pub dominators: Vec<usize>,
+    /// `true` for cluster-heads.
+    pub is_dominator: Vec<bool>,
+    /// For each node, its assigned cluster-head (the closest one in hops,
+    /// rank-preferred on ties) — `Some(self)` for heads.
+    pub assignment: Vec<Option<usize>>,
+    /// The coverage radius used.
+    pub d: usize,
+}
+
+/// Rank-greedy `d`-hop clustering: processing nodes in ascending rank
+/// order, an uncovered node becomes a cluster-head and covers everything
+/// within `d` hops.
+///
+/// Guarantees: every node in a connected component with a head is within
+/// `d` hops of some head, and heads are pairwise more than `d` hops
+/// apart (a *d-independent* set).
+///
+/// # Panics
+/// Panics if `d == 0` or a `Weight` rank does not cover all nodes.
+///
+/// # Example
+/// ```
+/// use geospan_cds::{cluster_d, ClusterRank};
+/// use geospan_graph::{Graph, Point};
+/// // A 5-chain with d = 2: node 0 covers 1 and 2; node 3 heads the rest.
+/// let pts = (0..5).map(|i| Point::new(i as f64, 0.0)).collect();
+/// let g = Graph::with_edges(pts, (0..4).map(|i| (i, i + 1)));
+/// let c = cluster_d(&g, &ClusterRank::LowestId, 2);
+/// assert_eq!(c.dominators, vec![0, 3]);
+/// ```
+pub fn cluster_d(g: &Graph, rank: &ClusterRank, d: usize) -> DHopClustering {
+    assert!(d >= 1, "coverage radius must be at least one hop");
+    let n = g.node_count();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| rank.key(g, v));
+
+    let mut is_dominator = vec![false; n];
+    let mut assignment: Vec<Option<usize>> = vec![None; n];
+    let mut best_dist = vec![usize::MAX; n];
+    let mut dominators = Vec::new();
+
+    for &v in &order {
+        if assignment[v].is_some() {
+            continue;
+        }
+        is_dominator[v] = true;
+        dominators.push(v);
+        // Cover the d-hop ball around v (BFS truncated at depth d).
+        let hops = bfs_hops(g, v);
+        for (w, h) in hops.into_iter().enumerate() {
+            let Some(h) = h.map(|h| h as usize) else {
+                continue;
+            };
+            if h <= d && h < best_dist[w] {
+                best_dist[w] = h;
+                assignment[w] = Some(v);
+            }
+        }
+    }
+    dominators.sort_unstable();
+    DHopClustering {
+        dominators,
+        is_dominator,
+        assignment,
+        d,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster;
+    use geospan_graph::gen::{uniform_points, UnitDiskBuilder};
+    use geospan_graph::paths::bfs_hops;
+
+    fn udg(seed: u64) -> Graph {
+        let pts = uniform_points(90, 130.0, seed);
+        UnitDiskBuilder::new(30.0).build(&pts)
+    }
+
+    #[test]
+    fn coverage_and_d_independence() {
+        for seed in 0..5 {
+            let g = udg(seed);
+            for d in 1..=3 {
+                let c = cluster_d(&g, &ClusterRank::LowestId, d);
+                // Every node is assigned to a head within d hops.
+                for v in 0..g.node_count() {
+                    let head = c.assignment[v].expect("covered");
+                    let h = bfs_hops(&g, head)[v].unwrap() as usize;
+                    assert!(h <= d, "seed {seed}, d {d}: node {v} at {h} hops");
+                }
+                // Heads are pairwise more than d hops apart.
+                for &a in &c.dominators {
+                    let hops = bfs_hops(&g, a);
+                    for &b in &c.dominators {
+                        if a != b {
+                            assert!(
+                                hops[b].is_none_or(|h| h as usize > d),
+                                "seed {seed}, d {d}: heads {a},{b} too close"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn d1_equals_mis_clustering() {
+        for seed in 0..5 {
+            let g = udg(seed + 10);
+            let c1 = cluster_d(&g, &ClusterRank::LowestId, 1);
+            let mis = cluster(&g, &ClusterRank::LowestId);
+            assert_eq!(c1.dominators, mis.dominators, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn larger_d_needs_fewer_heads() {
+        for seed in 0..5 {
+            let g = udg(seed + 20);
+            let h1 = cluster_d(&g, &ClusterRank::LowestId, 1).dominators.len();
+            let h2 = cluster_d(&g, &ClusterRank::LowestId, 2).dominators.len();
+            let h3 = cluster_d(&g, &ClusterRank::LowestId, 3).dominators.len();
+            assert!(h2 <= h1, "seed {seed}");
+            assert!(h3 <= h2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn heads_assigned_to_themselves() {
+        let g = udg(31);
+        let c = cluster_d(&g, &ClusterRank::HighestDegree, 2);
+        for &h in &c.dominators {
+            assert_eq!(c.assignment[h], Some(h));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn zero_radius_rejected() {
+        let _ = cluster_d(&udg(0), &ClusterRank::LowestId, 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Clustering ranks: who wins the dominator election.
+
+use geospan_graph::Graph;
+
+/// The criterion deciding which white node becomes a cluster-head.
+///
+/// The literature the paper reviews differs exactly here: Baker &
+/// Ephremides and Alzoubi use node identifiers, Gerla & Tsai use node
+/// degree, Basagni uses a generic weight. All variants yield a maximal
+/// independent set; the ablation experiment E8 compares them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterRank {
+    /// Smallest identifier wins (the paper's default).
+    LowestId,
+    /// Highest UDG degree wins, ties by smallest identifier.
+    HighestDegree,
+    /// Highest weight wins, ties by smallest identifier.
+    ///
+    /// The vector holds one weight per node.
+    Weight(Vec<u64>),
+}
+
+impl ClusterRank {
+    /// Comparable key for node `v`: **smaller key = preferred as
+    /// dominator**.
+    ///
+    /// # Panics
+    /// Panics if a `Weight` vector does not cover `v`.
+    pub fn key(&self, g: &Graph, v: usize) -> (i64, usize) {
+        match self {
+            ClusterRank::LowestId => (0, v),
+            ClusterRank::HighestDegree => (-(g.degree(v) as i64), v),
+            ClusterRank::Weight(w) => {
+                assert!(
+                    w.len() == g.node_count(),
+                    "weight vector length {} does not match {} nodes",
+                    w.len(),
+                    g.node_count()
+                );
+                (-(w[v] as i64), v)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geospan_graph::Point;
+
+    fn star() -> Graph {
+        Graph::with_edges(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(0.0, 1.0),
+            ],
+            [(0, 1), (0, 2)],
+        )
+    }
+
+    #[test]
+    fn lowest_id_orders_by_index() {
+        let g = star();
+        let r = ClusterRank::LowestId;
+        assert!(r.key(&g, 0) < r.key(&g, 1));
+        assert!(r.key(&g, 1) < r.key(&g, 2));
+    }
+
+    #[test]
+    fn highest_degree_prefers_hub() {
+        let g = star();
+        let r = ClusterRank::HighestDegree;
+        assert!(r.key(&g, 0) < r.key(&g, 1)); // degree 2 beats degree 1
+        assert!(r.key(&g, 1) < r.key(&g, 2)); // tie broken by id
+    }
+
+    #[test]
+    fn weight_prefers_heavier() {
+        let g = star();
+        let r = ClusterRank::Weight(vec![1, 9, 9]);
+        assert!(r.key(&g, 1) < r.key(&g, 0));
+        assert!(r.key(&g, 1) < r.key(&g, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "weight vector")]
+    fn wrong_weight_length_rejected() {
+        let g = star();
+        let _ = ClusterRank::Weight(vec![1]).key(&g, 0);
+    }
+}

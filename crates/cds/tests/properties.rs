@@ -1,0 +1,135 @@
+//! Property tests for the CDS construction: clustering and connector
+//! invariants under randomized deployments and ranks.
+
+use geospan_cds::{build_cds, cluster, find_connectors, protocol, ClusterRank, Role};
+use geospan_graph::gen::{uniform_points, UnitDiskBuilder};
+use geospan_graph::paths::bfs_hops;
+use geospan_graph::Graph;
+use proptest::prelude::*;
+
+fn deployment() -> impl Strategy<Value = Graph> {
+    (8usize..60, 25.0f64..60.0, any::<u64>()).prop_map(|(n, radius, seed)| {
+        let pts = uniform_points(n, 120.0, seed);
+        UnitDiskBuilder::new(radius).build(&pts)
+    })
+}
+
+fn rank() -> impl Strategy<Value = u8> {
+    0u8..3
+}
+
+fn make_rank(kind: u8, g: &Graph, seed: u64) -> ClusterRank {
+    match kind {
+        0 => ClusterRank::LowestId,
+        1 => ClusterRank::HighestDegree,
+        _ => {
+            let mut s = seed | 1;
+            ClusterRank::Weight(
+                (0..g.node_count())
+                    .map(|_| {
+                        s ^= s << 13;
+                        s ^= s >> 7;
+                        s ^= s << 17;
+                        s % 1000
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn clustering_is_mis(g in deployment(), kind in rank(), seed in any::<u64>()) {
+        let r = make_rank(kind, &g, seed);
+        let c = cluster(&g, &r);
+        // Independence.
+        for &a in &c.dominators {
+            for &b in &c.dominators {
+                if a < b {
+                    prop_assert!(!g.has_edge(a, b));
+                }
+            }
+        }
+        // Domination (= maximality for an independent set).
+        for v in 0..g.node_count() {
+            prop_assert!(c.is_dominator[v] || !c.dominators_of[v].is_empty());
+        }
+        // dominators_of consistency: each listed dominator is adjacent.
+        for v in 0..g.node_count() {
+            for &d in &c.dominators_of[v] {
+                prop_assert!(g.has_edge(v, d));
+                prop_assert!(c.is_dominator[d]);
+            }
+        }
+    }
+
+    #[test]
+    fn connectors_link_close_dominator_pairs(g in deployment()) {
+        let c = cluster(&g, &ClusterRank::LowestId);
+        let r = find_connectors(&g, &c);
+        // Connectors are dominatees; edges are UDG links.
+        for &w in &r.connectors {
+            prop_assert!(!c.is_dominator[w]);
+        }
+        for &(a, b) in &r.edges {
+            prop_assert!(g.has_edge(a, b));
+        }
+        // Every dominator pair at UDG hop distance <= 3 is connected in
+        // the backbone.
+        let mut backbone = g.same_vertices();
+        for &(a, b) in &r.edges {
+            backbone.add_edge(a, b);
+        }
+        for &d1 in &c.dominators {
+            let udg_hops = bfs_hops(&g, d1);
+            let bb_hops = bfs_hops(&backbone, d1);
+            for &d2 in &c.dominators {
+                if d1 == d2 {
+                    continue;
+                }
+                if let Some(h) = udg_hops[d2] {
+                    if h <= 3 {
+                        prop_assert!(
+                            bb_hops[d2].is_some(),
+                            "dominators {d1},{d2} at {h} hops not linked"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_equals_centralized(g in deployment(), kind in rank(), seed in any::<u64>()) {
+        let r = make_rank(kind, &g, seed);
+        let central = build_cds(&g, &r);
+        let (dist, stats) = protocol::run_cds(&g, &r).expect("protocol converges");
+        prop_assert!(protocol::same_structure(&central, &dist));
+        // Lemma 3: constant per-node message bound (generous constant).
+        prop_assert!(stats.max_sent() <= 150, "max sent {}", stats.max_sent());
+    }
+
+    #[test]
+    fn roles_are_exhaustive(g in deployment()) {
+        let c = build_cds(&g, &ClusterRank::LowestId);
+        let mut dominators = 0;
+        for v in 0..g.node_count() {
+            match c.roles[v] {
+                Role::Dominator => dominators += 1,
+                Role::Connector => prop_assert!(c.connectors.contains(&v)),
+                Role::Dominatee => prop_assert!(!c.connectors.contains(&v)),
+            }
+        }
+        prop_assert_eq!(dominators, c.dominators.len());
+    }
+
+    #[test]
+    fn prime_graphs_preserve_component_structure(g in deployment()) {
+        let c = build_cds(&g, &ClusterRank::LowestId);
+        prop_assert_eq!(c.cds_prime.components().len(), g.components().len());
+        prop_assert_eq!(c.icds_prime.components().len(), g.components().len());
+    }
+}

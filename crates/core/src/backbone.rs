@@ -1,0 +1,396 @@
+//! The backbone construction pipeline.
+
+use std::fmt;
+
+use geospan_cds::{build_cds, protocol::run_cds, CdsGraphs, ClusterRank, Role};
+use geospan_graph::Graph;
+use geospan_sim::{MessageStats, QuiescenceTimeout};
+use geospan_topology::distributed::run_ldel;
+use geospan_topology::ldel::{planarized, LocalDelaunay};
+
+/// Configuration of the backbone pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackboneConfig {
+    /// The transmission radius that defined the unit disk graph. Needed
+    /// by the distributed triangulation protocol (nodes decide locally
+    /// whether two heard positions are within range).
+    pub radius: f64,
+    /// The clustering election criterion.
+    pub rank: ClusterRank,
+    /// When true, run the real message-passing protocols and record
+    /// per-node message statistics; when false, use the (identical in
+    /// output, faster) centralized reference algorithms.
+    pub distributed: bool,
+}
+
+impl BackboneConfig {
+    /// A default configuration for the given transmission radius:
+    /// lowest-id clustering, centralized construction.
+    ///
+    /// # Panics
+    /// Panics unless `radius` is positive and finite.
+    pub fn new(radius: f64) -> Self {
+        assert!(
+            radius > 0.0 && radius.is_finite(),
+            "radius must be positive"
+        );
+        BackboneConfig {
+            radius,
+            rank: ClusterRank::LowestId,
+            distributed: false,
+        }
+    }
+
+    /// Switches to the distributed (message-passing) construction.
+    pub fn distributed(mut self) -> Self {
+        self.distributed = true;
+        self
+    }
+
+    /// Uses a different clustering rank.
+    pub fn with_rank(mut self, rank: ClusterRank) -> Self {
+        self.rank = rank;
+        self
+    }
+}
+
+impl Default for BackboneConfig {
+    /// Unit transmission radius, lowest-id clustering, centralized.
+    fn default() -> Self {
+        BackboneConfig::new(1.0)
+    }
+}
+
+/// Per-stage message statistics of a distributed construction.
+#[derive(Debug, Clone)]
+pub struct BackboneStats {
+    /// Messages of the clustering + connector protocol.
+    pub cds: MessageStats,
+    /// Messages of the localized Delaunay protocol over `ICDS`.
+    pub ldel: MessageStats,
+}
+
+impl BackboneStats {
+    /// Per-node totals across both stages, plus the one status broadcast
+    /// per node that materializes `ICDS` from `CDS` (every node tells its
+    /// neighbors whether it is a dominator, dominatee, or connector).
+    pub fn total_per_node(&self) -> Vec<usize> {
+        self.cds
+            .sent_per_node()
+            .iter()
+            .zip(self.ldel.sent_per_node())
+            .map(|(a, b)| a + b + 1)
+            .collect()
+    }
+}
+
+/// Error constructing a backbone.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackboneError {
+    /// A UDG edge is longer than the configured radius: the graph was not
+    /// built with this radius.
+    InvalidRadius {
+        /// The configured radius.
+        radius: f64,
+        /// The offending edge length found.
+        edge_length: f64,
+    },
+    /// A distributed phase failed to reach quiescence (protocol bug).
+    Protocol(QuiescenceTimeout),
+}
+
+impl fmt::Display for BackboneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackboneError::InvalidRadius { radius, edge_length } => write!(
+                f,
+                "unit disk graph has an edge of length {edge_length} exceeding the configured radius {radius}"
+            ),
+            BackboneError::Protocol(t) => write!(f, "distributed construction failed: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for BackboneError {}
+
+impl From<QuiescenceTimeout> for BackboneError {
+    fn from(t: QuiescenceTimeout) -> Self {
+        BackboneError::Protocol(t)
+    }
+}
+
+/// The complete constructed backbone: every derived graph of the paper
+/// over the shared vertex set.
+#[derive(Debug, Clone)]
+pub struct Backbone {
+    cds_graphs: CdsGraphs,
+    ldel_icds: LocalDelaunay,
+    ldel_icds_prime: Graph,
+    stats: Option<BackboneStats>,
+}
+
+impl Backbone {
+    /// Per-node roles (dominator / connector / dominatee).
+    pub fn roles(&self) -> &[Role] {
+        &self.cds_graphs.roles
+    }
+
+    /// The CDS family of graphs (`CDS`, `CDS'`, `ICDS`, `ICDS'`).
+    pub fn cds_graphs(&self) -> &CdsGraphs {
+        &self.cds_graphs
+    }
+
+    /// The planar backbone `LDel(ICDS)`.
+    pub fn ldel_icds(&self) -> &Graph {
+        &self.ldel_icds.graph
+    }
+
+    /// The planar backbone with its certifying triangles and Gabriel
+    /// edges.
+    pub fn ldel_icds_full(&self) -> &LocalDelaunay {
+        &self.ldel_icds
+    }
+
+    /// `LDel(ICDS')`: the planar backbone plus all dominatee–dominator
+    /// edges — the routing topology spanning every node.
+    pub fn ldel_icds_prime(&self) -> &Graph {
+        &self.ldel_icds_prime
+    }
+
+    /// Message statistics, present when the backbone was built with
+    /// [`BackboneConfig::distributed`].
+    pub fn stats(&self) -> Option<&BackboneStats> {
+        self.stats.as_ref()
+    }
+
+    /// Backbone node indices (dominators + connectors).
+    pub fn backbone_nodes(&self) -> Vec<usize> {
+        self.cds_graphs.backbone_nodes()
+    }
+
+    /// Removes a departed **dominatee** from the logical structures.
+    ///
+    /// Only valid for plain dominatees: they carry no routing state, so
+    /// clipping their edges leaves every backbone property intact (this
+    /// is the cheap half of the maintenance policy). Used by
+    /// [`crate::maintenance::MobileBackbone`].
+    ///
+    /// # Panics
+    /// Panics if `v` is a dominator or connector.
+    pub(crate) fn clip_dominatee(&mut self, v: usize) {
+        assert_eq!(
+            self.cds_graphs.roles[v],
+            Role::Dominatee,
+            "only plain dominatees can be clipped"
+        );
+        let clip = |g: &mut Graph| {
+            let nbrs: Vec<usize> = g.neighbors(v).to_vec();
+            for w in nbrs {
+                g.remove_edge(v, w);
+            }
+        };
+        clip(&mut self.ldel_icds_prime);
+        clip(&mut self.cds_graphs.cds_prime);
+        clip(&mut self.cds_graphs.icds_prime);
+        self.cds_graphs.dominators_of[v].clear();
+    }
+
+    /// Attaches a newcomer as a plain dominatee of the given (adjacent)
+    /// dominators, extending every derived graph by one node — the cheap
+    /// half of node arrival. Used by
+    /// [`crate::maintenance::MobileBackbone`].
+    ///
+    /// # Panics
+    /// Panics if `dominators` is empty (the newcomer would be
+    /// undominated, which requires a rebuild instead).
+    pub(crate) fn attach_dominatee(
+        &mut self,
+        position: geospan_geometry::Point,
+        dominators: &[usize],
+    ) -> usize {
+        assert!(
+            !dominators.is_empty(),
+            "an uncovered newcomer requires a backbone rebuild"
+        );
+        let v = self.cds_graphs.cds.push_node(position);
+        self.cds_graphs.cds_prime.push_node(position);
+        self.cds_graphs.icds.push_node(position);
+        self.cds_graphs.icds_prime.push_node(position);
+        self.ldel_icds.graph.push_node(position);
+        self.ldel_icds_prime.push_node(position);
+        self.cds_graphs.roles.push(Role::Dominatee);
+        let mut doms = dominators.to_vec();
+        doms.sort_unstable();
+        for &d in &doms {
+            self.cds_graphs.cds_prime.add_edge(v, d);
+            self.cds_graphs.icds_prime.add_edge(v, d);
+            self.ldel_icds_prime.add_edge(v, d);
+        }
+        self.cds_graphs.dominators_of.push(doms);
+        v
+    }
+}
+
+/// Builds [`Backbone`]s from unit disk graphs.
+#[derive(Debug, Clone)]
+pub struct BackboneBuilder {
+    config: BackboneConfig,
+}
+
+impl BackboneBuilder {
+    /// A builder with the given configuration.
+    pub fn new(config: BackboneConfig) -> Self {
+        BackboneBuilder { config }
+    }
+
+    /// Runs the pipeline on a unit disk graph.
+    ///
+    /// # Errors
+    /// * [`BackboneError::InvalidRadius`] when `udg` contains an edge
+    ///   longer than the configured radius,
+    /// * [`BackboneError::Protocol`] when a distributed phase fails to
+    ///   converge (indicates a bug, not an input condition).
+    pub fn build(&self, udg: &Graph) -> Result<Backbone, BackboneError> {
+        for (u, v) in udg.edges() {
+            let len = udg.edge_length(u, v);
+            if len > self.config.radius {
+                return Err(BackboneError::InvalidRadius {
+                    radius: self.config.radius,
+                    edge_length: len,
+                });
+            }
+        }
+
+        let (cds_graphs, stats) = if self.config.distributed {
+            let (g, cds_stats) = run_cds(udg, &self.config.rank)?;
+            let ldel_out = run_ldel(&g.icds, self.config.radius)?;
+            let stats = BackboneStats {
+                cds: cds_stats,
+                ldel: ldel_out.stats,
+            };
+            (g, Some((ldel_out.ldel, stats)))
+        } else {
+            (build_cds(udg, &self.config.rank), None)
+        };
+
+        let (ldel_icds, stats) = match stats {
+            Some((ldel, s)) => (ldel, Some(s)),
+            None => (planarized(&cds_graphs.icds), None),
+        };
+
+        let mut ldel_icds_prime = ldel_icds.graph.clone();
+        for (w, doms) in cds_graphs.dominators_of.iter().enumerate() {
+            for &d in doms {
+                ldel_icds_prime.add_edge(w, d);
+            }
+        }
+
+        Ok(Backbone {
+            cds_graphs,
+            ldel_icds,
+            ldel_icds_prime,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geospan_graph::gen::connected_unit_disk;
+    use geospan_graph::planarity::is_plane_embedding;
+    use geospan_graph::stats::degree_stats_over;
+    use geospan_graph::stretch::{stretch_factors, StretchOptions};
+
+    fn build(seed: u64, distributed: bool) -> (Graph, Backbone) {
+        let (_pts, udg, _s) = connected_unit_disk(70, 150.0, 45.0, seed);
+        let mut config = BackboneConfig::new(45.0);
+        if distributed {
+            config = config.distributed();
+        }
+        let b = BackboneBuilder::new(config).build(&udg).unwrap();
+        (udg, b)
+    }
+
+    #[test]
+    fn planar_backbone() {
+        for seed in 0..5 {
+            let (_udg, b) = build(seed * 3, false);
+            assert!(is_plane_embedding(b.ldel_icds()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn backbone_spans_and_connects() {
+        for seed in 0..5 {
+            let (udg, b) = build(seed * 7 + 1, false);
+            assert!(b.ldel_icds_prime().is_connected(), "seed {seed}");
+            // Spanner sanity: bounded observed stretch.
+            let r = stretch_factors(
+                &udg,
+                b.ldel_icds_prime(),
+                StretchOptions {
+                    min_euclidean_separation: 45.0,
+                },
+            );
+            assert_eq!(r.disconnected_pairs, 0, "seed {seed}");
+            assert!(r.length_max < 10.0, "seed {seed}: stretch {}", r.length_max);
+        }
+    }
+
+    #[test]
+    fn backbone_degree_is_modest() {
+        for seed in 0..5 {
+            let (_udg, b) = build(seed * 11 + 2, false);
+            let nodes = b.backbone_nodes();
+            let s = degree_stats_over(b.ldel_icds(), nodes.iter().copied());
+            // The theory guarantees a (large) constant; empirically small.
+            assert!(s.max <= 20, "seed {seed}: backbone max degree {}", s.max);
+        }
+    }
+
+    #[test]
+    fn distributed_matches_centralized_pipeline() {
+        for seed in 0..3 {
+            let (_udg, central) = build(seed * 13 + 3, false);
+            let (_udg2, dist) = build(seed * 13 + 3, true);
+            assert_eq!(central.roles(), dist.roles(), "seed {seed}");
+            let ce: Vec<_> = central.ldel_icds().edges().collect();
+            let de: Vec<_> = dist.ldel_icds().edges().collect();
+            assert_eq!(ce, de, "seed {seed}");
+            assert!(dist.stats().is_some());
+            assert!(central.stats().is_none());
+        }
+    }
+
+    #[test]
+    fn per_node_cost_is_constant() {
+        let (_udg, b) = build(42, true);
+        let stats = b.stats().unwrap();
+        let total = stats.total_per_node();
+        let max = total.iter().copied().max().unwrap();
+        assert!(max <= 150, "per-node cost {max}");
+    }
+
+    #[test]
+    fn invalid_radius_detected() {
+        let (_pts, udg, _s) = connected_unit_disk(20, 100.0, 50.0, 0);
+        let err = BackboneBuilder::new(BackboneConfig::new(10.0))
+            .build(&udg)
+            .unwrap_err();
+        assert!(matches!(err, BackboneError::InvalidRadius { .. }));
+        assert!(err.to_string().contains("exceeding"));
+    }
+
+    #[test]
+    fn config_builder_methods() {
+        let c = BackboneConfig::new(2.0)
+            .distributed()
+            .with_rank(ClusterRank::HighestDegree);
+        assert!(c.distributed);
+        assert_eq!(c.rank, ClusterRank::HighestDegree);
+        assert_eq!(c.radius, 2.0);
+        let d = BackboneConfig::default();
+        assert_eq!(d.radius, 1.0);
+    }
+}

@@ -1,0 +1,386 @@
+//! Backbone maintenance under node mobility.
+//!
+//! The paper's deployment claim (§I): "our algorithms do not need to
+//! update the network topology when nodes are moving as long as no link
+//! used in the final network topology is broken. … although the actual
+//! physical deployment is no longer a planar graph when nodes are moving,
+//! the logical network topology is still a planar graph."
+//!
+//! [`MobileBackbone`] packages that policy: it owns the current positions
+//! and backbone, accepts position updates, and rebuilds only when a
+//! *used* link exceeds the transmission radius (or a node leaves the
+//! radio range of its entire old neighborhood, splitting the logical
+//! structure).
+
+use geospan_geometry::Point;
+use geospan_graph::gen::UnitDiskBuilder;
+use geospan_graph::Graph;
+
+use crate::{Backbone, BackboneBuilder, BackboneConfig, BackboneError};
+
+/// What a position update did to the backbone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaintenanceReport {
+    /// Logical links whose endpoints moved out of range.
+    pub broken_links: Vec<(usize, usize)>,
+    /// Whether the backbone was rebuilt.
+    pub rebuilt: bool,
+}
+
+/// A backbone plus the mobility policy around it.
+///
+/// # Example
+/// ```
+/// use geospan_core::maintenance::MobileBackbone;
+/// use geospan_core::BackboneConfig;
+/// use geospan_graph::gen::uniform_points;
+///
+/// let pts = uniform_points(50, 150.0, 3);
+/// let mut mobile = MobileBackbone::new(pts.clone(), BackboneConfig::new(60.0)).unwrap();
+/// // A no-op update never rebuilds.
+/// let report = mobile.update_positions(pts).unwrap();
+/// assert!(!report.rebuilt);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MobileBackbone {
+    config: BackboneConfig,
+    points: Vec<Point>,
+    udg: Graph,
+    backbone: Backbone,
+    rebuilds: usize,
+    updates: usize,
+}
+
+impl MobileBackbone {
+    /// Builds the initial backbone for `points`.
+    ///
+    /// # Errors
+    /// Propagates [`BackboneError`] from the initial construction.
+    pub fn new(points: Vec<Point>, config: BackboneConfig) -> Result<Self, BackboneError> {
+        let udg = UnitDiskBuilder::new(config.radius).build(&points);
+        let backbone = BackboneBuilder::new(config.clone()).build(&udg)?;
+        Ok(MobileBackbone {
+            config,
+            points,
+            udg,
+            backbone,
+            rebuilds: 0,
+            updates: 0,
+        })
+    }
+
+    /// The current backbone (valid for the most recent positions).
+    pub fn backbone(&self) -> &Backbone {
+        &self.backbone
+    }
+
+    /// The current physical unit disk graph.
+    pub fn udg(&self) -> &Graph {
+        &self.udg
+    }
+
+    /// The current node positions.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of rebuilds performed so far.
+    pub fn rebuild_count(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// Number of position updates applied so far.
+    pub fn update_count(&self) -> usize {
+        self.updates
+    }
+
+    /// A node powers down. Dominatees leave silently (nothing routed
+    /// through them); losing a backbone node forces a rebuild.
+    ///
+    /// The departed node keeps its index (with no links) so that
+    /// identifiers remain stable for the application layer.
+    ///
+    /// # Errors
+    /// Propagates [`BackboneError`] from a rebuild.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of bounds.
+    pub fn remove_node(&mut self, v: usize) -> Result<MaintenanceReport, BackboneError> {
+        assert!(v < self.points.len(), "node {v} out of bounds");
+        self.updates += 1;
+        let was_backbone = self.backbone.cds_graphs().is_backbone(v);
+        // Park the node far outside the field: all its links drop.
+        let far = 1e9 + v as f64;
+        self.points[v] = Point::new(far, far);
+        self.udg = UnitDiskBuilder::new(self.config.radius).build(&self.points);
+        if !was_backbone {
+            // Clip the departed dominatee out of the logical topology; no
+            // other node's role or link can be affected (dominatees carry
+            // no routing state), so the backbone is untouched.
+            let broken_links: Vec<(usize, usize)> = self
+                .backbone
+                .ldel_icds_prime()
+                .neighbors(v)
+                .iter()
+                .map(|&w| (v.min(w), v.max(w)))
+                .collect();
+            self.backbone.clip_dominatee(v);
+            return Ok(MaintenanceReport {
+                broken_links,
+                rebuilt: false,
+            });
+        }
+        self.backbone = BackboneBuilder::new(self.config.clone()).build(&self.udg)?;
+        self.rebuilds += 1;
+        Ok(MaintenanceReport {
+            broken_links: Vec::new(),
+            rebuilt: true,
+        })
+    }
+
+    /// A node powers up at `position` and receives the next free index.
+    ///
+    /// If the newcomer lands within range of an existing dominator it
+    /// joins as a plain dominatee — no rebuild, the localized fast path
+    /// of the paper's maintenance story. Otherwise (it extends the
+    /// coverage area, or bridges components) the backbone is rebuilt.
+    ///
+    /// Returns the new node's index and the maintenance report.
+    ///
+    /// # Errors
+    /// Propagates [`BackboneError`] from a rebuild.
+    pub fn add_node(
+        &mut self,
+        position: Point,
+    ) -> Result<(usize, MaintenanceReport), BackboneError> {
+        self.updates += 1;
+        self.points.push(position);
+        let v = self.points.len() - 1;
+        self.udg = UnitDiskBuilder::new(self.config.radius).build(&self.points);
+        let adjacent_dominators: Vec<usize> = self
+            .udg
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&w| self.backbone.cds_graphs().dominators.contains(&w))
+            .collect();
+        if adjacent_dominators.is_empty() {
+            // The newcomer extends coverage (or bridges components): the
+            // clustering itself changes, so rebuild.
+            self.backbone = BackboneBuilder::new(self.config.clone()).build(&self.udg)?;
+            self.rebuilds += 1;
+            Ok((
+                v,
+                MaintenanceReport {
+                    broken_links: Vec::new(),
+                    rebuilt: true,
+                },
+            ))
+        } else {
+            // Fast path: join as a dominatee of the dominators in range —
+            // one IamDominatee round in the field, a constant-time attach
+            // here. The existing backbone is untouched.
+            let attached = self
+                .backbone
+                .attach_dominatee(position, &adjacent_dominators);
+            debug_assert_eq!(attached, v);
+            Ok((
+                v,
+                MaintenanceReport {
+                    broken_links: Vec::new(),
+                    rebuilt: false,
+                },
+            ))
+        }
+    }
+
+    /// Applies new positions. The backbone is rebuilt only when a
+    /// logical link broke; otherwise the logical topology is kept
+    /// verbatim (the paper's maintenance policy).
+    ///
+    /// # Errors
+    /// Propagates [`BackboneError`] from a rebuild.
+    ///
+    /// # Panics
+    /// Panics if the number of positions changes (nodes joining/leaving
+    /// is a different operation from movement).
+    pub fn update_positions(
+        &mut self,
+        new_points: Vec<Point>,
+    ) -> Result<MaintenanceReport, BackboneError> {
+        assert_eq!(
+            new_points.len(),
+            self.points.len(),
+            "update_positions handles movement, not membership changes"
+        );
+        self.updates += 1;
+        let broken_links: Vec<(usize, usize)> = self
+            .backbone
+            .ldel_icds_prime()
+            .edges()
+            .filter(|&(u, v)| new_points[u].distance(new_points[v]) > self.config.radius)
+            .collect();
+        self.points = new_points;
+        if broken_links.is_empty() {
+            return Ok(MaintenanceReport {
+                broken_links,
+                rebuilt: false,
+            });
+        }
+        self.udg = UnitDiskBuilder::new(self.config.radius).build(&self.points);
+        self.backbone = BackboneBuilder::new(self.config.clone()).build(&self.udg)?;
+        self.rebuilds += 1;
+        Ok(MaintenanceReport {
+            broken_links,
+            rebuilt: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geospan_graph::gen::connected_unit_disk;
+    use geospan_graph::planarity::is_plane_embedding;
+
+    fn start(seed: u64) -> MobileBackbone {
+        let (pts, _udg, _s) = connected_unit_disk(60, 150.0, 50.0, seed);
+        MobileBackbone::new(pts, BackboneConfig::new(50.0)).unwrap()
+    }
+
+    #[test]
+    fn small_moves_keep_the_backbone() {
+        let mut m = start(1);
+        let before: Vec<_> = m.backbone().ldel_icds().edges().collect();
+        // Nudge every node by far less than the link slack.
+        let nudged: Vec<Point> = m
+            .points()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Point::new(p.x + 1e-6 * i as f64, p.y - 1e-6))
+            .collect();
+        let report = m.update_positions(nudged).unwrap();
+        assert!(!report.rebuilt);
+        assert!(report.broken_links.is_empty());
+        let after: Vec<_> = m.backbone().ldel_icds().edges().collect();
+        assert_eq!(before, after, "logical topology must be untouched");
+        assert_eq!(m.rebuild_count(), 0);
+        assert_eq!(m.update_count(), 1);
+    }
+
+    #[test]
+    fn breaking_a_used_link_triggers_rebuild() {
+        let mut m = start(2);
+        // Teleport one backbone node far away: its links must break.
+        let victim = m.backbone().backbone_nodes()[0];
+        let mut pts = m.points().to_vec();
+        pts[victim] = Point::new(pts[victim].x + 500.0, pts[victim].y);
+        let report = m.update_positions(pts).unwrap();
+        assert!(report.rebuilt);
+        assert!(!report.broken_links.is_empty());
+        assert!(report
+            .broken_links
+            .iter()
+            .all(|&(u, v)| u == victim || v == victim));
+        assert_eq!(m.rebuild_count(), 1);
+        // The rebuilt backbone is valid for the new positions.
+        assert!(is_plane_embedding(m.backbone().ldel_icds()));
+        for (u, v) in m.backbone().ldel_icds_prime().edges() {
+            assert!(m.points()[u].distance(m.points()[v]) <= 50.0);
+        }
+    }
+
+    #[test]
+    fn dominatee_leaves_without_rebuild() {
+        let mut m = start(5);
+        // Find a plain dominatee (not a connector).
+        let v = (0..m.points().len())
+            .find(|&v| m.backbone().roles()[v] == crate::Role::Dominatee)
+            .expect("some dominatee exists");
+        let backbone_edges_before: Vec<_> = m.backbone().ldel_icds().edges().collect();
+        let report = m.remove_node(v).unwrap();
+        assert!(!report.rebuilt);
+        assert!(!report.broken_links.is_empty()); // lost its dominator links
+        assert_eq!(m.rebuild_count(), 0);
+        // The backbone core is untouched; v is isolated in the prime graph.
+        let backbone_edges_after: Vec<_> = m.backbone().ldel_icds().edges().collect();
+        assert_eq!(backbone_edges_before, backbone_edges_after);
+        assert_eq!(m.backbone().ldel_icds_prime().degree(v), 0);
+    }
+
+    #[test]
+    fn backbone_node_leaving_forces_rebuild() {
+        let mut m = start(6);
+        let v = m.backbone().backbone_nodes()[0];
+        let report = m.remove_node(v).unwrap();
+        assert!(report.rebuilt);
+        assert_eq!(m.rebuild_count(), 1);
+        assert!(is_plane_embedding(m.backbone().ldel_icds()));
+    }
+
+    #[test]
+    fn covered_newcomer_joins_without_rebuild() {
+        let mut m = start(7);
+        // Drop the newcomer right next to an existing dominator.
+        let d = m.backbone().cds_graphs().dominators[0];
+        let pos = m.points()[d] + Point::new(0.5, 0.5);
+        let before: Vec<_> = m.backbone().ldel_icds().edges().collect();
+        let (v, report) = m.add_node(pos).unwrap();
+        assert!(!report.rebuilt);
+        assert_eq!(m.rebuild_count(), 0);
+        assert_eq!(m.backbone().roles()[v], crate::Role::Dominatee);
+        assert!(m.backbone().cds_graphs().dominators_of[v].contains(&d));
+        assert!(m.backbone().ldel_icds_prime().has_edge(v, d));
+        let after: Vec<_> = m.backbone().ldel_icds().edges().collect();
+        assert_eq!(before, after, "backbone core must be untouched");
+    }
+
+    #[test]
+    fn uncovered_newcomer_forces_rebuild() {
+        let mut m = start(8);
+        // Far corner outside everyone's radio range... but still forming
+        // a connected UDG is not required for the maintenance API.
+        let (_v, report) = m.add_node(Point::new(2000.0, 2000.0)).unwrap();
+        assert!(report.rebuilt);
+        assert!(m.rebuild_count() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "membership")]
+    fn membership_change_rejected() {
+        let mut m = start(3);
+        let mut pts = m.points().to_vec();
+        pts.pop();
+        let _ = m.update_positions(pts);
+    }
+
+    #[test]
+    fn drift_until_break_then_recover() {
+        let mut m = start(4);
+        let mut pts = m.points().to_vec();
+        let mut saw_quiet_step = false;
+        let mut saw_rebuild = false;
+        for step in 0..60 {
+            // Gentle drift for most steps; one teleport to force a break.
+            if step == 30 {
+                pts[0] = Point::new((pts[0].x + 300.0).min(149.0), 149.0);
+            }
+            for (i, p) in pts.iter_mut().enumerate() {
+                let d = 0.02 * if (i + step) % 2 == 0 { 1.0 } else { -1.0 };
+                p.x = (p.x + d).clamp(0.0, 150.0);
+                p.y = (p.y - d).clamp(0.0, 150.0);
+            }
+            let report = m.update_positions(pts.clone()).unwrap();
+            if report.rebuilt {
+                saw_rebuild = true;
+            } else {
+                saw_quiet_step = true;
+            }
+        }
+        assert!(saw_quiet_step, "expected some steps without maintenance");
+        assert!(saw_rebuild, "expected the teleport to force a rebuild");
+        assert_eq!(m.update_count(), 60);
+        // Whatever happened, the invariants hold now.
+        assert!(is_plane_embedding(m.backbone().ldel_icds()));
+    }
+}

@@ -1,0 +1,198 @@
+//! One-call verification of the paper's guarantees on a built backbone.
+//!
+//! Downstream users (and this workspace's own tests and examples) can
+//! validate any [`Backbone`] against its unit disk graph and get a
+//! structured, printable report of the five headline properties.
+
+use std::fmt;
+
+use geospan_graph::planarity::{crossing_count, is_plane_embedding};
+use geospan_graph::stats::degree_stats_over;
+use geospan_graph::stretch::{stretch_factors, StretchOptions};
+use geospan_graph::Graph;
+
+use crate::{Backbone, Role};
+
+/// The verified properties of a backbone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertyReport {
+    /// Property 1: `LDel(ICDS)` is a plane embedding.
+    pub planar: bool,
+    /// Number of crossing edge pairs when not planar (diagnostic).
+    pub crossings: usize,
+    /// Property 2: maximum degree over backbone nodes in `LDel(ICDS)`.
+    pub backbone_max_degree: usize,
+    /// Property 3a: maximum length stretch of `LDel(ICDS')` vs the UDG
+    /// (over pairs separated by more than one radius).
+    pub length_stretch_max: f64,
+    /// Property 3b: maximum hop stretch of `LDel(ICDS')` vs the UDG.
+    pub hop_stretch_max: f64,
+    /// Property 3c: UDG-connected pairs disconnected in the backbone
+    /// (zero for a spanner).
+    pub disconnected_pairs: usize,
+    /// Property 4: edge count of `LDel(ICDS')` (should be `O(n)`).
+    pub spanning_edges: usize,
+    /// Lemma 1: every dominatee has at most five adjacent dominators.
+    pub lemma1_ok: bool,
+    /// Dominator count.
+    pub dominators: usize,
+    /// Connector count.
+    pub connectors: usize,
+    /// Node count.
+    pub nodes: usize,
+}
+
+impl PropertyReport {
+    /// True when every checked guarantee holds.
+    pub fn all_ok(&self) -> bool {
+        self.planar && self.disconnected_pairs == 0 && self.lemma1_ok
+    }
+}
+
+impl fmt::Display for PropertyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "backbone over {} nodes: {} dominators + {} connectors",
+            self.nodes, self.dominators, self.connectors
+        )?;
+        writeln!(
+            f,
+            "  planar:          {} ({} crossings)",
+            if self.planar { "yes" } else { "NO" },
+            self.crossings
+        )?;
+        writeln!(f, "  max degree:      {}", self.backbone_max_degree)?;
+        writeln!(
+            f,
+            "  stretch:         length <= {:.3}, hops <= {:.3}",
+            self.length_stretch_max, self.hop_stretch_max
+        )?;
+        writeln!(
+            f,
+            "  spans all pairs: {} ({} lost)",
+            if self.disconnected_pairs == 0 {
+                "yes"
+            } else {
+                "NO"
+            },
+            self.disconnected_pairs
+        )?;
+        writeln!(f, "  spanning edges:  {}", self.spanning_edges)?;
+        write!(
+            f,
+            "  Lemma 1 (<= 5 dominators per node): {}",
+            if self.lemma1_ok { "yes" } else { "NO" }
+        )
+    }
+}
+
+/// Verifies a backbone against the unit disk graph it was built from.
+///
+/// `radius` is used as the pair-separation threshold for the length
+/// stretch, matching the paper's measurement convention.
+///
+/// # Panics
+/// Panics if `udg`'s node count differs from the backbone's.
+///
+/// # Example
+/// ```
+/// use geospan_core::{verify, BackboneBuilder, BackboneConfig};
+/// use geospan_graph::gen::connected_unit_disk;
+///
+/// let (_pts, udg, _s) = connected_unit_disk(40, 120.0, 45.0, 2);
+/// let b = BackboneBuilder::new(BackboneConfig::new(45.0)).build(&udg).unwrap();
+/// let report = verify(&b, &udg, 45.0);
+/// assert!(report.all_ok());
+/// ```
+pub fn verify(backbone: &Backbone, udg: &Graph, radius: f64) -> PropertyReport {
+    assert_eq!(
+        udg.node_count(),
+        backbone.roles().len(),
+        "UDG and backbone must share the vertex set"
+    );
+    let planar = is_plane_embedding(backbone.ldel_icds());
+    let crossings = if planar {
+        0
+    } else {
+        crossing_count(backbone.ldel_icds())
+    };
+    let stretch = stretch_factors(
+        udg,
+        backbone.ldel_icds_prime(),
+        StretchOptions {
+            min_euclidean_separation: radius,
+        },
+    );
+    let lemma1_ok = backbone
+        .cds_graphs()
+        .dominators_of
+        .iter()
+        .all(|d| d.len() <= 5);
+    let (mut dominators, mut connectors) = (0, 0);
+    for r in backbone.roles() {
+        match r {
+            Role::Dominator => dominators += 1,
+            Role::Connector => connectors += 1,
+            Role::Dominatee => {}
+        }
+    }
+    PropertyReport {
+        planar,
+        crossings,
+        backbone_max_degree: degree_stats_over(backbone.ldel_icds(), backbone.backbone_nodes()).max,
+        length_stretch_max: stretch.length_max,
+        hop_stretch_max: stretch.hop_max,
+        disconnected_pairs: stretch.disconnected_pairs,
+        spanning_edges: backbone.ldel_icds_prime().edge_count(),
+        lemma1_ok,
+        dominators,
+        connectors,
+        nodes: udg.node_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BackboneBuilder, BackboneConfig};
+    use geospan_graph::gen::connected_unit_disk;
+
+    #[test]
+    fn healthy_backbone_verifies() {
+        let (_pts, udg, _s) = connected_unit_disk(60, 150.0, 45.0, 9);
+        let b = BackboneBuilder::new(BackboneConfig::new(45.0))
+            .build(&udg)
+            .unwrap();
+        let r = verify(&b, &udg, 45.0);
+        assert!(r.all_ok());
+        assert_eq!(r.nodes, 60);
+        assert_eq!(r.dominators + r.connectors, b.backbone_nodes().len());
+        assert!(r.length_stretch_max >= 1.0);
+        let text = r.to_string();
+        assert!(text.contains("planar:          yes"));
+        assert!(text.contains("Lemma 1"));
+    }
+
+    #[test]
+    fn report_flags_problems() {
+        // Hand-build a degenerate report to exercise the formatting paths.
+        let r = PropertyReport {
+            planar: false,
+            crossings: 3,
+            backbone_max_degree: 7,
+            length_stretch_max: 2.0,
+            hop_stretch_max: 2.0,
+            disconnected_pairs: 1,
+            spanning_edges: 10,
+            lemma1_ok: false,
+            dominators: 2,
+            connectors: 1,
+            nodes: 9,
+        };
+        assert!(!r.all_ok());
+        let text = r.to_string();
+        assert!(text.contains("NO (3 crossings)"));
+        assert!(text.contains("(1 lost)"));
+    }
+}

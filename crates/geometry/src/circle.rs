@@ -1,0 +1,149 @@
+//! Circles and circumcircles.
+
+use crate::{orient2d, Orientation, Point};
+
+/// A circle given by center and radius.
+///
+/// Produced by [`Circle::circumscribing`] and used for visualization and
+/// approximate queries. Exact containment questions should go through the
+/// predicates ([`crate::in_circumcircle`], [`crate::gabriel_test`]) instead
+/// of comparing floating-point distances against `radius`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Circle {
+    /// Center of the circle.
+    pub center: Point,
+    /// Radius of the circle (non-negative).
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a circle from center and radius.
+    ///
+    /// # Panics
+    /// Panics if `radius` is negative or NaN.
+    pub fn new(center: Point, radius: f64) -> Self {
+        assert!(radius >= 0.0, "circle radius must be non-negative");
+        Circle { center, radius }
+    }
+
+    /// The circle through three non-collinear points.
+    ///
+    /// Returns `None` when the points are (exactly) collinear.
+    ///
+    /// # Example
+    /// ```
+    /// use geospan_geometry::{Circle, Point};
+    /// let c = Circle::circumscribing(
+    ///     Point::new(0.0, 0.0),
+    ///     Point::new(2.0, 0.0),
+    ///     Point::new(0.0, 2.0),
+    /// ).unwrap();
+    /// assert_eq!(c.center, Point::new(1.0, 1.0));
+    /// assert!((c.radius - 2f64.sqrt()).abs() < 1e-12);
+    /// ```
+    pub fn circumscribing(a: Point, b: Point, c: Point) -> Option<Self> {
+        let center = circumcenter(a, b, c)?;
+        Some(Circle {
+            center,
+            radius: center.distance(a),
+        })
+    }
+
+    /// The disk with the segment `uv` as diameter (the *Gabriel disk*).
+    pub fn gabriel_disk(u: Point, v: Point) -> Self {
+        Circle {
+            center: u.midpoint(v),
+            radius: u.distance(v) / 2.0,
+        }
+    }
+
+    /// Approximate containment: is `p` inside or on the circle, up to
+    /// floating-point evaluation of distances?
+    pub fn contains_approx(&self, p: Point) -> bool {
+        self.center.distance_sq(p) <= self.radius * self.radius
+    }
+}
+
+/// Circumcenter of the triangle `(a, b, c)`, or `None` when the points are
+/// exactly collinear.
+///
+/// The computation is relative to `a` for numerical stability; the
+/// collinearity decision is exact (via [`orient2d`]), while the returned
+/// coordinates are ordinary floating point.
+pub fn circumcenter(a: Point, b: Point, c: Point) -> Option<Point> {
+    if orient2d(a, b, c) == Orientation::Collinear {
+        return None;
+    }
+    let bx = b.x - a.x;
+    let by = b.y - a.y;
+    let cx = c.x - a.x;
+    let cy = c.y - a.y;
+    let d = 2.0 * (bx * cy - by * cx);
+    let b2 = bx * bx + by * by;
+    let c2 = cx * cx + cy * cy;
+    let ux = (cy * b2 - by * c2) / d;
+    let uy = (bx * c2 - cx * b2) / d;
+    Some(Point::new(a.x + ux, a.y + uy))
+}
+
+/// Circumradius of the triangle `(a, b, c)`, or `None` when collinear.
+pub fn circumradius(a: Point, b: Point, c: Point) -> Option<f64> {
+    circumcenter(a, b, c).map(|o| o.distance(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circumcenter_equidistant() {
+        let a = Point::new(0.3, 1.7);
+        let b = Point::new(4.1, -0.2);
+        let c = Point::new(2.2, 3.9);
+        let o = circumcenter(a, b, c).unwrap();
+        let ra = o.distance(a);
+        let rb = o.distance(b);
+        let rc = o.distance(c);
+        assert!((ra - rb).abs() < 1e-12 * ra.max(1.0));
+        assert!((ra - rc).abs() < 1e-12 * ra.max(1.0));
+        assert!((circumradius(a, b, c).unwrap() - ra).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circumcenter_collinear_is_none() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 1.0);
+        let c = Point::new(2.0, 2.0);
+        assert_eq!(circumcenter(a, b, c), None);
+        assert_eq!(circumradius(a, b, c), None);
+        assert_eq!(Circle::circumscribing(a, b, c), None);
+    }
+
+    #[test]
+    fn gabriel_disk_geometry() {
+        let d = Circle::gabriel_disk(Point::new(0.0, 0.0), Point::new(4.0, 0.0));
+        assert_eq!(d.center, Point::new(2.0, 0.0));
+        assert_eq!(d.radius, 2.0);
+        assert!(d.contains_approx(Point::new(2.0, 1.9)));
+        assert!(!d.contains_approx(Point::new(2.0, 2.1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_radius_rejected() {
+        let _ = Circle::new(Point::ORIGIN, -1.0);
+    }
+
+    #[test]
+    fn circumcenter_far_from_origin_is_stable() {
+        // Translation invariance: the relative computation keeps precision
+        // even when coordinates are large.
+        let off = Point::new(1.0e8, -3.0e8);
+        let a = Point::new(0.0, 0.0) + off;
+        let b = Point::new(2.0, 0.0) + off;
+        let c = Point::new(0.0, 2.0) + off;
+        let o = circumcenter(a, b, c).unwrap();
+        assert!((o.x - (1.0 + off.x)).abs() < 1e-6);
+        assert!((o.y - (1.0 + off.y)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,140 @@
+//! Convex hulls.
+
+use crate::{orient2d, Orientation, Point};
+
+/// Indices of the convex hull of `points`, in counterclockwise order,
+/// starting from the lexicographically smallest point.
+///
+/// Uses Andrew's monotone chain with exact orientation tests. Collinear
+/// points on the hull boundary are **excluded** (only extreme points are
+/// returned). Duplicate points are tolerated.
+///
+/// Returns the two extreme points when the input is entirely collinear,
+/// and fewer than 3 indices for degenerate inputs.
+///
+/// # Example
+/// ```
+/// use geospan_geometry::{convex_hull, Point};
+/// let pts = vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(2.0, 0.0),
+///     Point::new(1.0, 1.0),
+///     Point::new(1.0, 0.2), // interior
+///     Point::new(1.0, 0.0), // on the boundary, not extreme
+/// ];
+/// let hull = convex_hull(&pts);
+/// assert_eq!(hull, vec![0, 1, 2]);
+/// ```
+pub fn convex_hull(points: &[Point]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.sort_by(|&i, &j| points[i].lex_cmp(points[j]));
+    idx.dedup_by(|&mut i, &mut j| points[i] == points[j]);
+    let n = idx.len();
+    if n <= 2 {
+        return idx;
+    }
+
+    let mut hull: Vec<usize> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &i in &idx {
+        while hull.len() >= 2 {
+            let a = points[hull[hull.len() - 2]];
+            let b = points[hull[hull.len() - 1]];
+            if orient2d(a, b, points[i]) == Orientation::CounterClockwise {
+                break;
+            }
+            hull.pop();
+        }
+        hull.push(i);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &i in idx.iter().rev().skip(1) {
+        while hull.len() >= lower_len {
+            let a = points[hull[hull.len() - 2]];
+            let b = points[hull[hull.len() - 1]];
+            if orient2d(a, b, points[i]) == Orientation::CounterClockwise {
+                break;
+            }
+            hull.pop();
+        }
+        hull.push(i);
+    }
+    hull.pop(); // the starting point is repeated
+    if hull.len() == 2 && points[hull[0]] == points[hull[1]] {
+        hull.pop();
+    }
+    hull
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn square_with_interior_points() {
+        let pts = vec![
+            p(0., 0.),
+            p(1., 0.),
+            p(1., 1.),
+            p(0., 1.),
+            p(0.5, 0.5),
+            p(0.25, 0.75),
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+        // CCW starting from lexicographic minimum (0,0).
+        assert_eq!(h, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn collinear_input() {
+        let pts = vec![p(0., 0.), p(2., 2.), p(1., 1.), p(3., 3.)];
+        let h = convex_hull(&pts);
+        // Only the two extreme points remain; no turns exist.
+        assert_eq!(h, vec![0, 3]);
+    }
+
+    #[test]
+    fn boundary_collinear_points_excluded() {
+        let pts = vec![p(0., 0.), p(4., 0.), p(2., 0.), p(2., 2.)];
+        let h = convex_hull(&pts);
+        assert_eq!(h, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn duplicates_and_small_inputs() {
+        assert_eq!(convex_hull(&[]), Vec::<usize>::new());
+        assert_eq!(convex_hull(&[p(1., 1.)]), vec![0]);
+        assert_eq!(convex_hull(&[p(1., 1.), p(1., 1.)]), vec![0]);
+        let h = convex_hull(&[p(0., 0.), p(1., 0.), p(0., 0.)]);
+        assert_eq!(h, vec![0, 1]);
+    }
+
+    #[test]
+    fn hull_is_ccw_and_convex() {
+        // A rough ring of points plus noise points inside.
+        let mut pts = Vec::new();
+        for i in 0..24 {
+            let a = i as f64 * std::f64::consts::TAU / 24.0;
+            pts.push(p(10.0 * a.cos(), 10.0 * a.sin()));
+        }
+        for i in 0..50 {
+            let a = (i as f64) * 2.399963; // golden-angle scatter
+            let r = 5.0 * ((i as f64 * 0.17).sin().abs());
+            pts.push(p(r * a.cos(), r * a.sin()));
+        }
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 24);
+        for k in 0..h.len() {
+            let a = pts[h[k]];
+            let b = pts[h[(k + 1) % h.len()]];
+            let c = pts[h[(k + 2) % h.len()]];
+            assert_eq!(orient2d(a, b, c), Orientation::CounterClockwise);
+        }
+    }
+}

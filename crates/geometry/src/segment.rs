@@ -1,0 +1,195 @@
+//! Exact segment intersection tests.
+//!
+//! Planarity checking of the constructed topologies reduces to "do any two
+//! edges cross?", so these tests must be exact: they are built entirely on
+//! [`orient2d`].
+
+use crate::{orient2d, Orientation, Point};
+
+/// How two segments intersect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegmentIntersection {
+    /// The segments share no point.
+    None,
+    /// The segments cross at a single interior point of both.
+    Proper,
+    /// The segments touch at an endpoint of at least one of them, or
+    /// overlap collinearly.
+    Touching,
+}
+
+/// Classifies the intersection of segment `ab` with segment `cd`, exactly.
+///
+/// * [`SegmentIntersection::Proper`]: a single common point interior to
+///   both segments — this is what "two edges cross" means for planarity.
+/// * [`SegmentIntersection::Touching`]: common endpoints, an endpoint in
+///   the interior of the other segment, or collinear overlap.
+/// * [`SegmentIntersection::None`] — disjoint.
+///
+/// # Example
+/// ```
+/// use geospan_geometry::{segments_cross, SegmentIntersection, Point};
+/// let p = |x, y| Point::new(x, y);
+/// assert_eq!(
+///     segments_cross(p(0., 0.), p(2., 2.), p(0., 2.), p(2., 0.)),
+///     SegmentIntersection::Proper
+/// );
+/// assert_eq!(
+///     segments_cross(p(0., 0.), p(1., 0.), p(1., 0.), p(2., 1.)),
+///     SegmentIntersection::Touching
+/// );
+/// assert_eq!(
+///     segments_cross(p(0., 0.), p(1., 0.), p(0., 1.), p(1., 1.)),
+///     SegmentIntersection::None
+/// );
+/// ```
+pub fn segments_cross(a: Point, b: Point, c: Point, d: Point) -> SegmentIntersection {
+    let o1 = orient2d(a, b, c);
+    let o2 = orient2d(a, b, d);
+    let o3 = orient2d(c, d, a);
+    let o4 = orient2d(c, d, b);
+
+    use Orientation::Collinear;
+    if o1 != Collinear && o2 != Collinear && o3 != Collinear && o4 != Collinear {
+        if o1 != o2 && o3 != o4 {
+            return SegmentIntersection::Proper;
+        }
+        return SegmentIntersection::None;
+    }
+
+    // At least one collinear triple: the segments can only touch or
+    // overlap, never properly cross.
+    if o1 == Collinear && on_segment(a, b, c) {
+        return SegmentIntersection::Touching;
+    }
+    if o2 == Collinear && on_segment(a, b, d) {
+        return SegmentIntersection::Touching;
+    }
+    if o3 == Collinear && on_segment(c, d, a) {
+        return SegmentIntersection::Touching;
+    }
+    if o4 == Collinear && on_segment(c, d, b) {
+        return SegmentIntersection::Touching;
+    }
+    // With at least one collinear triple and no on-segment containment,
+    // the segments cannot meet.
+    SegmentIntersection::None
+}
+
+/// True when segments `ab` and `cd` intersect at a point interior to both
+/// (a *proper* crossing): exactly the situation a planar graph forbids
+/// between two edges that do not share an endpoint.
+pub fn segments_properly_cross(a: Point, b: Point, c: Point, d: Point) -> bool {
+    segments_cross(a, b, c, d) == SegmentIntersection::Proper
+}
+
+/// Given that `p` is collinear with `a` and `b`, is `p` on the closed
+/// segment `ab`?
+fn on_segment(a: Point, b: Point, p: Point) -> bool {
+    p.x >= a.x.min(b.x) && p.x <= a.x.max(b.x) && p.y >= a.y.min(b.y) && p.y <= a.y.max(b.y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn proper_crossing() {
+        assert_eq!(
+            segments_cross(p(0., 0.), p(4., 4.), p(0., 4.), p(4., 0.)),
+            SegmentIntersection::Proper
+        );
+        assert!(segments_properly_cross(
+            p(0., 0.),
+            p(4., 4.),
+            p(0., 4.),
+            p(4., 0.)
+        ));
+    }
+
+    #[test]
+    fn disjoint_segments() {
+        assert_eq!(
+            segments_cross(p(0., 0.), p(1., 0.), p(2., 0.1), p(3., 1.)),
+            SegmentIntersection::None
+        );
+        assert!(!segments_properly_cross(
+            p(0., 0.),
+            p(1., 0.),
+            p(2., 0.1),
+            p(3., 1.)
+        ));
+    }
+
+    #[test]
+    fn shared_endpoint_is_touching() {
+        assert_eq!(
+            segments_cross(p(0., 0.), p(1., 1.), p(1., 1.), p(2., 0.)),
+            SegmentIntersection::Touching
+        );
+    }
+
+    #[test]
+    fn endpoint_on_interior_is_touching() {
+        // c lies in the middle of ab.
+        assert_eq!(
+            segments_cross(p(0., 0.), p(2., 0.), p(1., 0.), p(1., 5.)),
+            SegmentIntersection::Touching
+        );
+        // T-junction the other way around.
+        assert_eq!(
+            segments_cross(p(1., 0.), p(1., 5.), p(0., 0.), p(2., 0.)),
+            SegmentIntersection::Touching
+        );
+    }
+
+    #[test]
+    fn collinear_overlap_is_touching() {
+        assert_eq!(
+            segments_cross(p(0., 0.), p(3., 0.), p(1., 0.), p(5., 0.)),
+            SegmentIntersection::Touching
+        );
+    }
+
+    #[test]
+    fn collinear_disjoint_is_none() {
+        assert_eq!(
+            segments_cross(p(0., 0.), p(1., 0.), p(2., 0.), p(3., 0.)),
+            SegmentIntersection::None
+        );
+    }
+
+    #[test]
+    fn near_miss_is_exact() {
+        // Segment cd passes within one ulp of b but does not touch it.
+        let b = p(1.0, 1.0);
+        let eps = f64::EPSILON;
+        assert_eq!(
+            segments_cross(p(0., 0.), b, p(0.0, 1.0 + eps), p(2.0, 1.0 + eps)),
+            SegmentIntersection::None
+        );
+        // And exactly through b: touching.
+        assert_eq!(
+            segments_cross(p(0., 0.), b, p(0.0, 1.0), p(2.0, 1.0)),
+            SegmentIntersection::Touching
+        );
+    }
+
+    #[test]
+    fn degenerate_zero_length_segment() {
+        // A zero-length segment on another segment touches it.
+        assert_eq!(
+            segments_cross(p(1., 0.), p(1., 0.), p(0., 0.), p(2., 0.)),
+            SegmentIntersection::Touching
+        );
+        // And off it: none.
+        assert_eq!(
+            segments_cross(p(1., 1.), p(1., 1.), p(0., 0.), p(2., 0.)),
+            SegmentIntersection::None
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Larger-scale and adversarial stress tests for the Delaunay
+//! triangulation and the exact predicates.
+
+use geospan_geometry::{incircle, orient2d, CirclePosition, Orientation, Point, Triangulation};
+
+/// Deterministic pseudo-random points (SplitMix-ish).
+fn random_points(n: usize, scale: f64, mut seed: u64) -> Vec<Point> {
+    let mut out = Vec::with_capacity(n);
+    let mut next = move || {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((seed >> 11) as f64) / ((1u64 << 53) as f64)
+    };
+    for _ in 0..n {
+        out.push(Point::new(next() * scale, next() * scale));
+    }
+    out
+}
+
+fn check_euler(t: &Triangulation, n: usize) {
+    let h = t.hull().len();
+    assert_eq!(t.triangles().len(), 2 * n - h - 2);
+    assert_eq!(t.edges().len(), 3 * n - h - 3);
+}
+
+#[test]
+fn two_thousand_random_points() {
+    let pts = random_points(2000, 1000.0, 42);
+    let t = Triangulation::build(&pts).unwrap();
+    check_euler(&t, pts.len());
+    assert!(t.is_delaunay());
+}
+
+#[test]
+fn large_exact_grid() {
+    // 40 x 30 grid: every interior quadruple is exactly cocircular.
+    let mut pts = Vec::new();
+    for i in 0..40 {
+        for j in 0..30 {
+            pts.push(Point::new(i as f64, j as f64));
+        }
+    }
+    let t = Triangulation::build(&pts).unwrap();
+    check_euler(&t, pts.len());
+    assert!(t.is_delaunay());
+}
+
+#[test]
+fn many_cocircular_points() {
+    // 180 points exactly on a circle... well, as exactly as f64 allows;
+    // use a rational circle (scaled Pythagorean angles are hard, so take
+    // the symmetric octagon family instead plus interior points).
+    let mut pts = Vec::new();
+    for i in 0..180 {
+        let a = i as f64 * std::f64::consts::TAU / 180.0;
+        pts.push(Point::new(512.0 * a.cos(), 512.0 * a.sin()));
+    }
+    pts.push(Point::ORIGIN);
+    let t = Triangulation::build(&pts).unwrap();
+    check_euler(&t, pts.len());
+    assert!(t.is_delaunay());
+}
+
+#[test]
+fn thin_strip() {
+    // Nearly-collinear strip: slivers everywhere.
+    let mut pts = Vec::new();
+    for i in 0..400 {
+        let x = i as f64;
+        let y = if i % 2 == 0 { 0.0 } else { 1e-7 * (i as f64) };
+        pts.push(Point::new(x, y));
+    }
+    let t = Triangulation::build(&pts).unwrap();
+    assert!(t.is_delaunay());
+    // Connected even in pathological shape.
+    let mut seen = vec![false; pts.len()];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    while let Some(u) = stack.pop() {
+        for &v in t.neighbors(u) {
+            if !seen[v] {
+                seen[v] = true;
+                stack.push(v);
+            }
+        }
+    }
+    assert!(seen.into_iter().all(|s| s));
+}
+
+#[test]
+fn clustered_at_microscopic_spacing() {
+    // Three clusters of points 1e-3 apart, clusters 1e9 apart: a 1e12
+    // dynamic range (finer offsets would fall below the ulp at 1e9 and
+    // produce genuine duplicates).
+    let mut pts = Vec::new();
+    for c in 0..3 {
+        let base = Point::new(c as f64 * 1e9, (c % 2) as f64 * 1e9);
+        for i in 0..40 {
+            let dx = (i % 7) as f64 * 1e-3;
+            let dy = (i / 7) as f64 * 1e-3;
+            pts.push(base + Point::new(dx, dy));
+        }
+    }
+    let t = Triangulation::build(&pts).unwrap();
+    check_euler(&t, pts.len());
+    assert!(t.is_delaunay());
+}
+
+#[test]
+fn predicate_consistency_under_scaling() {
+    // Predicates commute with (exact power-of-two) scaling.
+    let pts = random_points(64, 1.0, 7);
+    for w in pts.windows(4) {
+        let (a, b, c, d) = (w[0], w[1], w[2], w[3]);
+        let s = 2f64.powi(40);
+        let scale = |p: Point| Point::new(p.x * s, p.y * s);
+        assert_eq!(orient2d(a, b, c), orient2d(scale(a), scale(b), scale(c)));
+        assert_eq!(
+            incircle(a, b, c, d),
+            incircle(scale(a), scale(b), scale(c), scale(d))
+        );
+    }
+}
+
+#[test]
+fn incircle_agrees_with_triangulation_membership() {
+    // For every triangulation triangle, flipping a shared edge must not
+    // produce a strictly better (empty-circle-violating) configuration.
+    let pts = random_points(300, 100.0, 99);
+    let t = Triangulation::build(&pts).unwrap();
+    for tri in t.triangles() {
+        let [a, b, c] = tri.indices();
+        assert_eq!(
+            orient2d(pts[a], pts[b], pts[c]),
+            Orientation::CounterClockwise
+        );
+        for (x, y) in [(a, b), (b, c), (c, a)] {
+            // Common neighbors across each edge must be outside or on the
+            // circumcircle.
+            for &w in t.neighbors(x) {
+                if w == a || w == b || w == c || !t.neighbors(y).contains(&w) {
+                    continue;
+                }
+                assert_ne!(
+                    incircle(pts[a], pts[b], pts[c], pts[w]),
+                    CirclePosition::Inside,
+                    "neighbor {w} violates the empty circle of {tri}"
+                );
+            }
+        }
+    }
+}

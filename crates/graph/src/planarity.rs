@@ -1,0 +1,184 @@
+//! Exact planarity checking for embedded graphs.
+//!
+//! The paper's backbone must be a *plane* graph — no two links cross —
+//! because face-routing algorithms (GPSR and relatives) traverse the faces
+//! of the embedding. For an embedded graph the right question is not
+//! abstract graph planarity but whether this particular straight-line
+//! embedding is crossing-free; that is what [`is_plane_embedding`]
+//! decides, using the exact segment predicates.
+
+use geospan_geometry::segments_properly_cross;
+
+use crate::Graph;
+
+/// True when no two edges of the embedded graph properly cross.
+///
+/// Edges sharing an endpoint never count as crossing. The check is exact
+/// (built on exact orientation tests) and uses an interval sweep over the
+/// x-extents of the edges, so it is fast for the sparse graphs it is
+/// meant for.
+///
+/// # Example
+/// ```
+/// use geospan_graph::{Graph, Point};
+/// use geospan_graph::planarity::is_plane_embedding;
+/// let pts = vec![
+///     Point::new(0.,0.), Point::new(2.,2.), Point::new(0.,2.), Point::new(2.,0.),
+/// ];
+/// let crossing = Graph::with_edges(pts.clone(), [(0,1),(2,3)]);
+/// assert!(!is_plane_embedding(&crossing));
+/// let planar = Graph::with_edges(pts, [(0,2),(2,1),(1,3),(3,0)]);
+/// assert!(is_plane_embedding(&planar));
+/// ```
+pub fn is_plane_embedding(g: &Graph) -> bool {
+    first_crossing(g).is_none()
+}
+
+/// The first pair of properly crossing edges found, or `None` when the
+/// embedding is plane. Useful in test failure messages.
+pub fn first_crossing(g: &Graph) -> Option<((usize, usize), (usize, usize))> {
+    // Collect edges with their x-intervals and sweep.
+    let mut edges: Vec<(f64, f64, usize, usize)> = g
+        .edges()
+        .map(|(u, v)| {
+            let (a, b) = (g.position(u), g.position(v));
+            (a.x.min(b.x), a.x.max(b.x), u, v)
+        })
+        .collect();
+    edges.sort_by(|p, q| p.0.partial_cmp(&q.0).expect("finite coordinates"));
+    for i in 0..edges.len() {
+        let (_, max_x, u1, v1) = edges[i];
+        for &(min_x2, _, u2, v2) in edges[i + 1..].iter() {
+            if min_x2 > max_x {
+                break; // no later edge can overlap in x
+            }
+            if u1 == u2 || u1 == v2 || v1 == u2 || v1 == v2 {
+                continue;
+            }
+            if segments_properly_cross(
+                g.position(u1),
+                g.position(v1),
+                g.position(u2),
+                g.position(v2),
+            ) {
+                return Some(((u1, v1), (u2, v2)));
+            }
+        }
+    }
+    None
+}
+
+/// Counts all properly crossing edge pairs (diagnostic; `0` for plane
+/// embeddings).
+pub fn crossing_count(g: &Graph) -> usize {
+    let edges: Vec<(usize, usize)> = g.edges().collect();
+    let mut count = 0;
+    for (i, &(u1, v1)) in edges.iter().enumerate() {
+        for &(u2, v2) in &edges[i + 1..] {
+            if u1 == u2 || u1 == v2 || v1 == u2 || v1 == v2 {
+                continue;
+            }
+            if segments_properly_cross(
+                g.position(u1),
+                g.position(v1),
+                g.position(u2),
+                g.position(v2),
+            ) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geospan_geometry::Point;
+
+    #[test]
+    fn x_shape_crosses() {
+        let g = Graph::with_edges(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(2.0, 2.0),
+                Point::new(0.0, 2.0),
+                Point::new(2.0, 0.0),
+            ],
+            [(0, 1), (2, 3)],
+        );
+        assert!(!is_plane_embedding(&g));
+        assert_eq!(crossing_count(&g), 1);
+        let ((a, b), (c, d)) = first_crossing(&g).unwrap();
+        assert_eq!(((a, b), (c, d)), ((0, 1), (2, 3)));
+    }
+
+    #[test]
+    fn shared_endpoints_do_not_cross() {
+        let g = Graph::with_edges(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(2.0, 0.0),
+                Point::new(1.0, 2.0),
+            ],
+            [(0, 1), (1, 2), (2, 0)],
+        );
+        assert!(is_plane_embedding(&g));
+        assert_eq!(crossing_count(&g), 0);
+    }
+
+    #[test]
+    fn t_junction_without_shared_vertex_is_not_proper() {
+        // Edge (2,3) ends exactly on the interior of edge (0,1): touching,
+        // not a proper crossing — a plane embedding in the GPSR sense
+        // still fails geometrically, but properly-crossing is the
+        // criterion the planarization algorithms guarantee.
+        let g = Graph::with_edges(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(2.0, 0.0),
+                Point::new(1.0, 0.0) + Point::new(0.0, 0.0), // exactly on (0,1)
+                Point::new(1.0, 2.0),
+            ],
+            [(0, 1), (2, 3)],
+        );
+        assert!(is_plane_embedding(&g));
+    }
+
+    #[test]
+    fn larger_planar_vs_nonplanar() {
+        // A 3x3 grid graph (planar)...
+        let mut pts = Vec::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                pts.push(Point::new(i as f64, j as f64));
+            }
+        }
+        let idx = |i: usize, j: usize| i * 3 + j;
+        let mut g = Graph::new(pts);
+        for i in 0..3 {
+            for j in 0..3 {
+                if i + 1 < 3 {
+                    g.add_edge(idx(i, j), idx(i + 1, j));
+                }
+                if j + 1 < 3 {
+                    g.add_edge(idx(i, j), idx(i, j + 1));
+                }
+            }
+        }
+        assert!(is_plane_embedding(&g));
+        // ...plus both diagonals of one cell: one crossing.
+        g.add_edge(idx(0, 0), idx(1, 1));
+        g.add_edge(idx(1, 0), idx(0, 1));
+        assert!(!is_plane_embedding(&g));
+        assert_eq!(crossing_count(&g), 1);
+        assert!(first_crossing(&g).is_some());
+    }
+
+    #[test]
+    fn empty_graph_is_plane() {
+        assert!(is_plane_embedding(&Graph::new(vec![])));
+        assert_eq!(crossing_count(&Graph::new(vec![])), 0);
+        assert_eq!(first_crossing(&Graph::new(vec![])), None);
+    }
+}

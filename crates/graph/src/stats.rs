@@ -1,0 +1,100 @@
+//! Degree and size statistics of topologies.
+
+use crate::Graph;
+
+/// Degree summary of a graph (or of a node subset).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DegreeStats {
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub avg: f64,
+}
+
+/// Degree statistics over all nodes of `g`.
+///
+/// # Example
+/// ```
+/// use geospan_graph::{Graph, Point};
+/// use geospan_graph::stats::degree_stats;
+/// let g = Graph::with_edges(
+///     vec![Point::new(0.,0.), Point::new(1.,0.), Point::new(2.,0.)],
+///     [(0,1),(1,2)]);
+/// let s = degree_stats(&g);
+/// assert_eq!(s.max, 2);
+/// assert!((s.avg - 4.0/3.0).abs() < 1e-12);
+/// ```
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    degree_stats_over(g, 0..g.node_count())
+}
+
+/// Degree statistics restricted to the nodes yielded by `nodes`.
+///
+/// Used for backbone graphs, where only dominators and connectors carry
+/// edges and averaging over all deployed nodes would dilute the numbers.
+///
+/// # Panics
+/// Panics if any yielded node is out of bounds.
+pub fn degree_stats_over(g: &Graph, nodes: impl IntoIterator<Item = usize>) -> DegreeStats {
+    let mut max = 0usize;
+    let mut sum = 0usize;
+    let mut count = 0usize;
+    for v in nodes {
+        let d = g.degree(v);
+        max = max.max(d);
+        sum += d;
+        count += 1;
+    }
+    DegreeStats {
+        max,
+        avg: if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geospan_geometry::Point;
+
+    fn star() -> Graph {
+        // Node 0 at the center of 4 leaves.
+        Graph::with_edges(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(0.0, 1.0),
+                Point::new(-1.0, 0.0),
+                Point::new(0.0, -1.0),
+            ],
+            [(0, 1), (0, 2), (0, 3), (0, 4)],
+        )
+    }
+
+    #[test]
+    fn star_stats() {
+        let s = degree_stats(&star());
+        assert_eq!(s.max, 4);
+        assert!((s.avg - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_stats() {
+        let s = degree_stats_over(&star(), [1, 2, 3, 4]);
+        assert_eq!(s.max, 1);
+        assert_eq!(s.avg, 1.0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let g = Graph::new(vec![]);
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.avg, 0.0);
+        let s = degree_stats_over(&star(), std::iter::empty());
+        assert_eq!(s.avg, 0.0);
+    }
+}

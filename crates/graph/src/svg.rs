@@ -1,0 +1,237 @@
+//! Minimal SVG rendering of embedded graphs.
+//!
+//! Regenerates the paper's Figure 6/7-style topology galleries. The
+//! renderer is intentionally small: edges, nodes, optional per-node
+//! classes with distinct colors and shapes (dominators as squares,
+//! connectors as diamonds, dominatees as circles, mirroring Figure 3).
+
+use std::fmt::Write as _;
+
+use crate::Graph;
+
+/// Visual role of a node in a rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NodeRole {
+    /// Plain node: small gray circle.
+    #[default]
+    Plain,
+    /// Dominator / cluster-head: red square.
+    Dominator,
+    /// Connector / gateway: blue diamond.
+    Connector,
+    /// Dominatee / ordinary node: small green circle.
+    Dominatee,
+}
+
+/// Renderer configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvgOptions {
+    /// Output canvas size in pixels (the graph is scaled to fit).
+    pub canvas: f64,
+    /// Margin around the drawing, in pixels.
+    pub margin: f64,
+    /// Node radius in pixels.
+    pub node_radius: f64,
+    /// Edge stroke width in pixels.
+    pub stroke_width: f64,
+    /// Figure title rendered at the top; empty for none.
+    pub title: String,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            canvas: 640.0,
+            margin: 20.0,
+            node_radius: 3.0,
+            stroke_width: 1.0,
+            title: String::new(),
+        }
+    }
+}
+
+/// Renders the graph to an SVG document string.
+///
+/// `roles` assigns a visual role per node; pass `&[]` to draw all nodes
+/// plain.
+///
+/// # Panics
+/// Panics when `roles` is non-empty but shorter than the node count.
+///
+/// # Example
+/// ```
+/// use geospan_graph::{Graph, Point};
+/// use geospan_graph::svg::{render_svg, SvgOptions};
+/// let g = Graph::with_edges(
+///     vec![Point::new(0.,0.), Point::new(10.,10.)], [(0,1)]);
+/// let svg = render_svg(&g, &[], &SvgOptions::default());
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("<line"));
+/// ```
+pub fn render_svg(g: &Graph, roles: &[NodeRole], opts: &SvgOptions) -> String {
+    assert!(
+        roles.is_empty() || roles.len() >= g.node_count(),
+        "roles slice shorter than node count"
+    );
+    let n = g.node_count();
+    let (min_x, max_x, min_y, max_y) = if n == 0 {
+        (0.0, 1.0, 0.0, 1.0)
+    } else {
+        let xs = g.points().iter().map(|p| p.x);
+        let ys = g.points().iter().map(|p| p.y);
+        (
+            xs.clone().fold(f64::INFINITY, f64::min),
+            xs.fold(f64::NEG_INFINITY, f64::max),
+            ys.clone().fold(f64::INFINITY, f64::min),
+            ys.fold(f64::NEG_INFINITY, f64::max),
+        )
+    };
+    let span = (max_x - min_x).max(max_y - min_y).max(1e-9);
+    let inner = opts.canvas - 2.0 * opts.margin;
+    let scale = inner / span;
+    let tx = |x: f64| opts.margin + (x - min_x) * scale;
+    // SVG y grows downward; flip so the figure matches the plane.
+    let ty = |y: f64| opts.canvas - opts.margin - (y - min_y) * scale;
+
+    let mut out = String::with_capacity(64 * (n + g.edge_count()) + 256);
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{c}" height="{c}" viewBox="0 0 {c} {c}">"#,
+        c = opts.canvas
+    );
+    out.push('\n');
+    let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    if !opts.title.is_empty() {
+        let _ = writeln!(
+            out,
+            r#"<text x="{x}" y="14" font-family="sans-serif" font-size="12" text-anchor="middle">{t}</text>"#,
+            x = opts.canvas / 2.0,
+            t = xml_escape(&opts.title)
+        );
+    }
+    for (u, v) in g.edges() {
+        let a = g.position(u);
+        let b = g.position(v);
+        let _ = writeln!(
+            out,
+            r##"<line x1="{:.2}" y1="{:.2}" x2="{:.2}" y2="{:.2}" stroke="#555" stroke-width="{}"/>"##,
+            tx(a.x),
+            ty(a.y),
+            tx(b.x),
+            ty(b.y),
+            opts.stroke_width
+        );
+    }
+    for v in 0..n {
+        let p = g.position(v);
+        let (x, y) = (tx(p.x), ty(p.y));
+        let r = opts.node_radius;
+        match roles.get(v).copied().unwrap_or_default() {
+            NodeRole::Plain => {
+                let _ = writeln!(
+                    out,
+                    r##"<circle cx="{x:.2}" cy="{y:.2}" r="{r}" fill="#888"/>"##
+                );
+            }
+            NodeRole::Dominatee => {
+                let _ = writeln!(
+                    out,
+                    r##"<circle cx="{x:.2}" cy="{y:.2}" r="{r}" fill="#2a2" stroke="black" stroke-width="0.5"/>"##
+                );
+            }
+            NodeRole::Dominator => {
+                let s = r * 1.6;
+                let _ = writeln!(
+                    out,
+                    r##"<rect x="{:.2}" y="{:.2}" width="{w:.2}" height="{w:.2}" fill="#c22" stroke="black" stroke-width="0.5"/>"##,
+                    x - s,
+                    y - s,
+                    w = 2.0 * s
+                );
+            }
+            NodeRole::Connector => {
+                let s = r * 1.8;
+                let _ = writeln!(
+                    out,
+                    r##"<polygon points="{:.2},{:.2} {:.2},{:.2} {:.2},{:.2} {:.2},{:.2}" fill="#22c" stroke="black" stroke-width="0.5"/>"##,
+                    x,
+                    y - s,
+                    x + s,
+                    y,
+                    x,
+                    y + s,
+                    x - s,
+                    y
+                );
+            }
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geospan_geometry::Point;
+
+    fn tiny() -> Graph {
+        Graph::with_edges(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(5.0, 0.0),
+                Point::new(0.0, 5.0),
+            ],
+            [(0, 1), (0, 2)],
+        )
+    }
+
+    #[test]
+    fn renders_all_elements() {
+        let svg = render_svg(&tiny(), &[], &SvgOptions::default());
+        assert_eq!(svg.matches("<line").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn roles_change_shapes() {
+        let roles = [
+            NodeRole::Dominator,
+            NodeRole::Connector,
+            NodeRole::Dominatee,
+        ];
+        let svg = render_svg(&tiny(), &roles, &SvgOptions::default());
+        assert_eq!(svg.matches("<rect").count(), 2); // background + dominator
+        assert_eq!(svg.matches("<polygon").count(), 1);
+        assert_eq!(svg.matches("<circle").count(), 1);
+    }
+
+    #[test]
+    fn title_is_escaped() {
+        let opts = SvgOptions {
+            title: "n<100 & R>60".into(),
+            ..SvgOptions::default()
+        };
+        let svg = render_svg(&tiny(), &[], &opts);
+        assert!(svg.contains("n&lt;100 &amp; R&gt;60"));
+    }
+
+    #[test]
+    #[should_panic(expected = "roles slice")]
+    fn short_roles_rejected() {
+        let _ = render_svg(&tiny(), &[NodeRole::Plain], &SvgOptions::default());
+    }
+
+    #[test]
+    fn empty_graph_renders() {
+        let svg = render_svg(&Graph::new(vec![]), &[], &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+    }
+}

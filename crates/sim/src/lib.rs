@@ -1,0 +1,648 @@
+//! A deterministic synchronous message-passing simulator for localized
+//! wireless protocols.
+//!
+//! The headline claim of Wang & Li (ICDCS 2002) is about *communication*:
+//! every node constructs the backbone by sending only a constant number of
+//! 1-hop broadcast messages. To evaluate that claim honestly, the
+//! distributed constructions in this workspace run as real protocols on a
+//! simulated radio network, and message counts are **measured** rather
+//! than asserted.
+//!
+//! The model matches the paper's setting:
+//!
+//! * nodes communicate by local broadcast: one transmission reaches every
+//!   1-hop neighbor in the unit disk graph (omni-directional antennas);
+//! * execution is round-synchronous ("this protocol can be easily
+//!   implemented using synchronous communications", §III-A.1): messages
+//!   broadcast in round `k` are delivered in round `k+1`;
+//! * protocols proceed in *phases* (clustering, connector election,
+//!   triangulation, …); each phase runs to quiescence before the next
+//!   begins;
+//! * everything is deterministic: nodes act in index order, messages are
+//!   delivered in (sender, send-order) order, so every run of a given
+//!   deployment is bit-identical.
+//!
+//! # Example: flooding
+//!
+//! ```
+//! use geospan_graph::{Graph, Point};
+//! use geospan_sim::{Context, MessageKind, Network, Protocol};
+//!
+//! #[derive(Clone)]
+//! struct Token(u32);
+//! impl MessageKind for Token {
+//!     fn kind(&self) -> &'static str { "token" }
+//! }
+//!
+//! struct Flood { have: bool }
+//! impl Protocol for Flood {
+//!     type Message = Token;
+//!     fn on_phase(&mut self, ctx: &mut Context<'_, Token>, phase: usize) {
+//!         if phase == 0 && ctx.node() == 0 {
+//!             self.have = true;
+//!             ctx.broadcast(Token(7));
+//!         }
+//!     }
+//!     fn on_message(&mut self, ctx: &mut Context<'_, Token>, _from: usize, msg: &Token) {
+//!         if !self.have {
+//!             self.have = true;
+//!             ctx.broadcast(msg.clone());
+//!         }
+//!     }
+//! }
+//!
+//! let g = Graph::with_edges(
+//!     vec![Point::new(0.,0.), Point::new(1.,0.), Point::new(2.,0.)],
+//!     [(0,1),(1,2)]);
+//! let mut net = Network::new(&g, |_| Flood { have: false });
+//! let report = net.run_phase(0, 100).unwrap();
+//! assert_eq!(report.rounds, 4); // three delivery rounds + the quiet round
+//! assert!(net.nodes().iter().all(|n| n.have));
+//! assert_eq!(net.stats().total_sent(), 3); // every node broadcast once
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use geospan_graph::Graph;
+
+/// A protocol message that can report its kind for accounting.
+///
+/// The kind strings become rows of the per-protocol message-cost tables
+/// (the paper's Figure 10/12 aggregate them).
+pub trait MessageKind: Clone {
+    /// A short static label, e.g. `"IamDominator"`.
+    fn kind(&self) -> &'static str;
+}
+
+/// Per-node protocol state machine.
+///
+/// One value of the implementing type exists per network node. All
+/// interaction with the network goes through the [`Context`]: a node may
+/// only *broadcast* to its 1-hop neighbors, exactly like an
+/// omni-directional radio.
+pub trait Protocol {
+    /// The message payload exchanged by this protocol.
+    type Message: MessageKind;
+
+    /// Called once at the beginning of each phase (phase `0` is the
+    /// protocol start), before any message of that phase is delivered.
+    fn on_phase(&mut self, ctx: &mut Context<'_, Self::Message>, phase: usize);
+
+    /// Called for every received message.
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Self::Message>,
+        from: usize,
+        msg: &Self::Message,
+    );
+}
+
+/// The interface a node sees while handling an event.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    node: usize,
+    round: usize,
+    outbox: &'a mut Vec<M>,
+}
+
+impl<M> Context<'_, M> {
+    /// The id of the node handling the event.
+    #[inline]
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// The current round number (within the whole run).
+    #[inline]
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Broadcasts `msg` to all 1-hop neighbors; delivery happens at the
+    /// start of the next round. One call is one radio transmission and is
+    /// what the message statistics count.
+    #[inline]
+    pub fn broadcast(&mut self, msg: M) {
+        self.outbox.push(msg);
+    }
+}
+
+/// Message accounting for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MessageStats {
+    sent_per_node: Vec<usize>,
+    per_kind: BTreeMap<&'static str, usize>,
+}
+
+impl MessageStats {
+    fn new(n: usize) -> Self {
+        MessageStats {
+            sent_per_node: vec![0; n],
+            per_kind: BTreeMap::new(),
+        }
+    }
+
+    /// Number of broadcasts performed by each node.
+    pub fn sent_per_node(&self) -> &[usize] {
+        &self.sent_per_node
+    }
+
+    /// Total broadcasts across all nodes.
+    pub fn total_sent(&self) -> usize {
+        self.sent_per_node.iter().sum()
+    }
+
+    /// The largest per-node broadcast count (the paper's "maximum
+    /// communication cost of each node").
+    pub fn max_sent(&self) -> usize {
+        self.sent_per_node.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean per-node broadcast count.
+    pub fn avg_sent(&self) -> f64 {
+        if self.sent_per_node.is_empty() {
+            0.0
+        } else {
+            self.total_sent() as f64 / self.sent_per_node.len() as f64
+        }
+    }
+
+    /// Broadcast counts grouped by [`MessageKind::kind`].
+    pub fn per_kind(&self) -> &BTreeMap<&'static str, usize> {
+        &self.per_kind
+    }
+
+    /// Merges another run's statistics into this one (same node count).
+    ///
+    /// # Panics
+    /// Panics if the node counts differ.
+    pub fn merge(&mut self, other: &MessageStats) {
+        assert_eq!(
+            self.sent_per_node.len(),
+            other.sent_per_node.len(),
+            "cannot merge stats over different node sets"
+        );
+        for (a, b) in self.sent_per_node.iter_mut().zip(&other.sent_per_node) {
+            *a += b;
+        }
+        for (&k, &v) in &other.per_kind {
+            *self.per_kind.entry(k).or_insert(0) += v;
+        }
+    }
+}
+
+/// Outcome of running a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseReport {
+    /// Rounds executed in this phase (including the final quiet round).
+    pub rounds: usize,
+    /// Messages broadcast during this phase.
+    pub messages: usize,
+}
+
+/// Error: a phase failed to reach quiescence within the round budget.
+///
+/// Localized protocols settle in `O(1)` or `O(diameter)` rounds; hitting
+/// the budget indicates a protocol bug (e.g. two nodes re-triggering each
+/// other forever).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuiescenceTimeout {
+    /// The phase that did not converge.
+    pub phase: usize,
+    /// The round budget that was exhausted.
+    pub max_rounds: usize,
+}
+
+impl fmt::Display for QuiescenceTimeout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "phase {} did not reach quiescence within {} rounds",
+            self.phase, self.max_rounds
+        )
+    }
+}
+
+impl std::error::Error for QuiescenceTimeout {}
+
+/// A simulated radio network: a communication graph plus one protocol
+/// state machine per node.
+pub struct Network<'g, P: Protocol> {
+    graph: &'g Graph,
+    nodes: Vec<P>,
+    stats: MessageStats,
+    round: usize,
+    /// Messages in flight: `(sender, remaining delay, payload)`; a
+    /// message is delivered when its delay reaches zero.
+    in_flight: Vec<(usize, usize, P::Message)>,
+    /// Jitter configuration: `(max_delay, rng_state)`. `max_delay == 1`
+    /// is the synchronous model.
+    jitter: (usize, u64),
+}
+
+impl<'g, P: Protocol> Network<'g, P> {
+    /// Creates a network over the communication graph `graph`, building
+    /// each node's state with `factory(node_id)`.
+    pub fn new(graph: &'g Graph, factory: impl FnMut(usize) -> P) -> Self {
+        let nodes: Vec<P> = (0..graph.node_count()).map(factory).collect();
+        Network {
+            graph,
+            stats: MessageStats::new(nodes.len()),
+            nodes,
+            round: 0,
+            in_flight: Vec::new(),
+            jitter: (1, 0),
+        }
+    }
+
+    /// Switches to *asynchronous* delivery: each broadcast is delayed by
+    /// a deterministic pseudo-random number of rounds in `1..=max_delay`
+    /// (seeded by `seed`). The paper notes its protocols also run under
+    /// asynchronous communication; this models bounded, per-message
+    /// delivery jitter while keeping phases as synchronization barriers.
+    ///
+    /// # Panics
+    /// Panics if `max_delay == 0`.
+    pub fn with_jitter(mut self, max_delay: usize, seed: u64) -> Self {
+        assert!(max_delay >= 1, "delivery delay must be at least one round");
+        self.jitter = (max_delay, seed | 1);
+        self
+    }
+
+    /// The communication graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The per-node protocol states (for inspection after a run).
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// Message statistics accumulated so far.
+    pub fn stats(&self) -> &MessageStats {
+        &self.stats
+    }
+
+    /// Runs one phase: calls [`Protocol::on_phase`] on every node, then
+    /// delivers messages round by round until no message is in flight.
+    ///
+    /// # Errors
+    /// Returns [`QuiescenceTimeout`] when the phase exceeds `max_rounds`.
+    pub fn run_phase(
+        &mut self,
+        phase: usize,
+        max_rounds: usize,
+    ) -> Result<PhaseReport, QuiescenceTimeout> {
+        let mut phase_messages = 0usize;
+        let mut outbox: Vec<P::Message> = Vec::new();
+
+        // Phase kickoff.
+        for u in 0..self.nodes.len() {
+            let mut ctx = Context {
+                node: u,
+                round: self.round,
+                outbox: &mut outbox,
+            };
+            self.nodes[u].on_phase(&mut ctx, phase);
+            phase_messages += self.record_and_enqueue(u, &mut outbox);
+        }
+
+        let mut rounds = 0usize;
+        loop {
+            rounds += 1;
+            if rounds > max_rounds {
+                return Err(QuiescenceTimeout { phase, max_rounds });
+            }
+            self.round += 1;
+            if self.in_flight.is_empty() {
+                break;
+            }
+            // Deliver everything whose delay has elapsed; broadcasts made
+            // while handling go into a later round's batch.
+            let mut deliveries = Vec::new();
+            self.in_flight.retain_mut(|(sender, delay, msg)| {
+                *delay -= 1;
+                if *delay == 0 {
+                    deliveries.push((*sender, msg.clone()));
+                    false
+                } else {
+                    true
+                }
+            });
+            for (sender, msg) in &deliveries {
+                for vi in 0..self.graph.neighbors(*sender).len() {
+                    let v = self.graph.neighbors(*sender)[vi];
+                    let mut ctx = Context {
+                        node: v,
+                        round: self.round,
+                        outbox: &mut outbox,
+                    };
+                    self.nodes[v].on_message(&mut ctx, *sender, msg);
+                    phase_messages += self.record_and_enqueue(v, &mut outbox);
+                }
+            }
+        }
+        Ok(PhaseReport {
+            rounds,
+            messages: phase_messages,
+        })
+    }
+
+    /// Runs phases `0..phases`, each to quiescence.
+    ///
+    /// # Errors
+    /// Returns [`QuiescenceTimeout`] if any phase exceeds `max_rounds`.
+    pub fn run_phases(
+        &mut self,
+        phases: usize,
+        max_rounds: usize,
+    ) -> Result<Vec<PhaseReport>, QuiescenceTimeout> {
+        (0..phases).map(|p| self.run_phase(p, max_rounds)).collect()
+    }
+
+    /// Consumes the network, returning node states and statistics.
+    pub fn into_parts(self) -> (Vec<P>, MessageStats) {
+        (self.nodes, self.stats)
+    }
+
+    fn record_and_enqueue(&mut self, sender: usize, outbox: &mut Vec<P::Message>) -> usize {
+        let k = outbox.len();
+        for msg in outbox.drain(..) {
+            self.stats.sent_per_node[sender] += 1;
+            *self.stats.per_kind.entry(msg.kind()).or_insert(0) += 1;
+            let delay = self.next_delay();
+            self.in_flight.push((sender, delay, msg));
+        }
+        k
+    }
+
+    /// Deterministic delay in `1..=max_delay` (xorshift over the jitter
+    /// state; constant 1 in the synchronous model).
+    fn next_delay(&mut self) -> usize {
+        let (max_delay, state) = &mut self.jitter;
+        if *max_delay == 1 {
+            return 1;
+        }
+        let mut s = *state;
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        *state = s;
+        1 + (s % *max_delay as u64) as usize
+    }
+}
+
+impl<P: Protocol + fmt::Debug> fmt::Debug for Network<'_, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.nodes.len())
+            .field("round", &self.round)
+            .field("in_flight", &self.in_flight.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geospan_graph::Point;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    impl MessageKind for Msg {
+        fn kind(&self) -> &'static str {
+            match self {
+                Msg::Ping(_) => "Ping",
+                Msg::Pong(_) => "Pong",
+            }
+        }
+    }
+
+    fn path_graph(n: usize) -> Graph {
+        let pts = (0..n).map(|i| Point::new(i as f64, 0.0)).collect();
+        Graph::with_edges(pts, (0..n.saturating_sub(1)).map(|i| (i, i + 1)))
+    }
+
+    /// Forwards pings away from the origin, counting receptions.
+    #[derive(Debug)]
+    struct Relay {
+        received: Vec<(usize, Msg)>,
+        forwarded: bool,
+    }
+
+    impl Protocol for Relay {
+        type Message = Msg;
+        fn on_phase(&mut self, ctx: &mut Context<'_, Msg>, phase: usize) {
+            if phase == 0 && ctx.node() == 0 {
+                ctx.broadcast(Msg::Ping(0));
+                self.forwarded = true;
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: usize, msg: &Msg) {
+            self.received.push((from, msg.clone()));
+            if let Msg::Ping(h) = msg {
+                if !self.forwarded {
+                    self.forwarded = true;
+                    ctx.broadcast(Msg::Ping(h + 1));
+                }
+            }
+        }
+    }
+
+    fn relay() -> impl FnMut(usize) -> Relay {
+        |_| Relay {
+            received: Vec::new(),
+            forwarded: false,
+        }
+    }
+
+    #[test]
+    fn ping_travels_the_path() {
+        let g = path_graph(5);
+        let mut net = Network::new(&g, relay());
+        let report = net.run_phase(0, 100).unwrap();
+        assert_eq!(report.messages, 5);
+        assert_eq!(report.rounds, 6); // 5 delivery rounds + quiet round
+                                      // Node 4 received a ping with hop count 3 from node 3.
+        assert_eq!(net.nodes()[4].received, vec![(3, Msg::Ping(3))]);
+        // Everyone broadcast exactly once.
+        assert_eq!(net.stats().sent_per_node(), &[1, 1, 1, 1, 1]);
+        assert_eq!(net.stats().max_sent(), 1);
+        assert_eq!(net.stats().avg_sent(), 1.0);
+        assert_eq!(net.stats().per_kind()["Ping"], 5);
+    }
+
+    #[test]
+    fn broadcast_reaches_only_neighbors() {
+        let g = path_graph(4);
+        let mut net = Network::new(&g, relay());
+        net.run_phase(0, 100).unwrap();
+        // Node 2 hears from 1 and 3, never directly from 0.
+        let froms: Vec<usize> = net.nodes()[2].received.iter().map(|(f, _)| *f).collect();
+        assert!(froms.contains(&1));
+        assert!(!froms.contains(&0));
+    }
+
+    #[test]
+    fn determinism() {
+        let g = path_graph(8);
+        let run = || {
+            let mut net = Network::new(&g, relay());
+            net.run_phase(0, 100).unwrap();
+            let (nodes, stats) = net.into_parts();
+            (
+                nodes.into_iter().map(|n| n.received).collect::<Vec<_>>(),
+                stats,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// Two nodes that ping-pong forever: must hit the round budget.
+    #[derive(Debug)]
+    struct Livelock;
+    impl Protocol for Livelock {
+        type Message = Msg;
+        fn on_phase(&mut self, ctx: &mut Context<'_, Msg>, _phase: usize) {
+            if ctx.node() == 0 {
+                ctx.broadcast(Msg::Ping(0));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: usize, msg: &Msg) {
+            match msg {
+                Msg::Ping(h) => ctx.broadcast(Msg::Pong(h + 1)),
+                Msg::Pong(h) => ctx.broadcast(Msg::Ping(h + 1)),
+            }
+        }
+    }
+
+    #[test]
+    fn quiescence_timeout_detected() {
+        let g = path_graph(2);
+        let mut net = Network::new(&g, |_| Livelock);
+        let err = net.run_phase(0, 50).unwrap_err();
+        assert_eq!(
+            err,
+            QuiescenceTimeout {
+                phase: 0,
+                max_rounds: 50
+            }
+        );
+        assert!(err.to_string().contains("phase 0"));
+    }
+
+    /// Phase-driven: phase 0 pings from node 0, phase 1 pings from the
+    /// last node.
+    #[derive(Debug)]
+    struct Phased {
+        n: usize,
+        seen_phases: Vec<usize>,
+    }
+    impl Protocol for Phased {
+        type Message = Msg;
+        fn on_phase(&mut self, ctx: &mut Context<'_, Msg>, phase: usize) {
+            self.seen_phases.push(phase);
+            if phase == 0 && ctx.node() == 0 {
+                ctx.broadcast(Msg::Ping(0));
+            }
+            if phase == 1 && ctx.node() == self.n - 1 {
+                ctx.broadcast(Msg::Pong(0));
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: usize, _msg: &Msg) {}
+    }
+
+    #[test]
+    fn phases_run_in_order() {
+        let g = path_graph(3);
+        let mut net = Network::new(&g, |_| Phased {
+            n: 3,
+            seen_phases: Vec::new(),
+        });
+        let reports = net.run_phases(2, 10).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].messages, 1);
+        assert_eq!(reports[1].messages, 1);
+        for node in net.nodes() {
+            assert_eq!(node.seen_phases, vec![0, 1]);
+        }
+        assert_eq!(net.stats().per_kind()["Ping"], 1);
+        assert_eq!(net.stats().per_kind()["Pong"], 1);
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = MessageStats::new(3);
+        a.sent_per_node = vec![1, 2, 3];
+        a.per_kind.insert("Ping", 6);
+        let mut b = MessageStats::new(3);
+        b.sent_per_node = vec![1, 0, 0];
+        b.per_kind.insert("Pong", 1);
+        a.merge(&b);
+        assert_eq!(a.sent_per_node(), &[2, 2, 3]);
+        assert_eq!(a.total_sent(), 7);
+        assert_eq!(a.per_kind()["Ping"], 6);
+        assert_eq!(a.per_kind()["Pong"], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different node sets")]
+    fn stats_merge_mismatch() {
+        let mut a = MessageStats::new(2);
+        a.merge(&MessageStats::new(3));
+    }
+
+    #[test]
+    fn jittered_flood_still_reaches_everyone() {
+        let g = path_graph(6);
+        for seed in 0..8 {
+            let mut net = Network::new(&g, relay()).with_jitter(4, seed);
+            let report = net.run_phase(0, 400).unwrap();
+            // Same transmissions, just spread over more rounds.
+            assert_eq!(report.messages, 6, "seed {seed}");
+            assert!(net.nodes().iter().all(|n| n.forwarded), "seed {seed}");
+            assert!(report.rounds >= 6, "jitter cannot be faster than sync");
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let g = path_graph(6);
+        let run = |seed| {
+            let mut net = Network::new(&g, relay()).with_jitter(3, seed);
+            let r = net.run_phase(0, 400).unwrap();
+            let (nodes, _stats) = net.into_parts();
+            (
+                r.rounds,
+                nodes.into_iter().map(|n| n.received).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_delay_rejected() {
+        let g = path_graph(2);
+        let _ = Network::new(&g, relay()).with_jitter(0, 1);
+    }
+
+    #[test]
+    fn empty_network() {
+        let g = Graph::new(vec![]);
+        let mut net = Network::new(&g, relay());
+        let report = net.run_phase(0, 10).unwrap();
+        assert_eq!(report.messages, 0);
+        assert_eq!(net.stats().total_sent(), 0);
+        assert_eq!(net.stats().avg_sent(), 0.0);
+    }
+}

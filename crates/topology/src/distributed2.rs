@@ -1,0 +1,332 @@
+//! The 2-localized Delaunay graph `LDel²` as a distributed protocol.
+//!
+//! For `k >= 2` the `k`-localized Delaunay graph is planar **without** a
+//! planarization pass (Li–Calinescu–Wan) — the price is one extra round
+//! of neighborhood exchange so that every node knows its 2-hop positions.
+//! The paper builds on `LDel¹` + Algorithm 3 precisely to avoid that
+//! extra exchange; implementing both makes the trade measurable:
+//!
+//! | | `LDel¹` + planarize | `LDel²` |
+//! |---|---|---|
+//! | knowledge | 1-hop | 2-hop |
+//! | extra phases | crossing removal (2) | neighbor-table exchange (1) |
+//! | planar | after removal | immediately |
+//!
+//! Phases: `Hello` (positions) → `NeighborTable` (2-hop knowledge) →
+//! `Proposal`/`Accept`/`Reject` on triangles whose circumcircles are
+//! empty of the proposer's 2-hop neighborhood → local finalization.
+
+use std::collections::{HashMap, HashSet};
+
+use geospan_geometry::{in_circumcircle, CirclePosition, Point};
+use geospan_graph::Graph;
+use geospan_sim::{Context, MessageKind, MessageStats, Network, Protocol, QuiescenceTimeout};
+
+use crate::ldel::LocalDelaunay;
+
+/// Messages of the `LDel²` protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ldel2Msg {
+    /// Position announcement.
+    Hello {
+        /// Sender position.
+        pos: Point,
+    },
+    /// The sender's 1-hop neighbor table (id + position), giving
+    /// receivers their 2-hop knowledge.
+    NeighborTable {
+        /// `(neighbor id, neighbor position)` entries.
+        entries: Vec<(usize, Point)>,
+    },
+    /// Propose the triangle `{u, v, w}`; sent by `u`.
+    Proposal {
+        /// The triangle, ascending.
+        tri: [usize; 3],
+    },
+    /// Accept a proposed triangle.
+    Accept {
+        /// The triangle, ascending.
+        tri: [usize; 3],
+    },
+    /// Reject a proposed triangle.
+    Reject {
+        /// The triangle, ascending.
+        tri: [usize; 3],
+    },
+}
+
+impl MessageKind for Ldel2Msg {
+    fn kind(&self) -> &'static str {
+        match self {
+            Ldel2Msg::Hello { .. } => "Hello",
+            Ldel2Msg::NeighborTable { .. } => "NeighborTable",
+            Ldel2Msg::Proposal { .. } => "Proposal",
+            Ldel2Msg::Accept { .. } => "Accept",
+            Ldel2Msg::Reject { .. } => "Reject",
+        }
+    }
+}
+
+/// Per-node state of the `LDel²` protocol.
+#[derive(Debug)]
+pub struct Ldel2Node {
+    id: usize,
+    pos: Point,
+    radius: f64,
+    active: bool,
+    /// 1-hop neighbors (from `Hello`).
+    neighbors: HashMap<usize, Point>,
+    /// 2-hop knowledge (from `NeighborTable`), including the 1-hop ring.
+    known2: HashMap<usize, Point>,
+    confirmations: HashMap<[usize; 3], HashSet<usize>>,
+    dead: HashSet<[usize; 3]>,
+    responded: HashSet<[usize; 3]>,
+    gabriel: Vec<(usize, usize)>,
+    final_tris: HashSet<[usize; 3]>,
+}
+
+impl Ldel2Node {
+    fn position_of(&self, v: usize) -> Point {
+        if v == self.id {
+            self.pos
+        } else {
+            self.known2[&v]
+        }
+    }
+
+    /// Is the circumcircle of `tri` empty of this node's 2-hop
+    /// neighborhood (the `k = 2` localized Delaunay condition)?
+    fn locally_empty(&self, tri: [usize; 3]) -> bool {
+        let (a, b, c) = (
+            self.position_of(tri[0]),
+            self.position_of(tri[1]),
+            self.position_of(tri[2]),
+        );
+        self.known2.iter().all(|(&x, &p)| {
+            tri.contains(&x) || in_circumcircle(a, b, c, p) != CirclePosition::Inside
+        }) && {
+            // The node itself is also a witness.
+            tri.contains(&self.id) || in_circumcircle(a, b, c, self.pos) != CirclePosition::Inside
+        }
+    }
+
+    fn edges_short(&self, tri: [usize; 3]) -> bool {
+        let p: Vec<Point> = tri.iter().map(|&x| self.position_of(x)).collect();
+        p[0].distance(p[1]) <= self.radius
+            && p[1].distance(p[2]) <= self.radius
+            && p[0].distance(p[2]) <= self.radius
+    }
+
+    fn confirm(&mut self, tri: [usize; 3], from: usize) {
+        self.confirmations.entry(tri).or_default().insert(from);
+    }
+}
+
+impl Protocol for Ldel2Node {
+    type Message = Ldel2Msg;
+
+    fn on_phase(&mut self, ctx: &mut Context<'_, Ldel2Msg>, phase: usize) {
+        if !self.active {
+            return;
+        }
+        match phase {
+            0 => ctx.broadcast(Ldel2Msg::Hello { pos: self.pos }),
+            1 => {
+                let mut entries: Vec<(usize, Point)> =
+                    self.neighbors.iter().map(|(&v, &p)| (v, p)).collect();
+                entries.sort_by_key(|(v, _)| *v);
+                ctx.broadcast(Ldel2Msg::NeighborTable { entries });
+            }
+            2 => {
+                // Gabriel edges (1-hop decidable) and triangle proposals.
+                let nbrs: Vec<(usize, Point)> =
+                    self.neighbors.iter().map(|(&v, &p)| (v, p)).collect();
+                for &(v, pv) in &nbrs {
+                    let blocked = nbrs.iter().any(|&(w, pw)| {
+                        w != v
+                            && pw.distance(pv) <= self.radius
+                            && geospan_geometry::gabriel_test(self.pos, pv, pw)
+                    });
+                    if !blocked {
+                        self.gabriel.push((self.id.min(v), self.id.max(v)));
+                    }
+                }
+                self.gabriel.sort_unstable();
+                // Propose triangles over neighbor pairs with the
+                // 2-localized empty-circle property at this corner.
+                for (i, &(v, pv)) in nbrs.iter().enumerate() {
+                    for &(w, pw) in &nbrs[i + 1..] {
+                        if pv.distance(pw) > self.radius {
+                            continue;
+                        }
+                        let mut tri = [self.id, v, w];
+                        tri.sort_unstable();
+                        if geospan_geometry::orient2d(self.pos, pv, pw)
+                            == geospan_geometry::Orientation::Collinear
+                        {
+                            continue;
+                        }
+                        if self.locally_empty(tri) {
+                            self.confirm(tri, self.id);
+                            ctx.broadcast(Ldel2Msg::Proposal { tri });
+                        }
+                    }
+                }
+            }
+            3 => {
+                // Finalize: a triangle stands when all three corners
+                // vouched for it (proposed or accepted).
+                for (&tri, votes) in &self.confirmations {
+                    if !tri.contains(&self.id) || self.dead.contains(&tri) {
+                        continue;
+                    }
+                    if tri.iter().all(|x| votes.contains(x)) {
+                        self.final_tris.insert(tri);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Ldel2Msg>, from: usize, msg: &Ldel2Msg) {
+        match msg {
+            Ldel2Msg::Hello { pos } => {
+                self.neighbors.insert(from, *pos);
+                self.known2.insert(from, *pos);
+            }
+            Ldel2Msg::NeighborTable { entries } => {
+                for &(v, p) in entries {
+                    if v != self.id {
+                        self.known2.insert(v, p);
+                    }
+                }
+            }
+            Ldel2Msg::Proposal { tri } => {
+                if !tri.contains(&self.id) {
+                    return;
+                }
+                self.confirm(*tri, from);
+                if self.responded.insert(*tri) {
+                    if self.edges_short(*tri) && self.locally_empty(*tri) {
+                        self.confirm(*tri, self.id);
+                        ctx.broadcast(Ldel2Msg::Accept { tri: *tri });
+                    } else {
+                        self.dead.insert(*tri);
+                        ctx.broadcast(Ldel2Msg::Reject { tri: *tri });
+                    }
+                }
+            }
+            Ldel2Msg::Accept { tri } => {
+                if tri.contains(&self.id) {
+                    self.confirm(*tri, from);
+                }
+            }
+            Ldel2Msg::Reject { tri } => {
+                if tri.contains(&self.id) {
+                    self.dead.insert(*tri);
+                }
+            }
+        }
+    }
+}
+
+/// Runs the `LDel²` protocol on a distance-closed communication graph.
+///
+/// # Errors
+/// Returns [`QuiescenceTimeout`] if a phase fails to converge.
+pub fn run_ldel2(
+    g: &Graph,
+    radius: f64,
+) -> Result<(LocalDelaunay, MessageStats), QuiescenceTimeout> {
+    let mut net = Network::new(g, |id| Ldel2Node {
+        id,
+        pos: g.position(id),
+        radius,
+        active: g.degree(id) > 0,
+        neighbors: HashMap::new(),
+        known2: HashMap::new(),
+        confirmations: HashMap::new(),
+        dead: HashSet::new(),
+        responded: HashSet::new(),
+        gabriel: Vec::new(),
+        final_tris: HashSet::new(),
+    });
+    net.run_phases(4, g.node_count() + 16)?;
+    let (nodes, stats) = net.into_parts();
+
+    let mut graph = g.same_vertices();
+    let mut gabriel: HashSet<(usize, usize)> = HashSet::new();
+    let mut triangles: HashSet<[usize; 3]> = HashSet::new();
+    for node in &nodes {
+        gabriel.extend(node.gabriel.iter().copied());
+        triangles.extend(node.final_tris.iter().copied());
+    }
+    for &(u, v) in &gabriel {
+        graph.add_edge(u, v);
+    }
+    for &[a, b, c] in &triangles {
+        graph.add_edge(a, b);
+        graph.add_edge(b, c);
+        graph.add_edge(a, c);
+    }
+    let mut gabriel_edges: Vec<(usize, usize)> = gabriel.into_iter().collect();
+    gabriel_edges.sort_unstable();
+    let mut triangles: Vec<[usize; 3]> = triangles.into_iter().collect();
+    triangles.sort_unstable();
+    Ok((
+        LocalDelaunay {
+            graph,
+            triangles,
+            gabriel_edges,
+        },
+        stats,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ldel::ldel_k;
+    use geospan_graph::gen::connected_unit_disk;
+    use geospan_graph::planarity::is_plane_embedding;
+
+    #[test]
+    fn matches_centralized_ldel2() {
+        for seed in 0..4 {
+            let (_pts, g, _s) = connected_unit_disk(40, 100.0, 35.0, seed * 67 + 1);
+            let central = ldel_k(&g, 2);
+            let (dist, _stats) = run_ldel2(&g, 35.0).expect("protocol converges");
+            assert_eq!(dist.triangles, central.triangles, "seed {seed}");
+            assert_eq!(dist.gabriel_edges, central.gabriel_edges, "seed {seed}");
+            assert_eq!(
+                dist.graph.edges().collect::<Vec<_>>(),
+                central.graph.edges().collect::<Vec<_>>(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn planar_without_removal_pass() {
+        for seed in 0..4 {
+            let (_pts, g, _s) = connected_unit_disk(50, 100.0, 32.0, seed * 71 + 5);
+            let (dist, _stats) = run_ldel2(&g, 32.0).unwrap();
+            assert!(is_plane_embedding(&dist.graph), "seed {seed}");
+            assert!(dist.graph.is_connected(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn ldel2_is_subset_of_ldel1() {
+        // More knowledge can only shrink the triangle set.
+        for seed in 0..3 {
+            let (_pts, g, _s) = connected_unit_disk(45, 100.0, 35.0, seed * 73 + 2);
+            let one = crate::ldel::ldel1(&g);
+            let (two, _stats) = run_ldel2(&g, 35.0).unwrap();
+            for t in &two.triangles {
+                assert!(one.triangles.contains(t), "seed {seed}: {t:?} not in LDel1");
+            }
+        }
+    }
+}

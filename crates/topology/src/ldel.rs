@@ -1,0 +1,473 @@
+//! The localized Delaunay graph `LDel¹` and its planarization `PLDel`.
+//!
+//! Following Li, Calinescu & Wan (INFOCOM 2002), which the paper builds
+//! on:
+//!
+//! * a triangle `△uvw` with all three edges in the unit disk graph is a
+//!   **1-localized Delaunay triangle** when its circumcircle contains no
+//!   vertex of `N₁(u) ∪ N₁(v) ∪ N₁(w)`; equivalently (in general
+//!   position), when `△uvw` appears in all three local Delaunay
+//!   triangulations `Del(N₁(u))`, `Del(N₁(v))`, `Del(N₁(w))` — which is
+//!   how [`ldel1`] computes it, in `O(d log d)` per node;
+//! * an UDG edge `uv` is a **Gabriel edge** when the open disk with
+//!   diameter `uv` is empty of vertices;
+//! * `LDel¹` consists of all Gabriel edges plus all edges of 1-localized
+//!   Delaunay triangles. It has thickness 2 (at most two planar layers);
+//!   [`planarized`] removes the crossings — Algorithm 3 of the paper —
+//!   producing the planar spanner `PLDel` with length stretch at most
+//!   `4√3/9 · π ≈ 2.42` times that of the Delaunay triangulation.
+//!
+//! These functions operate on any *distance-closed* embedded graph: a
+//! graph that contains **every** edge between its participating nodes
+//! whose length is within the transmission radius (the UDG itself, or the
+//! UDG induced on the backbone nodes — `ICDS`). Under that assumption all
+//! witnesses to the Gabriel/Delaunay conditions are common neighbors, and
+//! the construction is genuinely 1-localized.
+
+use std::collections::HashSet;
+
+use geospan_geometry::{
+    gabriel_test, in_circumcircle, segments_properly_cross, CirclePosition, Triangulation,
+};
+use geospan_graph::Graph;
+
+use crate::rng::common_neighbors;
+
+/// The output of a localized-Delaunay construction: the graph plus the
+/// certifying structure (triangles and Gabriel edges).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalDelaunay {
+    /// The resulting topology (same vertex set as the input graph).
+    pub graph: Graph,
+    /// Accepted 1-localized Delaunay triangles, as ascending index
+    /// triples, sorted.
+    pub triangles: Vec<[usize; 3]>,
+    /// Gabriel edges, `(u, v)` with `u < v`, sorted.
+    pub gabriel_edges: Vec<(usize, usize)>,
+}
+
+/// Computes the (unplanarized) 1-localized Delaunay graph `LDel¹`.
+///
+/// `g` must be distance-closed (see the module docs); node positions must
+/// be distinct.
+///
+/// # Panics
+/// Panics if two participating nodes share a position.
+///
+/// # Example
+/// ```
+/// use geospan_graph::gen::{uniform_points, UnitDiskBuilder};
+/// use geospan_topology::ldel::ldel1;
+/// let pts = uniform_points(50, 100.0, 3);
+/// let udg = UnitDiskBuilder::new(40.0).build(&pts);
+/// let ld = ldel1(&udg);
+/// // LDel¹ is a subgraph of the UDG.
+/// assert!(ld.graph.edges().all(|(u, v)| udg.has_edge(u, v)));
+/// ```
+pub fn ldel1(g: &Graph) -> LocalDelaunay {
+    let n = g.node_count();
+    // Local Delaunay triangulation of N1(u) (including u) per node, kept
+    // as sets of global index triples for the three-way membership test.
+    let mut local_tris: Vec<HashSet<[usize; 3]>> = vec![HashSet::new(); n];
+    #[allow(clippy::needless_range_loop)]
+    for u in 0..n {
+        if g.degree(u) < 2 {
+            continue;
+        }
+        let mut ids: Vec<usize> = Vec::with_capacity(g.degree(u) + 1);
+        ids.push(u);
+        ids.extend_from_slice(g.neighbors(u));
+        let pts: Vec<_> = ids.iter().map(|&i| g.position(i)).collect();
+        let tri = Triangulation::build(&pts).expect("distinct node positions");
+        for t in tri.triangles() {
+            let [a, b, c] = t.indices();
+            let mut key = [ids[a], ids[b], ids[c]];
+            key.sort_unstable();
+            local_tris[u].insert(key);
+        }
+    }
+
+    // A triangle is accepted when it is a triangle of all three local
+    // triangulations and all three sides are graph edges.
+    let mut accepted: HashSet<[usize; 3]> = HashSet::new();
+    for u in 0..n {
+        for &key in &local_tris[u] {
+            let [a, b, c] = key;
+            if u != a {
+                continue; // consider each triple once, at its least vertex
+            }
+            if !(g.has_edge(a, b) && g.has_edge(b, c) && g.has_edge(a, c)) {
+                continue;
+            }
+            if local_tris[b].contains(&key) && local_tris[c].contains(&key) {
+                accepted.insert(key);
+            }
+        }
+    }
+
+    let gabriel_edges = gabriel_edge_list(g);
+    let mut graph = g.same_vertices();
+    for &(u, v) in &gabriel_edges {
+        graph.add_edge(u, v);
+    }
+    let mut triangles: Vec<[usize; 3]> = accepted.into_iter().collect();
+    triangles.sort_unstable();
+    for &[a, b, c] in &triangles {
+        graph.add_edge(a, b);
+        graph.add_edge(b, c);
+        graph.add_edge(a, c);
+    }
+    LocalDelaunay {
+        graph,
+        triangles,
+        gabriel_edges,
+    }
+}
+
+/// The planarized localized Delaunay graph `PLDel` (Algorithm 3 of the
+/// paper, centralized reference implementation).
+///
+/// Starting from [`ldel1`], a triangle is discarded when it intersects
+/// another accepted triangle **and** its circumcircle contains a vertex of
+/// that other triangle; the Gabriel edges and the edges of the surviving
+/// triangles form a plane graph.
+///
+/// # Panics
+/// Panics if two participating nodes share a position.
+pub fn planarized(g: &Graph) -> LocalDelaunay {
+    planarize(g, ldel1(g))
+}
+
+/// Planarizes an already-computed `LDel¹` (useful when the caller needs
+/// both the raw and the planar structure).
+pub fn planarize(g: &Graph, raw: LocalDelaunay) -> LocalDelaunay {
+    let tris = &raw.triangles;
+    let m = tris.len();
+    let mut removed = vec![false; m];
+
+    // Bounding boxes + sweep over x to find intersecting pairs.
+    let mut order: Vec<usize> = (0..m).collect();
+    let bbox: Vec<(f64, f64)> = tris
+        .iter()
+        .map(|t| {
+            let xs = t.iter().map(|&v| g.position(v).x);
+            (
+                xs.clone().fold(f64::INFINITY, f64::min),
+                xs.fold(f64::NEG_INFINITY, f64::max),
+            )
+        })
+        .collect();
+    order.sort_by(|&i, &j| bbox[i].0.partial_cmp(&bbox[j].0).expect("finite coords"));
+
+    for (oi, &i) in order.iter().enumerate() {
+        for &j in order[oi + 1..].iter() {
+            if bbox[j].0 > bbox[i].1 {
+                break;
+            }
+            if triangles_cross(g, tris[i], tris[j]) {
+                if circum_contains_any(g, tris[i], tris[j]) {
+                    removed[i] = true;
+                }
+                if circum_contains_any(g, tris[j], tris[i]) {
+                    removed[j] = true;
+                }
+            }
+        }
+    }
+
+    let triangles: Vec<[usize; 3]> = tris
+        .iter()
+        .zip(&removed)
+        .filter(|(_, &r)| !r)
+        .map(|(&t, _)| t)
+        .collect();
+    let mut graph = g.same_vertices();
+    for &(u, v) in &raw.gabriel_edges {
+        graph.add_edge(u, v);
+    }
+    for &[a, b, c] in &triangles {
+        graph.add_edge(a, b);
+        graph.add_edge(b, c);
+        graph.add_edge(a, c);
+    }
+    LocalDelaunay {
+        graph,
+        triangles,
+        gabriel_edges: raw.gabriel_edges,
+    }
+}
+
+/// The `k`-localized Delaunay graph by direct definition: Gabriel edges
+/// plus triangles with mutually adjacent vertices whose circumcircle is
+/// empty of `N_k(u) ∪ N_k(v) ∪ N_k(w)`.
+///
+/// This is the reference oracle for tests (`LDel^k` is planar for
+/// `k >= 2`); it enumerates all UDG triangles and costs `O(n · Δ³)` — use
+/// [`ldel1`]/[`planarized`] for real workloads.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn ldel_k(g: &Graph, k: usize) -> LocalDelaunay {
+    assert!(k >= 1, "LDel^k needs k >= 1");
+    let n = g.node_count();
+    // k-hop neighborhoods.
+    let hoods: Vec<Vec<usize>> = (0..n).map(|u| k_hop_neighborhood(g, u, k)).collect();
+
+    let mut triangles = Vec::new();
+    for u in 0..n {
+        let nu = g.neighbors(u);
+        for (i, &v) in nu.iter().enumerate() {
+            if v < u {
+                continue;
+            }
+            for &w in &nu[i + 1..] {
+                if w < u || !g.has_edge(v, w) {
+                    continue;
+                }
+                // Union of the three k-neighborhoods.
+                let mut witnesses: Vec<usize> = hoods[u]
+                    .iter()
+                    .chain(&hoods[v])
+                    .chain(&hoods[w])
+                    .copied()
+                    .collect();
+                witnesses.sort_unstable();
+                witnesses.dedup();
+                let (pu, pv, pw) = (g.position(u), g.position(v), g.position(w));
+                let empty = witnesses.iter().all(|&x| {
+                    x == u
+                        || x == v
+                        || x == w
+                        || in_circumcircle(pu, pv, pw, g.position(x)) != CirclePosition::Inside
+                });
+                if empty {
+                    triangles.push([u, v, w]);
+                }
+            }
+        }
+    }
+    triangles.sort_unstable();
+
+    let gabriel_edges = gabriel_edge_list(g);
+    let mut graph = g.same_vertices();
+    for &(u, v) in &gabriel_edges {
+        graph.add_edge(u, v);
+    }
+    for &[a, b, c] in &triangles {
+        graph.add_edge(a, b);
+        graph.add_edge(b, c);
+        graph.add_edge(a, c);
+    }
+    LocalDelaunay {
+        graph,
+        triangles,
+        gabriel_edges,
+    }
+}
+
+/// All Gabriel edges of a distance-closed graph, `(u, v)` with `u < v`.
+fn gabriel_edge_list(g: &Graph) -> Vec<(usize, usize)> {
+    g.edges()
+        .filter(|&(u, v)| {
+            let pu = g.position(u);
+            let pv = g.position(v);
+            !common_neighbors(g, u, v).any(|w| gabriel_test(pu, pv, g.position(w)))
+        })
+        .collect()
+}
+
+/// Do two triangles properly cross (some edge of one crosses some edge of
+/// the other)?
+fn triangles_cross(g: &Graph, t1: [usize; 3], t2: [usize; 3]) -> bool {
+    const E: [(usize, usize); 3] = [(0, 1), (1, 2), (0, 2)];
+    for &(i, j) in &E {
+        for &(p, q) in &E {
+            if segments_properly_cross(
+                g.position(t1[i]),
+                g.position(t1[j]),
+                g.position(t2[p]),
+                g.position(t2[q]),
+            ) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Is any vertex of `other` inside or on the circumcircle of `t`?
+///
+/// Boundary points count as contained so that exactly-cocircular crossing
+/// pairs (possible on degenerate deployments such as perfect grids)
+/// remove each other and the planarity guarantee survives ties.
+fn circum_contains_any(g: &Graph, t: [usize; 3], other: [usize; 3]) -> bool {
+    other.iter().any(|&x| {
+        !t.contains(&x)
+            && in_circumcircle(
+                g.position(t[0]),
+                g.position(t[1]),
+                g.position(t[2]),
+                g.position(x),
+            ) != CirclePosition::Outside
+    })
+}
+
+/// Nodes within `k` hops of `u`, including `u`.
+fn k_hop_neighborhood(g: &Graph, u: usize, k: usize) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.node_count()];
+    dist[u] = 0;
+    let mut frontier = vec![u];
+    let mut all = vec![u];
+    for d in 1..=k {
+        let mut next = Vec::new();
+        for &x in &frontier {
+            for &y in g.neighbors(x) {
+                if dist[y] == usize::MAX {
+                    dist[y] = d;
+                    next.push(y);
+                    all.push(y);
+                }
+            }
+        }
+        frontier = next;
+    }
+    all.sort_unstable();
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gabriel, unit_delaunay};
+    use geospan_graph::gen::{connected_unit_disk, uniform_points, UnitDiskBuilder};
+    use geospan_graph::planarity::{crossing_count, is_plane_embedding};
+    use geospan_graph::stretch::{stretch_factors, StretchOptions};
+
+    fn udg(seed: u64) -> Graph {
+        let pts = uniform_points(70, 100.0, seed);
+        UnitDiskBuilder::new(35.0).build(&pts)
+    }
+
+    #[test]
+    fn gabriel_subset_of_ldel1() {
+        for seed in 0..4 {
+            let g = udg(seed);
+            let gg = gabriel(&g);
+            let ld = ldel1(&g);
+            for (u, v) in gg.edges() {
+                assert!(ld.graph.has_edge(u, v), "seed {seed}: GG edge ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn ldel1_subgraph_of_udg() {
+        for seed in 0..4 {
+            let g = udg(seed + 4);
+            let ld = ldel1(&g);
+            for (u, v) in ld.graph.edges() {
+                assert!(g.has_edge(u, v));
+            }
+            // And each accepted triangle has all edges in the result.
+            for &[a, b, c] in &ld.triangles {
+                assert!(ld.graph.has_edge(a, b));
+                assert!(ld.graph.has_edge(b, c));
+                assert!(ld.graph.has_edge(a, c));
+            }
+        }
+    }
+
+    #[test]
+    fn planarized_is_plane_and_connected() {
+        for seed in 0..6 {
+            let (_pts, g, _s) = connected_unit_disk(60, 100.0, 35.0, seed * 100);
+            let pl = planarized(&g);
+            assert!(
+                is_plane_embedding(&pl.graph),
+                "seed {seed}: {} crossings",
+                crossing_count(&pl.graph)
+            );
+            assert!(pl.graph.is_connected(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn planarized_contains_unit_delaunay() {
+        // PLDel ⊇ UDel is the key containment behind the spanner proof.
+        for seed in 0..4 {
+            let (_pts, g, _s) = connected_unit_disk(50, 100.0, 35.0, seed * 7 + 1);
+            let udel = unit_delaunay(&g);
+            let pl = planarized(&g);
+            for (u, v) in udel.edges() {
+                assert!(
+                    pl.graph.has_edge(u, v),
+                    "seed {seed}: UDel edge ({u},{v}) missing from PLDel"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn planarized_length_stretch_is_small() {
+        let (_pts, g, _s) = connected_unit_disk(80, 100.0, 30.0, 12);
+        let pl = planarized(&g);
+        let r = stretch_factors(&g, &pl.graph, StretchOptions::default());
+        assert_eq!(r.disconnected_pairs, 0);
+        // Theory: <= 2.42 relative to UDel; empirically well under 2.5
+        // relative to the UDG itself on random instances.
+        assert!(r.length_max < 2.5, "length stretch {}", r.length_max);
+    }
+
+    #[test]
+    fn ldel2_is_planar_without_planarization() {
+        // LDel^k is planar for k >= 2 (Li-Calinescu-Wan theorem).
+        for seed in 0..3 {
+            let (_pts, g, _s) = connected_unit_disk(40, 100.0, 35.0, seed * 13 + 5);
+            let ld2 = ldel_k(&g, 2);
+            assert!(is_plane_embedding(&ld2.graph), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn ldel1_by_definition_matches_local_triangulation_route() {
+        // The membership-based fast path equals the direct definition.
+        for seed in 0..3 {
+            let (_pts, g, _s) = connected_unit_disk(35, 100.0, 40.0, seed * 31 + 2);
+            let fast = ldel1(&g);
+            let slow = ldel_k(&g, 1);
+            assert_eq!(fast.triangles, slow.triangles, "seed {seed}");
+            assert_eq!(fast.gabriel_edges, slow.gabriel_edges);
+            let fe: Vec<_> = fast.graph.edges().collect();
+            let se: Vec<_> = slow.graph.edges().collect();
+            assert_eq!(fe, se, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn planarization_only_removes_triangles() {
+        let g = udg(9);
+        let raw = ldel1(&g);
+        let pl = planarize(&g, raw.clone());
+        assert!(pl.triangles.len() <= raw.triangles.len());
+        for t in &pl.triangles {
+            assert!(raw.triangles.contains(t));
+        }
+        assert_eq!(pl.gabriel_edges, raw.gabriel_edges);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        // Two nodes: a single Gabriel edge, no triangles.
+        let g = UnitDiskBuilder::new(2.0).build(&[
+            geospan_graph::Point::new(0.0, 0.0),
+            geospan_graph::Point::new(1.0, 0.0),
+        ]);
+        let ld = planarized(&g);
+        assert_eq!(ld.graph.edge_count(), 1);
+        assert!(ld.triangles.is_empty());
+        // Empty graph.
+        let g = Graph::new(vec![]);
+        let ld = planarized(&g);
+        assert_eq!(ld.graph.edge_count(), 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! The relative neighborhood graph.
+
+use geospan_graph::Graph;
+
+/// The relative neighborhood graph of the unit disk graph.
+///
+/// An UDG edge `uv` survives unless some node `w` lies strictly inside the
+/// *lune* of `u` and `v`: `max(|uw|, |wv|) < |uv|`. Such a witness is
+/// necessarily a common UDG neighbor of `u` and `v`, so the construction
+/// is 1-localized.
+///
+/// Exact ties (`max(|uw|, |wv|) == |uv|`) keep the edge, matching the open
+/// lune of the standard definition; distances are compared as squared
+/// values, which is exact for the comparison outcomes needed on typical
+/// coordinates and deterministic always.
+///
+/// The RNG is connected whenever the UDG is, planar, and has at most `3n`
+/// edges — but its length stretch factor is Θ(n) (Bose et al.), which is
+/// why the paper rejects it as a routing topology.
+///
+/// # Example
+/// ```
+/// use geospan_graph::{Graph, Point};
+/// use geospan_topology::relative_neighborhood;
+/// // Equilateral-ish triangle: all edges stay (no witness in any lune).
+/// let udg = Graph::with_edges(
+///     vec![Point::new(0.,0.), Point::new(1.,0.), Point::new(0.5, 0.9)],
+///     [(0,1),(1,2),(0,2)]);
+/// assert_eq!(relative_neighborhood(&udg).edge_count(), 3);
+/// ```
+pub fn relative_neighborhood(udg: &Graph) -> Graph {
+    udg.filter_edges(|u, v| {
+        let pu = udg.position(u);
+        let pv = udg.position(v);
+        let d_uv = pu.distance_sq(pv);
+        // Witnesses can only be common neighbors (anything in the lune is
+        // within |uv| <= radius of both endpoints).
+        !common_neighbors(udg, u, v).any(|w| {
+            let pw = udg.position(w);
+            pu.distance_sq(pw) < d_uv && pv.distance_sq(pw) < d_uv
+        })
+    })
+}
+
+/// Iterator over common neighbors of `u` and `v` (both lists are sorted).
+pub(crate) fn common_neighbors<'a>(
+    g: &'a Graph,
+    u: usize,
+    v: usize,
+) -> impl Iterator<Item = usize> + 'a {
+    let a = g.neighbors(u);
+    let b = g.neighbors(v);
+    MergeCommon { a, b, i: 0, j: 0 }
+}
+
+struct MergeCommon<'a> {
+    a: &'a [usize],
+    b: &'a [usize],
+    i: usize,
+    j: usize,
+}
+
+impl Iterator for MergeCommon<'_> {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        while self.i < self.a.len() && self.j < self.b.len() {
+            match self.a[self.i].cmp(&self.b[self.j]) {
+                std::cmp::Ordering::Less => self.i += 1,
+                std::cmp::Ordering::Greater => self.j += 1,
+                std::cmp::Ordering::Equal => {
+                    let v = self.a[self.i];
+                    self.i += 1;
+                    self.j += 1;
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geospan_graph::gen::{uniform_points, UnitDiskBuilder};
+    use geospan_graph::planarity::is_plane_embedding;
+    use geospan_graph::Point;
+
+    #[test]
+    fn lune_witness_removes_edge() {
+        // w sits in the lune of u, v.
+        let udg = Graph::with_edges(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(2.0, 0.0),
+                Point::new(1.0, 0.2),
+            ],
+            [(0, 1), (0, 2), (1, 2)],
+        );
+        let rng = relative_neighborhood(&udg);
+        assert!(!rng.has_edge(0, 1));
+        assert!(rng.has_edge(0, 2));
+        assert!(rng.has_edge(1, 2));
+    }
+
+    #[test]
+    fn boundary_tie_keeps_edge() {
+        // w exactly on the lune boundary (equilateral): open lune empty.
+        let h = 3f64.sqrt() / 2.0;
+        let udg = Graph::with_edges(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(0.5, h),
+            ],
+            [(0, 1), (0, 2), (1, 2)],
+        );
+        // |uw| = |wv| = |uv| = 1 up to rounding; squared-distance compare
+        // keeps all three edges unless rounding makes one strictly closer.
+        let rng = relative_neighborhood(&udg);
+        assert!(rng.edge_count() >= 2);
+    }
+
+    #[test]
+    fn rng_preserves_connectivity_and_planarity() {
+        for seed in 0..5 {
+            let pts = uniform_points(70, 100.0, seed);
+            let udg = UnitDiskBuilder::new(35.0).build(&pts);
+            let rng = relative_neighborhood(&udg);
+            assert_eq!(udg.is_connected(), rng.is_connected(), "seed {seed}");
+            assert!(is_plane_embedding(&rng), "seed {seed}");
+            assert!(rng.edge_count() <= udg.edge_count());
+        }
+    }
+
+    #[test]
+    fn common_neighbors_merge() {
+        let udg = Graph::with_edges(
+            [Point::new(0.0, 0.0); 5]
+                .iter()
+                .enumerate()
+                .map(|(i, _)| Point::new(i as f64, 0.0))
+                .collect(),
+            [(0, 2), (0, 3), (1, 2), (1, 3), (1, 4)],
+        );
+        let c: Vec<usize> = common_neighbors(&udg, 0, 1).collect();
+        assert_eq!(c, vec![2, 3]);
+    }
+}

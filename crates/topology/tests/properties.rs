@@ -1,0 +1,100 @@
+//! Property tests for the proximity topologies.
+
+use geospan_graph::gen::{uniform_points, UnitDiskBuilder};
+use geospan_graph::planarity::is_plane_embedding;
+use geospan_graph::Graph;
+use geospan_topology::{
+    distributed, gabriel, ldel, relative_neighborhood, unit_delaunay, yao, yao_yao,
+};
+use proptest::prelude::*;
+
+fn deployment() -> impl Strategy<Value = (Graph, f64)> {
+    (8usize..50, 25.0f64..60.0, any::<u64>()).prop_map(|(n, radius, seed)| {
+        let pts = uniform_points(n, 110.0, seed);
+        (UnitDiskBuilder::new(radius).build(&pts), radius)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn containments((udg, _r) in deployment()) {
+        let rng = relative_neighborhood(&udg);
+        let gg = gabriel(&udg);
+        let pl = ldel::planarized(&udg);
+        let udel = unit_delaunay(&udg);
+        for (u, v) in rng.edges() {
+            prop_assert!(gg.has_edge(u, v), "RNG ⊄ GG");
+        }
+        for (u, v) in gg.edges() {
+            prop_assert!(pl.graph.has_edge(u, v), "GG ⊄ PLDel");
+        }
+        for (u, v) in udel.edges() {
+            prop_assert!(pl.graph.has_edge(u, v), "UDel ⊄ PLDel");
+        }
+        for (u, v) in pl.graph.edges() {
+            prop_assert!(udg.has_edge(u, v), "PLDel ⊄ UDG");
+        }
+    }
+
+    #[test]
+    fn planarity_and_connectivity((udg, _r) in deployment()) {
+        for g in [relative_neighborhood(&udg), gabriel(&udg), ldel::planarized(&udg).graph] {
+            prop_assert!(is_plane_embedding(&g));
+            prop_assert_eq!(g.components().len(), udg.components().len());
+        }
+    }
+
+    #[test]
+    fn sparse_edge_counts((udg, _r) in deployment()) {
+        let n = udg.node_count();
+        prop_assert!(relative_neighborhood(&udg).edge_count() <= 3 * n);
+        prop_assert!(gabriel(&udg).edge_count() <= 3 * n);
+        // Thickness 2 for raw LDel¹; planar bound for PLDel.
+        prop_assert!(ldel::ldel1(&udg).graph.edge_count() <= 6 * n);
+        prop_assert!(ldel::planarized(&udg).graph.edge_count() <= 3 * n);
+    }
+
+    #[test]
+    fn yao_bounds((udg, _r) in deployment(), k in 4usize..10) {
+        let y = yao(&udg, k);
+        prop_assert_eq!(y.components().len(), udg.components().len());
+        let yy = yao_yao(&udg, k);
+        for v in 0..yy.node_count() {
+            prop_assert!(yy.degree(v) <= 2 * k);
+        }
+        for (u, v) in yy.edges() {
+            prop_assert!(y.has_edge(u, v), "YY ⊄ Yao");
+        }
+        for (u, v) in y.edges() {
+            prop_assert!(udg.has_edge(u, v), "Yao ⊄ UDG");
+        }
+    }
+
+    #[test]
+    fn distributed_ldel_equals_centralized((udg, r) in deployment()) {
+        let central = ldel::planarized(&udg);
+        let dist = distributed::run_ldel(&udg, r).expect("protocol converges");
+        prop_assert_eq!(
+            dist.ldel.graph.edges().collect::<Vec<_>>(),
+            central.graph.edges().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(dist.ldel.triangles, central.triangles);
+        prop_assert_eq!(dist.ldel.gabriel_edges, central.gabriel_edges);
+    }
+
+    #[test]
+    fn ldel1_triangles_are_mutual((udg, _r) in deployment()) {
+        // Every accepted triangle's edges exist and belong to the graph;
+        // every Gabriel edge is present.
+        let ld = ldel::ldel1(&udg);
+        for &[a, b, c] in &ld.triangles {
+            prop_assert!(udg.has_edge(a, b) && udg.has_edge(b, c) && udg.has_edge(a, c));
+            prop_assert!(ld.graph.has_edge(a, b) && ld.graph.has_edge(b, c) && ld.graph.has_edge(a, c));
+        }
+        for &(u, v) in &ld.gabriel_edges {
+            prop_assert!(ld.graph.has_edge(u, v));
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Quickstart: deploy a random wireless network, build the planar
+//! spanner backbone, and verify the paper's headline properties.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use geospan::core::{BackboneBuilder, BackboneConfig, Role};
+use geospan::graph::gen::connected_unit_disk;
+use geospan::graph::planarity::is_plane_embedding;
+use geospan::graph::stats::{degree_stats, degree_stats_over};
+use geospan::graph::stretch::{stretch_factors, StretchOptions};
+
+fn main() {
+    // 100 nodes uniform in a 200 x 200 field, transmission radius 60 —
+    // the paper's Table I configuration. Disconnected deployments are
+    // re-sampled, exactly as in the paper.
+    let (_points, udg, seed) = connected_unit_disk(100, 200.0, 60.0, 42);
+    println!(
+        "deployment: {} nodes, {} links (accepted seed {seed})",
+        udg.node_count(),
+        udg.edge_count()
+    );
+
+    // Build the backbone: MIS clustering -> connector election ->
+    // localized Delaunay planarization.
+    let backbone = BackboneBuilder::new(BackboneConfig::new(60.0))
+        .build(&udg)
+        .expect("a valid UDG always yields a backbone");
+
+    let dominators = backbone.cds_graphs().dominators.len();
+    let connectors = backbone.cds_graphs().connectors.len();
+    println!("backbone: {dominators} dominators + {connectors} connectors");
+
+    // Property 1: the backbone is a plane graph.
+    let planar = is_plane_embedding(backbone.ldel_icds());
+    println!("planar backbone: {planar}");
+    assert!(planar);
+
+    // Property 2: backbone degree is bounded (independent of density).
+    let backbone_deg = degree_stats_over(backbone.ldel_icds(), backbone.backbone_nodes());
+    println!(
+        "backbone degree: avg {:.2}, max {} (UDG max {})",
+        backbone_deg.avg,
+        backbone_deg.max,
+        degree_stats(&udg).max
+    );
+
+    // Property 3: LDel(ICDS') is a hop and length spanner of the UDG.
+    let report = stretch_factors(
+        &udg,
+        backbone.ldel_icds_prime(),
+        StretchOptions {
+            min_euclidean_separation: 60.0,
+        },
+    );
+    assert_eq!(
+        report.disconnected_pairs, 0,
+        "spanner must preserve connectivity"
+    );
+    println!(
+        "stretch vs UDG: length avg {:.3} / max {:.3}, hops avg {:.3} / max {:.3}",
+        report.length_avg, report.length_max, report.hop_avg, report.hop_max
+    );
+
+    // Property 4: the structure is sparse.
+    println!(
+        "edges: UDG {} -> LDel(ICDS') {} ({:.1}% kept)",
+        udg.edge_count(),
+        backbone.ldel_icds_prime().edge_count(),
+        100.0 * backbone.ldel_icds_prime().edge_count() as f64 / udg.edge_count() as f64
+    );
+
+    // Roles, as in the paper's Figure 3.
+    let (mut d, mut c, mut o) = (0, 0, 0);
+    for role in backbone.roles() {
+        match role {
+            Role::Dominator => d += 1,
+            Role::Connector => c += 1,
+            Role::Dominatee => o += 1,
+        }
+    }
+    println!("roles: {d} dominators, {c} connectors, {o} ordinary nodes");
+}

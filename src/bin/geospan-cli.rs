@@ -1,0 +1,258 @@
+//! `geospan-cli` — drive the spanner pipeline from the command line.
+//!
+//! ```text
+//! geospan-cli generate --n 100 --side 200 --radius 60 --seed 1 --out nodes.csv
+//! geospan-cli build    --nodes nodes.csv --radius 60 [--distributed]
+//! geospan-cli render   --nodes nodes.csv --radius 60 --topology ldel-icds --out topo.svg
+//! geospan-cli route    --nodes nodes.csv --radius 60 --from 0 --to 42
+//! ```
+//!
+//! Node files are CSV with one `x,y` pair per line.
+
+use std::process::ExitCode;
+
+use geospan::cds::Role;
+use geospan::core::routing::backbone_route;
+use geospan::core::{verify, BackboneBuilder, BackboneConfig};
+use geospan::graph::gen::UnitDiskBuilder;
+use geospan::graph::svg::{render_svg, NodeRole, SvgOptions};
+use geospan::graph::{Graph, Point};
+use geospan::topology::{
+    gabriel, ldel, relative_neighborhood, restricted_delaunay, theta, yao, yao_sink,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match Flags::parse(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "build" => cmd_build(&flags),
+        "render" => cmd_render(&flags),
+        "route" => cmd_route(&flags),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  geospan-cli generate --n N --side S --radius R [--seed K] [--out FILE]
+  geospan-cli build    --nodes FILE --radius R [--distributed]
+  geospan-cli render   --nodes FILE --radius R [--topology NAME] --out FILE.svg
+  geospan-cli route    --nodes FILE --radius R --from A --to B
+
+topologies: udg, rng, gabriel, yao, theta, yao-sink, rdg, ldel, cds, ldel-icds,
+            ldel-icds-prime";
+
+/// Minimal flag map: `--key value` pairs plus boolean `--distributed`.
+struct Flags {
+    kv: std::collections::HashMap<String, String>,
+    distributed: bool,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut kv = std::collections::HashMap::new();
+        let mut distributed = false;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{a}`"));
+            };
+            if key == "distributed" {
+                distributed = true;
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("missing value for --{key}"))?;
+            kv.insert(key.to_string(), value.clone());
+        }
+        Ok(Flags { kv, distributed })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        self.kv
+            .get(key)
+            .ok_or_else(|| format!("missing --{key}"))?
+            .parse()
+            .map_err(|_| format!("invalid value for --{key}"))
+    }
+
+    fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.kv.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}")),
+        }
+    }
+}
+
+fn load_nodes(flags: &Flags) -> Result<Vec<Point>, String> {
+    let path: String = flags.get("nodes")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut pts = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("x,") {
+            continue;
+        }
+        let (x, y) = line
+            .split_once(',')
+            .ok_or_else(|| format!("{path}:{}: expected `x,y`", lineno + 1))?;
+        let parse = |s: &str| {
+            s.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("{path}:{}: bad coordinate `{s}`", lineno + 1))
+        };
+        pts.push(Point::new(parse(x)?, parse(y)?));
+    }
+    if pts.is_empty() {
+        return Err(format!("{path}: no nodes"));
+    }
+    Ok(pts)
+}
+
+fn udg_of(flags: &Flags, pts: &[Point]) -> Result<(Graph, f64), String> {
+    let radius: f64 = flags.get("radius")?;
+    if !(radius > 0.0 && radius.is_finite()) {
+        return Err("radius must be positive".into());
+    }
+    Ok((UnitDiskBuilder::new(radius).build(pts), radius))
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let n: usize = flags.get("n")?;
+    let side: f64 = flags.get("side")?;
+    let radius: f64 = flags.get("radius")?;
+    let seed: u64 = flags.get_or("seed", 1)?;
+    let (pts, udg, used) = geospan::graph::gen::connected_unit_disk(n, side, radius, seed);
+    let mut out = String::from("x,y\n");
+    for p in &pts {
+        out.push_str(&format!("{},{}\n", p.x, p.y));
+    }
+    match flags.kv.get("out") {
+        Some(path) => {
+            std::fs::write(path, out).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "wrote {n} nodes to {path} (seed {used}, {} links)",
+                udg.edge_count()
+            );
+        }
+        None => print!("{out}"),
+    }
+    Ok(())
+}
+
+fn cmd_build(flags: &Flags) -> Result<(), String> {
+    let pts = load_nodes(flags)?;
+    let (udg, radius) = udg_of(flags, &pts)?;
+    let mut config = BackboneConfig::new(radius);
+    if flags.distributed {
+        config = config.distributed();
+    }
+    let backbone = BackboneBuilder::new(config)
+        .build(&udg)
+        .map_err(|e| e.to_string())?;
+    println!("{}", verify(&backbone, &udg, radius));
+    if let Some(stats) = backbone.stats() {
+        let total = stats.total_per_node();
+        println!(
+            "  messages/node:   max {}, avg {:.1}",
+            total.iter().max().unwrap_or(&0),
+            total.iter().sum::<usize>() as f64 / total.len().max(1) as f64
+        );
+        for (kind, count) in stats.cds.per_kind() {
+            println!("    {kind:<14} {count}");
+        }
+        for (kind, count) in stats.ldel.per_kind() {
+            println!("    {kind:<14} {count}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_render(flags: &Flags) -> Result<(), String> {
+    let pts = load_nodes(flags)?;
+    let (udg, radius) = udg_of(flags, &pts)?;
+    let topology: String = flags.get_or("topology", "ldel-icds".to_string())?;
+    let backbone = BackboneBuilder::new(BackboneConfig::new(radius))
+        .build(&udg)
+        .map_err(|e| e.to_string())?;
+    let graph = match topology.as_str() {
+        "udg" => udg.clone(),
+        "rng" => relative_neighborhood(&udg),
+        "gabriel" => gabriel(&udg),
+        "yao" => yao(&udg, 6),
+        "theta" => theta(&udg, 6),
+        "yao-sink" => yao_sink(&udg, 6),
+        "rdg" => restricted_delaunay(&udg),
+        "ldel" => ldel::planarized(&udg).graph,
+        "cds" => backbone.cds_graphs().cds.clone(),
+        "ldel-icds" => backbone.ldel_icds().clone(),
+        "ldel-icds-prime" => backbone.ldel_icds_prime().clone(),
+        other => return Err(format!("unknown topology `{other}`")),
+    };
+    let roles: Vec<NodeRole> = backbone
+        .roles()
+        .iter()
+        .map(|r| match r {
+            Role::Dominator => NodeRole::Dominator,
+            Role::Connector => NodeRole::Connector,
+            Role::Dominatee => NodeRole::Dominatee,
+        })
+        .collect();
+    let opts = SvgOptions {
+        title: format!("{topology} — {} edges", graph.edge_count()),
+        ..SvgOptions::default()
+    };
+    let svg = render_svg(&graph, &roles, &opts);
+    let path: String = flags.get("out")?;
+    std::fs::write(&path, svg).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("wrote {path} ({} edges)", graph.edge_count());
+    Ok(())
+}
+
+fn cmd_route(flags: &Flags) -> Result<(), String> {
+    let pts = load_nodes(flags)?;
+    let (udg, radius) = udg_of(flags, &pts)?;
+    let from: usize = flags.get("from")?;
+    let to: usize = flags.get("to")?;
+    let n = udg.node_count();
+    if from >= n || to >= n {
+        return Err(format!("endpoints must be < {n}"));
+    }
+    let backbone = BackboneBuilder::new(BackboneConfig::new(radius))
+        .build(&udg)
+        .map_err(|e| e.to_string())?;
+    let route = backbone_route(&backbone, &udg, from, to, 100 * n);
+    if route.delivered() {
+        println!(
+            "delivered in {} hops, length {:.2}",
+            route.hops(),
+            route.length(&udg)
+        );
+        println!("path: {:?}", route.path);
+        Ok(())
+    } else {
+        Err(format!(
+            "routing failed: {:?} (path so far {:?})",
+            route.outcome, route.path
+        ))
+    }
+}

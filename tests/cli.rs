@@ -1,0 +1,160 @@
+//! End-to-end tests of the `geospan-cli` binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_geospan-cli"))
+}
+
+fn tempdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("geospan-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn generate_build_route_render_pipeline() {
+    let dir = tempdir();
+    let nodes = dir.join("nodes.csv");
+
+    // generate
+    let out = cli()
+        .args([
+            "generate", "--n", "50", "--side", "150", "--radius", "50", "--seed", "7", "--out",
+        ])
+        .arg(&nodes)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let content = std::fs::read_to_string(&nodes).unwrap();
+    assert!(content.starts_with("x,y\n"));
+    assert_eq!(content.lines().count(), 51);
+
+    // build + verify report
+    let out = cli()
+        .args(["build", "--nodes"])
+        .arg(&nodes)
+        .args(["--radius", "50"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("planar:          yes"), "{text}");
+    assert!(text.contains("spans all pairs: yes"));
+
+    // build --distributed includes message accounting
+    let out = cli()
+        .args(["build", "--nodes"])
+        .arg(&nodes)
+        .args(["--radius", "50", "--distributed"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("messages/node"), "{text}");
+    assert!(text.contains("IamDominator"));
+
+    // route
+    let out = cli()
+        .args(["route", "--nodes"])
+        .arg(&nodes)
+        .args(["--radius", "50", "--from", "0", "--to", "49"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("delivered in"), "{text}");
+    assert!(text.contains("path: [0,"));
+
+    // render
+    let svg = dir.join("topo.svg");
+    let out = cli()
+        .args(["render", "--nodes"])
+        .arg(&nodes)
+        .args(["--radius", "50", "--topology", "gabriel", "--out"])
+        .arg(&svg)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let content = std::fs::read_to_string(&svg).unwrap();
+    assert!(content.starts_with("<svg"));
+    assert!(content.contains("gabriel"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    // No command.
+    let out = cli().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    // Unknown command.
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing flag value.
+    let out = cli().args(["generate", "--n"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing value"));
+
+    // Nonexistent nodes file.
+    let out = cli()
+        .args([
+            "build",
+            "--nodes",
+            "/nonexistent/nodes.csv",
+            "--radius",
+            "10",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    // Unknown topology.
+    let dir = tempdir();
+    let nodes = dir.join("n.csv");
+    std::fs::write(&nodes, "0,0\n1,0\n").unwrap();
+    let out = cli()
+        .args(["render", "--nodes"])
+        .arg(&nodes)
+        .args([
+            "--radius",
+            "5",
+            "--topology",
+            "zelda",
+            "--out",
+            "/tmp/x.svg",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown topology"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_csv_rejected() {
+    let dir = tempdir();
+    let nodes = dir.join("bad.csv");
+    std::fs::write(&nodes, "0,0\nnot-a-number,3\n").unwrap();
+    let out = cli()
+        .args(["build", "--nodes"])
+        .arg(&nodes)
+        .args(["--radius", "5"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad coordinate"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,180 @@
+//! Adversarial and degenerate deployments: exact grids (massive
+//! cocircularity), collinear chains at exactly unit spacing, clustered
+//! fields, and tiny networks. The pipeline must stay correct — planar,
+//! connected, bounded — on all of them, which is what the exact
+//! predicates buy.
+
+use geospan::core::{BackboneBuilder, BackboneConfig};
+use geospan::graph::gen::{gaussian_clusters, perturbed_grid, UnitDiskBuilder};
+use geospan::graph::planarity::is_plane_embedding;
+use geospan::graph::stretch::{stretch_factors, StretchOptions};
+use geospan::graph::{Graph, Point};
+use geospan::topology::{gabriel, ldel, relative_neighborhood};
+
+#[test]
+fn exact_grid_full_pipeline() {
+    // A perfect grid: every unit square is a cocircular quadruple, every
+    // row/column is collinear. Radius covers the diagonal.
+    let pts = perturbed_grid(8, 8, 10.0, 0.0, 0);
+    let udg = UnitDiskBuilder::new(15.0).build(&pts);
+    assert!(udg.is_connected());
+
+    let gg = gabriel(&udg);
+    assert!(is_plane_embedding(&gg), "Gabriel graph crossed on the grid");
+    assert!(gg.is_connected());
+
+    let rng = relative_neighborhood(&udg);
+    assert!(is_plane_embedding(&rng));
+    assert!(rng.is_connected());
+
+    let pl = ldel::planarized(&udg);
+    assert!(is_plane_embedding(&pl.graph), "PLDel crossed on the grid");
+    assert!(pl.graph.is_connected());
+
+    let b = BackboneBuilder::new(BackboneConfig::new(15.0))
+        .build(&udg)
+        .unwrap();
+    assert!(is_plane_embedding(b.ldel_icds()));
+    assert!(b.ldel_icds_prime().is_connected());
+}
+
+#[test]
+fn exact_grid_distributed_matches() {
+    let pts = perturbed_grid(6, 6, 10.0, 0.0, 0);
+    let udg = UnitDiskBuilder::new(15.0).build(&pts);
+    let central = BackboneBuilder::new(BackboneConfig::new(15.0))
+        .build(&udg)
+        .unwrap();
+    let dist = BackboneBuilder::new(BackboneConfig::new(15.0).distributed())
+        .build(&udg)
+        .unwrap();
+    assert_eq!(central.roles(), dist.roles());
+    assert_eq!(
+        central.ldel_icds().edges().collect::<Vec<_>>(),
+        dist.ldel_icds().edges().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn unit_chain_at_exact_radius() {
+    // Nodes exactly one radius apart in a line: every link is boundary-
+    // tight, and the paper's own Yao counterexample configuration.
+    let pts: Vec<Point> = (0..20).map(|i| Point::new(i as f64, 0.0)).collect();
+    let udg = UnitDiskBuilder::new(1.0).build(&pts);
+    assert_eq!(udg.edge_count(), 19);
+    let b = BackboneBuilder::new(BackboneConfig::new(1.0))
+        .build(&udg)
+        .unwrap();
+    assert!(b.ldel_icds_prime().is_connected());
+    assert!(is_plane_embedding(b.ldel_icds()));
+    // The backbone of a chain is the chain: hop stretch stays 1-ish.
+    let r = stretch_factors(&udg, b.ldel_icds_prime(), StretchOptions::default());
+    assert_eq!(r.disconnected_pairs, 0);
+    assert!(r.hop_max <= 3.0, "hop stretch {} on a chain", r.hop_max);
+}
+
+#[test]
+fn dense_clusters() {
+    let pts = gaussian_clusters(120, 100.0, 3, 8.0, 7);
+    let udg = UnitDiskBuilder::new(40.0).build(&pts);
+    if !udg.is_connected() {
+        return; // clusters may be mutually unreachable; nothing to test
+    }
+    let b = BackboneBuilder::new(BackboneConfig::new(40.0))
+        .build(&udg)
+        .unwrap();
+    assert!(is_plane_embedding(b.ldel_icds()));
+    assert!(b.ldel_icds_prime().is_connected());
+    let r = stretch_factors(
+        &udg,
+        b.ldel_icds_prime(),
+        StretchOptions {
+            min_euclidean_separation: 40.0,
+        },
+    );
+    assert_eq!(r.disconnected_pairs, 0);
+}
+
+#[test]
+fn tiny_networks() {
+    // 1 node.
+    let udg = Graph::new(vec![Point::new(0.0, 0.0)]);
+    let b = BackboneBuilder::new(BackboneConfig::new(1.0))
+        .build(&udg)
+        .unwrap();
+    assert_eq!(b.cds_graphs().dominators, vec![0]);
+    assert_eq!(b.ldel_icds().edge_count(), 0);
+
+    // 2 nodes in range: one dominator, one dominatee, one edge in the
+    // prime graph.
+    let udg = UnitDiskBuilder::new(1.0).build(&[Point::new(0.0, 0.0), Point::new(0.5, 0.0)]);
+    let b = BackboneBuilder::new(BackboneConfig::new(1.0))
+        .build(&udg)
+        .unwrap();
+    assert_eq!(b.cds_graphs().dominators.len(), 1);
+    assert_eq!(b.ldel_icds_prime().edge_count(), 1);
+    assert!(b.ldel_icds_prime().is_connected());
+
+    // 3 nodes in a triangle.
+    let udg = UnitDiskBuilder::new(1.0).build(&[
+        Point::new(0.0, 0.0),
+        Point::new(0.8, 0.0),
+        Point::new(0.4, 0.6),
+    ]);
+    let b = BackboneBuilder::new(BackboneConfig::new(1.0))
+        .build(&udg)
+        .unwrap();
+    assert!(b.ldel_icds_prime().is_connected());
+    assert!(is_plane_embedding(b.ldel_icds()));
+}
+
+#[test]
+fn two_clusters_bridged_by_three_hop_dominators() {
+    // Hand-built: two stars whose heads are exactly 3 hops apart, forcing
+    // the stage-2/stage-3 connector elections.
+    let pts = vec![
+        Point::new(0.0, 0.0),  // 0: head A (dominator)
+        Point::new(0.9, 0.0),  // 1: bridge node a
+        Point::new(1.8, 0.0),  // 2: bridge node b
+        Point::new(2.7, 0.0),  // 3: head B (dominator)
+        Point::new(-0.5, 0.5), // 4: leaf of A
+        Point::new(3.2, 0.5),  // 5: leaf of B
+    ];
+    let udg = UnitDiskBuilder::new(1.0).build(&pts);
+    // Weight rank forces the two heads to win their elections.
+    let rank = geospan::cds::ClusterRank::Weight(vec![10, 0, 0, 10, 0, 0]);
+    let b = BackboneBuilder::new(BackboneConfig::new(1.0).with_rank(rank))
+        .build(&udg)
+        .unwrap();
+    let cds = b.cds_graphs();
+    assert!(cds.dominators.contains(&0) && cds.dominators.contains(&3));
+    assert!(cds.connectors.contains(&1) && cds.connectors.contains(&2));
+    assert!(cds.cds.has_edge(0, 1));
+    assert!(cds.cds.has_edge(1, 2));
+    assert!(cds.cds.has_edge(2, 3));
+    assert!(b.ldel_icds_prime().is_connected());
+}
+
+#[test]
+fn disconnected_input_handled_per_component() {
+    // Two far-apart triangles: the pipeline must not panic, and each
+    // component gets its own backbone.
+    let pts = vec![
+        Point::new(0.0, 0.0),
+        Point::new(1.0, 0.0),
+        Point::new(0.5, 0.8),
+        Point::new(100.0, 0.0),
+        Point::new(101.0, 0.0),
+        Point::new(100.5, 0.8),
+    ];
+    let udg = UnitDiskBuilder::new(1.5).build(&pts);
+    assert!(!udg.is_connected());
+    let b = BackboneBuilder::new(BackboneConfig::new(1.5))
+        .build(&udg)
+        .unwrap();
+    // Every node is dominated within its component.
+    let comps = b.ldel_icds_prime().components();
+    assert_eq!(comps.len(), 2);
+    assert_eq!(comps[0].len(), 3);
+    assert_eq!(comps[1].len(), 3);
+}

@@ -1,0 +1,52 @@
+//! Larger-scale structural checks: the pipeline at the paper's n = 500
+//! configuration and beyond (structure only; the all-pairs stretch
+//! measurements live in the release-mode bench binaries).
+
+use geospan::core::{BackboneBuilder, BackboneConfig};
+use geospan::graph::gen::connected_unit_disk;
+use geospan::graph::planarity::is_plane_embedding;
+use geospan::graph::stats::{degree_stats, degree_stats_over};
+
+#[test]
+fn five_hundred_nodes_dense() {
+    let (_pts, udg, _s) = connected_unit_disk(500, 200.0, 60.0, 5);
+    assert!(degree_stats(&udg).avg > 50.0, "dense regime expected");
+    let b = BackboneBuilder::new(BackboneConfig::new(60.0))
+        .build(&udg)
+        .unwrap();
+    assert!(is_plane_embedding(b.ldel_icds()));
+    assert!(b.ldel_icds_prime().is_connected());
+    // The density-independence claim, at 5x Table I's density: the
+    // backbone degree stays in the usual band.
+    let deg = degree_stats_over(b.ldel_icds(), b.backbone_nodes());
+    assert!(deg.max <= 16, "backbone max degree {}", deg.max);
+    // Sparse: O(n) edges despite ~14000 UDG links.
+    assert!(b.ldel_icds_prime().edge_count() <= 6 * udg.node_count());
+    assert!(udg.edge_count() > 10_000);
+}
+
+#[test]
+fn five_hundred_nodes_sparse() {
+    let (_pts, udg, _s) = connected_unit_disk(500, 200.0, 20.0, 11);
+    let b = BackboneBuilder::new(BackboneConfig::new(20.0))
+        .build(&udg)
+        .unwrap();
+    assert!(is_plane_embedding(b.ldel_icds()));
+    assert!(b.ldel_icds_prime().is_connected());
+    let deg = degree_stats_over(b.ldel_icds(), b.backbone_nodes());
+    assert!(deg.max <= 16, "backbone max degree {}", deg.max);
+}
+
+#[test]
+fn thousand_node_distributed_build() {
+    let (_pts, udg, _s) = connected_unit_disk(1000, 400.0, 60.0, 3);
+    let b = BackboneBuilder::new(BackboneConfig::new(60.0).distributed())
+        .build(&udg)
+        .unwrap();
+    assert!(is_plane_embedding(b.ldel_icds()));
+    assert!(b.ldel_icds_prime().is_connected());
+    // Lemma 3 at scale: constant per-node message cost.
+    let stats = b.stats().unwrap();
+    let max = stats.total_per_node().into_iter().max().unwrap();
+    assert!(max <= 150, "per-node message cost {max} at n = 1000");
+}

@@ -1,0 +1,211 @@
+//! End-to-end pipeline invariants across random deployments: the five
+//! headline properties of the paper, checked on every instance.
+
+use geospan::cds::{build_cds, ClusterRank};
+use geospan::core::{BackboneBuilder, BackboneConfig, Role};
+use geospan::graph::gen::connected_unit_disk;
+use geospan::graph::planarity::{crossing_count, is_plane_embedding};
+use geospan::graph::stats::degree_stats_over;
+use geospan::graph::stretch::{stretch_factors, StretchOptions};
+use geospan::topology::{gabriel, ldel, relative_neighborhood, unit_delaunay};
+
+const RADIUS: f64 = 45.0;
+
+fn scenario(seed: u64) -> (geospan::graph::Graph, geospan::core::Backbone) {
+    let (_pts, udg, _s) = connected_unit_disk(80, 160.0, RADIUS, seed);
+    let backbone = BackboneBuilder::new(BackboneConfig::new(RADIUS))
+        .build(&udg)
+        .expect("valid UDG");
+    (udg, backbone)
+}
+
+#[test]
+fn property_1_planarity() {
+    for seed in 0..10 {
+        let (_udg, b) = scenario(seed * 37);
+        assert!(
+            is_plane_embedding(b.ldel_icds()),
+            "seed {seed}: {} crossings in LDel(ICDS)",
+            crossing_count(b.ldel_icds())
+        );
+    }
+}
+
+#[test]
+fn property_2_bounded_degree() {
+    // Backbone degree must not grow with density; test two densities.
+    let mut max_sparse = 0;
+    let mut max_dense = 0;
+    for seed in 0..5 {
+        let (_pts, udg, _s) = connected_unit_disk(40, 160.0, RADIUS, seed);
+        let b = BackboneBuilder::new(BackboneConfig::new(RADIUS))
+            .build(&udg)
+            .unwrap();
+        max_sparse = max_sparse.max(degree_stats_over(b.ldel_icds(), b.backbone_nodes()).max);
+        let (_pts, udg, _s) = connected_unit_disk(160, 160.0, RADIUS, seed + 50);
+        let b = BackboneBuilder::new(BackboneConfig::new(RADIUS))
+            .build(&udg)
+            .unwrap();
+        max_dense = max_dense.max(degree_stats_over(b.ldel_icds(), b.backbone_nodes()).max);
+    }
+    // 4x the density: the backbone degree stays in the same small band.
+    assert!(max_sparse <= 16, "sparse backbone degree {max_sparse}");
+    assert!(max_dense <= 16, "dense backbone degree {max_dense}");
+}
+
+#[test]
+fn property_3_spanner() {
+    for seed in 0..6 {
+        let (udg, b) = scenario(seed * 41 + 1);
+        let r = stretch_factors(
+            &udg,
+            b.ldel_icds_prime(),
+            StretchOptions {
+                min_euclidean_separation: RADIUS,
+            },
+        );
+        assert_eq!(r.disconnected_pairs, 0, "seed {seed}");
+        assert!(
+            r.length_max < 8.0,
+            "seed {seed}: length stretch {}",
+            r.length_max
+        );
+        assert!(r.hop_max < 8.0, "seed {seed}: hop stretch {}", r.hop_max);
+        assert!(r.length_avg >= 1.0 && r.hop_avg >= 1.0);
+    }
+}
+
+#[test]
+fn property_4_sparseness() {
+    for seed in 0..6 {
+        let (udg, b) = scenario(seed * 43 + 2);
+        let n = udg.node_count();
+        // O(n) edges: generously, under 6n for the spanning variant.
+        assert!(
+            b.ldel_icds_prime().edge_count() <= 6 * n,
+            "seed {seed}: {} edges for {} nodes",
+            b.ldel_icds_prime().edge_count(),
+            n
+        );
+        assert!(b.ldel_icds().edge_count() <= 3 * n);
+    }
+}
+
+#[test]
+fn property_5_localized_cost() {
+    for seed in 0..3 {
+        let (_pts, udg, _s) = connected_unit_disk(80, 160.0, RADIUS, seed * 47 + 3);
+        let b = BackboneBuilder::new(BackboneConfig::new(RADIUS).distributed())
+            .build(&udg)
+            .unwrap();
+        let stats = b.stats().unwrap();
+        let per_node = stats.total_per_node();
+        let max = per_node.iter().copied().max().unwrap();
+        assert!(max <= 150, "seed {seed}: max per-node messages {max}");
+    }
+}
+
+#[test]
+fn subgraph_containments() {
+    for seed in 0..4 {
+        let (udg, b) = scenario(seed * 53 + 4);
+        let rng = relative_neighborhood(&udg);
+        let gg = gabriel(&udg);
+        let pldel = ldel::planarized(&udg);
+        let udel = unit_delaunay(&udg);
+        // RNG ⊆ GG ⊆ PLDel ⊆ UDG.
+        for (u, v) in rng.edges() {
+            assert!(gg.has_edge(u, v), "seed {seed}: RNG ⊄ GG");
+        }
+        for (u, v) in gg.edges() {
+            assert!(pldel.graph.has_edge(u, v), "seed {seed}: GG ⊄ PLDel");
+        }
+        for (u, v) in pldel.graph.edges() {
+            assert!(udg.has_edge(u, v), "seed {seed}: PLDel ⊄ UDG");
+        }
+        // UDel ⊆ PLDel (the spanner-proof containment).
+        for (u, v) in udel.edges() {
+            assert!(pldel.graph.has_edge(u, v), "seed {seed}: UDel ⊄ PLDel");
+        }
+        // CDS ⊆ ICDS ⊆ UDG; LDel(ICDS) ⊆ ICDS.
+        let cds = b.cds_graphs();
+        for (u, v) in cds.cds.edges() {
+            assert!(cds.icds.has_edge(u, v));
+        }
+        for (u, v) in cds.icds.edges() {
+            assert!(udg.has_edge(u, v));
+        }
+        for (u, v) in b.ldel_icds().edges() {
+            assert!(cds.icds.has_edge(u, v), "seed {seed}: LDel(ICDS) ⊄ ICDS");
+        }
+    }
+}
+
+#[test]
+fn roles_partition_and_lemma_one() {
+    for seed in 0..4 {
+        let (udg, b) = scenario(seed * 59 + 5);
+        let cds = b.cds_graphs();
+        for v in 0..udg.node_count() {
+            match b.roles()[v] {
+                Role::Dominator => {
+                    assert!(cds.dominators.contains(&v));
+                    assert!(cds.dominators_of[v].is_empty());
+                }
+                Role::Connector => {
+                    assert!(cds.connectors.contains(&v));
+                    assert!(!cds.dominators_of[v].is_empty());
+                }
+                Role::Dominatee => {
+                    assert!(!cds.dominators_of[v].is_empty());
+                }
+            }
+            // Lemma 1: at most 5 adjacent dominators.
+            assert!(cds.dominators_of[v].len() <= 5, "seed {seed}, node {v}");
+        }
+    }
+}
+
+#[test]
+fn cds_may_cross_but_ldel_never() {
+    // The paper's Figure 5 point: CDS is not guaranteed planar; the
+    // localized Delaunay planarization is what restores planarity.
+    let mut saw_crossing_cds = false;
+    for seed in 0..30 {
+        let (_pts, udg, _s) = connected_unit_disk(80, 160.0, RADIUS, seed * 61);
+        let cds = build_cds(&udg, &ClusterRank::LowestId);
+        if crossing_count(&cds.icds) > 0 {
+            saw_crossing_cds = true;
+        }
+        let b = BackboneBuilder::new(BackboneConfig::new(RADIUS))
+            .build(&udg)
+            .unwrap();
+        assert!(is_plane_embedding(b.ldel_icds()), "seed {seed}");
+    }
+    assert!(
+        saw_crossing_cds,
+        "expected at least one instance with a non-planar induced backbone"
+    );
+}
+
+#[test]
+fn distributed_equals_centralized_end_to_end() {
+    for seed in [5u64, 77, 123] {
+        let (_pts, udg, _s) = connected_unit_disk(60, 160.0, RADIUS, seed);
+        let central = BackboneBuilder::new(BackboneConfig::new(RADIUS))
+            .build(&udg)
+            .unwrap();
+        let dist = BackboneBuilder::new(BackboneConfig::new(RADIUS).distributed())
+            .build(&udg)
+            .unwrap();
+        assert_eq!(central.roles(), dist.roles());
+        assert_eq!(
+            central.ldel_icds().edges().collect::<Vec<_>>(),
+            dist.ldel_icds().edges().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            central.ldel_icds_prime().edges().collect::<Vec<_>>(),
+            dist.ldel_icds_prime().edges().collect::<Vec<_>>()
+        );
+    }
+}

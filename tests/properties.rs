@@ -1,0 +1,112 @@
+//! Cross-crate property tests: the paper's invariants under randomized
+//! deployments, driven by proptest.
+
+use geospan::cds::{build_cds, ClusterRank};
+use geospan::core::{BackboneBuilder, BackboneConfig};
+use geospan::graph::gen::{uniform_points, UnitDiskBuilder};
+use geospan::graph::planarity::is_plane_embedding;
+use geospan::graph::stretch::{stretch_factors, StretchOptions};
+use geospan::graph::Graph;
+use geospan::topology::{gabriel, ldel, relative_neighborhood};
+use proptest::prelude::*;
+
+/// Random deployment: node count, radius and seed drawn by proptest.
+fn deployment() -> impl Strategy<Value = (Graph, f64)> {
+    (10usize..70, 25.0f64..60.0, any::<u64>()).prop_map(|(n, radius, seed)| {
+        let pts = uniform_points(n, 120.0, seed);
+        (UnitDiskBuilder::new(radius).build(&pts), radius)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn backbone_invariants((udg, radius) in deployment()) {
+        let b = BackboneBuilder::new(BackboneConfig::new(radius)).build(&udg).unwrap();
+        // Planarity, unconditionally.
+        prop_assert!(is_plane_embedding(b.ldel_icds()));
+        // Domination: every node is a dominator or has one adjacent.
+        let cds = b.cds_graphs();
+        for v in 0..udg.node_count() {
+            let dominated = cds.dominators.contains(&v) || !cds.dominators_of[v].is_empty();
+            prop_assert!(dominated, "node {v} undominated");
+            prop_assert!(cds.dominators_of[v].len() <= 5, "Lemma 1 violated at {v}");
+        }
+        // Independence of the MIS.
+        for &a in &cds.dominators {
+            for &b2 in &cds.dominators {
+                if a < b2 {
+                    prop_assert!(!udg.has_edge(a, b2));
+                }
+            }
+        }
+        // Spanning: LDel(ICDS') preserves every UDG connection.
+        let r = stretch_factors(&udg, b.ldel_icds_prime(), StretchOptions::default());
+        prop_assert_eq!(r.disconnected_pairs, 0);
+    }
+
+    #[test]
+    fn containment_chain((udg, _radius) in deployment()) {
+        let rng = relative_neighborhood(&udg);
+        let gg = gabriel(&udg);
+        let pl = ldel::planarized(&udg);
+        for (u, v) in rng.edges() {
+            prop_assert!(gg.has_edge(u, v));
+        }
+        for (u, v) in gg.edges() {
+            prop_assert!(pl.graph.has_edge(u, v));
+        }
+        for (u, v) in pl.graph.edges() {
+            prop_assert!(udg.has_edge(u, v));
+        }
+        // All three preserve the UDG's connectivity structure.
+        prop_assert_eq!(rng.components().len(), udg.components().len());
+        prop_assert_eq!(gg.components().len(), udg.components().len());
+        prop_assert_eq!(pl.graph.components().len(), udg.components().len());
+    }
+
+    #[test]
+    fn planar_structures_really_are_planar((udg, _radius) in deployment()) {
+        prop_assert!(is_plane_embedding(&relative_neighborhood(&udg)));
+        prop_assert!(is_plane_embedding(&gabriel(&udg)));
+        prop_assert!(is_plane_embedding(&ldel::planarized(&udg).graph));
+    }
+
+    #[test]
+    fn rank_choice_preserves_invariants((udg, radius) in deployment()) {
+        let _ = radius;
+        for rank in [ClusterRank::LowestId, ClusterRank::HighestDegree] {
+            let cds = build_cds(&udg, &rank);
+            for v in 0..udg.node_count() {
+                let ok = cds.dominators.contains(&v) || !cds.dominators_of[v].is_empty();
+                prop_assert!(ok);
+            }
+            // Backbone nodes of one UDG component stay connected in CDS.
+            for comp in udg.components() {
+                let members: Vec<usize> =
+                    comp.iter().copied().filter(|&v| cds.is_backbone(v)).collect();
+                if members.len() <= 1 {
+                    continue;
+                }
+                let sub_comps = cds.cds.components();
+                let home = sub_comps.iter().find(|c| c.contains(&members[0])).unwrap();
+                for &m in &members {
+                    prop_assert!(home.contains(&m), "backbone split inside a component");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stretch_never_below_one((udg, radius) in deployment()) {
+        let b = BackboneBuilder::new(BackboneConfig::new(radius)).build(&udg).unwrap();
+        let r = stretch_factors(&udg, b.ldel_icds_prime(), StretchOptions::default());
+        if r.hop_pairs > 0 {
+            prop_assert!(r.hop_avg >= 1.0 - 1e-12);
+            prop_assert!(r.length_avg >= 1.0 - 1e-12);
+            prop_assert!(r.hop_max >= r.hop_avg - 1e-12);
+            prop_assert!(r.length_max >= r.length_avg - 1e-12);
+        }
+    }
+}

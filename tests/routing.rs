@@ -1,0 +1,155 @@
+//! Routing integration: delivery guarantees and route quality over the
+//! constructed topologies.
+
+use geospan::core::routing::{backbone_route, gpsr_route, greedy_route, RouteOutcome};
+use geospan::core::{BackboneBuilder, BackboneConfig};
+use geospan::graph::gen::connected_unit_disk;
+use geospan::graph::paths::bfs_hops;
+use geospan::topology::gabriel;
+
+#[test]
+fn backbone_routing_delivers_all_pairs() {
+    for seed in 0..4 {
+        let (_pts, udg, _s) = connected_unit_disk(70, 150.0, 45.0, seed * 71 + 1);
+        let b = BackboneBuilder::new(BackboneConfig::new(45.0))
+            .build(&udg)
+            .unwrap();
+        let n = udg.node_count();
+        for s in 0..n {
+            for t in (s + 1..n).step_by(13) {
+                let r = backbone_route(&b, &udg, s, t, 100 * n);
+                assert!(r.delivered(), "seed {seed}: {s} -> {t}: {:?}", r.outcome);
+                assert_eq!(r.path[0], s);
+                assert_eq!(*r.path.last().unwrap(), t);
+            }
+        }
+    }
+}
+
+#[test]
+fn gpsr_on_planar_backbone_delivers() {
+    for seed in 0..4 {
+        let (_pts, udg, _s) = connected_unit_disk(70, 150.0, 45.0, seed * 73 + 2);
+        let b = BackboneBuilder::new(BackboneConfig::new(45.0))
+            .build(&udg)
+            .unwrap();
+        let nodes = b.backbone_nodes();
+        let n = udg.node_count();
+        for (i, &s) in nodes.iter().enumerate() {
+            for &t in nodes.iter().skip(i + 1).step_by(3) {
+                let r = gpsr_route(b.ldel_icds(), s, t, 100 * n);
+                assert!(r.delivered(), "seed {seed}: backbone {s} -> {t}");
+            }
+        }
+    }
+}
+
+#[test]
+fn backbone_routes_are_competitive_with_shortest_paths() {
+    let (_pts, udg, _s) = connected_unit_disk(80, 150.0, 45.0, 99);
+    let b = BackboneBuilder::new(BackboneConfig::new(45.0))
+        .build(&udg)
+        .unwrap();
+    let n = udg.node_count();
+    let mut ratio_sum = 0.0;
+    let mut count = 0;
+    for s in (0..n).step_by(5) {
+        let opt = bfs_hops(&udg, s);
+        for t in (0..n).step_by(7) {
+            if s == t {
+                continue;
+            }
+            let r = backbone_route(&b, &udg, s, t, 100 * n);
+            assert!(r.delivered());
+            let o = opt[t].unwrap() as f64;
+            ratio_sum += r.hops() as f64 / o;
+            count += 1;
+        }
+    }
+    let avg_ratio = ratio_sum / count as f64;
+    // Empirically ~1.5–2.2 on these densities; generous cap to avoid
+    // flakiness while still catching regressions to flooding-like paths.
+    assert!(avg_ratio < 3.0, "average hop inflation {avg_ratio}");
+}
+
+#[test]
+fn greedy_beats_nothing_on_gabriel_but_gpsr_recovers() {
+    // Gabriel graphs have voids; greedy alone must fail somewhere, GPSR
+    // never does.
+    let mut greedy_failures = 0;
+    for seed in 0..4 {
+        let (_pts, udg, _s) = connected_unit_disk(70, 170.0, 40.0, seed * 79 + 3);
+        let gg = gabriel(&udg);
+        let n = gg.node_count();
+        for s in (0..n).step_by(3) {
+            for t in (1..n).step_by(6) {
+                if s == t {
+                    continue;
+                }
+                if !greedy_route(&gg, s, t, 10 * n).delivered() {
+                    greedy_failures += 1;
+                }
+                assert!(
+                    gpsr_route(&gg, s, t, 100 * n).delivered(),
+                    "seed {seed} {s}->{t}"
+                );
+            }
+        }
+    }
+    assert!(
+        greedy_failures > 0,
+        "expected greedy to hit at least one void"
+    );
+}
+
+#[test]
+fn routing_around_a_ring_void() {
+    // Nodes on a ring: every cross-ring route must detour around the
+    // central hole — greedy fails constantly, the planar backbone plus
+    // GPSR never does.
+    use geospan::graph::gen::{ring_points, UnitDiskBuilder};
+    for seed in 0..3 {
+        let pts = ring_points(80, 60.0, 5.0, seed * 89 + 1);
+        let udg = UnitDiskBuilder::new(20.0).build(&pts);
+        if !udg.is_connected() {
+            continue;
+        }
+        let b = BackboneBuilder::new(BackboneConfig::new(20.0))
+            .build(&udg)
+            .unwrap();
+        let n = udg.node_count();
+        let mut greedy_failures = 0;
+        for s in (0..n).step_by(7) {
+            for t in (1..n).step_by(11) {
+                if s == t {
+                    continue;
+                }
+                if !greedy_route(&udg, s, t, 10 * n).delivered() {
+                    greedy_failures += 1;
+                }
+                let r = backbone_route(&b, &udg, s, t, 200 * n);
+                assert!(r.delivered(), "seed {seed}: {s} -> {t} ({:?})", r.outcome);
+            }
+        }
+        assert!(
+            greedy_failures > 0,
+            "seed {seed}: the void should defeat greedy"
+        );
+    }
+}
+
+#[test]
+fn hop_limit_is_respected() {
+    let (_pts, udg, _s) = connected_unit_disk(50, 150.0, 40.0, 11);
+    let b = BackboneBuilder::new(BackboneConfig::new(40.0))
+        .build(&udg)
+        .unwrap();
+    let r = backbone_route(&b, &udg, 0, 49, 1);
+    if !r.delivered() {
+        assert!(matches!(
+            r.outcome,
+            RouteOutcome::HopLimit | RouteOutcome::Stuck
+        ));
+        assert!(r.path.len() <= 4); // entry hop + limited inner route
+    }
+}
