@@ -37,8 +37,33 @@ pub struct ConnectorResult {
 
 /// Runs the three election stages. See the module documentation.
 pub fn find_connectors(g: &Graph, clustering: &Clustering) -> ConnectorResult {
+    find_connectors_impl(g, clustering, None)
+}
+
+/// Runs the election stages only for dominator pairs touching `dominators`
+/// (i.e. pairs `{u, v}` with `u` or `v` in the set).
+///
+/// This is the localized-repair entry point: when a link break or node
+/// death perturbs a bounded neighborhood, only the elections involving
+/// the affected dominators can change, so only those are re-run. The
+/// result composes with the retained elections of the untouched region.
+pub fn find_connectors_for_pairs(
+    g: &Graph,
+    clustering: &Clustering,
+    dominators: &BTreeSet<usize>,
+) -> ConnectorResult {
+    find_connectors_impl(g, clustering, Some(dominators))
+}
+
+fn find_connectors_impl(
+    g: &Graph,
+    clustering: &Clustering,
+    restrict: Option<&BTreeSet<usize>>,
+) -> ConnectorResult {
     let n = g.node_count();
     let doms = &clustering.dominators_of;
+    let pair_in_scope =
+        |u: usize, v: usize| restrict.is_none_or(|set| set.contains(&u) || set.contains(&v));
 
     // 2-hop dominators per dominatee: v such that some neighboring
     // dominatee is dominated by v, and v is not already adjacent.
@@ -76,7 +101,9 @@ pub fn find_connectors(g: &Graph, clustering: &Clustering) -> ConnectorResult {
         let ds = &doms[w];
         for (i, &u) in ds.iter().enumerate() {
             for &v in &ds[i + 1..] {
-                cand1.entry((u, v)).or_default().push(w);
+                if pair_in_scope(u, v) {
+                    cand1.entry((u, v)).or_default().push(w);
+                }
             }
         }
     }
@@ -99,7 +126,7 @@ pub fn find_connectors(g: &Graph, clustering: &Clustering) -> ConnectorResult {
         }
         for &u in &doms[w] {
             for &v in &two_hop[w] {
-                if v != u {
+                if v != u && pair_in_scope(u, v) {
                     cand2.entry((u, v)).or_default().push(w);
                 }
             }
@@ -249,6 +276,31 @@ mod tests {
                     hops[cn].is_some(),
                     "seed {seed}: connector {cn} unreachable"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_election_composes() {
+        for seed in 0..4 {
+            let (_pts, g, _s) = connected_unit_disk(60, 150.0, 45.0, seed * 19 + 3);
+            let c = cluster(&g, &ClusterRank::LowestId);
+            let full = find_connectors(&g, &c);
+            // Restricting to every dominator reproduces the full election.
+            let all: BTreeSet<usize> = c.dominators.iter().copied().collect();
+            assert_eq!(find_connectors_for_pairs(&g, &c, &all), full);
+            // The empty restriction elects nothing.
+            let none = find_connectors_for_pairs(&g, &c, &BTreeSet::new());
+            assert!(none.connectors.is_empty() && none.edges.is_empty());
+            // A single-dominator restriction yields a subset of the full
+            // election (its pairs' winners are unchanged by locality).
+            let one: BTreeSet<usize> = [c.dominators[0]].into();
+            let partial = find_connectors_for_pairs(&g, &c, &one);
+            for e in &partial.edges {
+                assert!(full.edges.contains(e), "seed {seed}: extra edge {e:?}");
+            }
+            for w in &partial.connectors {
+                assert!(full.connectors.contains(w), "seed {seed}");
             }
         }
     }

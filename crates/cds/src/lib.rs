@@ -46,7 +46,7 @@ pub mod protocol;
 mod rank;
 
 pub use cluster::{cluster, dominators_within_hops, lemma2_bound, Clustering};
-pub use connector::{find_connectors, ConnectorResult};
+pub use connector::{find_connectors, find_connectors_for_pairs, ConnectorResult};
 pub use dhop::{cluster_d, DHopClustering};
 pub use rank::ClusterRank;
 
@@ -117,11 +117,12 @@ pub fn build_cds(udg: &Graph, rank: &ClusterRank) -> CdsGraphs {
 }
 
 /// Assembles the graph family from clustering + connector results.
-pub(crate) fn assemble(
-    udg: &Graph,
-    clustering: &Clustering,
-    connectors: &ConnectorResult,
-) -> CdsGraphs {
+///
+/// Public so that callers with their own clustering/election pipeline —
+/// notably localized backbone *repair*, which re-elects only inside an
+/// affected neighborhood — can materialize the same graph family the
+/// full construction produces.
+pub fn assemble(udg: &Graph, clustering: &Clustering, connectors: &ConnectorResult) -> CdsGraphs {
     let n = udg.node_count();
     let mut roles = vec![Role::Dominatee; n];
     for &d in &clustering.dominators {

@@ -19,7 +19,10 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use geospan_graph::Graph;
-use geospan_sim::{Context, MessageKind, MessageStats, Network, Protocol, QuiescenceTimeout};
+use geospan_sim::{
+    Context, FaultPlan, FaultReport, MessageKind, MessageStats, Network, Protocol,
+    QuiescenceTimeout, ReliabilityConfig,
+};
 
 use crate::{assemble, CdsGraphs, ClusterRank, Clustering, ConnectorResult};
 
@@ -167,6 +170,44 @@ impl Protocol for CdsNode {
     type Message = CdsMsg;
 
     fn on_phase(&mut self, ctx: &mut Context<'_, CdsMsg>, phase: usize) {
+        // Phases 5–9 are the *recovery epilogue*, run only by the
+        // fault-injected construction ([`run_cds_faulty`]): after the
+        // optimistic phases 0–4 ran under message loss and crashes, the
+        // surviving dominators re-beacon (5), orphaned nodes re-attach or
+        // promote themselves (6), and the connector election is re-run
+        // from a clean slate (7–9 repeat the logic of 2–4).
+        let phase = match phase {
+            5 => {
+                self.my_tries.clear();
+                self.try_heard.clear();
+                self.stage2_winners.clear();
+                self.edges.clear();
+                self.is_connector = false;
+                if self.status == Status::Dominator {
+                    ctx.broadcast(CdsMsg::IamDominator);
+                } else {
+                    self.dominators.clear();
+                    self.heard_dominators.clear();
+                    self.announced.clear();
+                    self.nbr_dominatee.clear();
+                }
+                return;
+            }
+            6 => {
+                // Anyone left unattached — a white node that never
+                // settled, or a dominatee whose every dominator died —
+                // promotes itself. Adjacent self-promotions are safe:
+                // `ICDS` is induced on backbone nodes, so the edge
+                // between two adjacent dominators appears automatically.
+                if self.status != Status::Dominator && self.dominators.is_empty() {
+                    self.status = Status::Dominator;
+                    ctx.broadcast(CdsMsg::IamDominator);
+                }
+                return;
+            }
+            p @ 7..=9 => p - 5, // re-run the election phases 2–4
+            p => p,
+        };
         match phase {
             0 => ctx.broadcast(CdsMsg::Hello { key: self.key }),
             1 => self.maybe_declare_dominator(ctx),
@@ -351,14 +392,66 @@ fn run_cds_inner(
     }
     net.run_phases(5, budget)?;
     let (nodes, stats) = net.into_parts();
+    Ok((harvest(udg, &nodes, &BTreeSet::new(), false), stats))
+}
 
+/// Runs the CDS construction under injected faults, with the link-layer
+/// ack/retransmit scheme and the five-phase self-healing epilogue
+/// (dominator beacons, orphan re-attachment / self-promotion, connector
+/// re-election).
+///
+/// A [`FaultPlan::is_zero`] plan takes the exact code path of
+/// [`run_cds`] — no reliability layer, no recovery phases — so the
+/// output (structure *and* message statistics) is bit-identical.
+///
+/// Crashed nodes are excluded from the assembled structure: they keep
+/// their vertex slot but hold no role, edges, or dominator links.
+///
+/// # Errors
+/// Returns [`QuiescenceTimeout`] if a phase fails to converge within the
+/// (reliability-extended) round budget.
+///
+/// # Panics
+/// Panics if a `Weight` rank does not cover all nodes.
+pub fn run_cds_faulty(
+    udg: &Graph,
+    rank: &ClusterRank,
+    plan: &FaultPlan,
+    reliability: ReliabilityConfig,
+) -> Result<(CdsGraphs, MessageStats, FaultReport), QuiescenceTimeout> {
+    if plan.is_zero() {
+        let (graphs, stats) = run_cds(udg, rank)?;
+        return Ok((graphs, stats, FaultReport::default()));
+    }
+    let mut net = Network::new(udg, |id| CdsNode::new(id, rank.key(udg, id)))
+        .with_faults(plan.clone())
+        .with_reliability(reliability);
+    let per_hop = (reliability.max_retries as usize + 2) * (reliability.ack_timeout + 1);
+    let budget = (udg.node_count() + 16) * per_hop;
+    net.run_phases(10, budget)?;
+    let report = net.fault_report();
+    let (nodes, stats) = net.into_parts();
+    let crashed: BTreeSet<usize> = report.crashed.iter().copied().collect();
+    Ok((harvest(udg, &nodes, &crashed, true), stats, report))
+}
+
+/// Collects the per-node protocol outcomes into the graph family.
+///
+/// `lenient` is the fault-injected mode: crashed nodes are skipped
+/// entirely, dangling references to them are filtered out, and a node
+/// still white (possible only if it crashed mid-election — but kept as a
+/// safety net) becomes a standalone dominator instead of panicking.
+fn harvest(udg: &Graph, nodes: &[CdsNode], crashed: &BTreeSet<usize>, lenient: bool) -> CdsGraphs {
     let n = udg.node_count();
     let mut dominators = Vec::new();
     let mut is_dominator = vec![false; n];
     let mut dominators_of = vec![Vec::new(); n];
     let mut connectors = Vec::new();
     let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
-    for node in &nodes {
+    for node in nodes {
+        if crashed.contains(&node.id) {
+            continue;
+        }
         match node.status {
             Status::Dominator => {
                 dominators.push(node.id);
@@ -370,9 +463,25 @@ fn run_cds_inner(
                     connectors.push(node.id);
                 }
             }
+            Status::White if lenient => {
+                dominators.push(node.id);
+                is_dominator[node.id] = true;
+            }
             Status::White => unreachable!("clustering leaves no white nodes"),
         }
-        edges.extend(node.edges.iter().copied());
+        edges.extend(
+            node.edges
+                .iter()
+                .filter(|(a, b)| !crashed.contains(a) && !crashed.contains(b)),
+        );
+    }
+    if lenient {
+        // Drop references to dominators that died (or were demoted by a
+        // crash) after being heard.
+        for list in &mut dominators_of {
+            list.retain(|d| is_dominator[*d]);
+        }
+        edges.retain(|&(a, b)| udg.has_edge(a, b));
     }
     let clustering = Clustering {
         dominators,
@@ -383,7 +492,7 @@ fn run_cds_inner(
         connectors,
         edges: edges.into_iter().collect(),
     };
-    Ok((assemble(udg, &clustering, &result), stats))
+    assemble(udg, &clustering, &result)
 }
 
 /// Equality of two backbone families, for tests and validation: roles,
@@ -402,7 +511,7 @@ pub fn same_structure(a: &CdsGraphs, b: &CdsGraphs) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::build_cds;
+    use crate::{build_cds, Role};
     use geospan_graph::gen::connected_unit_disk;
 
     #[test]
@@ -464,6 +573,81 @@ mod tests {
         // Each dominatee announces once per adjacent dominator.
         let expected: usize = g.dominators_of.iter().map(Vec::len).sum();
         assert_eq!(kinds["IamDominatee"], expected);
+    }
+
+    #[test]
+    fn zero_fault_plan_matches_plain_run_exactly() {
+        let (_pts, udg, _s) = connected_unit_disk(50, 150.0, 45.0, 9);
+        let (plain, plain_stats) = run_cds(&udg, &ClusterRank::LowestId).unwrap();
+        let (faulty, faulty_stats, report) = run_cds_faulty(
+            &udg,
+            &ClusterRank::LowestId,
+            &FaultPlan::none(),
+            ReliabilityConfig::default(),
+        )
+        .unwrap();
+        assert!(same_structure(&plain, &faulty));
+        assert_eq!(
+            plain_stats, faulty_stats,
+            "message counts must be bit-identical"
+        );
+        assert_eq!(report, FaultReport::default());
+    }
+
+    #[test]
+    fn recovery_survives_loss_and_crashes() {
+        use geospan_graph::paths::bfs_hops;
+        for seed in 0..4 {
+            let (_pts, udg, _s) = connected_unit_disk(60, 150.0, 45.0, seed * 37 + 11);
+            let plan = FaultPlan::new(seed)
+                .with_loss(0.15)
+                .with_crash((seed as usize * 7 + 3) % 60, 4);
+            let rel = ReliabilityConfig {
+                max_retries: 8,
+                ack_timeout: 2,
+            };
+            let (g, stats, report) =
+                run_cds_faulty(&udg, &ClusterRank::LowestId, &plan, rel).unwrap();
+            assert!(report.dropped > 0, "seed {seed}: loss was injected");
+            assert!(stats.per_kind().contains_key("ack"));
+            let crashed: std::collections::BTreeSet<usize> =
+                report.crashed.iter().copied().collect();
+            // Every surviving node is covered: dominator, or has one.
+            for v in 0..udg.node_count() {
+                if crashed.contains(&v) {
+                    continue;
+                }
+                assert!(
+                    g.roles[v] == Role::Dominator || !g.dominators_of[v].is_empty(),
+                    "seed {seed}: node {v} uncovered after recovery"
+                );
+            }
+            // The surviving backbone connects every surviving UDG
+            // component: any two alive nodes connected in the alive UDG
+            // are connected in alive ICDS'.
+            let alive_udg = udg.filter_edges(|u, v| !crashed.contains(&u) && !crashed.contains(&v));
+            let alive_prime = g
+                .icds_prime
+                .filter_edges(|u, v| !crashed.contains(&u) && !crashed.contains(&v));
+            for comp in alive_udg.components() {
+                let inside: Vec<usize> = comp
+                    .iter()
+                    .copied()
+                    .filter(|v| !crashed.contains(v))
+                    .collect();
+                if inside.len() < 2 {
+                    continue;
+                }
+                let hops = bfs_hops(&alive_prime, inside[0]);
+                for &v in &inside[1..] {
+                    assert!(
+                        hops[v].is_some(),
+                        "seed {seed}: {v} cut off from {} in repaired backbone",
+                        inside[0]
+                    );
+                }
+            }
+        }
     }
 
     #[test]

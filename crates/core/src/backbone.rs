@@ -2,10 +2,14 @@
 
 use std::fmt;
 
-use geospan_cds::{build_cds, protocol::run_cds, CdsGraphs, ClusterRank, Role};
+use geospan_cds::{
+    build_cds,
+    protocol::{run_cds, run_cds_faulty},
+    CdsGraphs, ClusterRank, Role,
+};
 use geospan_graph::Graph;
-use geospan_sim::{MessageStats, QuiescenceTimeout};
-use geospan_topology::distributed::run_ldel;
+use geospan_sim::{FaultPlan, FaultReport, MessageStats, QuiescenceTimeout, ReliabilityConfig};
+use geospan_topology::distributed::{run_ldel, run_ldel_faulty};
 use geospan_topology::ldel::{planarized, LocalDelaunay};
 
 /// Configuration of the backbone pipeline.
@@ -21,6 +25,12 @@ pub struct BackboneConfig {
     /// per-node message statistics; when false, use the (identical in
     /// output, faster) centralized reference algorithms.
     pub distributed: bool,
+    /// Faults injected into the distributed protocols. A non-zero plan
+    /// implies the distributed construction (faults are a property of the
+    /// radio layer, which the centralized reference has no notion of).
+    pub faults: Option<FaultPlan>,
+    /// Link-layer ack/retransmit parameters used when faults are active.
+    pub reliability: ReliabilityConfig,
 }
 
 impl BackboneConfig {
@@ -38,6 +48,8 @@ impl BackboneConfig {
             radius,
             rank: ClusterRank::LowestId,
             distributed: false,
+            faults: None,
+            reliability: ReliabilityConfig::default(),
         }
     }
 
@@ -50,6 +62,22 @@ impl BackboneConfig {
     /// Uses a different clustering rank.
     pub fn with_rank(mut self, rank: ClusterRank) -> Self {
         self.rank = rank;
+        self
+    }
+
+    /// Injects a fault plan into the radio layer. A non-zero plan also
+    /// switches to the distributed construction.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        if !plan.is_zero() {
+            self.distributed = true;
+        }
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Sets the link-layer ack/retransmit parameters used under faults.
+    pub fn with_reliability(mut self, reliability: ReliabilityConfig) -> Self {
+        self.reliability = reliability;
         self
     }
 }
@@ -127,6 +155,7 @@ pub struct Backbone {
     ldel_icds: LocalDelaunay,
     ldel_icds_prime: Graph,
     stats: Option<BackboneStats>,
+    fault_report: Option<FaultReport>,
 }
 
 impl Backbone {
@@ -161,6 +190,34 @@ impl Backbone {
     /// [`BackboneConfig::distributed`].
     pub fn stats(&self) -> Option<&BackboneStats> {
         self.stats.as_ref()
+    }
+
+    /// The combined fault report of both protocol stages, present when
+    /// the backbone was built under a fault plan.
+    pub fn fault_report(&self) -> Option<&FaultReport> {
+        self.fault_report.as_ref()
+    }
+
+    /// Assembles a backbone from an already-computed graph family — the
+    /// localized-repair entry point (see
+    /// [`crate::maintenance::MobileBackbone`]): repair re-elects inside an
+    /// affected neighborhood, re-assembles the family, and re-derives the
+    /// planar layer here.
+    pub(crate) fn from_graphs(cds_graphs: CdsGraphs) -> Backbone {
+        let ldel_icds = planarized(&cds_graphs.icds);
+        let mut ldel_icds_prime = ldel_icds.graph.clone();
+        for (w, doms) in cds_graphs.dominators_of.iter().enumerate() {
+            for &d in doms {
+                ldel_icds_prime.add_edge(w, d);
+            }
+        }
+        Backbone {
+            cds_graphs,
+            ldel_icds,
+            ldel_icds_prime,
+            stats: None,
+            fault_report: None,
+        }
     }
 
     /// Backbone node indices (dominators + connectors).
@@ -261,6 +318,10 @@ impl BackboneBuilder {
             }
         }
 
+        if let Some(plan) = self.config.faults.as_ref().filter(|p| !p.is_zero()) {
+            return self.build_faulty(udg, plan);
+        }
+
         let (cds_graphs, stats) = if self.config.distributed {
             let (g, cds_stats) = run_cds(udg, &self.config.rank)?;
             let ldel_out = run_ldel(&g.icds, self.config.radius)?;
@@ -290,6 +351,46 @@ impl BackboneBuilder {
             ldel_icds,
             ldel_icds_prime,
             stats,
+            fault_report: None,
+        })
+    }
+
+    /// The fault-injected pipeline: both protocol stages run over the
+    /// unreliable radio with the configured ack/retransmit layer, and the
+    /// plan carries over between stages — a node crashing during the
+    /// triangulation stage is scheduled relative to the rounds the
+    /// clustering stage already consumed.
+    fn build_faulty(&self, udg: &Graph, plan: &FaultPlan) -> Result<Backbone, BackboneError> {
+        let (cds_graphs, cds_stats, cds_report) =
+            run_cds_faulty(udg, &self.config.rank, plan, self.config.reliability)?;
+        let ldel_plan = plan.for_next_stage(cds_report.rounds);
+        let (ldel_out, ldel_report) = run_ldel_faulty(
+            &cds_graphs.icds,
+            self.config.radius,
+            &ldel_plan,
+            self.config.reliability,
+        )?;
+        let mut report = cds_report;
+        report.absorb(&ldel_report);
+
+        let stats = BackboneStats {
+            cds: cds_stats,
+            ldel: ldel_out.stats,
+        };
+        let ldel_icds = ldel_out.ldel;
+        let mut ldel_icds_prime = ldel_icds.graph.clone();
+        for (w, doms) in cds_graphs.dominators_of.iter().enumerate() {
+            for &d in doms {
+                ldel_icds_prime.add_edge(w, d);
+            }
+        }
+
+        Ok(Backbone {
+            cds_graphs,
+            ldel_icds,
+            ldel_icds_prime,
+            stats: Some(stats),
+            fault_report: Some(report),
         })
     }
 }
@@ -370,6 +471,75 @@ mod tests {
         let total = stats.total_per_node();
         let max = total.iter().copied().max().unwrap();
         assert!(max <= 150, "per-node cost {max}");
+    }
+
+    #[test]
+    fn loss_with_retries_reproduces_the_fault_free_backbone() {
+        // With a deep retry budget every message eventually lands, so the
+        // constructed backbone is identical — only the cost changes.
+        let (_pts, udg, _s) = connected_unit_disk(50, 150.0, 45.0, 21);
+        let clean = BackboneBuilder::new(BackboneConfig::new(45.0).distributed())
+            .build(&udg)
+            .unwrap();
+        let config = BackboneConfig::new(45.0)
+            .with_faults(FaultPlan::new(5).with_loss(0.1))
+            .with_reliability(ReliabilityConfig {
+                max_retries: 8,
+                ack_timeout: 2,
+            });
+        let faulty = BackboneBuilder::new(config).build(&udg).unwrap();
+        let report = faulty.fault_report().expect("fault report present");
+        assert!(report.dropped > 0);
+        assert!(report.retransmissions > 0);
+        assert!(report.crashed.is_empty());
+        assert_eq!(faulty.roles(), clean.roles());
+        assert_eq!(
+            faulty.ldel_icds().edges().collect::<Vec<_>>(),
+            clean.ldel_icds().edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn crash_during_construction_spans_the_survivors() {
+        use geospan_graph::paths::bfs_hops;
+        for seed in 0..3 {
+            let (_pts, udg, _s) = connected_unit_disk(60, 150.0, 45.0, seed * 31 + 2);
+            let victim = (seed as usize * 17 + 9) % 60;
+            let config = BackboneConfig::new(45.0)
+                .with_faults(
+                    FaultPlan::new(seed + 1)
+                        .with_loss(0.1)
+                        .with_crash(victim, 3),
+                )
+                .with_reliability(ReliabilityConfig {
+                    max_retries: 8,
+                    ack_timeout: 2,
+                });
+            let b = BackboneBuilder::new(config).build(&udg).unwrap();
+            let report = b.fault_report().unwrap();
+            assert!(report.crashed.contains(&victim), "seed {seed}");
+
+            // Survivors in one alive-UDG component stay mutually
+            // reachable through the alive part of LDel(ICDS').
+            let alive = |v: usize| !report.crashed.contains(&v);
+            let alive_udg = udg.filter_edges(|u, v| alive(u) && alive(v));
+            let routing = b
+                .ldel_icds_prime()
+                .filter_edges(|u, v| alive(u) && alive(v));
+            for comp in alive_udg.components() {
+                let members: Vec<usize> = comp.iter().copied().filter(|&v| alive(v)).collect();
+                if members.len() < 2 {
+                    continue;
+                }
+                let hops = bfs_hops(&routing, members[0]);
+                for &v in &members {
+                    assert!(
+                        hops[v].is_some(),
+                        "seed {seed}: survivor {v} unreachable in routing graph"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -11,20 +11,55 @@
 //! *used* link exceeds the transmission radius (or a node leaves the
 //! radio range of its entire old neighborhood, splitting the logical
 //! structure).
+//!
+//! When maintenance *is* needed, a full reconstruction is the last
+//! resort, not the first: a broken link or dead backbone node perturbs
+//! the clustering only inside a bounded neighborhood (coverage is a
+//! 1-hop property; connector elections reach 3 hops), so the repair
+//! re-derives roles and re-runs elections only within 2 hops of the
+//! damage, keeps every untouched election, and re-verifies the result.
+//! Only when that localized repair fails the paper's guarantees does the
+//! backbone get rebuilt from scratch.
 
+use std::collections::BTreeSet;
+
+use geospan_cds::{assemble, find_connectors_for_pairs, Clustering, ConnectorResult, Role};
 use geospan_geometry::Point;
 use geospan_graph::gen::UnitDiskBuilder;
 use geospan_graph::Graph;
 
-use crate::{Backbone, BackboneBuilder, BackboneConfig, BackboneError};
+use crate::{verify, Backbone, BackboneBuilder, BackboneConfig, BackboneError};
+
+/// How a maintenance operation restored the backbone invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaintenanceAction {
+    /// Nothing was damaged; the logical topology was kept verbatim (or
+    /// extended by a constant-time attach).
+    Kept,
+    /// Damage was confined to a bounded region: roles and elections were
+    /// re-derived only inside the listed 2-hop neighborhood.
+    LocalRepair {
+        /// The affected nodes (the 2-hop neighborhood of the damage),
+        /// ascending — the only nodes whose state the repair touched.
+        touched: Vec<usize>,
+    },
+    /// The backbone was reconstructed from scratch.
+    FullRebuild {
+        /// Why the localized path was not taken (or did not suffice).
+        reason: String,
+    },
+}
 
 /// What a position update did to the backbone.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MaintenanceReport {
     /// Logical links whose endpoints moved out of range.
     pub broken_links: Vec<(usize, usize)>,
-    /// Whether the backbone was rebuilt.
+    /// Whether the backbone was **fully** rebuilt (localized repair does
+    /// not count).
     pub rebuilt: bool,
+    /// Which path restored the invariants.
+    pub action: MaintenanceAction,
 }
 
 /// A backbone plus the mobility policy around it.
@@ -48,6 +83,7 @@ pub struct MobileBackbone {
     udg: Graph,
     backbone: Backbone,
     rebuilds: usize,
+    local_repairs: usize,
     updates: usize,
 }
 
@@ -65,6 +101,7 @@ impl MobileBackbone {
             udg,
             backbone,
             rebuilds: 0,
+            local_repairs: 0,
             updates: 0,
         })
     }
@@ -84,9 +121,14 @@ impl MobileBackbone {
         &self.points
     }
 
-    /// Number of rebuilds performed so far.
+    /// Number of **full** rebuilds performed so far.
     pub fn rebuild_count(&self) -> usize {
         self.rebuilds
+    }
+
+    /// Number of localized repairs performed so far.
+    pub fn local_repair_count(&self) -> usize {
+        self.local_repairs
     }
 
     /// Number of position updates applied so far.
@@ -109,6 +151,13 @@ impl MobileBackbone {
         assert!(v < self.points.len(), "node {v} out of bounds");
         self.updates += 1;
         let was_backbone = self.backbone.cds_graphs().is_backbone(v);
+        let broken_links: Vec<(usize, usize)> = self
+            .backbone
+            .ldel_icds_prime()
+            .neighbors(v)
+            .iter()
+            .map(|&w| (v.min(w), v.max(w)))
+            .collect();
         // Park the node far outside the field: all its links drop.
         let far = 1e9 + v as f64;
         self.points[v] = Point::new(far, far);
@@ -117,24 +166,25 @@ impl MobileBackbone {
             // Clip the departed dominatee out of the logical topology; no
             // other node's role or link can be affected (dominatees carry
             // no routing state), so the backbone is untouched.
-            let broken_links: Vec<(usize, usize)> = self
-                .backbone
-                .ldel_icds_prime()
-                .neighbors(v)
-                .iter()
-                .map(|&w| (v.min(w), v.max(w)))
-                .collect();
             self.backbone.clip_dominatee(v);
             return Ok(MaintenanceReport {
                 broken_links,
                 rebuilt: false,
+                action: MaintenanceAction::Kept,
             });
         }
-        self.backbone = BackboneBuilder::new(self.config.clone()).build(&self.udg)?;
-        self.rebuilds += 1;
+        // A dead backbone node orphans exactly its logical neighbors:
+        // try to heal around them before reconstructing everything.
+        let seeds: BTreeSet<usize> = broken_links
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .filter(|&w| w != v)
+            .collect();
+        let action = self.repair_or_rebuild(&seeds, Some(v))?;
         Ok(MaintenanceReport {
-            broken_links: Vec::new(),
-            rebuilt: true,
+            broken_links,
+            rebuilt: matches!(action, MaintenanceAction::FullRebuild { .. }),
+            action,
         })
     }
 
@@ -174,6 +224,9 @@ impl MobileBackbone {
                 MaintenanceReport {
                     broken_links: Vec::new(),
                     rebuilt: true,
+                    action: MaintenanceAction::FullRebuild {
+                        reason: format!("newcomer {v} is uncovered: the clustering changes"),
+                    },
                 },
             ))
         } else {
@@ -189,6 +242,7 @@ impl MobileBackbone {
                 MaintenanceReport {
                     broken_links: Vec::new(),
                     rebuilt: false,
+                    action: MaintenanceAction::Kept,
                 },
             ))
         }
@@ -225,15 +279,168 @@ impl MobileBackbone {
             return Ok(MaintenanceReport {
                 broken_links,
                 rebuilt: false,
+                action: MaintenanceAction::Kept,
             });
         }
         self.udg = UnitDiskBuilder::new(self.config.radius).build(&self.points);
-        self.backbone = BackboneBuilder::new(self.config.clone()).build(&self.udg)?;
-        self.rebuilds += 1;
+        let seeds: BTreeSet<usize> = broken_links.iter().flat_map(|&(a, b)| [a, b]).collect();
+        let action = self.repair_or_rebuild(&seeds, None)?;
         Ok(MaintenanceReport {
             broken_links,
-            rebuilt: true,
+            rebuilt: matches!(action, MaintenanceAction::FullRebuild { .. }),
+            action,
         })
+    }
+
+    /// Attempts the localized repair around `seeds`; falls back to a full
+    /// reconstruction when the repaired structure fails verification.
+    fn repair_or_rebuild(
+        &mut self,
+        seeds: &BTreeSet<usize>,
+        dead: Option<usize>,
+    ) -> Result<MaintenanceAction, BackboneError> {
+        match self.try_local_repair(seeds, dead) {
+            Some((backbone, touched)) => {
+                self.backbone = backbone;
+                self.local_repairs += 1;
+                Ok(MaintenanceAction::LocalRepair { touched })
+            }
+            None => {
+                self.backbone = BackboneBuilder::new(self.config.clone()).build(&self.udg)?;
+                self.rebuilds += 1;
+                Ok(MaintenanceAction::FullRebuild {
+                    reason: "localized repair failed verification".into(),
+                })
+            }
+        }
+    }
+
+    /// The localized repair: re-derives roles and re-runs connector
+    /// elections only inside the 2-hop neighborhood of `seeds`, keeping
+    /// every election of the untouched region.
+    ///
+    /// Soundness rests on locality of the two sub-structures:
+    /// * **coverage** is a 1-hop property, and every dominatee–dominator
+    ///   link is a logical (prime-graph) link — so a node whose coverage
+    ///   changed is an endpoint of a broken logical link, i.e. a seed;
+    /// * **elections** for a dominator pair only involve nodes within one
+    ///   hop of the pair, so elections whose outcome could have changed
+    ///   touch a dominator within the 2-hop neighborhood.
+    ///
+    /// Promoting an uncovered node preserves global MIS independence
+    /// (uncovered means: no adjacent dominator). The one global hazard —
+    /// two old dominators drifting into adjacency — and any residual
+    /// damage are caught by re-verifying the paper's guarantees; `None`
+    /// means the caller must rebuild.
+    fn try_local_repair(
+        &self,
+        seeds: &BTreeSet<usize>,
+        dead: Option<usize>,
+    ) -> Option<(Backbone, Vec<usize>)> {
+        let udg = &self.udg;
+        let n = udg.node_count();
+        let old = self.backbone.cds_graphs();
+        if old.roles.len() != n {
+            return None; // membership changed since the last build
+        }
+        let is_dead = |w: usize| Some(w) == dead;
+
+        // The affected region: seeds plus their 2-hop neighborhood.
+        let mut affected: BTreeSet<usize> = seeds.clone();
+        for _ in 0..2 {
+            for u in affected.clone() {
+                affected.extend(udg.neighbors(u).iter().copied());
+            }
+        }
+        affected.retain(|&w| !is_dead(w));
+
+        // Re-derive roles inside the region; everything else is kept.
+        let mut is_dominator: Vec<bool> = (0..n)
+            .map(|w| old.roles[w] == Role::Dominator && !is_dead(w))
+            .collect();
+        let mut dominators_of = old.dominators_of.clone();
+        if let Some(d) = dead {
+            dominators_of[d].clear();
+        }
+        for &w in &affected {
+            if is_dominator[w] {
+                continue;
+            }
+            dominators_of[w] = udg
+                .neighbors(w)
+                .iter()
+                .copied()
+                .filter(|&x| is_dominator[x])
+                .collect();
+            dominators_of[w].sort_unstable();
+        }
+        // Promote uncovered nodes (ascending, matching the lowest-id
+        // election): no adjacent dominator means the promotion keeps the
+        // dominator set independent.
+        for &w in &affected {
+            if is_dominator[w] || !dominators_of[w].is_empty() {
+                continue;
+            }
+            is_dominator[w] = true;
+            dominators_of[w].clear();
+            for &x in udg.neighbors(w) {
+                if !is_dominator[x] && affected.contains(&x) {
+                    let doms = &mut dominators_of[x];
+                    if let Err(i) = doms.binary_search(&w) {
+                        doms.insert(i, w);
+                    }
+                }
+            }
+        }
+        // Independence can only break where a node moved, i.e. inside
+        // the region — anywhere it does, the clustering itself is stale
+        // and the repair is off the table.
+        for &d in &affected {
+            if is_dominator[d] && udg.neighbors(d).iter().any(|&x| is_dominator[x]) {
+                return None;
+            }
+        }
+
+        let clustering = Clustering {
+            dominators: (0..n).filter(|&w| is_dominator[w]).collect(),
+            is_dominator,
+            dominators_of,
+        };
+
+        // Re-run the elections for pairs touching an affected dominator;
+        // keep every still-valid edge of the untouched elections.
+        let affected_doms: BTreeSet<usize> = affected
+            .iter()
+            .copied()
+            .filter(|&w| clustering.is_dominator[w])
+            .collect();
+        let fresh = find_connectors_for_pairs(udg, &clustering, &affected_doms);
+        let mut edges: BTreeSet<(usize, usize)> = old
+            .cds
+            .edges()
+            .filter(|&(a, b)| !is_dead(a) && !is_dead(b) && udg.has_edge(a, b))
+            .collect();
+        edges.extend(fresh.edges.iter().copied());
+        let mut connectors: BTreeSet<usize> = old
+            .connectors
+            .iter()
+            .copied()
+            .chain(fresh.connectors.iter().copied())
+            .filter(|&w| !is_dead(w) && !clustering.is_dominator[w])
+            .collect();
+        // A connector whose every incident election edge vanished has no
+        // routing duty left; demote it back to a plain dominatee.
+        connectors.retain(|&w| edges.iter().any(|&(a, b)| a == w || b == w));
+
+        let result = ConnectorResult {
+            connectors: connectors.into_iter().collect(),
+            edges: edges.into_iter().collect(),
+        };
+        let repaired = Backbone::from_graphs(assemble(udg, &clustering, &result));
+        if !verify(&repaired, udg, self.config.radius).all_ok() {
+            return None;
+        }
+        Some((repaired, affected.into_iter().collect()))
     }
 }
 
@@ -269,25 +476,62 @@ mod tests {
     }
 
     #[test]
-    fn breaking_a_used_link_triggers_rebuild() {
+    fn breaking_a_used_link_repairs_locally() {
         let mut m = start(2);
         // Teleport one backbone node far away: its links must break.
         let victim = m.backbone().backbone_nodes()[0];
         let mut pts = m.points().to_vec();
         pts[victim] = Point::new(pts[victim].x + 500.0, pts[victim].y);
         let report = m.update_positions(pts).unwrap();
-        assert!(report.rebuilt);
         assert!(!report.broken_links.is_empty());
         assert!(report
             .broken_links
             .iter()
             .all(|&(u, v)| u == victim || v == victim));
-        assert_eq!(m.rebuild_count(), 1);
-        // The rebuilt backbone is valid for the new positions.
-        assert!(is_plane_embedding(m.backbone().ldel_icds()));
+        // Bounded damage heals in place — no full reconstruction.
+        assert!(!report.rebuilt);
+        assert!(matches!(
+            report.action,
+            MaintenanceAction::LocalRepair { .. }
+        ));
+        assert_eq!(m.rebuild_count(), 0);
+        assert_eq!(m.local_repair_count(), 1);
+        // The repaired backbone is valid for the new positions.
+        assert!(crate::verify(m.backbone(), m.udg(), 50.0).all_ok());
         for (u, v) in m.backbone().ldel_icds_prime().edges() {
             assert!(m.points()[u].distance(m.points()[v]) <= 50.0);
         }
+    }
+
+    #[test]
+    fn local_repair_touches_only_the_two_hop_neighborhood() {
+        let mut m = start(2);
+        let victim = m.backbone().backbone_nodes()[0];
+        let mut pts = m.points().to_vec();
+        pts[victim] = Point::new(pts[victim].x + 500.0, pts[victim].y);
+        let report = m.update_positions(pts).unwrap();
+        let MaintenanceAction::LocalRepair { touched } = &report.action else {
+            panic!("expected a local repair, got {:?}", report.action);
+        };
+        // Recompute the allowed region: broken-link endpoints plus their
+        // 2-hop neighborhood in the post-move UDG.
+        let mut allowed: std::collections::BTreeSet<usize> = report
+            .broken_links
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .collect();
+        for _ in 0..2 {
+            for u in allowed.clone() {
+                allowed.extend(m.udg().neighbors(u).iter().copied());
+            }
+        }
+        assert!(!touched.is_empty());
+        for w in touched {
+            assert!(allowed.contains(w), "repair touched distant node {w}");
+        }
+        // Roles outside the region are untouched by construction; spot
+        // check that far nodes kept their role.
+        assert!(crate::verify(m.backbone(), m.udg(), 50.0).all_ok());
     }
 
     #[test]
@@ -309,13 +553,23 @@ mod tests {
     }
 
     #[test]
-    fn backbone_node_leaving_forces_rebuild() {
+    fn backbone_node_leaving_heals_locally() {
         let mut m = start(6);
         let v = m.backbone().backbone_nodes()[0];
         let report = m.remove_node(v).unwrap();
-        assert!(report.rebuilt);
-        assert_eq!(m.rebuild_count(), 1);
+        // Death of a backbone node is bounded damage: the 2-hop repair
+        // re-elects around the hole instead of rebuilding everything.
+        assert!(!report.rebuilt);
+        assert!(matches!(
+            report.action,
+            MaintenanceAction::LocalRepair { .. }
+        ));
+        assert_eq!(m.rebuild_count(), 0);
+        assert_eq!(m.local_repair_count(), 1);
         assert!(is_plane_embedding(m.backbone().ldel_icds()));
+        assert!(crate::verify(m.backbone(), m.udg(), 50.0).all_ok());
+        // The dead node is really gone from the routing structure.
+        assert_eq!(m.backbone().ldel_icds_prime().degree(v), 0);
     }
 
     #[test]
@@ -371,14 +625,14 @@ mod tests {
                 p.y = (p.y - d).clamp(0.0, 150.0);
             }
             let report = m.update_positions(pts.clone()).unwrap();
-            if report.rebuilt {
-                saw_rebuild = true;
-            } else {
+            if report.action == MaintenanceAction::Kept && report.broken_links.is_empty() {
                 saw_quiet_step = true;
+            } else {
+                saw_rebuild = true;
             }
         }
         assert!(saw_quiet_step, "expected some steps without maintenance");
-        assert!(saw_rebuild, "expected the teleport to force a rebuild");
+        assert!(saw_rebuild, "expected the teleport to force maintenance");
         assert_eq!(m.update_count(), 60);
         // Whatever happened, the invariants hold now.
         assert!(is_plane_embedding(m.backbone().ldel_icds()));

@@ -1,0 +1,420 @@
+//! Deterministic fault injection for the radio simulator.
+//!
+//! A [`FaultPlan`] describes everything that can go wrong in a run —
+//! lost broadcasts, duplicated deliveries, node crashes, temporary
+//! partitions — as a pure function of a `u64` seed and the delivery
+//! coordinates (sender, receiver, sequence number, attempt). Because the
+//! decisions are *hash-based* rather than drawn from a mutable stream,
+//! a given delivery fails or succeeds independently of unrelated events:
+//! runs are bit-reproducible and failures stay bisectable when the
+//! protocol around them changes.
+//!
+//! A plan with no faults configured ([`FaultPlan::none`], or any plan
+//! where [`FaultPlan::is_zero`] holds) never consults the seed and the
+//! simulator behaves exactly as the fault-free code path — zero-fault
+//! runs are bit-identical to runs without a plan attached.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// Where a delivery decision is being made; salts the per-event hash so
+/// the loss roll of a data frame and of its ack are independent.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum EventKind {
+    /// A protocol (data) broadcast reaching one neighbor.
+    Data,
+    /// A link-layer acknowledgement reaching the original sender.
+    Ack,
+    /// The duplication roll for a data delivery.
+    Duplicate,
+}
+
+impl EventKind {
+    fn salt(self) -> u64 {
+        match self {
+            EventKind::Data => 0x9066_9b3f_0aa7_d18d,
+            EventKind::Ack => 0x40ca_0c52_ae99_d382,
+            EventKind::Duplicate => 0xd05f_61dc_f4c9_7c2c,
+        }
+    }
+}
+
+/// A seeded, reproducible description of radio-level faults.
+///
+/// Built with the `with_*` methods; attached to a network via
+/// [`Network::with_faults`](crate::Network::with_faults).
+///
+/// # Example
+/// ```
+/// use geospan_sim::FaultPlan;
+///
+/// let plan = FaultPlan::new(42)
+///     .with_loss(0.1)
+///     .with_crash(3, 5)          // node 3 dies at round 5
+///     .with_partition(2..6, [0, 1, 2]); // rounds 2..6: {0,1,2} vs rest
+/// assert!(!plan.is_zero());
+/// assert_eq!(plan.crash_round(3), Some(5));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    loss: f64,
+    duplicate: f64,
+    crashes: BTreeMap<usize, usize>,
+    partitions: Vec<Partition>,
+}
+
+/// A temporary split of the radio graph: while `rounds` is active, no
+/// message crosses between `side` and its complement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    /// Rounds (half-open) during which the partition is in force.
+    pub rounds: Range<usize>,
+    /// One side of the cut; everything else is the other side.
+    pub side: BTreeSet<usize>,
+}
+
+impl Partition {
+    /// True when this partition severs `(a, b)` at `round`.
+    pub fn severs(&self, a: usize, b: usize, round: usize) -> bool {
+        self.rounds.contains(&round) && (self.side.contains(&a) != self.side.contains(&b))
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan over the given seed; add faults with the `with_*`
+    /// builders.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            loss: 0.0,
+            duplicate: 0.0,
+            crashes: BTreeMap::new(),
+            partitions: Vec::new(),
+        }
+    }
+
+    /// The zero-fault plan (attached or not, behavior is identical).
+    pub fn none() -> Self {
+        FaultPlan::new(0)
+    }
+
+    /// Sets the per-link delivery loss probability.
+    ///
+    /// Each (sender → neighbor) delivery of each transmission attempt is
+    /// dropped independently with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= p <= 1`.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0, 1]"
+        );
+        self.loss = p;
+        self
+    }
+
+    /// Sets the per-link duplication probability: a delivery arrives
+    /// twice with probability `p` (stale MAC retransmissions).
+    ///
+    /// # Panics
+    /// Panics unless `0 <= p <= 1`.
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "duplication probability must be in [0, 1]"
+        );
+        self.duplicate = p;
+        self
+    }
+
+    /// Crashes `node` at `round`: from that round on it neither sends
+    /// nor receives. Messages already in the air still arrive elsewhere.
+    pub fn with_crash(mut self, node: usize, round: usize) -> Self {
+        self.crashes.insert(node, round);
+        self
+    }
+
+    /// Partitions the radio graph between `side` and its complement for
+    /// the given round range.
+    pub fn with_partition(
+        mut self,
+        rounds: Range<usize>,
+        side: impl IntoIterator<Item = usize>,
+    ) -> Self {
+        self.partitions.push(Partition {
+            rounds,
+            side: side.into_iter().collect(),
+        });
+        self
+    }
+
+    /// True when the plan injects nothing; the simulator then skips the
+    /// fault paths entirely, keeping runs bit-identical to no plan.
+    pub fn is_zero(&self) -> bool {
+        self.loss == 0.0
+            && self.duplicate == 0.0
+            && self.crashes.is_empty()
+            && self.partitions.is_empty()
+    }
+
+    /// The seed the per-event decisions are derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-link loss probability.
+    pub fn loss(&self) -> f64 {
+        self.loss
+    }
+
+    /// The per-link duplication probability.
+    pub fn duplication(&self) -> f64 {
+        self.duplicate
+    }
+
+    /// The configured crashes as `(node, round)` pairs, ascending.
+    pub fn crashes(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.crashes.iter().map(|(&n, &r)| (n, r))
+    }
+
+    /// The configured partitions.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// The round `node` crashes at, if any.
+    pub fn crash_round(&self, node: usize) -> Option<usize> {
+        self.crashes.get(&node).copied()
+    }
+
+    /// True when `node` is dead at `round`.
+    pub fn crashed(&self, node: usize, round: usize) -> bool {
+        self.crash_round(node).is_some_and(|r| round >= r)
+    }
+
+    /// True when some active partition severs `(a, b)` at `round`.
+    pub fn severed(&self, a: usize, b: usize, round: usize) -> bool {
+        self.partitions.iter().any(|p| p.severs(a, b, round))
+    }
+
+    /// Derives the plan for a protocol stage that starts at round zero
+    /// after this plan already governed `elapsed_rounds` rounds: nodes
+    /// that have already crashed stay dead from the start, nodes whose
+    /// crash round lies ahead keep the remainder, and round-scoped
+    /// partitions are shifted the same way. The seed is re-derived so
+    /// the new stage sees fresh (but still reproducible) loss rolls.
+    pub fn for_next_stage(&self, elapsed_rounds: usize) -> FaultPlan {
+        let crashes = self
+            .crashes
+            .iter()
+            .map(|(&n, &r)| (n, r.saturating_sub(elapsed_rounds)))
+            .collect();
+        let partitions = self
+            .partitions
+            .iter()
+            .filter(|p| p.rounds.end > elapsed_rounds)
+            .map(|p| Partition {
+                rounds: p.rounds.start.saturating_sub(elapsed_rounds)
+                    ..p.rounds.end.saturating_sub(elapsed_rounds),
+                side: p.side.clone(),
+            })
+            .collect();
+        FaultPlan {
+            seed: splitmix(self.seed ^ 0x517c_c1b7_2722_0a95),
+            loss: self.loss,
+            duplicate: self.duplicate,
+            crashes,
+            partitions,
+        }
+    }
+
+    /// Stateless per-event roll in `[0, 1)`.
+    pub(crate) fn roll(
+        &self,
+        kind: EventKind,
+        sender: usize,
+        receiver: usize,
+        seq: u64,
+        attempt: u32,
+    ) -> f64 {
+        let mut h = self.seed ^ kind.salt();
+        h = splitmix(h ^ (sender as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        h = splitmix(h ^ (receiver as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f));
+        h = splitmix(h ^ seq.wrapping_mul(0x1656_67b1_9e37_79f9));
+        h = splitmix(h ^ u64::from(attempt));
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// True when the data delivery `(sender → receiver, seq, attempt)`
+    /// is lost to radio noise.
+    pub(crate) fn loses(
+        &self,
+        kind: EventKind,
+        sender: usize,
+        receiver: usize,
+        seq: u64,
+        attempt: u32,
+    ) -> bool {
+        self.loss > 0.0 && self.roll(kind, sender, receiver, seq, attempt) < self.loss
+    }
+
+    /// True when the delivery arrives twice.
+    pub(crate) fn duplicates(
+        &self,
+        sender: usize,
+        receiver: usize,
+        seq: u64,
+        attempt: u32,
+    ) -> bool {
+        self.duplicate > 0.0
+            && self.roll(EventKind::Duplicate, sender, receiver, seq, attempt) < self.duplicate
+    }
+}
+
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Link-layer acknowledgement / retransmission configuration.
+///
+/// When attached via
+/// [`Network::with_reliability`](crate::Network::with_reliability),
+/// every data broadcast is acknowledged by each receiving neighbor; the
+/// sender retransmits (same sequence number, so receivers deduplicate)
+/// until every neighbor acked or the retry budget is exhausted. This
+/// trades extra messages — counted under `"ack"` and `"<kind>-retx"` —
+/// for delivery under loss, and it *bounds* the overhead: the
+/// constant-messages-per-node claim degrades by at most a factor of
+/// `1 + max_retries` plus the ack traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReliabilityConfig {
+    /// Maximum retransmissions per data broadcast.
+    pub max_retries: u32,
+    /// Rounds to wait for acks before retransmitting. Must cover a
+    /// round trip (2 under synchronous delivery, `2 * max_delay` under
+    /// jitter).
+    pub ack_timeout: usize,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig {
+            max_retries: 3,
+            ack_timeout: 3,
+        }
+    }
+}
+
+/// What the faults (and the recovery machinery) did during a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Deliveries suppressed by loss or partitions.
+    pub dropped: usize,
+    /// Extra deliveries injected by duplication.
+    pub duplicated: usize,
+    /// Data retransmissions performed by the reliability layer.
+    pub retransmissions: usize,
+    /// Broadcasts that exhausted their retries with unacked neighbors.
+    pub gave_up: usize,
+    /// Nodes dead by the end of the run, ascending.
+    pub crashed: Vec<usize>,
+    /// Total rounds executed.
+    pub rounds: usize,
+}
+
+impl FaultReport {
+    /// Folds another stage's report into this one (crash sets union,
+    /// counters add, rounds accumulate).
+    pub fn absorb(&mut self, other: &FaultReport) {
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.retransmissions += other.retransmissions;
+        self.gave_up += other.gave_up;
+        self.rounds += other.rounds;
+        for &c in &other.crashed {
+            if !self.crashed.contains(&c) {
+                self.crashed.push(c);
+            }
+        }
+        self.crashed.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_plan_is_zero() {
+        assert!(FaultPlan::none().is_zero());
+        assert!(FaultPlan::new(123).is_zero());
+        assert!(!FaultPlan::new(0).with_loss(0.01).is_zero());
+        assert!(!FaultPlan::new(0).with_crash(1, 0).is_zero());
+        assert!(!FaultPlan::new(0).with_duplication(0.5).is_zero());
+        assert!(!FaultPlan::new(0).with_partition(0..1, [0]).is_zero());
+    }
+
+    #[test]
+    fn rolls_are_deterministic_and_independent() {
+        let plan = FaultPlan::new(7).with_loss(0.5);
+        let a = plan.roll(EventKind::Data, 1, 2, 3, 0);
+        assert_eq!(a, plan.roll(EventKind::Data, 1, 2, 3, 0));
+        // Different coordinates give different rolls.
+        assert_ne!(a, plan.roll(EventKind::Data, 2, 1, 3, 0));
+        assert_ne!(a, plan.roll(EventKind::Data, 1, 2, 4, 0));
+        assert_ne!(a, plan.roll(EventKind::Data, 1, 2, 3, 1));
+        assert_ne!(a, plan.roll(EventKind::Ack, 1, 2, 3, 0));
+    }
+
+    #[test]
+    fn loss_rate_roughly_respected() {
+        let plan = FaultPlan::new(99).with_loss(0.2);
+        let lost = (0..10_000)
+            .filter(|&i| plan.loses(EventKind::Data, 0, 1, i, 0))
+            .count();
+        assert!((1_600..2_400).contains(&lost), "lost {lost} of 10000");
+    }
+
+    #[test]
+    fn crash_and_partition_predicates() {
+        let plan = FaultPlan::new(0)
+            .with_crash(4, 10)
+            .with_partition(5..8, [0, 1]);
+        assert!(!plan.crashed(4, 9));
+        assert!(plan.crashed(4, 10));
+        assert!(plan.crashed(4, 11));
+        assert!(!plan.crashed(3, 100));
+        assert!(plan.severed(0, 2, 5));
+        assert!(plan.severed(2, 1, 7));
+        assert!(!plan.severed(0, 1, 6), "same side never severed");
+        assert!(!plan.severed(0, 2, 8), "partition healed");
+    }
+
+    #[test]
+    fn next_stage_carries_crashes_and_shifts_partitions() {
+        let plan = FaultPlan::new(5)
+            .with_loss(0.1)
+            .with_crash(2, 3)
+            .with_crash(7, 40)
+            .with_partition(0..10, [1])
+            .with_partition(30..50, [2]);
+        let next = plan.for_next_stage(20);
+        assert_eq!(next.crash_round(2), Some(0), "already dead stays dead");
+        assert_eq!(next.crash_round(7), Some(20), "future crash shifted");
+        assert_eq!(next.partitions().len(), 1, "elapsed partition dropped");
+        assert_eq!(next.partitions()[0].rounds, 10..30);
+        assert_eq!(next.loss(), 0.1);
+        assert_ne!(next.seed(), plan.seed(), "stage seeds decorrelated");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn loss_out_of_range_rejected() {
+        let _ = FaultPlan::new(0).with_loss(1.5);
+    }
+}

@@ -22,13 +22,16 @@
 //! bounded-degree backbone), which the experiments of Figures 10 and 12
 //! measure.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use geospan_geometry::{
     gabriel_test, in_circumcircle, segments_properly_cross, CirclePosition, Point, Triangulation,
 };
 use geospan_graph::Graph;
-use geospan_sim::{Context, MessageKind, MessageStats, Network, Protocol, QuiescenceTimeout};
+use geospan_sim::{
+    Context, FaultPlan, FaultReport, MessageKind, MessageStats, Network, Protocol,
+    QuiescenceTimeout, ReliabilityConfig,
+};
 
 use crate::ldel::LocalDelaunay;
 
@@ -461,17 +464,70 @@ fn run_ldel_inner(
     }
     net.run_phases(5, budget)?;
     let (nodes, stats) = net.into_parts();
+    Ok(assemble_ldel(g, &nodes, stats, &BTreeSet::new()))
+}
 
-    // Assemble: Gabriel edges and final triangles, unioned over nodes.
+/// Runs Algorithms 2 & 3 under injected faults with the link-layer
+/// ack/retransmit scheme.
+///
+/// The handshake design degrades gracefully: a corner that missed a
+/// message simply withholds its vote, so affected triangles drop out
+/// instead of corrupting the structure. Crashed nodes contribute nothing
+/// — their partial state and any edge or triangle touching them are
+/// filtered from the assembly.
+///
+/// A [`FaultPlan::is_zero`] plan takes the exact [`run_ldel`] code path,
+/// so outputs and message statistics are bit-identical.
+///
+/// # Errors
+/// Returns [`QuiescenceTimeout`] if a phase fails to converge within the
+/// (reliability-extended) round budget.
+pub fn run_ldel_faulty(
+    g: &Graph,
+    radius: f64,
+    plan: &FaultPlan,
+    reliability: ReliabilityConfig,
+) -> Result<(DistributedOutcome, FaultReport), QuiescenceTimeout> {
+    if plan.is_zero() {
+        return Ok((run_ldel(g, radius)?, FaultReport::default()));
+    }
+    let mut net = Network::new(g, |id| {
+        LdelNode::new(id, g.position(id), radius, g.degree(id) > 0)
+    })
+    .with_faults(plan.clone())
+    .with_reliability(reliability);
+    let per_hop = (reliability.max_retries as usize + 2) * (reliability.ack_timeout + 1);
+    net.run_phases(5, (g.node_count() + 16) * per_hop)?;
+    let report = net.fault_report();
+    let (nodes, stats) = net.into_parts();
+    let crashed: BTreeSet<usize> = report.crashed.iter().copied().collect();
+    Ok((assemble_ldel(g, &nodes, stats, &crashed), report))
+}
+
+/// Unions the per-node Gabriel edges and confirmed triangles into the
+/// final structure, excluding anything touching a crashed node.
+fn assemble_ldel(
+    g: &Graph,
+    nodes: &[LdelNode],
+    stats: MessageStats,
+    crashed: &BTreeSet<usize>,
+) -> DistributedOutcome {
     let mut graph = g.same_vertices();
     let mut gabriel: HashSet<(usize, usize)> = HashSet::new();
     let mut triangles: HashSet<[usize; 3]> = HashSet::new();
-    for node in &nodes {
-        for &e in &node.gabriel {
-            gabriel.insert(e);
+    for node in nodes {
+        if crashed.contains(&node.id) {
+            continue;
+        }
+        for &(a, b) in &node.gabriel {
+            if !crashed.contains(&a) && !crashed.contains(&b) {
+                gabriel.insert((a, b));
+            }
         }
         for &t in &node.final_tris {
-            triangles.insert(t);
+            if t.iter().all(|v| !crashed.contains(v)) {
+                triangles.insert(t);
+            }
         }
     }
     for &(u, v) in &gabriel {
@@ -486,14 +542,14 @@ fn run_ldel_inner(
     gabriel_edges.sort_unstable();
     let mut triangles: Vec<[usize; 3]> = triangles.into_iter().collect();
     triangles.sort_unstable();
-    Ok(DistributedOutcome {
+    DistributedOutcome {
         ldel: LocalDelaunay {
             graph,
             triangles,
             gabriel_edges,
         },
         stats,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -571,5 +627,63 @@ mod tests {
         let (_pts, g, _s) = connected_unit_disk(30, 100.0, 40.0, 11);
         let dist = run_ldel(&g, 40.0).unwrap();
         assert_eq!(dist.stats.per_kind()["Hello"], 30);
+    }
+
+    #[test]
+    fn zero_fault_plan_matches_plain_ldel_exactly() {
+        let (_pts, g, _s) = connected_unit_disk(40, 100.0, 35.0, 7);
+        let plain = run_ldel(&g, 35.0).unwrap();
+        let (faulty, report) =
+            run_ldel_faulty(&g, 35.0, &FaultPlan::none(), ReliabilityConfig::default()).unwrap();
+        assert_eq!(faulty.ldel.triangles, plain.ldel.triangles);
+        assert_eq!(faulty.ldel.gabriel_edges, plain.ldel.gabriel_edges);
+        assert_eq!(
+            faulty.ldel.graph.edges().collect::<Vec<_>>(),
+            plain.ldel.graph.edges().collect::<Vec<_>>()
+        );
+        assert_eq!(faulty.stats, plain.stats);
+        assert_eq!(report, FaultReport::default());
+    }
+
+    #[test]
+    fn survives_loss_with_retransmissions() {
+        // With enough retries the handshake sees every message despite
+        // loss, so the structure matches the fault-free run exactly.
+        for seed in 0..3 {
+            let (_pts, g, _s) = connected_unit_disk(35, 100.0, 35.0, seed * 23 + 5);
+            let plain = run_ldel(&g, 35.0).unwrap();
+            let plan = FaultPlan::new(seed + 1).with_loss(0.15);
+            let cfg = ReliabilityConfig {
+                max_retries: 8,
+                ack_timeout: 2,
+            };
+            let (faulty, report) = run_ldel_faulty(&g, 35.0, &plan, cfg).unwrap();
+            assert!(report.dropped > 0, "seed {seed}: loss should bite");
+            assert!(report.retransmissions > 0, "seed {seed}");
+            // The planarized union stays a plane embedding either way.
+            let planar = crate::ldel::planarize(&g, faulty.ldel.clone());
+            assert!(is_plane_embedding(&planar.graph), "seed {seed}");
+            assert_eq!(
+                faulty.ldel.triangles, plain.ldel.triangles,
+                "seed {seed}: retransmission should mask the loss"
+            );
+        }
+    }
+
+    #[test]
+    fn crashed_node_is_excised_from_the_structure() {
+        let (_pts, g, _s) = connected_unit_disk(40, 100.0, 35.0, 13);
+        let victim = 17;
+        let plan = FaultPlan::new(3).with_crash(victim, 0);
+        let (faulty, report) =
+            run_ldel_faulty(&g, 35.0, &plan, ReliabilityConfig::default()).unwrap();
+        assert_eq!(report.crashed, vec![victim]);
+        for &(a, b) in &faulty.ldel.gabriel_edges {
+            assert!(a != victim && b != victim);
+        }
+        for t in &faulty.ldel.triangles {
+            assert!(!t.contains(&victim));
+        }
+        assert_eq!(faulty.ldel.graph.degree(victim), 0);
     }
 }

@@ -16,11 +16,14 @@
 //! `Proposal`/`Accept`/`Reject` on triangles whose circumcircles are
 //! empty of the proposer's 2-hop neighborhood → local finalization.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use geospan_geometry::{in_circumcircle, CirclePosition, Point};
 use geospan_graph::Graph;
-use geospan_sim::{Context, MessageKind, MessageStats, Network, Protocol, QuiescenceTimeout};
+use geospan_sim::{
+    Context, FaultPlan, FaultReport, MessageKind, MessageStats, Network, Protocol,
+    QuiescenceTimeout, ReliabilityConfig,
+};
 
 use crate::ldel::LocalDelaunay;
 
@@ -208,7 +211,16 @@ impl Protocol for Ldel2Node {
                 }
                 self.confirm(*tri, from);
                 if self.responded.insert(*tri) {
-                    if self.edges_short(*tri) && self.locally_empty(*tri) {
+                    // Under message loss a corner's position may be
+                    // unknown (missed `Hello`/`NeighborTable`); the
+                    // triangle can't be vetted, so reject it — dropping a
+                    // triangle is always safe, keeping one never is. In
+                    // fault-free runs every corner of a proposed triangle
+                    // is in the proposer's table, hence known here.
+                    let knows_all = tri
+                        .iter()
+                        .all(|&x| x == self.id || self.known2.contains_key(&x));
+                    if knows_all && self.edges_short(*tri) && self.locally_empty(*tri) {
                         self.confirm(*tri, self.id);
                         ctx.broadcast(Ldel2Msg::Accept { tri: *tri });
                     } else {
@@ -239,7 +251,50 @@ pub fn run_ldel2(
     g: &Graph,
     radius: f64,
 ) -> Result<(LocalDelaunay, MessageStats), QuiescenceTimeout> {
-    let mut net = Network::new(g, |id| Ldel2Node {
+    let mut net = Network::new(g, |id| new_node(g, id, radius));
+    net.run_phases(4, g.node_count() + 16)?;
+    let (nodes, stats) = net.into_parts();
+    Ok(assemble_ldel2(g, &nodes, stats, &BTreeSet::new()))
+}
+
+/// Runs the `LDel²` protocol under injected faults with the link-layer
+/// ack/retransmit scheme.
+///
+/// Triangles whose corners can't be vetted (a missed `Hello` or
+/// `NeighborTable`) are rejected rather than guessed at, so loss degrades
+/// the triangle set instead of corrupting it. Crashed nodes and anything
+/// touching them are filtered from the assembly.
+///
+/// A [`FaultPlan::is_zero`] plan takes the exact [`run_ldel2`] code path,
+/// so outputs and message statistics are bit-identical.
+///
+/// # Errors
+/// Returns [`QuiescenceTimeout`] if a phase fails to converge within the
+/// (reliability-extended) round budget.
+pub fn run_ldel2_faulty(
+    g: &Graph,
+    radius: f64,
+    plan: &FaultPlan,
+    reliability: ReliabilityConfig,
+) -> Result<(LocalDelaunay, MessageStats, FaultReport), QuiescenceTimeout> {
+    if plan.is_zero() {
+        let (ldel, stats) = run_ldel2(g, radius)?;
+        return Ok((ldel, stats, FaultReport::default()));
+    }
+    let mut net = Network::new(g, |id| new_node(g, id, radius))
+        .with_faults(plan.clone())
+        .with_reliability(reliability);
+    let per_hop = (reliability.max_retries as usize + 2) * (reliability.ack_timeout + 1);
+    net.run_phases(4, (g.node_count() + 16) * per_hop)?;
+    let report = net.fault_report();
+    let (nodes, stats) = net.into_parts();
+    let crashed: BTreeSet<usize> = report.crashed.iter().copied().collect();
+    let (ldel, stats) = assemble_ldel2(g, &nodes, stats, &crashed);
+    Ok((ldel, stats, report))
+}
+
+fn new_node(g: &Graph, id: usize, radius: f64) -> Ldel2Node {
+    Ldel2Node {
         id,
         pos: g.position(id),
         radius,
@@ -251,16 +306,32 @@ pub fn run_ldel2(
         responded: HashSet::new(),
         gabriel: Vec::new(),
         final_tris: HashSet::new(),
-    });
-    net.run_phases(4, g.node_count() + 16)?;
-    let (nodes, stats) = net.into_parts();
+    }
+}
 
+fn assemble_ldel2(
+    g: &Graph,
+    nodes: &[Ldel2Node],
+    stats: MessageStats,
+    crashed: &BTreeSet<usize>,
+) -> (LocalDelaunay, MessageStats) {
     let mut graph = g.same_vertices();
     let mut gabriel: HashSet<(usize, usize)> = HashSet::new();
     let mut triangles: HashSet<[usize; 3]> = HashSet::new();
-    for node in &nodes {
-        gabriel.extend(node.gabriel.iter().copied());
-        triangles.extend(node.final_tris.iter().copied());
+    for node in nodes {
+        if crashed.contains(&node.id) {
+            continue;
+        }
+        for &(a, b) in &node.gabriel {
+            if !crashed.contains(&a) && !crashed.contains(&b) {
+                gabriel.insert((a, b));
+            }
+        }
+        for &t in &node.final_tris {
+            if t.iter().all(|v| !crashed.contains(v)) {
+                triangles.insert(t);
+            }
+        }
     }
     for &(u, v) in &gabriel {
         graph.add_edge(u, v);
@@ -274,14 +345,14 @@ pub fn run_ldel2(
     gabriel_edges.sort_unstable();
     let mut triangles: Vec<[usize; 3]> = triangles.into_iter().collect();
     triangles.sort_unstable();
-    Ok((
+    (
         LocalDelaunay {
             graph,
             triangles,
             gabriel_edges,
         },
         stats,
-    ))
+    )
 }
 
 #[cfg(test)]
@@ -314,6 +385,44 @@ mod tests {
             let (dist, _stats) = run_ldel2(&g, 32.0).unwrap();
             assert!(is_plane_embedding(&dist.graph), "seed {seed}");
             assert!(dist.graph.is_connected(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn zero_fault_plan_matches_plain_ldel2_exactly() {
+        use geospan_sim::{FaultPlan, FaultReport, ReliabilityConfig};
+        let (_pts, g, _s) = connected_unit_disk(40, 100.0, 35.0, 9);
+        let (plain, stats) = run_ldel2(&g, 35.0).unwrap();
+        let (faulty, fstats, report) =
+            run_ldel2_faulty(&g, 35.0, &FaultPlan::none(), ReliabilityConfig::default()).unwrap();
+        assert_eq!(faulty, plain);
+        assert_eq!(fstats, stats);
+        assert_eq!(report, FaultReport::default());
+    }
+
+    #[test]
+    fn stays_planar_under_loss_and_crash() {
+        use geospan_sim::{FaultPlan, ReliabilityConfig};
+        for seed in 0..3 {
+            let (_pts, g, _s) = connected_unit_disk(45, 100.0, 32.0, seed * 29 + 7);
+            let victim = (seed as usize * 13 + 5) % 45;
+            let plan = FaultPlan::new(seed + 11)
+                .with_loss(0.15)
+                .with_crash(victim, 2);
+            let cfg = ReliabilityConfig {
+                max_retries: 8,
+                ack_timeout: 2,
+            };
+            let (faulty, _stats, report) = run_ldel2_faulty(&g, 32.0, &plan, cfg).unwrap();
+            assert!(report.dropped > 0, "seed {seed}");
+            assert_eq!(report.crashed, vec![victim], "seed {seed}");
+            // LDel² is planar by construction; rejecting unvettable
+            // triangles and excising the crashed node must preserve that.
+            assert!(is_plane_embedding(&faulty.graph), "seed {seed}");
+            assert_eq!(faulty.graph.degree(victim), 0, "seed {seed}");
+            for t in &faulty.triangles {
+                assert!(!t.contains(&victim), "seed {seed}");
+            }
         }
     }
 

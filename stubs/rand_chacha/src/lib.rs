@@ -1,0 +1,45 @@
+//! Offline stand-in for the `rand_chacha` crate (see `stubs/README.md`).
+//!
+//! Exposes the ChaCha generator names over the stub `rand` core. The
+//! stream is *not* ChaCha — it is the same SplitMix64 core as `StdRng`,
+//! salted per flavour — which is sufficient for the seeded-simulation
+//! uses in this workspace.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+macro_rules! chacha_stub {
+    ($(#[$doc:meta] $name:ident, $salt:expr;)*) => {$(
+        #[$doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            state: u64,
+        }
+
+        impl RngCore for $name {
+            fn next_u64(&mut self) -> u64 {
+                self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = self.state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            }
+        }
+
+        impl SeedableRng for $name {
+            fn seed_from_u64(state: u64) -> Self {
+                $name { state: state ^ $salt }
+            }
+        }
+    )*};
+}
+
+chacha_stub! {
+    /// 8-round ChaCha flavour (stub).
+    ChaCha8Rng, 0x08;
+    /// 12-round ChaCha flavour (stub).
+    ChaCha12Rng, 0x0C;
+    /// 20-round ChaCha flavour (stub).
+    ChaCha20Rng, 0x14;
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` crate (see `stubs/README.md`).
+//!
+//! Provides the trait names and (with the `derive` feature) no-op derive
+//! macros so annotated types compile. No serialization is performed.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives for offline builds.
+//!
+//! Nothing in this workspace performs actual serialization yet; the
+//! derives exist so types can stay annotated for when the real serde is
+//! swapped back in. Each derive expands to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; keeps `#[derive(Serialize)]` annotations compiling.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; keeps `#[derive(Deserialize)]` annotations compiling.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,7 @@
+//! Offline stand-in for the `serde_json` crate (see `stubs/README.md`).
+//!
+//! Nothing in this workspace serializes JSON yet; this placeholder only
+//! satisfies the dependency edge. Add functionality here the day a
+//! call-site appears.
+
+#![forbid(unsafe_code)]

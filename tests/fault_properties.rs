@@ -1,0 +1,132 @@
+//! Cross-crate property tests for the fault-injection layer: the
+//! backbone's guarantees degrade gracefully — never catastrophically —
+//! under seeded radio faults.
+//!
+//! The two contracts under test:
+//!
+//! 1. **Graceful degradation** — for any seeded fault plan with loss
+//!    ≤ 20% and at most two crashes during construction, the surviving
+//!    backbone is planar and spans every unit-disk component of the
+//!    surviving nodes (the crash-timing range 0..10 always lands inside
+//!    the election phases, exercising the self-healing recovery).
+//! 2. **Zero-fault bit-identity** — a fault plan that injects nothing
+//!    leaves the construction bit-identical to a fault-free run: same
+//!    graphs, same roles, same message counts.
+
+use geospan::core::{BackboneBuilder, BackboneConfig};
+use geospan::graph::gen::{uniform_points, UnitDiskBuilder};
+use geospan::graph::paths::bfs_hops;
+use geospan::graph::planarity::is_plane_embedding;
+use geospan::graph::Graph;
+use geospan::sim::{FaultPlan, ReliabilityConfig};
+use proptest::prelude::*;
+
+/// Random deployment plus a fault plan from the guaranteed envelope:
+/// loss ≤ 0.2 and at most two crashes whose rounds (0..10) land inside
+/// the election phases. Connectivity of the deployment is *not*
+/// required — spanning is asserted per surviving component.
+fn faulty_deployment() -> impl Strategy<Value = (Graph, f64, FaultPlan)> {
+    (14usize..40, 30.0f64..60.0, any::<u64>()).prop_flat_map(|(n, radius, seed)| {
+        let crashes = proptest::collection::vec((0usize..n, 0usize..10), 0..=2);
+        (any::<u64>(), 0.0f64..=0.2, crashes).prop_map(move |(fault_seed, loss, crashes)| {
+            let pts = uniform_points(n, 120.0, seed);
+            let udg = UnitDiskBuilder::new(radius).build(&pts);
+            let mut plan = FaultPlan::new(fault_seed).with_loss(loss);
+            for (node, round) in crashes {
+                plan = plan.with_crash(node, round);
+            }
+            (udg, radius, plan)
+        })
+    })
+}
+
+/// A deep retry budget: loss ≤ 0.2 with nine delivery attempts makes an
+/// undelivered message a ~`0.2^9` event, so the protocols converge to the
+/// fault-free structure on the survivors.
+fn reliability() -> ReliabilityConfig {
+    ReliabilityConfig {
+        max_retries: 8,
+        ack_timeout: 2,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn faulty_backbone_is_planar_and_spans_survivors(
+        (udg, radius, plan) in faulty_deployment(),
+    ) {
+        let config = BackboneConfig::new(radius)
+            .distributed()
+            .with_faults(plan.clone())
+            .with_reliability(reliability());
+        let b = BackboneBuilder::new(config)
+            .build(&udg)
+            .expect("faulty construction converges within its round budget");
+
+        // Planarity survives any in-envelope fault plan.
+        prop_assert!(is_plane_embedding(b.ldel_icds()));
+
+        // Crash accounting matches the plan (a node crashing at round r
+        // is dead for the run; zero plans report nothing).
+        let report = b.fault_report().cloned().unwrap_or_default();
+        let alive = |v: usize| !report.crashed.contains(&v);
+        if !plan.is_zero() {
+            for (node, _round) in plan.crashes() {
+                prop_assert!(!alive(node), "crashed node {node} missing from report");
+            }
+        }
+
+        // Spanning: within every unit-disk component of the survivors,
+        // the surviving routing graph connects all members.
+        let udg_alive = udg.filter_edges(|u, v| alive(u) && alive(v));
+        let routing = b.ldel_icds_prime().filter_edges(|u, v| alive(u) && alive(v));
+        for comp in udg_alive.components() {
+            let members: Vec<usize> = comp.iter().copied().filter(|&v| alive(v)).collect();
+            if members.len() < 2 {
+                continue;
+            }
+            let hops = bfs_hops(&routing, members[0]);
+            for &m in &members {
+                prop_assert!(
+                    hops[m].is_some(),
+                    "survivor {m} disconnected from its component (plan {plan:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical(
+        (udg, radius, _plan) in faulty_deployment(),
+        seed in any::<u64>(),
+    ) {
+        let plain = BackboneBuilder::new(BackboneConfig::new(radius).distributed())
+            .build(&udg)
+            .unwrap();
+        // A seeded but empty plan must not even perturb message counts:
+        // the fault machinery is never consulted on the zero path.
+        let config = BackboneConfig::new(radius)
+            .distributed()
+            .with_faults(FaultPlan::new(seed))
+            .with_reliability(reliability());
+        let faulty = BackboneBuilder::new(config).build(&udg).unwrap();
+
+        prop_assert_eq!(faulty.roles(), plain.roles());
+        prop_assert_eq!(
+            faulty.ldel_icds().edges().collect::<Vec<_>>(),
+            plain.ldel_icds().edges().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            faulty.ldel_icds_prime().edges().collect::<Vec<_>>(),
+            plain.ldel_icds_prime().edges().collect::<Vec<_>>()
+        );
+        let (fs, ps) = (faulty.stats().unwrap(), plain.stats().unwrap());
+        prop_assert_eq!(fs.cds.total_sent(), ps.cds.total_sent());
+        prop_assert_eq!(fs.ldel.total_sent(), ps.ldel.total_sent());
+        prop_assert_eq!(fs.cds.sent_per_node(), ps.cds.sent_per_node());
+        prop_assert_eq!(fs.ldel.sent_per_node(), ps.ldel.sent_per_node());
+        prop_assert!(faulty.fault_report().is_none());
+    }
+}
