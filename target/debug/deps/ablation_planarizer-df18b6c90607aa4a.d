@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_planarizer-df18b6c90607aa4a.d: crates/bench/src/bin/ablation_planarizer.rs
+
+/root/repo/target/debug/deps/ablation_planarizer-df18b6c90607aa4a: crates/bench/src/bin/ablation_planarizer.rs
+
+crates/bench/src/bin/ablation_planarizer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_rank-7970cbd7062b614a.d: crates/bench/src/bin/ablation_rank.rs
+
+/root/repo/target/debug/deps/ablation_rank-7970cbd7062b614a: crates/bench/src/bin/ablation_rank.rs
+
+crates/bench/src/bin/ablation_rank.rs:

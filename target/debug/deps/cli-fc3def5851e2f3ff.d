@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-fc3def5851e2f3ff.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-fc3def5851e2f3ff: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_geospan-cli=/root/repo/target/debug/geospan-cli

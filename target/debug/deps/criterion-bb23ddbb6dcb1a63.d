@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-bb23ddbb6dcb1a63.d: stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-bb23ddbb6dcb1a63.rlib: stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-bb23ddbb6dcb1a63.rmeta: stubs/criterion/src/lib.rs
+
+stubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/degenerate-67c624e0db48c614.d: tests/degenerate.rs
+
+/root/repo/target/debug/deps/degenerate-67c624e0db48c614: tests/degenerate.rs
+
+tests/degenerate.rs:

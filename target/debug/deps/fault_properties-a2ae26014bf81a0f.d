@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_properties-a2ae26014bf81a0f.d: tests/fault_properties.rs
+
+/root/repo/target/debug/deps/fault_properties-a2ae26014bf81a0f: tests/fault_properties.rs
+
+tests/fault_properties.rs:

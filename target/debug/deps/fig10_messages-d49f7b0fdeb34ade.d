@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_messages-d49f7b0fdeb34ade.d: crates/bench/src/bin/fig10_messages.rs
+
+/root/repo/target/debug/deps/fig10_messages-d49f7b0fdeb34ade: crates/bench/src/bin/fig10_messages.rs
+
+crates/bench/src/bin/fig10_messages.rs:

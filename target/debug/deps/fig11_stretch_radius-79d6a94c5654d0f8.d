@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_stretch_radius-79d6a94c5654d0f8.d: crates/bench/src/bin/fig11_stretch_radius.rs
+
+/root/repo/target/debug/deps/fig11_stretch_radius-79d6a94c5654d0f8: crates/bench/src/bin/fig11_stretch_radius.rs
+
+crates/bench/src/bin/fig11_stretch_radius.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_radius-9caec76fc0b336d3.d: crates/bench/src/bin/fig12_radius.rs
+
+/root/repo/target/debug/deps/fig12_radius-9caec76fc0b336d3: crates/bench/src/bin/fig12_radius.rs
+
+crates/bench/src/bin/fig12_radius.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_topologies-ca2995816e4cb76d.d: crates/bench/src/bin/fig7_topologies.rs
+
+/root/repo/target/debug/deps/fig7_topologies-ca2995816e4cb76d: crates/bench/src/bin/fig7_topologies.rs
+
+crates/bench/src/bin/fig7_topologies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_degree-3b74b118272dc3a1.d: crates/bench/src/bin/fig8_degree.rs
+
+/root/repo/target/debug/deps/fig8_degree-3b74b118272dc3a1: crates/bench/src/bin/fig8_degree.rs
+
+crates/bench/src/bin/fig8_degree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_stretch-91d7f090b0fcc5d1.d: crates/bench/src/bin/fig9_stretch.rs
+
+/root/repo/target/debug/deps/fig9_stretch-91d7f090b0fcc5d1: crates/bench/src/bin/fig9_stretch.rs
+
+crates/bench/src/bin/fig9_stretch.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/geospan-203178954c9d8d2f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgeospan-203178954c9d8d2f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgeospan-203178954c9d8d2f.rmeta: src/lib.rs
+
+src/lib.rs:

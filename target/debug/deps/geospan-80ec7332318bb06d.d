@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geospan-80ec7332318bb06d.d: src/lib.rs
+
+/root/repo/target/debug/deps/geospan-80ec7332318bb06d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/geospan_bench-2ad376554d39bfbc.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgeospan_bench-2ad376554d39bfbc.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgeospan_bench-2ad376554d39bfbc.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geospan_bench-354a48ae4f2f6543.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/geospan_bench-354a48ae4f2f6543: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

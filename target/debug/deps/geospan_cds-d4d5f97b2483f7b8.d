@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/geospan_cds-d4d5f97b2483f7b8.d: crates/cds/src/lib.rs crates/cds/src/cluster.rs crates/cds/src/connector.rs crates/cds/src/dhop.rs crates/cds/src/protocol.rs crates/cds/src/rank.rs
+
+/root/repo/target/debug/deps/libgeospan_cds-d4d5f97b2483f7b8.rlib: crates/cds/src/lib.rs crates/cds/src/cluster.rs crates/cds/src/connector.rs crates/cds/src/dhop.rs crates/cds/src/protocol.rs crates/cds/src/rank.rs
+
+/root/repo/target/debug/deps/libgeospan_cds-d4d5f97b2483f7b8.rmeta: crates/cds/src/lib.rs crates/cds/src/cluster.rs crates/cds/src/connector.rs crates/cds/src/dhop.rs crates/cds/src/protocol.rs crates/cds/src/rank.rs
+
+crates/cds/src/lib.rs:
+crates/cds/src/cluster.rs:
+crates/cds/src/connector.rs:
+crates/cds/src/dhop.rs:
+crates/cds/src/protocol.rs:
+crates/cds/src/rank.rs:

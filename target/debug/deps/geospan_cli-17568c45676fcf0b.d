@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geospan_cli-17568c45676fcf0b.d: src/bin/geospan-cli.rs
+
+/root/repo/target/debug/deps/geospan_cli-17568c45676fcf0b: src/bin/geospan-cli.rs
+
+src/bin/geospan-cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geospan_cli-5d9d057325552a9e.d: src/bin/geospan-cli.rs
+
+/root/repo/target/debug/deps/geospan_cli-5d9d057325552a9e: src/bin/geospan-cli.rs
+
+src/bin/geospan-cli.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/geospan_core-bbcab21589059d97.d: crates/core/src/lib.rs crates/core/src/backbone.rs crates/core/src/maintenance.rs crates/core/src/routing.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/geospan_core-bbcab21589059d97: crates/core/src/lib.rs crates/core/src/backbone.rs crates/core/src/maintenance.rs crates/core/src/routing.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/backbone.rs:
+crates/core/src/maintenance.rs:
+crates/core/src/routing.rs:
+crates/core/src/verify.rs:

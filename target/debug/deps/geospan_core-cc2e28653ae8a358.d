@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/geospan_core-cc2e28653ae8a358.d: crates/core/src/lib.rs crates/core/src/backbone.rs crates/core/src/maintenance.rs crates/core/src/routing.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libgeospan_core-cc2e28653ae8a358.rlib: crates/core/src/lib.rs crates/core/src/backbone.rs crates/core/src/maintenance.rs crates/core/src/routing.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libgeospan_core-cc2e28653ae8a358.rmeta: crates/core/src/lib.rs crates/core/src/backbone.rs crates/core/src/maintenance.rs crates/core/src/routing.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/backbone.rs:
+crates/core/src/maintenance.rs:
+crates/core/src/routing.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/geospan_geometry-04dacaa67044acaa.d: crates/geometry/src/lib.rs crates/geometry/src/circle.rs crates/geometry/src/expansion.rs crates/geometry/src/hull.rs crates/geometry/src/point.rs crates/geometry/src/predicates.rs crates/geometry/src/segment.rs crates/geometry/src/triangulation.rs
+
+/root/repo/target/debug/deps/libgeospan_geometry-04dacaa67044acaa.rlib: crates/geometry/src/lib.rs crates/geometry/src/circle.rs crates/geometry/src/expansion.rs crates/geometry/src/hull.rs crates/geometry/src/point.rs crates/geometry/src/predicates.rs crates/geometry/src/segment.rs crates/geometry/src/triangulation.rs
+
+/root/repo/target/debug/deps/libgeospan_geometry-04dacaa67044acaa.rmeta: crates/geometry/src/lib.rs crates/geometry/src/circle.rs crates/geometry/src/expansion.rs crates/geometry/src/hull.rs crates/geometry/src/point.rs crates/geometry/src/predicates.rs crates/geometry/src/segment.rs crates/geometry/src/triangulation.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/circle.rs:
+crates/geometry/src/expansion.rs:
+crates/geometry/src/hull.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/predicates.rs:
+crates/geometry/src/segment.rs:
+crates/geometry/src/triangulation.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/geospan_geometry-4a8074193c8973a0.d: crates/geometry/src/lib.rs crates/geometry/src/circle.rs crates/geometry/src/expansion.rs crates/geometry/src/hull.rs crates/geometry/src/point.rs crates/geometry/src/predicates.rs crates/geometry/src/segment.rs crates/geometry/src/triangulation.rs
+
+/root/repo/target/debug/deps/geospan_geometry-4a8074193c8973a0: crates/geometry/src/lib.rs crates/geometry/src/circle.rs crates/geometry/src/expansion.rs crates/geometry/src/hull.rs crates/geometry/src/point.rs crates/geometry/src/predicates.rs crates/geometry/src/segment.rs crates/geometry/src/triangulation.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/circle.rs:
+crates/geometry/src/expansion.rs:
+crates/geometry/src/hull.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/predicates.rs:
+crates/geometry/src/segment.rs:
+crates/geometry/src/triangulation.rs:

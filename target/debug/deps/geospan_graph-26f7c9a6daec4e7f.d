@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/geospan_graph-26f7c9a6daec4e7f.d: crates/graph/src/lib.rs crates/graph/src/diameter.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/paths.rs crates/graph/src/planarity.rs crates/graph/src/power.rs crates/graph/src/stats.rs crates/graph/src/stretch.rs crates/graph/src/svg.rs
+
+/root/repo/target/debug/deps/geospan_graph-26f7c9a6daec4e7f: crates/graph/src/lib.rs crates/graph/src/diameter.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/paths.rs crates/graph/src/planarity.rs crates/graph/src/power.rs crates/graph/src/stats.rs crates/graph/src/stretch.rs crates/graph/src/svg.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/diameter.rs:
+crates/graph/src/gen.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/paths.rs:
+crates/graph/src/planarity.rs:
+crates/graph/src/power.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/stretch.rs:
+crates/graph/src/svg.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/geospan_graph-cc0e650b2e3d43e7.d: crates/graph/src/lib.rs crates/graph/src/diameter.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/paths.rs crates/graph/src/planarity.rs crates/graph/src/power.rs crates/graph/src/stats.rs crates/graph/src/stretch.rs crates/graph/src/svg.rs
+
+/root/repo/target/debug/deps/libgeospan_graph-cc0e650b2e3d43e7.rlib: crates/graph/src/lib.rs crates/graph/src/diameter.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/paths.rs crates/graph/src/planarity.rs crates/graph/src/power.rs crates/graph/src/stats.rs crates/graph/src/stretch.rs crates/graph/src/svg.rs
+
+/root/repo/target/debug/deps/libgeospan_graph-cc0e650b2e3d43e7.rmeta: crates/graph/src/lib.rs crates/graph/src/diameter.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/paths.rs crates/graph/src/planarity.rs crates/graph/src/power.rs crates/graph/src/stats.rs crates/graph/src/stretch.rs crates/graph/src/svg.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/diameter.rs:
+crates/graph/src/gen.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/paths.rs:
+crates/graph/src/planarity.rs:
+crates/graph/src/power.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/stretch.rs:
+crates/graph/src/svg.rs:

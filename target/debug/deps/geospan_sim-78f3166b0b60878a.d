@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/geospan_sim-78f3166b0b60878a.d: crates/sim/src/lib.rs crates/sim/src/fault.rs
+
+/root/repo/target/debug/deps/geospan_sim-78f3166b0b60878a: crates/sim/src/lib.rs crates/sim/src/fault.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/fault.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/geospan_sim-e9cd42fe8ef9f0ad.d: crates/sim/src/lib.rs crates/sim/src/fault.rs
+
+/root/repo/target/debug/deps/libgeospan_sim-e9cd42fe8ef9f0ad.rlib: crates/sim/src/lib.rs crates/sim/src/fault.rs
+
+/root/repo/target/debug/deps/libgeospan_sim-e9cd42fe8ef9f0ad.rmeta: crates/sim/src/lib.rs crates/sim/src/fault.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/fault.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/geospan_topology-d413edf097e6907b.d: crates/topology/src/lib.rs crates/topology/src/distributed.rs crates/topology/src/distributed2.rs crates/topology/src/gabriel.rs crates/topology/src/ldel.rs crates/topology/src/rdg.rs crates/topology/src/rng.rs crates/topology/src/yao.rs
+
+/root/repo/target/debug/deps/libgeospan_topology-d413edf097e6907b.rlib: crates/topology/src/lib.rs crates/topology/src/distributed.rs crates/topology/src/distributed2.rs crates/topology/src/gabriel.rs crates/topology/src/ldel.rs crates/topology/src/rdg.rs crates/topology/src/rng.rs crates/topology/src/yao.rs
+
+/root/repo/target/debug/deps/libgeospan_topology-d413edf097e6907b.rmeta: crates/topology/src/lib.rs crates/topology/src/distributed.rs crates/topology/src/distributed2.rs crates/topology/src/gabriel.rs crates/topology/src/ldel.rs crates/topology/src/rdg.rs crates/topology/src/rng.rs crates/topology/src/yao.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/distributed.rs:
+crates/topology/src/distributed2.rs:
+crates/topology/src/gabriel.rs:
+crates/topology/src/ldel.rs:
+crates/topology/src/rdg.rs:
+crates/topology/src/rng.rs:
+crates/topology/src/yao.rs:

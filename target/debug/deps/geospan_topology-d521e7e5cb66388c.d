@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/geospan_topology-d521e7e5cb66388c.d: crates/topology/src/lib.rs crates/topology/src/distributed.rs crates/topology/src/distributed2.rs crates/topology/src/gabriel.rs crates/topology/src/ldel.rs crates/topology/src/rdg.rs crates/topology/src/rng.rs crates/topology/src/yao.rs
+
+/root/repo/target/debug/deps/geospan_topology-d521e7e5cb66388c: crates/topology/src/lib.rs crates/topology/src/distributed.rs crates/topology/src/distributed2.rs crates/topology/src/gabriel.rs crates/topology/src/ldel.rs crates/topology/src/rdg.rs crates/topology/src/rng.rs crates/topology/src/yao.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/distributed.rs:
+crates/topology/src/distributed2.rs:
+crates/topology/src/gabriel.rs:
+crates/topology/src/ldel.rs:
+crates/topology/src/rdg.rs:
+crates/topology/src/rng.rs:
+crates/topology/src/yao.rs:

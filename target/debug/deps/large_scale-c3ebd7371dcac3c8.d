@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/large_scale-c3ebd7371dcac3c8.d: tests/large_scale.rs
+
+/root/repo/target/debug/deps/large_scale-c3ebd7371dcac3c8: tests/large_scale.rs
+
+tests/large_scale.rs:

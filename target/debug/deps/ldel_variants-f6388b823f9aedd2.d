@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ldel_variants-f6388b823f9aedd2.d: crates/bench/src/bin/ldel_variants.rs
+
+/root/repo/target/debug/deps/ldel_variants-f6388b823f9aedd2: crates/bench/src/bin/ldel_variants.rs
+
+crates/bench/src/bin/ldel_variants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-7b73b33e98984afb.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-7b73b33e98984afb: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-3178456395f480a1.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-3178456395f480a1: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/power_stretch-b58ec5e1fc41f85e.d: crates/bench/src/bin/power_stretch.rs
+
+/root/repo/target/debug/deps/power_stretch-b58ec5e1fc41f85e: crates/bench/src/bin/power_stretch.rs
+
+crates/bench/src/bin/power_stretch.rs:

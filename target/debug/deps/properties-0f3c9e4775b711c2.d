@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0f3c9e4775b711c2.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0f3c9e4775b711c2: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6621fcc32b714cc4.d: crates/topology/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6621fcc32b714cc4: crates/topology/tests/properties.rs
+
+crates/topology/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-895fc51d90719f13.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-895fc51d90719f13: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a4533a91b7ed077c.d: crates/cds/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a4533a91b7ed077c: crates/cds/tests/properties.rs
+
+crates/cds/tests/properties.rs:

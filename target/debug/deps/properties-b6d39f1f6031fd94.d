@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b6d39f1f6031fd94.d: crates/graph/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b6d39f1f6031fd94: crates/graph/tests/properties.rs
+
+crates/graph/tests/properties.rs:

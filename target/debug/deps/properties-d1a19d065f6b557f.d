@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d1a19d065f6b557f.d: crates/geometry/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d1a19d065f6b557f: crates/geometry/tests/properties.rs
+
+crates/geometry/tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-e16ae44ea13eaa00.d: stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-e16ae44ea13eaa00.rlib: stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-e16ae44ea13eaa00.rmeta: stubs/proptest/src/lib.rs
+
+stubs/proptest/src/lib.rs:

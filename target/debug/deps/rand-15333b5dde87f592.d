@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-15333b5dde87f592.d: stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-15333b5dde87f592.rlib: stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-15333b5dde87f592.rmeta: stubs/rand/src/lib.rs
+
+stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-0773578be73ea79f.d: stubs/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-0773578be73ea79f.rlib: stubs/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-0773578be73ea79f.rmeta: stubs/rand_chacha/src/lib.rs
+
+stubs/rand_chacha/src/lib.rs:

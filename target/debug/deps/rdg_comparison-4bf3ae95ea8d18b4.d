@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rdg_comparison-4bf3ae95ea8d18b4.d: crates/bench/src/bin/rdg_comparison.rs
+
+/root/repo/target/debug/deps/rdg_comparison-4bf3ae95ea8d18b4: crates/bench/src/bin/rdg_comparison.rs
+
+crates/bench/src/bin/rdg_comparison.rs:

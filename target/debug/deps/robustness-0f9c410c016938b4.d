@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-0f9c410c016938b4.d: crates/bench/src/bin/robustness.rs
+
+/root/repo/target/debug/deps/robustness-0f9c410c016938b4: crates/bench/src/bin/robustness.rs
+
+crates/bench/src/bin/robustness.rs:

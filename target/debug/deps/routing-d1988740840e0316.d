@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/routing-d1988740840e0316.d: tests/routing.rs
+
+/root/repo/target/debug/deps/routing-d1988740840e0316: tests/routing.rs
+
+tests/routing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/routing_quality-335eb28fcd6ba777.d: crates/bench/src/bin/routing_quality.rs
+
+/root/repo/target/debug/deps/routing_quality-335eb28fcd6ba777: crates/bench/src/bin/routing_quality.rs
+
+crates/bench/src/bin/routing_quality.rs:

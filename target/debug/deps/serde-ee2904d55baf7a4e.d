@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-ee2904d55baf7a4e.d: stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-ee2904d55baf7a4e.rlib: stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-ee2904d55baf7a4e.rmeta: stubs/serde/src/lib.rs
+
+stubs/serde/src/lib.rs:

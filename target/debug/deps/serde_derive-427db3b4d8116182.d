@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-427db3b4d8116182.d: stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-427db3b4d8116182.so: stubs/serde_derive/src/lib.rs
+
+stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-262decf77548da67.d: stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-262decf77548da67.rlib: stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-262decf77548da67.rmeta: stubs/serde_json/src/lib.rs
+
+stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-3f39fee80c2ad8ef.d: crates/geometry/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-3f39fee80c2ad8ef: crates/geometry/tests/stress.rs
+
+crates/geometry/tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-3e70106879eb8165.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-3e70106879eb8165: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mobility-be48ea49a76955a1.d: examples/mobility.rs
+
+/root/repo/target/debug/examples/mobility-be48ea49a76955a1: examples/mobility.rs
+
+examples/mobility.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-871628d7ce73d27d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-871628d7ce73d27d: examples/quickstart.rs
+
+examples/quickstart.rs:

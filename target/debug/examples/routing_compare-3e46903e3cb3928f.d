@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/routing_compare-3e46903e3cb3928f.d: examples/routing_compare.rs
+
+/root/repo/target/debug/examples/routing_compare-3e46903e3cb3928f: examples/routing_compare.rs
+
+examples/routing_compare.rs:

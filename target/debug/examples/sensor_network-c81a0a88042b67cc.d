@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensor_network-c81a0a88042b67cc.d: examples/sensor_network.rs
+
+/root/repo/target/debug/examples/sensor_network-c81a0a88042b67cc: examples/sensor_network.rs
+
+examples/sensor_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/topology_gallery-e1775b712dd0e4d2.d: examples/topology_gallery.rs
+
+/root/repo/target/debug/examples/topology_gallery-e1775b712dd0e4d2: examples/topology_gallery.rs
+
+examples/topology_gallery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_planarizer-6442dd9548a94a2a.d: crates/bench/src/bin/ablation_planarizer.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_planarizer-6442dd9548a94a2a.rmeta: crates/bench/src/bin/ablation_planarizer.rs Cargo.toml
+
+crates/bench/src/bin/ablation_planarizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_planarizer-8602b479eaf11e72.d: crates/bench/src/bin/ablation_planarizer.rs
+
+/root/repo/target/release/deps/ablation_planarizer-8602b479eaf11e72: crates/bench/src/bin/ablation_planarizer.rs
+
+crates/bench/src/bin/ablation_planarizer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_planarizer-c453f61739f77f28.d: crates/bench/src/bin/ablation_planarizer.rs
+
+/root/repo/target/release/deps/ablation_planarizer-c453f61739f77f28: crates/bench/src/bin/ablation_planarizer.rs
+
+crates/bench/src/bin/ablation_planarizer.rs:

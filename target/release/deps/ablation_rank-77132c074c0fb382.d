@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_rank-77132c074c0fb382.d: crates/bench/src/bin/ablation_rank.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_rank-77132c074c0fb382.rmeta: crates/bench/src/bin/ablation_rank.rs Cargo.toml
+
+crates/bench/src/bin/ablation_rank.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_rank-81eaf018b31c5af9.d: crates/bench/src/bin/ablation_rank.rs
+
+/root/repo/target/release/deps/ablation_rank-81eaf018b31c5af9: crates/bench/src/bin/ablation_rank.rs
+
+crates/bench/src/bin/ablation_rank.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_rank-923b76dfce96096c.d: crates/bench/src/bin/ablation_rank.rs
+
+/root/repo/target/release/deps/ablation_rank-923b76dfce96096c: crates/bench/src/bin/ablation_rank.rs
+
+crates/bench/src/bin/ablation_rank.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_rank-e5ca4aef357d2605.d: crates/bench/src/bin/ablation_rank.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_rank-e5ca4aef357d2605.rmeta: crates/bench/src/bin/ablation_rank.rs Cargo.toml
+
+crates/bench/src/bin/ablation_rank.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-74ba8e4e42df6678.d: tests/cli.rs
+
+/root/repo/target/release/deps/cli-74ba8e4e42df6678: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_geospan-cli=/root/repo/target/release/geospan-cli

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cli-9adcead7c3a7621d.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/release/deps/libcli-9adcead7c3a7621d.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_geospan-cli=placeholder:geospan-cli
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/construction-05488baef552d470.d: crates/bench/benches/construction.rs Cargo.toml
+
+/root/repo/target/release/deps/libconstruction-05488baef552d470.rmeta: crates/bench/benches/construction.rs Cargo.toml
+
+crates/bench/benches/construction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

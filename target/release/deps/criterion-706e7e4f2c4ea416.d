@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-706e7e4f2c4ea416.d: stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-706e7e4f2c4ea416.rmeta: stubs/criterion/src/lib.rs
+
+stubs/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-e42110447938a8d5.d: stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-e42110447938a8d5.rlib: stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-e42110447938a8d5.rmeta: stubs/criterion/src/lib.rs
+
+stubs/criterion/src/lib.rs:

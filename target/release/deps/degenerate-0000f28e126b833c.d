@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/degenerate-0000f28e126b833c.d: tests/degenerate.rs
+
+/root/repo/target/release/deps/degenerate-0000f28e126b833c: tests/degenerate.rs
+
+tests/degenerate.rs:

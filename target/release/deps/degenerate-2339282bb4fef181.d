@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/degenerate-2339282bb4fef181.d: tests/degenerate.rs Cargo.toml
+
+/root/repo/target/release/deps/libdegenerate-2339282bb4fef181.rmeta: tests/degenerate.rs Cargo.toml
+
+tests/degenerate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

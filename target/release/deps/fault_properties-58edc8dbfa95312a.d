@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fault_properties-58edc8dbfa95312a.d: tests/fault_properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libfault_properties-58edc8dbfa95312a.rmeta: tests/fault_properties.rs Cargo.toml
+
+tests/fault_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_properties-a2a898c16c457f7a.d: tests/fault_properties.rs
+
+/root/repo/target/release/deps/fault_properties-a2a898c16c457f7a: tests/fault_properties.rs
+
+tests/fault_properties.rs:

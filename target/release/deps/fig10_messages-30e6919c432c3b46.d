@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_messages-30e6919c432c3b46.d: crates/bench/src/bin/fig10_messages.rs
+
+/root/repo/target/release/deps/fig10_messages-30e6919c432c3b46: crates/bench/src/bin/fig10_messages.rs
+
+crates/bench/src/bin/fig10_messages.rs:

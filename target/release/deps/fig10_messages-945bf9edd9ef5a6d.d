@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_messages-945bf9edd9ef5a6d.d: crates/bench/src/bin/fig10_messages.rs
+
+/root/repo/target/release/deps/fig10_messages-945bf9edd9ef5a6d: crates/bench/src/bin/fig10_messages.rs
+
+crates/bench/src/bin/fig10_messages.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig10_messages-bb271f8c11524291.d: crates/bench/src/bin/fig10_messages.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig10_messages-bb271f8c11524291.rmeta: crates/bench/src/bin/fig10_messages.rs Cargo.toml
+
+crates/bench/src/bin/fig10_messages.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig10_messages-d576e6b79450bd30.d: crates/bench/src/bin/fig10_messages.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig10_messages-d576e6b79450bd30.rmeta: crates/bench/src/bin/fig10_messages.rs Cargo.toml
+
+crates/bench/src/bin/fig10_messages.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

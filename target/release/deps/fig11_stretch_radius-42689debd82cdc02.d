@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_stretch_radius-42689debd82cdc02.d: crates/bench/src/bin/fig11_stretch_radius.rs
+
+/root/repo/target/release/deps/fig11_stretch_radius-42689debd82cdc02: crates/bench/src/bin/fig11_stretch_radius.rs
+
+crates/bench/src/bin/fig11_stretch_radius.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig11_stretch_radius-8eae19001ad4bd13.d: crates/bench/src/bin/fig11_stretch_radius.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig11_stretch_radius-8eae19001ad4bd13.rmeta: crates/bench/src/bin/fig11_stretch_radius.rs Cargo.toml
+
+crates/bench/src/bin/fig11_stretch_radius.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

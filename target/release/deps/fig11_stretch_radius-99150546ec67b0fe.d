@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_stretch_radius-99150546ec67b0fe.d: crates/bench/src/bin/fig11_stretch_radius.rs
+
+/root/repo/target/release/deps/fig11_stretch_radius-99150546ec67b0fe: crates/bench/src/bin/fig11_stretch_radius.rs
+
+crates/bench/src/bin/fig11_stretch_radius.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_radius-284b69a1effc0753.d: crates/bench/src/bin/fig12_radius.rs
+
+/root/repo/target/release/deps/fig12_radius-284b69a1effc0753: crates/bench/src/bin/fig12_radius.rs
+
+crates/bench/src/bin/fig12_radius.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_radius-4c8a79f46035ccad.d: crates/bench/src/bin/fig12_radius.rs
+
+/root/repo/target/release/deps/fig12_radius-4c8a79f46035ccad: crates/bench/src/bin/fig12_radius.rs
+
+crates/bench/src/bin/fig12_radius.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig12_radius-5e295939715076c1.d: crates/bench/src/bin/fig12_radius.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig12_radius-5e295939715076c1.rmeta: crates/bench/src/bin/fig12_radius.rs Cargo.toml
+
+crates/bench/src/bin/fig12_radius.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

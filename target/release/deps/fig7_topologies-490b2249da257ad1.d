@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_topologies-490b2249da257ad1.d: crates/bench/src/bin/fig7_topologies.rs
+
+/root/repo/target/release/deps/fig7_topologies-490b2249da257ad1: crates/bench/src/bin/fig7_topologies.rs
+
+crates/bench/src/bin/fig7_topologies.rs:

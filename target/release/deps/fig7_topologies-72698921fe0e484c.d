@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_topologies-72698921fe0e484c.d: crates/bench/src/bin/fig7_topologies.rs
+
+/root/repo/target/release/deps/fig7_topologies-72698921fe0e484c: crates/bench/src/bin/fig7_topologies.rs
+
+crates/bench/src/bin/fig7_topologies.rs:

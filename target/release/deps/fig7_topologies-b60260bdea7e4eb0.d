@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig7_topologies-b60260bdea7e4eb0.d: crates/bench/src/bin/fig7_topologies.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig7_topologies-b60260bdea7e4eb0.rmeta: crates/bench/src/bin/fig7_topologies.rs Cargo.toml
+
+crates/bench/src/bin/fig7_topologies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_degree-01c66438f1fc7c08.d: crates/bench/src/bin/fig8_degree.rs
+
+/root/repo/target/release/deps/fig8_degree-01c66438f1fc7c08: crates/bench/src/bin/fig8_degree.rs
+
+crates/bench/src/bin/fig8_degree.rs:

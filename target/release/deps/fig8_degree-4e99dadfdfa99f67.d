@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_degree-4e99dadfdfa99f67.d: crates/bench/src/bin/fig8_degree.rs
+
+/root/repo/target/release/deps/fig8_degree-4e99dadfdfa99f67: crates/bench/src/bin/fig8_degree.rs
+
+crates/bench/src/bin/fig8_degree.rs:

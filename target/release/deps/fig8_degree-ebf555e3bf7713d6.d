@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig8_degree-ebf555e3bf7713d6.d: crates/bench/src/bin/fig8_degree.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig8_degree-ebf555e3bf7713d6.rmeta: crates/bench/src/bin/fig8_degree.rs Cargo.toml
+
+crates/bench/src/bin/fig8_degree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

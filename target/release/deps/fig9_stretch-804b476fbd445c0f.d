@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig9_stretch-804b476fbd445c0f.d: crates/bench/src/bin/fig9_stretch.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig9_stretch-804b476fbd445c0f.rmeta: crates/bench/src/bin/fig9_stretch.rs Cargo.toml
+
+crates/bench/src/bin/fig9_stretch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_stretch-9415e7e7f28978f7.d: crates/bench/src/bin/fig9_stretch.rs
+
+/root/repo/target/release/deps/fig9_stretch-9415e7e7f28978f7: crates/bench/src/bin/fig9_stretch.rs
+
+crates/bench/src/bin/fig9_stretch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_stretch-e80f9cfa4a383911.d: crates/bench/src/bin/fig9_stretch.rs
+
+/root/repo/target/release/deps/fig9_stretch-e80f9cfa4a383911: crates/bench/src/bin/fig9_stretch.rs
+
+crates/bench/src/bin/fig9_stretch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/geospan-3724ce95bcfb13c9.d: src/lib.rs
+
+/root/repo/target/release/deps/geospan-3724ce95bcfb13c9: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/geospan-a86128a0a3d3c5ac.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libgeospan-a86128a0a3d3c5ac.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

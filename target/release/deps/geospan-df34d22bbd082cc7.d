@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/geospan-df34d22bbd082cc7.d: src/lib.rs
+
+/root/repo/target/release/deps/libgeospan-df34d22bbd082cc7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgeospan-df34d22bbd082cc7.rmeta: src/lib.rs
+
+src/lib.rs:

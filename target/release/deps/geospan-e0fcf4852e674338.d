@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/geospan-e0fcf4852e674338.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libgeospan-e0fcf4852e674338.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

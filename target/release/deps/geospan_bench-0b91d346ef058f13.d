@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/geospan_bench-0b91d346ef058f13.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libgeospan_bench-0b91d346ef058f13.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/geospan_bench-198dbf9168ec9b2b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/geospan_bench-198dbf9168ec9b2b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

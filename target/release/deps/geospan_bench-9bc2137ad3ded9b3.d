@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/geospan_bench-9bc2137ad3ded9b3.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgeospan_bench-9bc2137ad3ded9b3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgeospan_bench-9bc2137ad3ded9b3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

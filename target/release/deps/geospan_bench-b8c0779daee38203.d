@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/geospan_bench-b8c0779daee38203.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libgeospan_bench-b8c0779daee38203.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

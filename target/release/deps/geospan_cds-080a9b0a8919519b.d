@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/geospan_cds-080a9b0a8919519b.d: crates/cds/src/lib.rs crates/cds/src/cluster.rs crates/cds/src/connector.rs crates/cds/src/dhop.rs crates/cds/src/protocol.rs crates/cds/src/rank.rs Cargo.toml
+
+/root/repo/target/release/deps/libgeospan_cds-080a9b0a8919519b.rmeta: crates/cds/src/lib.rs crates/cds/src/cluster.rs crates/cds/src/connector.rs crates/cds/src/dhop.rs crates/cds/src/protocol.rs crates/cds/src/rank.rs Cargo.toml
+
+crates/cds/src/lib.rs:
+crates/cds/src/cluster.rs:
+crates/cds/src/connector.rs:
+crates/cds/src/dhop.rs:
+crates/cds/src/protocol.rs:
+crates/cds/src/rank.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

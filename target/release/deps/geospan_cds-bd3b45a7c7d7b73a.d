@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/geospan_cds-bd3b45a7c7d7b73a.d: crates/cds/src/lib.rs crates/cds/src/cluster.rs crates/cds/src/connector.rs crates/cds/src/dhop.rs crates/cds/src/protocol.rs crates/cds/src/rank.rs Cargo.toml
+
+/root/repo/target/release/deps/libgeospan_cds-bd3b45a7c7d7b73a.rmeta: crates/cds/src/lib.rs crates/cds/src/cluster.rs crates/cds/src/connector.rs crates/cds/src/dhop.rs crates/cds/src/protocol.rs crates/cds/src/rank.rs Cargo.toml
+
+crates/cds/src/lib.rs:
+crates/cds/src/cluster.rs:
+crates/cds/src/connector.rs:
+crates/cds/src/dhop.rs:
+crates/cds/src/protocol.rs:
+crates/cds/src/rank.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/geospan_cds-c556a5645b44e632.d: crates/cds/src/lib.rs crates/cds/src/cluster.rs crates/cds/src/connector.rs crates/cds/src/dhop.rs crates/cds/src/protocol.rs crates/cds/src/rank.rs
+
+/root/repo/target/release/deps/libgeospan_cds-c556a5645b44e632.rlib: crates/cds/src/lib.rs crates/cds/src/cluster.rs crates/cds/src/connector.rs crates/cds/src/dhop.rs crates/cds/src/protocol.rs crates/cds/src/rank.rs
+
+/root/repo/target/release/deps/libgeospan_cds-c556a5645b44e632.rmeta: crates/cds/src/lib.rs crates/cds/src/cluster.rs crates/cds/src/connector.rs crates/cds/src/dhop.rs crates/cds/src/protocol.rs crates/cds/src/rank.rs
+
+crates/cds/src/lib.rs:
+crates/cds/src/cluster.rs:
+crates/cds/src/connector.rs:
+crates/cds/src/dhop.rs:
+crates/cds/src/protocol.rs:
+crates/cds/src/rank.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/geospan_cds-e65d378d03dde9af.d: crates/cds/src/lib.rs crates/cds/src/cluster.rs crates/cds/src/connector.rs crates/cds/src/dhop.rs crates/cds/src/protocol.rs crates/cds/src/rank.rs
+
+/root/repo/target/release/deps/geospan_cds-e65d378d03dde9af: crates/cds/src/lib.rs crates/cds/src/cluster.rs crates/cds/src/connector.rs crates/cds/src/dhop.rs crates/cds/src/protocol.rs crates/cds/src/rank.rs
+
+crates/cds/src/lib.rs:
+crates/cds/src/cluster.rs:
+crates/cds/src/connector.rs:
+crates/cds/src/dhop.rs:
+crates/cds/src/protocol.rs:
+crates/cds/src/rank.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/geospan_cli-1a0439c6f67ee939.d: src/bin/geospan-cli.rs Cargo.toml
+
+/root/repo/target/release/deps/libgeospan_cli-1a0439c6f67ee939.rmeta: src/bin/geospan-cli.rs Cargo.toml
+
+src/bin/geospan-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/geospan_cli-987fc233ebf4c41c.d: src/bin/geospan-cli.rs
+
+/root/repo/target/release/deps/geospan_cli-987fc233ebf4c41c: src/bin/geospan-cli.rs
+
+src/bin/geospan-cli.rs:

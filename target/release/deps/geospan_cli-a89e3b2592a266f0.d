@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/geospan_cli-a89e3b2592a266f0.d: src/bin/geospan-cli.rs Cargo.toml
+
+/root/repo/target/release/deps/libgeospan_cli-a89e3b2592a266f0.rmeta: src/bin/geospan-cli.rs Cargo.toml
+
+src/bin/geospan-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

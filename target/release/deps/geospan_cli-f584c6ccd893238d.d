@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/geospan_cli-f584c6ccd893238d.d: src/bin/geospan-cli.rs
+
+/root/repo/target/release/deps/geospan_cli-f584c6ccd893238d: src/bin/geospan-cli.rs
+
+src/bin/geospan-cli.rs:

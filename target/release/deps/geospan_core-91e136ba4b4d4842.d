@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/geospan_core-91e136ba4b4d4842.d: crates/core/src/lib.rs crates/core/src/backbone.rs crates/core/src/maintenance.rs crates/core/src/routing.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/geospan_core-91e136ba4b4d4842: crates/core/src/lib.rs crates/core/src/backbone.rs crates/core/src/maintenance.rs crates/core/src/routing.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/backbone.rs:
+crates/core/src/maintenance.rs:
+crates/core/src/routing.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/geospan_core-a99a2325a0c6b9bd.d: crates/core/src/lib.rs crates/core/src/backbone.rs crates/core/src/maintenance.rs crates/core/src/routing.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/libgeospan_core-a99a2325a0c6b9bd.rlib: crates/core/src/lib.rs crates/core/src/backbone.rs crates/core/src/maintenance.rs crates/core/src/routing.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/libgeospan_core-a99a2325a0c6b9bd.rmeta: crates/core/src/lib.rs crates/core/src/backbone.rs crates/core/src/maintenance.rs crates/core/src/routing.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/backbone.rs:
+crates/core/src/maintenance.rs:
+crates/core/src/routing.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/geospan_core-f228bec981e130f4.d: crates/core/src/lib.rs crates/core/src/backbone.rs crates/core/src/maintenance.rs crates/core/src/routing.rs crates/core/src/verify.rs Cargo.toml
+
+/root/repo/target/release/deps/libgeospan_core-f228bec981e130f4.rmeta: crates/core/src/lib.rs crates/core/src/backbone.rs crates/core/src/maintenance.rs crates/core/src/routing.rs crates/core/src/verify.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/backbone.rs:
+crates/core/src/maintenance.rs:
+crates/core/src/routing.rs:
+crates/core/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

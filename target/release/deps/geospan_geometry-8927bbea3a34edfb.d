@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/geospan_geometry-8927bbea3a34edfb.d: crates/geometry/src/lib.rs crates/geometry/src/circle.rs crates/geometry/src/expansion.rs crates/geometry/src/hull.rs crates/geometry/src/point.rs crates/geometry/src/predicates.rs crates/geometry/src/segment.rs crates/geometry/src/triangulation.rs Cargo.toml
+
+/root/repo/target/release/deps/libgeospan_geometry-8927bbea3a34edfb.rmeta: crates/geometry/src/lib.rs crates/geometry/src/circle.rs crates/geometry/src/expansion.rs crates/geometry/src/hull.rs crates/geometry/src/point.rs crates/geometry/src/predicates.rs crates/geometry/src/segment.rs crates/geometry/src/triangulation.rs Cargo.toml
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/circle.rs:
+crates/geometry/src/expansion.rs:
+crates/geometry/src/hull.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/predicates.rs:
+crates/geometry/src/segment.rs:
+crates/geometry/src/triangulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

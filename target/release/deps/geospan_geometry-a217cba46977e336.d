@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/geospan_geometry-a217cba46977e336.d: crates/geometry/src/lib.rs crates/geometry/src/circle.rs crates/geometry/src/expansion.rs crates/geometry/src/hull.rs crates/geometry/src/point.rs crates/geometry/src/predicates.rs crates/geometry/src/segment.rs crates/geometry/src/triangulation.rs
+
+/root/repo/target/release/deps/geospan_geometry-a217cba46977e336: crates/geometry/src/lib.rs crates/geometry/src/circle.rs crates/geometry/src/expansion.rs crates/geometry/src/hull.rs crates/geometry/src/point.rs crates/geometry/src/predicates.rs crates/geometry/src/segment.rs crates/geometry/src/triangulation.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/circle.rs:
+crates/geometry/src/expansion.rs:
+crates/geometry/src/hull.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/predicates.rs:
+crates/geometry/src/segment.rs:
+crates/geometry/src/triangulation.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/geospan_geometry-f57041b8bda243bb.d: crates/geometry/src/lib.rs crates/geometry/src/circle.rs crates/geometry/src/expansion.rs crates/geometry/src/hull.rs crates/geometry/src/point.rs crates/geometry/src/predicates.rs crates/geometry/src/segment.rs crates/geometry/src/triangulation.rs
+
+/root/repo/target/release/deps/libgeospan_geometry-f57041b8bda243bb.rlib: crates/geometry/src/lib.rs crates/geometry/src/circle.rs crates/geometry/src/expansion.rs crates/geometry/src/hull.rs crates/geometry/src/point.rs crates/geometry/src/predicates.rs crates/geometry/src/segment.rs crates/geometry/src/triangulation.rs
+
+/root/repo/target/release/deps/libgeospan_geometry-f57041b8bda243bb.rmeta: crates/geometry/src/lib.rs crates/geometry/src/circle.rs crates/geometry/src/expansion.rs crates/geometry/src/hull.rs crates/geometry/src/point.rs crates/geometry/src/predicates.rs crates/geometry/src/segment.rs crates/geometry/src/triangulation.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/circle.rs:
+crates/geometry/src/expansion.rs:
+crates/geometry/src/hull.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/predicates.rs:
+crates/geometry/src/segment.rs:
+crates/geometry/src/triangulation.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/geospan_graph-154e8f69ec4069e0.d: crates/graph/src/lib.rs crates/graph/src/diameter.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/paths.rs crates/graph/src/planarity.rs crates/graph/src/power.rs crates/graph/src/stats.rs crates/graph/src/stretch.rs crates/graph/src/svg.rs Cargo.toml
+
+/root/repo/target/release/deps/libgeospan_graph-154e8f69ec4069e0.rmeta: crates/graph/src/lib.rs crates/graph/src/diameter.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/paths.rs crates/graph/src/planarity.rs crates/graph/src/power.rs crates/graph/src/stats.rs crates/graph/src/stretch.rs crates/graph/src/svg.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/diameter.rs:
+crates/graph/src/gen.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/paths.rs:
+crates/graph/src/planarity.rs:
+crates/graph/src/power.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/stretch.rs:
+crates/graph/src/svg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

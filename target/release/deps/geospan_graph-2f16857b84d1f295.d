@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/geospan_graph-2f16857b84d1f295.d: crates/graph/src/lib.rs crates/graph/src/diameter.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/paths.rs crates/graph/src/planarity.rs crates/graph/src/power.rs crates/graph/src/stats.rs crates/graph/src/stretch.rs crates/graph/src/svg.rs
+
+/root/repo/target/release/deps/geospan_graph-2f16857b84d1f295: crates/graph/src/lib.rs crates/graph/src/diameter.rs crates/graph/src/gen.rs crates/graph/src/graph.rs crates/graph/src/paths.rs crates/graph/src/planarity.rs crates/graph/src/power.rs crates/graph/src/stats.rs crates/graph/src/stretch.rs crates/graph/src/svg.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/diameter.rs:
+crates/graph/src/gen.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/paths.rs:
+crates/graph/src/planarity.rs:
+crates/graph/src/power.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/stretch.rs:
+crates/graph/src/svg.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/geospan_sim-813068636932c863.d: crates/sim/src/lib.rs crates/sim/src/fault.rs
+
+/root/repo/target/release/deps/libgeospan_sim-813068636932c863.rlib: crates/sim/src/lib.rs crates/sim/src/fault.rs
+
+/root/repo/target/release/deps/libgeospan_sim-813068636932c863.rmeta: crates/sim/src/lib.rs crates/sim/src/fault.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/fault.rs:

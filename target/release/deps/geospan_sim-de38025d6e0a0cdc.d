@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/geospan_sim-de38025d6e0a0cdc.d: crates/sim/src/lib.rs crates/sim/src/fault.rs
+
+/root/repo/target/release/deps/geospan_sim-de38025d6e0a0cdc: crates/sim/src/lib.rs crates/sim/src/fault.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/fault.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/geospan_sim-edebc5b70cc85779.d: crates/sim/src/lib.rs crates/sim/src/fault.rs Cargo.toml
+
+/root/repo/target/release/deps/libgeospan_sim-edebc5b70cc85779.rmeta: crates/sim/src/lib.rs crates/sim/src/fault.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/fault.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/geospan_topology-13e150379d0ea315.d: crates/topology/src/lib.rs crates/topology/src/distributed.rs crates/topology/src/distributed2.rs crates/topology/src/gabriel.rs crates/topology/src/ldel.rs crates/topology/src/rdg.rs crates/topology/src/rng.rs crates/topology/src/yao.rs Cargo.toml
+
+/root/repo/target/release/deps/libgeospan_topology-13e150379d0ea315.rmeta: crates/topology/src/lib.rs crates/topology/src/distributed.rs crates/topology/src/distributed2.rs crates/topology/src/gabriel.rs crates/topology/src/ldel.rs crates/topology/src/rdg.rs crates/topology/src/rng.rs crates/topology/src/yao.rs Cargo.toml
+
+crates/topology/src/lib.rs:
+crates/topology/src/distributed.rs:
+crates/topology/src/distributed2.rs:
+crates/topology/src/gabriel.rs:
+crates/topology/src/ldel.rs:
+crates/topology/src/rdg.rs:
+crates/topology/src/rng.rs:
+crates/topology/src/yao.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

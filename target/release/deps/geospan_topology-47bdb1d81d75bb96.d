@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/geospan_topology-47bdb1d81d75bb96.d: crates/topology/src/lib.rs crates/topology/src/distributed.rs crates/topology/src/distributed2.rs crates/topology/src/gabriel.rs crates/topology/src/ldel.rs crates/topology/src/rdg.rs crates/topology/src/rng.rs crates/topology/src/yao.rs
+
+/root/repo/target/release/deps/libgeospan_topology-47bdb1d81d75bb96.rlib: crates/topology/src/lib.rs crates/topology/src/distributed.rs crates/topology/src/distributed2.rs crates/topology/src/gabriel.rs crates/topology/src/ldel.rs crates/topology/src/rdg.rs crates/topology/src/rng.rs crates/topology/src/yao.rs
+
+/root/repo/target/release/deps/libgeospan_topology-47bdb1d81d75bb96.rmeta: crates/topology/src/lib.rs crates/topology/src/distributed.rs crates/topology/src/distributed2.rs crates/topology/src/gabriel.rs crates/topology/src/ldel.rs crates/topology/src/rdg.rs crates/topology/src/rng.rs crates/topology/src/yao.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/distributed.rs:
+crates/topology/src/distributed2.rs:
+crates/topology/src/gabriel.rs:
+crates/topology/src/ldel.rs:
+crates/topology/src/rdg.rs:
+crates/topology/src/rng.rs:
+crates/topology/src/yao.rs:

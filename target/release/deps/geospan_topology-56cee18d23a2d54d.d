@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/geospan_topology-56cee18d23a2d54d.d: crates/topology/src/lib.rs crates/topology/src/distributed.rs crates/topology/src/distributed2.rs crates/topology/src/gabriel.rs crates/topology/src/ldel.rs crates/topology/src/rdg.rs crates/topology/src/rng.rs crates/topology/src/yao.rs
+
+/root/repo/target/release/deps/geospan_topology-56cee18d23a2d54d: crates/topology/src/lib.rs crates/topology/src/distributed.rs crates/topology/src/distributed2.rs crates/topology/src/gabriel.rs crates/topology/src/ldel.rs crates/topology/src/rdg.rs crates/topology/src/rng.rs crates/topology/src/yao.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/distributed.rs:
+crates/topology/src/distributed2.rs:
+crates/topology/src/gabriel.rs:
+crates/topology/src/ldel.rs:
+crates/topology/src/rdg.rs:
+crates/topology/src/rng.rs:
+crates/topology/src/yao.rs:

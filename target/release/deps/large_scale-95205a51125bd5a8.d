@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/large_scale-95205a51125bd5a8.d: tests/large_scale.rs Cargo.toml
+
+/root/repo/target/release/deps/liblarge_scale-95205a51125bd5a8.rmeta: tests/large_scale.rs Cargo.toml
+
+tests/large_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

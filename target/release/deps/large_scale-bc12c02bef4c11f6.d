@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/large_scale-bc12c02bef4c11f6.d: tests/large_scale.rs
+
+/root/repo/target/release/deps/large_scale-bc12c02bef4c11f6: tests/large_scale.rs
+
+tests/large_scale.rs:

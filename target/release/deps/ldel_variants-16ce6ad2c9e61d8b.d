@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ldel_variants-16ce6ad2c9e61d8b.d: crates/bench/src/bin/ldel_variants.rs
+
+/root/repo/target/release/deps/ldel_variants-16ce6ad2c9e61d8b: crates/bench/src/bin/ldel_variants.rs
+
+crates/bench/src/bin/ldel_variants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ldel_variants-3f3662b77e4ed1b4.d: crates/bench/src/bin/ldel_variants.rs Cargo.toml
+
+/root/repo/target/release/deps/libldel_variants-3f3662b77e4ed1b4.rmeta: crates/bench/src/bin/ldel_variants.rs Cargo.toml
+
+crates/bench/src/bin/ldel_variants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

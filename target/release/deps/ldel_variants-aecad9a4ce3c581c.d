@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ldel_variants-aecad9a4ce3c581c.d: crates/bench/src/bin/ldel_variants.rs
+
+/root/repo/target/release/deps/ldel_variants-aecad9a4ce3c581c: crates/bench/src/bin/ldel_variants.rs
+
+crates/bench/src/bin/ldel_variants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-bfcf7e6185fb409f.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-bfcf7e6185fb409f: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-7782d8dd65154da7.d: tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-7782d8dd65154da7: tests/pipeline.rs
+
+tests/pipeline.rs:

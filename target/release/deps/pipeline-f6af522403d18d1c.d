@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pipeline-f6af522403d18d1c.d: tests/pipeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libpipeline-f6af522403d18d1c.rmeta: tests/pipeline.rs Cargo.toml
+
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/power_stretch-0b334672da5a26aa.d: crates/bench/src/bin/power_stretch.rs Cargo.toml
+
+/root/repo/target/release/deps/libpower_stretch-0b334672da5a26aa.rmeta: crates/bench/src/bin/power_stretch.rs Cargo.toml
+
+crates/bench/src/bin/power_stretch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/power_stretch-64c2cad9aa6e4170.d: crates/bench/src/bin/power_stretch.rs
+
+/root/repo/target/release/deps/power_stretch-64c2cad9aa6e4170: crates/bench/src/bin/power_stretch.rs
+
+crates/bench/src/bin/power_stretch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/power_stretch-95ef09b6dd72bcad.d: crates/bench/src/bin/power_stretch.rs Cargo.toml
+
+/root/repo/target/release/deps/libpower_stretch-95ef09b6dd72bcad.rmeta: crates/bench/src/bin/power_stretch.rs Cargo.toml
+
+crates/bench/src/bin/power_stretch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

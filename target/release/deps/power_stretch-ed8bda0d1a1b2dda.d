@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/power_stretch-ed8bda0d1a1b2dda.d: crates/bench/src/bin/power_stretch.rs
+
+/root/repo/target/release/deps/power_stretch-ed8bda0d1a1b2dda: crates/bench/src/bin/power_stretch.rs
+
+crates/bench/src/bin/power_stretch.rs:

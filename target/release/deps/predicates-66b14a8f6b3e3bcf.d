@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/predicates-66b14a8f6b3e3bcf.d: crates/bench/benches/predicates.rs Cargo.toml
+
+/root/repo/target/release/deps/libpredicates-66b14a8f6b3e3bcf.rmeta: crates/bench/benches/predicates.rs Cargo.toml
+
+crates/bench/benches/predicates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-253f98b12a66164b.d: crates/sim/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-253f98b12a66164b.rmeta: crates/sim/tests/properties.rs Cargo.toml
+
+crates/sim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

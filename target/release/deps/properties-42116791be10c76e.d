@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-42116791be10c76e.d: crates/cds/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-42116791be10c76e.rmeta: crates/cds/tests/properties.rs Cargo.toml
+
+crates/cds/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-548ff9f548b051e1.d: crates/topology/tests/properties.rs
+
+/root/repo/target/release/deps/properties-548ff9f548b051e1: crates/topology/tests/properties.rs
+
+crates/topology/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-6e5d632fe3ea62e8.d: crates/sim/tests/properties.rs
+
+/root/repo/target/release/deps/properties-6e5d632fe3ea62e8: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

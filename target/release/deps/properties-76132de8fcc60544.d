@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-76132de8fcc60544.d: crates/topology/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-76132de8fcc60544.rmeta: crates/topology/tests/properties.rs Cargo.toml
+
+crates/topology/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-821569f1f43e3b0f.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-821569f1f43e3b0f: tests/properties.rs
+
+tests/properties.rs:

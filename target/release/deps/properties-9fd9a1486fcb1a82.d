@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-9fd9a1486fcb1a82.d: crates/cds/tests/properties.rs
+
+/root/repo/target/release/deps/properties-9fd9a1486fcb1a82: crates/cds/tests/properties.rs
+
+crates/cds/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-ab22af6943965716.d: crates/graph/tests/properties.rs
+
+/root/repo/target/release/deps/properties-ab22af6943965716: crates/graph/tests/properties.rs
+
+crates/graph/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-c9a2ca909c305a75.d: crates/graph/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-c9a2ca909c305a75.rmeta: crates/graph/tests/properties.rs Cargo.toml
+
+crates/graph/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

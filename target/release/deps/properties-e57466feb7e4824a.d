@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-e57466feb7e4824a.d: crates/geometry/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-e57466feb7e4824a.rmeta: crates/geometry/tests/properties.rs Cargo.toml
+
+crates/geometry/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

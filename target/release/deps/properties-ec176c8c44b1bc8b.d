@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-ec176c8c44b1bc8b.d: crates/geometry/tests/properties.rs
+
+/root/repo/target/release/deps/properties-ec176c8c44b1bc8b: crates/geometry/tests/properties.rs
+
+crates/geometry/tests/properties.rs:

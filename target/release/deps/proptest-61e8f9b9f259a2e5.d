@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-61e8f9b9f259a2e5.d: stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-61e8f9b9f259a2e5.rmeta: stubs/proptest/src/lib.rs
+
+stubs/proptest/src/lib.rs:

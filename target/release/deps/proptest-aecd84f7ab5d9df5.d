@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-aecd84f7ab5d9df5.d: stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-aecd84f7ab5d9df5.rlib: stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-aecd84f7ab5d9df5.rmeta: stubs/proptest/src/lib.rs
+
+stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-ba31b6fc35260bf8.d: stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-ba31b6fc35260bf8.rmeta: stubs/rand/src/lib.rs
+
+stubs/rand/src/lib.rs:

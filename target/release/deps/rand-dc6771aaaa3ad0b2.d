@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-dc6771aaaa3ad0b2.d: stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-dc6771aaaa3ad0b2.rlib: stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-dc6771aaaa3ad0b2.rmeta: stubs/rand/src/lib.rs
+
+stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-1ad01f5460a4c784.d: stubs/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-1ad01f5460a4c784.rlib: stubs/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-1ad01f5460a4c784.rmeta: stubs/rand_chacha/src/lib.rs
+
+stubs/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand_chacha-443928831f1b443b.d: stubs/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-443928831f1b443b.rmeta: stubs/rand_chacha/src/lib.rs
+
+stubs/rand_chacha/src/lib.rs:

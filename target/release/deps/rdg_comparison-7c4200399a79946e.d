@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rdg_comparison-7c4200399a79946e.d: crates/bench/src/bin/rdg_comparison.rs
+
+/root/repo/target/release/deps/rdg_comparison-7c4200399a79946e: crates/bench/src/bin/rdg_comparison.rs
+
+crates/bench/src/bin/rdg_comparison.rs:

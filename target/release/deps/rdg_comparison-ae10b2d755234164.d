@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rdg_comparison-ae10b2d755234164.d: crates/bench/src/bin/rdg_comparison.rs Cargo.toml
+
+/root/repo/target/release/deps/librdg_comparison-ae10b2d755234164.rmeta: crates/bench/src/bin/rdg_comparison.rs Cargo.toml
+
+crates/bench/src/bin/rdg_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rdg_comparison-bdc8ec36f3fcaa95.d: crates/bench/src/bin/rdg_comparison.rs
+
+/root/repo/target/release/deps/rdg_comparison-bdc8ec36f3fcaa95: crates/bench/src/bin/rdg_comparison.rs
+
+crates/bench/src/bin/rdg_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-2bd2eae2ed71e9b1.d: crates/bench/src/bin/robustness.rs
+
+/root/repo/target/release/deps/robustness-2bd2eae2ed71e9b1: crates/bench/src/bin/robustness.rs
+
+crates/bench/src/bin/robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/robustness-31e0cd2110071fd5.d: crates/bench/src/bin/robustness.rs Cargo.toml
+
+/root/repo/target/release/deps/librobustness-31e0cd2110071fd5.rmeta: crates/bench/src/bin/robustness.rs Cargo.toml
+
+crates/bench/src/bin/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-ce7c53c9650a1673.d: crates/bench/src/bin/robustness.rs
+
+/root/repo/target/release/deps/robustness-ce7c53c9650a1673: crates/bench/src/bin/robustness.rs
+
+crates/bench/src/bin/robustness.rs:

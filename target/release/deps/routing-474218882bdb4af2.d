@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/routing-474218882bdb4af2.d: tests/routing.rs
+
+/root/repo/target/release/deps/routing-474218882bdb4af2: tests/routing.rs
+
+tests/routing.rs:

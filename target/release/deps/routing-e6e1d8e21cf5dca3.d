@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/routing-e6e1d8e21cf5dca3.d: crates/bench/benches/routing.rs Cargo.toml
+
+/root/repo/target/release/deps/librouting-e6e1d8e21cf5dca3.rmeta: crates/bench/benches/routing.rs Cargo.toml
+
+crates/bench/benches/routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/routing-e9d70b1d3a19ce11.d: tests/routing.rs Cargo.toml
+
+/root/repo/target/release/deps/librouting-e9d70b1d3a19ce11.rmeta: tests/routing.rs Cargo.toml
+
+tests/routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/routing_quality-4fd3fc4a1a511cf5.d: crates/bench/src/bin/routing_quality.rs
+
+/root/repo/target/release/deps/routing_quality-4fd3fc4a1a511cf5: crates/bench/src/bin/routing_quality.rs
+
+crates/bench/src/bin/routing_quality.rs:

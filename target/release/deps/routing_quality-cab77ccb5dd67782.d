@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/routing_quality-cab77ccb5dd67782.d: crates/bench/src/bin/routing_quality.rs Cargo.toml
+
+/root/repo/target/release/deps/librouting_quality-cab77ccb5dd67782.rmeta: crates/bench/src/bin/routing_quality.rs Cargo.toml
+
+crates/bench/src/bin/routing_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/routing_quality-f2734493911d97ae.d: crates/bench/src/bin/routing_quality.rs
+
+/root/repo/target/release/deps/routing_quality-f2734493911d97ae: crates/bench/src/bin/routing_quality.rs
+
+crates/bench/src/bin/routing_quality.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-7121ebd67b700213.d: stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-7121ebd67b700213.rlib: stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-7121ebd67b700213.rmeta: stubs/serde/src/lib.rs
+
+stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-970fdfb8a5a8c0a4.d: stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-970fdfb8a5a8c0a4.rmeta: stubs/serde/src/lib.rs
+
+stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-159710f8e888dabf.d: stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-159710f8e888dabf.so: stubs/serde_derive/src/lib.rs
+
+stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-b3c98b318a470cd7.d: stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-b3c98b318a470cd7.rmeta: stubs/serde_json/src/lib.rs
+
+stubs/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-cafa77615f35bed7.d: stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-cafa77615f35bed7.rlib: stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-cafa77615f35bed7.rmeta: stubs/serde_json/src/lib.rs
+
+stubs/serde_json/src/lib.rs:

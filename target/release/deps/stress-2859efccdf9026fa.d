@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stress-2859efccdf9026fa.d: crates/geometry/tests/stress.rs
+
+/root/repo/target/release/deps/stress-2859efccdf9026fa: crates/geometry/tests/stress.rs
+
+crates/geometry/tests/stress.rs:

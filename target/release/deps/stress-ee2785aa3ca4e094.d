@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/stress-ee2785aa3ca4e094.d: crates/geometry/tests/stress.rs Cargo.toml
+
+/root/repo/target/release/deps/libstress-ee2785aa3ca4e094.rmeta: crates/geometry/tests/stress.rs Cargo.toml
+
+crates/geometry/tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

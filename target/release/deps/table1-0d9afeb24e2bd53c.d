@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-0d9afeb24e2bd53c.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-0d9afeb24e2bd53c: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

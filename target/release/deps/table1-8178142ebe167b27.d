@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-8178142ebe167b27.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-8178142ebe167b27: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

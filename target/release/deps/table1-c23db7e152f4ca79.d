@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table1-c23db7e152f4ca79.d: crates/bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable1-c23db7e152f4ca79.rmeta: crates/bench/src/bin/table1.rs Cargo.toml
+
+crates/bench/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

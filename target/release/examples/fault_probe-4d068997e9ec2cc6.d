@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_probe-4d068997e9ec2cc6.d: examples/fault_probe.rs
+
+/root/repo/target/release/examples/fault_probe-4d068997e9ec2cc6: examples/fault_probe.rs
+
+examples/fault_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mobility-00dbc32fbcd3f3b0.d: examples/mobility.rs
+
+/root/repo/target/release/examples/mobility-00dbc32fbcd3f3b0: examples/mobility.rs
+
+examples/mobility.rs:

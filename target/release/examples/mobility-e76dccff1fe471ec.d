@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/mobility-e76dccff1fe471ec.d: examples/mobility.rs Cargo.toml
+
+/root/repo/target/release/examples/libmobility-e76dccff1fe471ec.rmeta: examples/mobility.rs Cargo.toml
+
+examples/mobility.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

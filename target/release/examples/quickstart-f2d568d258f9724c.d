@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-f2d568d258f9724c.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-f2d568d258f9724c: examples/quickstart.rs
+
+examples/quickstart.rs:

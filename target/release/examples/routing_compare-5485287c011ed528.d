@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/routing_compare-5485287c011ed528.d: examples/routing_compare.rs Cargo.toml
+
+/root/repo/target/release/examples/librouting_compare-5485287c011ed528.rmeta: examples/routing_compare.rs Cargo.toml
+
+examples/routing_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/routing_compare-e50d911b7ec0c1d1.d: examples/routing_compare.rs
+
+/root/repo/target/release/examples/routing_compare-e50d911b7ec0c1d1: examples/routing_compare.rs
+
+examples/routing_compare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sensor_network-3684a15bb1636d35.d: examples/sensor_network.rs
+
+/root/repo/target/release/examples/sensor_network-3684a15bb1636d35: examples/sensor_network.rs
+
+examples/sensor_network.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/sensor_network-4ec27a7bb777626f.d: examples/sensor_network.rs Cargo.toml
+
+/root/repo/target/release/examples/libsensor_network-4ec27a7bb777626f.rmeta: examples/sensor_network.rs Cargo.toml
+
+examples/sensor_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/topology_gallery-4ca8276dfa2fffd8.d: examples/topology_gallery.rs
+
+/root/repo/target/release/examples/topology_gallery-4ca8276dfa2fffd8: examples/topology_gallery.rs
+
+examples/topology_gallery.rs:

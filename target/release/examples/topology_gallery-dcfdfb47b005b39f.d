@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/topology_gallery-dcfdfb47b005b39f.d: examples/topology_gallery.rs Cargo.toml
+
+/root/repo/target/release/examples/libtopology_gallery-dcfdfb47b005b39f.rmeta: examples/topology_gallery.rs Cargo.toml
+
+examples/topology_gallery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR
