@@ -1,0 +1,239 @@
+//! Persisted pipeline benchmark: the frozen seed implementation versus
+//! the optimized (parallel + grid-indexed) construction pipeline.
+//!
+//! For each deployment size the binary times the seed `LDel¹ → PLDel`
+//! pipeline (serial, hash-map Bowyer–Watson, x-sweep planarization,
+//! `O(m²)` crossing count) against the current library pipeline, checks
+//! that both produce **identical** output, and writes the measurements to
+//! `results/BENCH_pipeline.json` so regressions are diffable in review.
+//!
+//! Usage: `pipeline_speedup [--quick] [--seed S] [--out DIR]`
+//!
+//! `--quick` restricts the sweep to the two smallest sizes and one timing
+//! repetition — the CI smoke mode. Node density follows the paper's
+//! Table I calibration (side `200·√(n/100)`, radius 60), so the average
+//! degree stays constant across sizes.
+
+use std::time::Instant;
+
+use geospan_bench::baseline::{seed_crossing_count, seed_ldel1, seed_planarize};
+use geospan_cds::build_cds;
+use geospan_core::ClusterRank;
+use geospan_graph::gen::connected_unit_disk;
+use geospan_graph::planarity::crossing_count;
+use geospan_graph::stretch::{stretch_factors, StretchOptions};
+use geospan_topology::ldel;
+
+struct SizeResult {
+    n: usize,
+    side: f64,
+    radius: f64,
+    seed: u64,
+    udg_edges: usize,
+    ldel_triangles: usize,
+    pldel_triangles: usize,
+    pldel_edges: usize,
+    /// Seed pipeline (LDel¹ + planarize), best-of-reps wall clock.
+    serial_pipeline_ms: f64,
+    /// Current pipeline on the same instance.
+    parallel_pipeline_ms: f64,
+    pipeline_speedup: f64,
+    /// Seed `O(m²)` crossing count over the UDG edges.
+    serial_crossing_ms: f64,
+    /// Grid-indexed crossing count (same result).
+    grid_crossing_ms: f64,
+    crossing_speedup: f64,
+    udg_crossings: usize,
+    cds_ms: f64,
+    cds_edges: usize,
+    /// Stretch of PLDel vs the UDG; only measured for n ≤ 500 (the
+    /// all-pairs measurement dwarfs construction above that).
+    stretch_ms: Option<f64>,
+    outputs_identical: bool,
+}
+
+struct Report {
+    description: &'static str,
+    threads: usize,
+    quick: bool,
+    reps: usize,
+    sizes: Vec<SizeResult>,
+}
+
+impl Report {
+    /// Machine-readable artifact (the serde stubs don't serialize, so the
+    /// JSON is written by hand; the schema is flat and additive-friendly).
+    fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"description\": \"{}\",", self.description);
+        let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        let _ = writeln!(s, "  \"quick\": {},", self.quick);
+        let _ = writeln!(s, "  \"reps\": {},", self.reps);
+        s.push_str("  \"sizes\": [\n");
+        for (k, r) in self.sizes.iter().enumerate() {
+            s.push_str("    {\n");
+            let _ = writeln!(s, "      \"n\": {},", r.n);
+            let _ = writeln!(s, "      \"side\": {:.3},", r.side);
+            let _ = writeln!(s, "      \"radius\": {:.1},", r.radius);
+            let _ = writeln!(s, "      \"seed\": {},", r.seed);
+            let _ = writeln!(s, "      \"udg_edges\": {},", r.udg_edges);
+            let _ = writeln!(s, "      \"ldel_triangles\": {},", r.ldel_triangles);
+            let _ = writeln!(s, "      \"pldel_triangles\": {},", r.pldel_triangles);
+            let _ = writeln!(s, "      \"pldel_edges\": {},", r.pldel_edges);
+            let _ = writeln!(
+                s,
+                "      \"serial_pipeline_ms\": {:.3},",
+                r.serial_pipeline_ms
+            );
+            let _ = writeln!(
+                s,
+                "      \"parallel_pipeline_ms\": {:.3},",
+                r.parallel_pipeline_ms
+            );
+            let _ = writeln!(s, "      \"pipeline_speedup\": {:.3},", r.pipeline_speedup);
+            let _ = writeln!(
+                s,
+                "      \"serial_crossing_ms\": {:.3},",
+                r.serial_crossing_ms
+            );
+            let _ = writeln!(s, "      \"grid_crossing_ms\": {:.3},", r.grid_crossing_ms);
+            let _ = writeln!(s, "      \"crossing_speedup\": {:.3},", r.crossing_speedup);
+            let _ = writeln!(s, "      \"udg_crossings\": {},", r.udg_crossings);
+            let _ = writeln!(s, "      \"cds_ms\": {:.3},", r.cds_ms);
+            let _ = writeln!(s, "      \"cds_edges\": {},", r.cds_edges);
+            match r.stretch_ms {
+                Some(ms) => {
+                    let _ = writeln!(s, "      \"stretch_ms\": {ms:.3},");
+                }
+                None => {
+                    let _ = writeln!(s, "      \"stretch_ms\": null,");
+                }
+            }
+            let _ = writeln!(s, "      \"outputs_identical\": {}", r.outputs_identical);
+            s.push_str(if k + 1 < self.sizes.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Best-of-`reps` wall clock in milliseconds, plus the last result.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+fn main() {
+    let mut quick = false;
+    let mut seed = 1u64;
+    let mut out_dir = std::path::PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .expect("value after --seed")
+                    .parse()
+                    .expect("u64")
+            }
+            "--out" => out_dir = args.next().expect("value after --out").into(),
+            other => panic!("unknown argument {other}; supported: --quick --seed S --out DIR"),
+        }
+    }
+
+    let sizes: &[usize] = if quick {
+        &[200, 500]
+    } else {
+        &[200, 500, 1000, 2000]
+    };
+    let reps = if quick { 1 } else { 3 };
+    let radius = 60.0;
+
+    let mut results = Vec::new();
+    for &n in sizes {
+        // Constant density: scale the region with n (Table I calibration).
+        let side = 200.0 * ((n as f64) / 100.0).sqrt();
+        let (_pts, udg, used_seed) = connected_unit_disk(n, side, radius, seed);
+
+        let (serial_ms, serial) = best_of(reps, || seed_planarize(&udg, seed_ldel1(&udg)));
+        let (parallel_ms, parallel) = best_of(reps, || ldel::planarized(&udg));
+        let identical = serial == parallel;
+        assert!(
+            identical,
+            "n={n}: optimized pipeline output diverged from the seed baseline"
+        );
+
+        let (serial_cross_ms, serial_crossings) = best_of(reps, || seed_crossing_count(&udg));
+        let (grid_cross_ms, grid_crossings) = best_of(reps, || crossing_count(&udg));
+        assert_eq!(serial_crossings, grid_crossings, "n={n}: crossing counts");
+
+        let (cds_ms, cds) = best_of(reps, || build_cds(&udg, &ClusterRank::LowestId));
+
+        let stretch_ms = (n <= 500).then(|| {
+            best_of(reps, || {
+                stretch_factors(&udg, &parallel.graph, StretchOptions::default())
+            })
+            .0
+        });
+
+        let r = SizeResult {
+            n,
+            side,
+            radius,
+            seed: used_seed,
+            udg_edges: udg.edge_count(),
+            ldel_triangles: seed_ldel1(&udg).triangles.len(),
+            pldel_triangles: parallel.triangles.len(),
+            pldel_edges: parallel.graph.edge_count(),
+            serial_pipeline_ms: serial_ms,
+            parallel_pipeline_ms: parallel_ms,
+            pipeline_speedup: serial_ms / parallel_ms,
+            serial_crossing_ms: serial_cross_ms,
+            grid_crossing_ms: grid_cross_ms,
+            crossing_speedup: serial_cross_ms / grid_cross_ms,
+            udg_crossings: grid_crossings,
+            cds_ms,
+            cds_edges: cds.cds.edge_count(),
+            stretch_ms,
+            outputs_identical: identical,
+        };
+        println!(
+            "n={:>5}  pipeline {:>8.2}ms -> {:>7.2}ms ({:.2}x)   crossings {:>8.2}ms -> {:>7.2}ms ({:.2}x)",
+            r.n,
+            r.serial_pipeline_ms,
+            r.parallel_pipeline_ms,
+            r.pipeline_speedup,
+            r.serial_crossing_ms,
+            r.grid_crossing_ms,
+            r.crossing_speedup,
+        );
+        results.push(r);
+    }
+
+    let report = Report {
+        description: "Construction pipeline: frozen seed implementation vs optimized \
+                      (grid-indexed, parallel) pipeline; best-of-reps wall clock",
+        threads: rayon::current_num_threads(),
+        quick,
+        reps,
+        sizes: results,
+    };
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let path = out_dir.join("BENCH_pipeline.json");
+    std::fs::write(&path, report.to_json()).expect("write BENCH_pipeline.json");
+    println!("wrote {}", path.display());
+}

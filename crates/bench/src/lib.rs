@@ -11,6 +11,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+
 use std::fmt::Write as _;
 
 use geospan_cds::build_cds;
@@ -20,6 +22,7 @@ use geospan_graph::stats::degree_stats;
 use geospan_graph::stretch::{stretch_factors, StretchOptions, StretchReport};
 use geospan_graph::{Graph, Point};
 use geospan_topology::{gabriel, ldel, relative_neighborhood};
+use rayon::prelude::*;
 use serde::Serialize;
 
 /// An experiment scenario: the deployment parameters of the paper's
@@ -191,33 +194,68 @@ pub fn measure_stretch(udg: &Graph, g: &Graph, radius: f64) -> StretchReport {
     )
 }
 
+/// One topology's measurements on one instance (intermediate record of
+/// [`table1_rows`]).
+struct TopoMeasurement {
+    name: &'static str,
+    deg_avg: f64,
+    deg_max: usize,
+    edges: f64,
+    stretch: Option<StretchReport>,
+}
+
 /// Runs the full Table I measurement over a scenario.
+///
+/// Instances are measured in parallel (each builds its own topologies);
+/// the per-instance measurements are folded serially in instance order,
+/// so the aggregate is identical for every thread count.
 pub fn table1_rows(scenario: &Scenario) -> Vec<RowStats> {
     let instances = scenario.instances();
+    let per_instance: Vec<Vec<TopoMeasurement>> = (0..instances.len())
+        .into_par_iter()
+        .map(|k| {
+            let (_pts, udg) = &instances[k];
+            table1_topologies(udg, scenario.radius)
+                .into_iter()
+                .map(|topo| {
+                    let d = degree_stats(&topo.graph);
+                    let stretch = (topo.span == Span::AllNodes).then(|| {
+                        let r = measure_stretch(udg, &topo.graph, scenario.radius);
+                        assert_eq!(
+                            r.disconnected_pairs, 0,
+                            "instance {k}: {} disconnects pairs",
+                            topo.name
+                        );
+                        r
+                    });
+                    TopoMeasurement {
+                        name: topo.name,
+                        deg_avg: d.avg,
+                        deg_max: d.max,
+                        edges: topo.graph.edge_count() as f64,
+                        stretch,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
     let mut rows: Vec<RowStats> = Vec::new();
-    for (k, (_pts, udg)) in instances.iter().enumerate() {
-        let topologies = table1_topologies(udg, scenario.radius);
+    for inst in &per_instance {
         if rows.is_empty() {
-            rows = topologies
+            rows = inst
                 .iter()
-                .map(|t| RowStats {
-                    name: t.name.to_string(),
+                .map(|m| RowStats {
+                    name: m.name.to_string(),
                     ..RowStats::default()
                 })
                 .collect();
         }
-        for (row, topo) in rows.iter_mut().zip(&topologies) {
-            let d = degree_stats(&topo.graph);
-            row.deg_avg += d.avg;
-            row.deg_max = row.deg_max.max(d.max);
-            row.edges += topo.graph.edge_count() as f64;
-            if topo.span == Span::AllNodes {
-                let r = measure_stretch(udg, &topo.graph, scenario.radius);
-                assert_eq!(
-                    r.disconnected_pairs, 0,
-                    "instance {k}: {} disconnects pairs",
-                    topo.name
-                );
+        for (row, m) in rows.iter_mut().zip(inst) {
+            row.deg_avg += m.deg_avg;
+            row.deg_max = row.deg_max.max(m.deg_max);
+            row.edges += m.edges;
+            if let Some(r) = &m.stretch {
                 *row.len_avg.get_or_insert(0.0) += r.length_avg;
                 *row.hop_avg.get_or_insert(0.0) += r.hop_avg;
                 let lm = row.len_max.get_or_insert(0.0);

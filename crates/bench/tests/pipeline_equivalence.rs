@@ -1,0 +1,96 @@
+//! The optimized construction pipeline must be indistinguishable from the
+//! frozen seed baseline — same triangles, same Gabriel edges, same graph —
+//! and bit-identical across thread counts.
+
+use geospan_bench::baseline::{seed_crossing_count, seed_ldel1, seed_planarize};
+use geospan_graph::gen::{connected_unit_disk, perturbed_grid, UnitDiskBuilder};
+use geospan_graph::planarity::crossing_count;
+use geospan_graph::stretch::{stretch_factors, StretchOptions};
+use geospan_graph::Graph;
+use geospan_topology::ldel;
+
+fn assert_pipeline_matches_seed(udg: &Graph, label: &str) {
+    let raw_new = ldel::ldel1(udg);
+    let raw_seed = seed_ldel1(udg);
+    assert_eq!(raw_new.triangles, raw_seed.triangles, "{label}: triangles");
+    assert_eq!(
+        raw_new.gabriel_edges, raw_seed.gabriel_edges,
+        "{label}: gabriel edges"
+    );
+    assert_eq!(
+        raw_new.graph.edges().collect::<Vec<_>>(),
+        raw_seed.graph.edges().collect::<Vec<_>>(),
+        "{label}: LDel1 edges"
+    );
+
+    let pl_new = ldel::planarized(udg);
+    let pl_seed = seed_planarize(udg, raw_seed);
+    assert_eq!(pl_new, pl_seed, "{label}: PLDel");
+
+    assert_eq!(
+        crossing_count(udg),
+        seed_crossing_count(udg),
+        "{label}: crossing count"
+    );
+}
+
+#[test]
+fn optimized_pipeline_matches_seed_on_random_instances() {
+    for seed in 0..5 {
+        let (_pts, udg, _s) = connected_unit_disk(80, 180.0, 55.0, seed * 17 + 1);
+        assert_pipeline_matches_seed(&udg, &format!("random seed {seed}"));
+    }
+}
+
+#[test]
+fn optimized_pipeline_matches_seed_on_degenerate_layouts() {
+    // Exact grid (jitter 0): massive collinearity and cocircularity, the
+    // worst case for the exact predicates and for tie-breaking.
+    let pts = perturbed_grid(9, 9, 20.0, 0.0, 3);
+    let udg = UnitDiskBuilder::new(45.0).build(&pts);
+    assert_pipeline_matches_seed(&udg, "exact grid");
+
+    // Lightly jittered grid: near-degenerate circumcircles.
+    let pts = perturbed_grid(9, 9, 20.0, 0.01, 4);
+    let udg = UnitDiskBuilder::new(45.0).build(&pts);
+    assert_pipeline_matches_seed(&udg, "jittered grid");
+
+    // A single line of nodes: no triangles at all.
+    let pts: Vec<_> = (0..15)
+        .map(|i| geospan_graph::Point::new(i as f64 * 10.0, 5.0))
+        .collect();
+    let udg = UnitDiskBuilder::new(25.0).build(&pts);
+    assert_pipeline_matches_seed(&udg, "collinear line");
+}
+
+/// Thread-count determinism. One test owns every `RAYON_NUM_THREADS`
+/// mutation (tests in one binary share the process environment, so the
+/// settings must not race with other tests reading it).
+#[test]
+fn results_are_bit_identical_across_thread_counts() {
+    let (_pts, udg, _s) = connected_unit_disk(120, 220.0, 55.0, 7);
+    let sub = ldel::planarized(&udg).graph.clone();
+
+    let run = || {
+        (
+            ldel::ldel1(&udg),
+            ldel::planarized(&udg),
+            stretch_factors(&udg, &sub, StretchOptions::default()),
+            crossing_count(&udg),
+        )
+    };
+
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let serial = run();
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let four = run();
+    std::env::remove_var("RAYON_NUM_THREADS");
+    let auto = run();
+
+    assert_eq!(serial.0, four.0, "ldel1: 1 vs 4 threads");
+    assert_eq!(serial.1, four.1, "planarized: 1 vs 4 threads");
+    assert_eq!(serial.2, four.2, "stretch: 1 vs 4 threads");
+    assert_eq!(serial.3, four.3, "crossing count: 1 vs 4 threads");
+    assert_eq!(serial.0, auto.0, "ldel1: 1 vs auto threads");
+    assert_eq!(serial.2, auto.2, "stretch: 1 vs auto threads");
+}

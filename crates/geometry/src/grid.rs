@@ -1,0 +1,318 @@
+//! A uniform grid over axis-aligned bounding boxes, for sub-quadratic
+//! crossing detection.
+//!
+//! The planarity checks and the `PLDel` crossing-triangle removal both
+//! need "which pairs of short objects might intersect?". All objects in
+//! those workloads (UDG edges, localized-Delaunay triangles) have
+//! diameter at most the transmission radius, so a uniform grid with cell
+//! size on that order puts every object into `O(1)` cells and every
+//! candidate pair shares a cell. [`UniformGrid::candidate_pairs`]
+//! enumerates each such pair exactly once; callers then run the exact
+//! predicates only on the candidates, replacing the `O(m²)` pairwise
+//! loops with `O(m + candidates)` work.
+
+use crate::Point;
+
+/// A uniform grid indexing items by their axis-aligned bounding box.
+///
+/// # Example
+/// ```
+/// use geospan_geometry::{Point, UniformGrid};
+/// // Two crossing segments and one far away.
+/// let segs = [
+///     (Point::new(0., 0.), Point::new(2., 2.)),
+///     (Point::new(0., 2.), Point::new(2., 0.)),
+///     (Point::new(50., 50.), Point::new(51., 51.)),
+/// ];
+/// let grid = UniformGrid::from_segments(&segs, None);
+/// assert_eq!(grid.candidate_pairs(), vec![(0, 1)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UniformGrid {
+    /// Minimum corner of the indexed area.
+    origin: Point,
+    /// Cell side length.
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    /// Per-item inclusive cell range `(c0, r0, c1, r1)`.
+    ranges: Vec<(u32, u32, u32, u32)>,
+    /// `cols × rows` buckets of item ids, row-major, each ascending.
+    cells: Vec<Vec<u32>>,
+}
+
+/// Grow total cell count at most this factor beyond the item count, so
+/// sparse-but-wide inputs cannot blow up memory.
+const CELL_BUDGET_FACTOR: usize = 4;
+
+impl UniformGrid {
+    /// Indexes axis-aligned boxes given as `(min, max)` corner pairs.
+    ///
+    /// `cell_hint` is the intended cell side (the transmission radius in
+    /// the spanner pipelines). When `None`, the largest box dimension is
+    /// used, which guarantees every box overlaps at most 2×2 cells. The
+    /// cell is enlarged as needed to respect an `O(len)` total-cell
+    /// budget.
+    ///
+    /// # Panics
+    /// Panics if a coordinate is NaN or infinite, or a box has
+    /// `min > max` in some coordinate.
+    pub fn from_boxes(boxes: &[(Point, Point)], cell_hint: Option<f64>) -> UniformGrid {
+        let m = boxes.len();
+        let mut lo = Point::new(f64::INFINITY, f64::INFINITY);
+        let mut hi = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        let mut max_dim = 0.0f64;
+        for &(a, b) in boxes {
+            assert!(
+                a.is_finite() && b.is_finite(),
+                "grid boxes need finite coordinates"
+            );
+            assert!(a.x <= b.x && a.y <= b.y, "box min must not exceed its max");
+            lo = Point::new(lo.x.min(a.x), lo.y.min(a.y));
+            hi = Point::new(hi.x.max(b.x), hi.y.max(b.y));
+            max_dim = max_dim.max(b.x - a.x).max(b.y - a.y);
+        }
+        if m == 0 {
+            return UniformGrid {
+                origin: Point::ORIGIN,
+                cell: 1.0,
+                cols: 1,
+                rows: 1,
+                ranges: Vec::new(),
+                cells: vec![Vec::new()],
+            };
+        }
+        let mut cell = match cell_hint {
+            Some(c) if c > 0.0 && c.is_finite() => c.max(max_dim / 64.0),
+            _ => max_dim,
+        };
+        if cell <= 0.0 {
+            cell = 1.0; // all boxes are points at one location
+        }
+        let span_x = (hi.x - lo.x).max(0.0);
+        let span_y = (hi.y - lo.y).max(0.0);
+        // Enforce the cell budget by doubling the cell size; terminates
+        // because dims at least halve each round.
+        let budget = (CELL_BUDGET_FACTOR * m).max(64);
+        let dims = |cell: f64| {
+            let cols = (span_x / cell).floor() as usize + 1;
+            let rows = (span_y / cell).floor() as usize + 1;
+            (cols, rows)
+        };
+        let (mut cols, mut rows) = dims(cell);
+        while cols.saturating_mul(rows) > budget {
+            cell *= 2.0;
+            (cols, rows) = dims(cell);
+        }
+
+        let mut grid = UniformGrid {
+            origin: lo,
+            cell,
+            cols,
+            rows,
+            ranges: Vec::with_capacity(m),
+            cells: vec![Vec::new(); cols * rows],
+        };
+        for (i, &(a, b)) in boxes.iter().enumerate() {
+            let (c0, r0) = grid.cell_of(a);
+            let (c1, r1) = grid.cell_of(b);
+            grid.ranges
+                .push((c0 as u32, r0 as u32, c1 as u32, r1 as u32));
+            for r in r0..=r1 {
+                for c in c0..=c1 {
+                    grid.cells[r * grid.cols + c].push(i as u32);
+                }
+            }
+        }
+        grid
+    }
+
+    /// Indexes segments by their bounding boxes; see [`Self::from_boxes`].
+    pub fn from_segments(segments: &[(Point, Point)], cell_hint: Option<f64>) -> UniformGrid {
+        let boxes: Vec<(Point, Point)> = segments
+            .iter()
+            .map(|&(a, b)| {
+                // `f64::min` silently drops NaN operands, so check the
+                // endpoints before normalizing the box corners.
+                assert!(
+                    a.is_finite() && b.is_finite(),
+                    "grid segments need finite coordinates"
+                );
+                (
+                    Point::new(a.x.min(b.x), a.y.min(b.y)),
+                    Point::new(a.x.max(b.x), a.y.max(b.y)),
+                )
+            })
+            .collect();
+        UniformGrid::from_boxes(&boxes, cell_hint)
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The cell containing `p` (clamped to the grid).
+    fn cell_of(&self, p: Point) -> (usize, usize) {
+        let c = ((p.x - self.origin.x) / self.cell).floor() as isize;
+        let r = ((p.y - self.origin.y) / self.cell).floor() as isize;
+        (
+            c.clamp(0, self.cols as isize - 1) as usize,
+            r.clamp(0, self.rows as isize - 1) as usize,
+        )
+    }
+
+    /// All item pairs `(i, j)` with `i < j` whose bounding boxes share a
+    /// grid cell, each reported exactly once, in ascending order.
+    ///
+    /// This is a superset of the pairs whose boxes (and so the pairs
+    /// whose items) intersect: intersecting boxes overlap in some cell
+    /// of both ranges. A pair sharing several cells is emitted only in
+    /// the lexicographically smallest common cell.
+    pub fn candidate_pairs(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let bucket = &self.cells[r * self.cols + c];
+                for (k, &bi) in bucket.iter().enumerate() {
+                    let (ic0, ir0, _, _) = self.ranges[bi as usize];
+                    for &bj in &bucket[k + 1..] {
+                        let (jc0, jr0, _, _) = self.ranges[bj as usize];
+                        // Report in the min corner of the range overlap
+                        // only, so shared-multi-cell pairs appear once.
+                        if ic0.max(jc0) as usize == c && ir0.max(jr0) as usize == r {
+                            let (i, j) = (bi.min(bj) as usize, bi.max(bj) as usize);
+                            out.push((i, j));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> (Point, Point) {
+        (Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    /// Brute-force bbox-overlap oracle.
+    fn overlapping_pairs(segs: &[(Point, Point)]) -> Vec<(usize, usize)> {
+        let bx =
+            |&(a, b): &(Point, Point)| (a.x.min(b.x), a.y.min(b.y), a.x.max(b.x), a.y.max(b.y));
+        let mut out = Vec::new();
+        for (i, si) in segs.iter().enumerate() {
+            let (ax0, ay0, ax1, ay1) = bx(si);
+            for (j, sj) in segs.iter().enumerate().skip(i + 1) {
+                let (bx0, by0, bx1, by1) = bx(sj);
+                if ax0 <= bx1 && bx0 <= ax1 && ay0 <= by1 && by0 <= ay1 {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn empty_grid() {
+        let g = UniformGrid::from_segments(&[], None);
+        assert!(g.is_empty());
+        assert!(g.candidate_pairs().is_empty());
+    }
+
+    #[test]
+    fn single_item_has_no_pairs() {
+        let g = UniformGrid::from_segments(&[seg(0., 0., 1., 1.)], None);
+        assert_eq!(g.len(), 1);
+        assert!(g.candidate_pairs().is_empty());
+    }
+
+    #[test]
+    fn candidates_cover_all_bbox_overlaps() {
+        // Pseudo-random short segments in a square; grid candidates must
+        // be a superset of bbox-overlapping pairs and each pair unique.
+        let mut s: u64 = 0x243F6A8885A308D3;
+        let mut rnd = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        let segs: Vec<(Point, Point)> = (0..200)
+            .map(|_| {
+                let x = rnd() * 100.0;
+                let y = rnd() * 100.0;
+                seg(x, y, x + rnd() * 8.0, y + rnd() * 8.0)
+            })
+            .collect();
+        for hint in [None, Some(8.0), Some(1.0), Some(1000.0)] {
+            let g = UniformGrid::from_segments(&segs, hint);
+            let cand = g.candidate_pairs();
+            // Uniqueness.
+            let mut dedup = cand.clone();
+            dedup.dedup();
+            assert_eq!(cand, dedup, "hint {hint:?}: duplicate candidates");
+            // Superset of true bbox overlaps.
+            for p in overlapping_pairs(&segs) {
+                assert!(
+                    cand.binary_search(&p).is_ok(),
+                    "hint {hint:?}: missing overlap pair {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_identical_and_collinear_segments() {
+        // All on one horizontal line, including zero-length segments.
+        let segs: Vec<(Point, Point)> = (0..10)
+            .map(|i| seg(i as f64, 0.0, i as f64 + 1.5, 0.0))
+            .chain(std::iter::once(seg(3.0, 0.0, 3.0, 0.0)))
+            .collect();
+        let g = UniformGrid::from_segments(&segs, Some(1.0));
+        let cand = g.candidate_pairs();
+        for p in overlapping_pairs(&segs) {
+            assert!(cand.binary_search(&p).is_ok(), "missing {p:?}");
+        }
+    }
+
+    #[test]
+    fn all_points_at_one_location() {
+        let segs = vec![seg(5.0, 5.0, 5.0, 5.0); 4];
+        let g = UniformGrid::from_segments(&segs, None);
+        assert_eq!(g.candidate_pairs().len(), 6); // all C(4,2) pairs
+    }
+
+    #[test]
+    fn cell_budget_respected_for_spread_out_tiny_boxes() {
+        // 100 tiny boxes spread over a huge area: the doubling loop must
+        // keep the grid allocation proportional to the item count.
+        let segs: Vec<(Point, Point)> = (0..100)
+            .map(|i| {
+                let x = (i as f64) * 1.0e6;
+                seg(x, x, x + 1.0e-3, x + 1.0e-3)
+            })
+            .collect();
+        let g = UniformGrid::from_segments(&segs, Some(1.0e-3));
+        assert!(g.cells.len() <= (CELL_BUDGET_FACTOR * segs.len()).max(64));
+        // The coarsened cells make some non-overlapping pairs candidates;
+        // they must stay near-linear in the item count, not quadratic.
+        assert!(g.candidate_pairs().len() <= 10 * segs.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_rejected() {
+        UniformGrid::from_segments(&[seg(f64::NAN, 0.0, 1.0, 1.0)], None);
+    }
+}

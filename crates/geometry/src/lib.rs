@@ -40,6 +40,7 @@
 
 mod circle;
 mod expansion;
+mod grid;
 mod hull;
 mod point;
 mod predicates;
@@ -47,13 +48,14 @@ mod segment;
 mod triangulation;
 
 pub use circle::{circumcenter, circumradius, Circle};
+pub use grid::UniformGrid;
 pub use hull::convex_hull;
 pub use point::Point;
 pub use predicates::{
     gabriel_test, in_circumcircle, incircle, orient2d, CirclePosition, Orientation,
 };
 pub use segment::{segments_cross, segments_properly_cross, SegmentIntersection};
-pub use triangulation::{Triangle, Triangulation, TriangulationError};
+pub use triangulation::{delaunay_triangles, Triangle, Triangulation, TriangulationError};
 
 /// Pseudo-angle of the vector `(dx, dy)`: a monotone surrogate for
 /// `atan2(dy, dx)` that maps the full turn to `[0, 4)` without

@@ -134,19 +134,7 @@ impl Triangulation {
     /// identical and [`TriangulationError::NonFinitePoint`] for NaN or
     /// infinite coordinates.
     pub fn build(points: &[Point]) -> Result<Self, TriangulationError> {
-        let mut seen: HashMap<(u64, u64), usize> = HashMap::with_capacity(points.len());
-        for (i, p) in points.iter().enumerate() {
-            if !p.is_finite() {
-                return Err(TriangulationError::NonFinitePoint(i));
-            }
-            if let Some(&j) = seen.get(&(p.x.to_bits(), p.y.to_bits())) {
-                return Err(TriangulationError::DuplicatePoint {
-                    first: j,
-                    second: i,
-                });
-            }
-            seen.insert((p.x.to_bits(), p.y.to_bits()), i);
-        }
+        check_distinct_finite(points)?;
         let core = Core::run(points);
         Ok(core.finish(points))
     }
@@ -227,9 +215,78 @@ impl Triangulation {
     }
 }
 
+/// Validates triangulation input: every coordinate finite, all points
+/// pairwise distinct.
+fn check_distinct_finite(points: &[Point]) -> Result<(), TriangulationError> {
+    for (i, p) in points.iter().enumerate() {
+        if !p.is_finite() {
+            return Err(TriangulationError::NonFinitePoint(i));
+        }
+    }
+    // Small inputs (the per-node neighborhoods of `ldel1`) are cheaper to
+    // scan pairwise than to hash.
+    if points.len() <= 48 {
+        for (i, p) in points.iter().enumerate() {
+            for (j, q) in points[..i].iter().enumerate() {
+                if p.x.to_bits() == q.x.to_bits() && p.y.to_bits() == q.y.to_bits() {
+                    return Err(TriangulationError::DuplicatePoint {
+                        first: j,
+                        second: i,
+                    });
+                }
+            }
+        }
+        return Ok(());
+    }
+    let mut seen: HashMap<(u64, u64), usize> = HashMap::with_capacity(points.len());
+    for (i, p) in points.iter().enumerate() {
+        if let Some(&j) = seen.get(&(p.x.to_bits(), p.y.to_bits())) {
+            return Err(TriangulationError::DuplicatePoint {
+                first: j,
+                second: i,
+            });
+        }
+        seen.insert((p.x.to_bits(), p.y.to_bits()), i);
+    }
+    Ok(())
+}
+
+/// The Delaunay triangles of `points`, skipping the assembly of the full
+/// [`Triangulation`] structure (edge list, adjacency, hull, triangle
+/// keys).
+///
+/// This is the fast path for callers — `ldel1` above all — that build
+/// thousands of small local triangulations and consume only the triangle
+/// list; it produces exactly the triangles [`Triangulation::build`]
+/// would.
+///
+/// # Errors
+/// Same contract as [`Triangulation::build`].
+pub fn delaunay_triangles(points: &[Point]) -> Result<Vec<Triangle>, TriangulationError> {
+    check_distinct_finite(points)?;
+    let core = Core::run(points);
+    if core.collinear_chain.is_some() {
+        return Ok(Vec::new());
+    }
+    Ok(core
+        .tris
+        .iter()
+        .filter(|t| t.alive && !t.v.contains(&GHOST))
+        .map(|t| Triangle(t.v))
+        .collect())
+}
+
+/// A boundary edge of an insertion cavity, in the retired triangle's
+/// cyclic orientation, with the surviving neighbor across it.
+struct BoundaryEdge {
+    u: usize,
+    w: usize,
+    outside: usize,
+}
+
 /// The mutable Bowyer–Watson state.
-struct Core {
-    pts: Vec<Point>,
+struct Core<'a> {
+    pts: &'a [Point],
     tris: Vec<Tri>,
     /// Hint: a recently alive triangle to start walks from.
     last: usize,
@@ -237,17 +294,31 @@ struct Core {
     inserted: usize,
     /// Entirely-collinear fallback: when `Some`, holds the chain order.
     collinear_chain: Option<Vec<usize>>,
+    /// Per-triangle cavity mark, epoch-stamped so clearing between
+    /// insertions is free: `(epoch, in_conflict)`.
+    mark: Vec<(u32, bool)>,
+    /// Current mark epoch.
+    epoch: u32,
+    /// Scratch buffers reused across insertions.
+    cavity: Vec<usize>,
+    stack: Vec<usize>,
+    boundary: Vec<BoundaryEdge>,
 }
 
-impl Core {
-    fn run(points: &[Point]) -> Core {
+impl<'a> Core<'a> {
+    fn run(points: &'a [Point]) -> Core<'a> {
         let n = points.len();
         let mut core = Core {
-            pts: points.to_vec(),
+            pts: points,
             tris: Vec::new(),
             last: NO_TRI,
             inserted: 0,
             collinear_chain: None,
+            mark: Vec::new(),
+            epoch: 0,
+            cavity: Vec::new(),
+            stack: Vec::new(),
+            boundary: Vec::new(),
         };
         if n < 3 {
             core.collinear_chain = Some(Self::chain_order(points));
@@ -385,27 +456,39 @@ impl Core {
     }
 
     /// Inserts point index `pi` by cavity retriangulation.
+    ///
+    /// All bookkeeping runs on reused scratch buffers and epoch-stamped
+    /// marks — no per-insert allocation or hashing — which is what makes
+    /// thousands of small local triangulations (the `ldel1` workload)
+    /// cheap.
     fn insert(&mut self, pi: usize) {
         let p = self.pts[pi];
         let seed = self.locate(p);
         debug_assert!(self.in_conflict(seed, p));
 
         // Flood-fill the conflict cavity.
-        let mut cavity = vec![seed];
-        let mut in_cavity: HashMap<usize, bool> = HashMap::new();
-        in_cavity.insert(seed, true);
-        let mut stack = vec![seed];
-        while let Some(t) = stack.pop() {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        if self.mark.len() < self.tris.len() {
+            self.mark.resize(self.tris.len(), (0, false));
+        }
+        let mut cavity = std::mem::take(&mut self.cavity);
+        cavity.clear();
+        cavity.push(seed);
+        self.mark[seed] = (epoch, true);
+        self.stack.clear();
+        self.stack.push(seed);
+        while let Some(t) = self.stack.pop() {
             for i in 0..3 {
                 let nb = self.tris[t].n[i];
-                if nb == NO_TRI || in_cavity.contains_key(&nb) {
+                if nb == NO_TRI || self.mark[nb].0 == epoch {
                     continue;
                 }
                 let c = self.in_conflict(nb, p);
-                in_cavity.insert(nb, c);
+                self.mark[nb] = (epoch, c);
                 if c {
                     cavity.push(nb);
-                    stack.push(nb);
+                    self.stack.push(nb);
                 }
             }
         }
@@ -413,16 +496,12 @@ impl Core {
         // Collect the boundary fan: edges of cavity triangles whose
         // neighbor lies outside the cavity, in the cavity triangle's
         // own cyclic orientation.
-        struct BoundaryEdge {
-            u: usize,
-            w: usize,
-            outside: usize,
-        }
-        let mut boundary = Vec::with_capacity(cavity.len() + 2);
+        let mut boundary = std::mem::take(&mut self.boundary);
+        boundary.clear();
         for &t in &cavity {
             for i in 0..3 {
                 let nb = self.tris[t].n[i];
-                let nb_in = nb != NO_TRI && *in_cavity.get(&nb).unwrap_or(&false);
+                let nb_in = nb != NO_TRI && self.mark[nb] == (epoch, true);
                 if !nb_in {
                     boundary.push(BoundaryEdge {
                         u: self.tris[t].v[(i + 1) % 3],
@@ -439,10 +518,6 @@ impl Core {
             self.tris[t].alive = false;
         }
         let base = self.tris.len();
-        // Maps for stitching the fan: triangle with second vertex u /
-        // third vertex w.
-        let mut by_u: HashMap<usize, usize> = HashMap::with_capacity(boundary.len());
-        let mut by_w: HashMap<usize, usize> = HashMap::with_capacity(boundary.len());
         for (off, e) in boundary.iter().enumerate() {
             let idx = base + off;
             self.tris.push(Tri {
@@ -450,8 +525,6 @@ impl Core {
                 n: [e.outside, NO_TRI, NO_TRI],
                 alive: true,
             });
-            by_u.insert(e.u, idx);
-            by_w.insert(e.w, idx);
             // Point the outside neighbor back at the new triangle.
             if e.outside != NO_TRI {
                 let out = &mut self.tris[e.outside];
@@ -466,14 +539,25 @@ impl Core {
             }
         }
         // Stitch fan-internal adjacency: triangle (p,u,w) meets (p,w,x)
-        // along edge (w,p) and (p,t,u) along edge (p,u).
+        // along edge (w,p) and (p,t,u) along edge (p,u). The fan is a
+        // handful of triangles, so a linear scan beats a hash map.
         for (off, e) in boundary.iter().enumerate() {
             let idx = base + off;
-            self.tris[idx].n[1] = by_u[&e.w]; // across edge (w, p)
-            self.tris[idx].n[2] = by_w[&e.u]; // across edge (p, u)
+            let across_wp = boundary
+                .iter()
+                .position(|e2| e2.u == e.w)
+                .expect("cavity boundary is a closed fan");
+            let across_pu = boundary
+                .iter()
+                .position(|e2| e2.w == e.u)
+                .expect("cavity boundary is a closed fan");
+            self.tris[idx].n[1] = base + across_wp; // across edge (w, p)
+            self.tris[idx].n[2] = base + across_pu; // across edge (p, u)
         }
         self.last = base;
         self.inserted += 1;
+        self.cavity = cavity;
+        self.boundary = boundary;
     }
 
     /// Converts the working state into the public structure.

@@ -4,44 +4,55 @@
 //! diameter of the unit disk graph (varied through the transmission
 //! radius); these helpers report it.
 
+use rayon::prelude::*;
+
 use crate::paths::{bfs_hops, dijkstra_lengths};
 use crate::Graph;
 
 /// The hop diameter: the largest finite hop distance between any pair.
 ///
 /// Returns `None` for graphs with fewer than 2 nodes. Disconnected pairs
-/// are ignored (the diameter of the largest distances that exist).
+/// are ignored (the diameter of the largest distances that exist). The
+/// per-source searches run in parallel; their maxima are folded serially
+/// in source order.
 pub fn hop_diameter(g: &Graph) -> Option<u32> {
     let n = g.node_count();
     if n < 2 {
         return None;
     }
-    let mut best = None;
-    for u in 0..n {
-        for d in bfs_hops(g, u).into_iter().flatten() {
-            if best.is_none_or(|b| d > b) {
-                best = Some(d);
-            }
-        }
-    }
-    best
+    let per_source: Vec<Option<u32>> = (0..n)
+        .into_par_iter()
+        .map(|u| bfs_hops(g, u).into_iter().flatten().max())
+        .collect();
+    per_source.into_iter().flatten().max()
 }
 
 /// The Euclidean-length diameter: the largest finite shortest-path length
 /// between any pair.
 ///
-/// Returns `None` for graphs with fewer than 2 nodes.
+/// Returns `None` for graphs with fewer than 2 nodes. Parallelized like
+/// [`hop_diameter`].
 pub fn length_diameter(g: &Graph) -> Option<f64> {
     let n = g.node_count();
     if n < 2 {
         return None;
     }
-    let mut best: Option<f64> = None;
-    for u in 0..n {
-        for d in dijkstra_lengths(g, u).into_iter().flatten() {
-            if best.is_none_or(|b| d > b) {
-                best = Some(d);
+    let per_source: Vec<Option<f64>> = (0..n)
+        .into_par_iter()
+        .map(|u| {
+            let mut best: Option<f64> = None;
+            for d in dijkstra_lengths(g, u).into_iter().flatten() {
+                if best.is_none_or(|b| d > b) {
+                    best = Some(d);
+                }
             }
+            best
+        })
+        .collect();
+    let mut best: Option<f64> = None;
+    for d in per_source.into_iter().flatten() {
+        if best.is_none_or(|b| d > b) {
+            best = Some(d);
         }
     }
     best

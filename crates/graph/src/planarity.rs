@@ -6,17 +6,23 @@
 //! abstract graph planarity but whether this particular straight-line
 //! embedding is crossing-free; that is what [`is_plane_embedding`]
 //! decides, using the exact segment predicates.
+//!
+//! All entry points share one sub-quadratic pipeline: the edges go into a
+//! [`UniformGrid`] keyed by their bounding boxes (cell size ≈ the longest
+//! edge, i.e. the transmission radius for UDG-derived topologies), the
+//! grid enumerates each potentially-crossing pair once, and only those
+//! candidates reach the exact crossing predicate. The seed's `O(m²)`
+//! pairwise loop survives as a `#[cfg(test)]` oracle.
 
-use geospan_geometry::segments_properly_cross;
+use geospan_geometry::{segments_properly_cross, Point, UniformGrid};
 
 use crate::Graph;
 
 /// True when no two edges of the embedded graph properly cross.
 ///
 /// Edges sharing an endpoint never count as crossing. The check is exact
-/// (built on exact orientation tests) and uses an interval sweep over the
-/// x-extents of the edges, so it is fast for the sparse graphs it is
-/// meant for.
+/// (built on exact orientation tests) and grid-indexed, so it is fast for
+/// the sparse, short-edged graphs it is meant for.
 ///
 /// # Example
 /// ```
@@ -34,67 +40,85 @@ pub fn is_plane_embedding(g: &Graph) -> bool {
     first_crossing(g).is_none()
 }
 
-/// The first pair of properly crossing edges found, or `None` when the
-/// embedding is plane. Useful in test failure messages.
-pub fn first_crossing(g: &Graph) -> Option<((usize, usize), (usize, usize))> {
-    // Collect edges with their x-intervals and sweep.
-    let mut edges: Vec<(f64, f64, usize, usize)> = g
-        .edges()
-        .map(|(u, v)| {
-            let (a, b) = (g.position(u), g.position(v));
-            (a.x.min(b.x), a.x.max(b.x), u, v)
-        })
+/// The edges (as index pairs and as segments, in the graph's sorted edge
+/// order) plus the grid over the segment boxes.
+struct EdgeGrid {
+    edges: Vec<(usize, usize)>,
+    segs: Vec<(Point, Point)>,
+    grid: UniformGrid,
+}
+
+fn edge_grid(g: &Graph) -> EdgeGrid {
+    let edges: Vec<(usize, usize)> = g.edges().collect();
+    let segs: Vec<(Point, Point)> = edges
+        .iter()
+        .map(|&(u, v)| (g.position(u), g.position(v)))
         .collect();
-    edges.sort_by(|p, q| p.0.partial_cmp(&q.0).expect("finite coordinates"));
-    for i in 0..edges.len() {
-        let (_, max_x, u1, v1) = edges[i];
-        for &(min_x2, _, u2, v2) in edges[i + 1..].iter() {
-            if min_x2 > max_x {
-                break; // no later edge can overlap in x
-            }
-            if u1 == u2 || u1 == v2 || v1 == u2 || v1 == v2 {
-                continue;
-            }
-            if segments_properly_cross(
-                g.position(u1),
-                g.position(v1),
-                g.position(u2),
-                g.position(v2),
-            ) {
-                return Some(((u1, v1), (u2, v2)));
-            }
-        }
+    let grid = UniformGrid::from_segments(&segs, None);
+    EdgeGrid { edges, segs, grid }
+}
+
+/// Do candidate edges `i` and `j` properly cross (sharing an endpoint
+/// never counts)?
+fn edges_cross(edges: &[(usize, usize)], segs: &[(Point, Point)], i: usize, j: usize) -> bool {
+    let (u1, v1) = edges[i];
+    let (u2, v2) = edges[j];
+    if u1 == u2 || u1 == v2 || v1 == u2 || v1 == v2 {
+        return false;
     }
-    None
+    segments_properly_cross(segs[i].0, segs[i].1, segs[j].0, segs[j].1)
+}
+
+/// The crossing pair of edges that is smallest in edge order, or `None`
+/// when the embedding is plane. Useful in test failure messages.
+pub fn first_crossing(g: &Graph) -> Option<((usize, usize), (usize, usize))> {
+    let eg = edge_grid(g);
+    // Candidate pairs come back sorted, so the first hit is the smallest.
+    eg.grid
+        .candidate_pairs()
+        .into_iter()
+        .find(|&(i, j)| edges_cross(&eg.edges, &eg.segs, i, j))
+        .map(|(i, j)| (eg.edges[i], eg.edges[j]))
 }
 
 /// Counts all properly crossing edge pairs (diagnostic; `0` for plane
 /// embeddings).
 pub fn crossing_count(g: &Graph) -> usize {
-    let edges: Vec<(usize, usize)> = g.edges().collect();
-    let mut count = 0;
-    for (i, &(u1, v1)) in edges.iter().enumerate() {
-        for &(u2, v2) in &edges[i + 1..] {
-            if u1 == u2 || u1 == v2 || v1 == u2 || v1 == v2 {
-                continue;
-            }
-            if segments_properly_cross(
-                g.position(u1),
-                g.position(v1),
-                g.position(u2),
-                g.position(v2),
-            ) {
-                count += 1;
-            }
-        }
-    }
-    count
+    let eg = edge_grid(g);
+    eg.grid
+        .candidate_pairs()
+        .into_iter()
+        .filter(|&(i, j)| edges_cross(&eg.edges, &eg.segs, i, j))
+        .count()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use geospan_geometry::Point;
+
+    /// The seed's `O(m²)` pairwise loop, kept as the oracle the grid
+    /// pipeline is tested against.
+    fn crossing_count_naive(g: &Graph) -> usize {
+        let edges: Vec<(usize, usize)> = g.edges().collect();
+        let mut count = 0;
+        for (i, &(u1, v1)) in edges.iter().enumerate() {
+            for &(u2, v2) in &edges[i + 1..] {
+                if u1 == u2 || u1 == v2 || v1 == u2 || v1 == v2 {
+                    continue;
+                }
+                if segments_properly_cross(
+                    g.position(u1),
+                    g.position(v1),
+                    g.position(u2),
+                    g.position(v2),
+                ) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
 
     #[test]
     fn x_shape_crosses() {
@@ -137,7 +161,7 @@ mod tests {
             vec![
                 Point::new(0.0, 0.0),
                 Point::new(2.0, 0.0),
-                Point::new(1.0, 0.0) + Point::new(0.0, 0.0), // exactly on (0,1)
+                Point::new(1.0, 0.0), // exactly on the interior of (0,1)
                 Point::new(1.0, 2.0),
             ],
             [(0, 1), (2, 3)],
@@ -180,5 +204,72 @@ mod tests {
         assert!(is_plane_embedding(&Graph::new(vec![])));
         assert_eq!(crossing_count(&Graph::new(vec![])), 0);
         assert_eq!(first_crossing(&Graph::new(vec![])), None);
+    }
+
+    #[test]
+    fn grid_index_matches_naive_on_random_unit_disk_graphs() {
+        for seed in 0..8 {
+            let pts = crate::gen::uniform_points(60, 100.0, seed);
+            let g = crate::gen::UnitDiskBuilder::new(30.0).build(&pts);
+            let fast = crossing_count(&g);
+            let slow = crossing_count_naive(&g);
+            assert_eq!(fast, slow, "seed {seed}: grid {fast} vs naive {slow}");
+            assert_eq!(is_plane_embedding(&g), slow == 0, "seed {seed}");
+            if slow == 0 {
+                assert_eq!(first_crossing(&g), None, "seed {seed}");
+            } else {
+                assert!(first_crossing(&g).is_some(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_index_matches_naive_on_degenerate_layouts() {
+        // Exact grid deployment: massive collinearity and cocircularity.
+        let grid_pts = crate::gen::perturbed_grid(7, 7, 10.0, 0.0, 1);
+        let g = crate::gen::UnitDiskBuilder::new(15.0).build(&grid_pts);
+        assert_eq!(crossing_count(&g), crossing_count_naive(&g));
+
+        // All nodes on one line: only collinear overlaps, no crossings.
+        let line: Vec<Point> = (0..20).map(|i| Point::new(i as f64, 0.0)).collect();
+        let g = crate::gen::UnitDiskBuilder::new(3.5).build(&line);
+        assert_eq!(crossing_count(&g), 0);
+        assert_eq!(crossing_count_naive(&g), 0);
+        assert!(is_plane_embedding(&g));
+
+        // A star with many long chords through nearly one point.
+        let mut pts = vec![Point::new(0.0, 0.0)];
+        for k in 0..12 {
+            let a = k as f64 * std::f64::consts::TAU / 12.0;
+            pts.push(Point::new(a.cos() * 10.0, a.sin() * 10.0));
+        }
+        let mut g = Graph::new(pts);
+        for i in 1..=12 {
+            for j in i + 1..=12 {
+                g.add_edge(i, j);
+            }
+        }
+        assert_eq!(crossing_count(&g), crossing_count_naive(&g));
+    }
+
+    #[test]
+    fn first_crossing_returns_smallest_pair_in_edge_order() {
+        // Two independent crossings; the (0,1)×(2,3) one is smallest in
+        // the sorted edge order.
+        let g = Graph::with_edges(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(2.0, 2.0),
+                Point::new(0.0, 2.0),
+                Point::new(2.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(12.0, 2.0),
+                Point::new(10.0, 2.0),
+                Point::new(12.0, 0.0),
+            ],
+            [(0, 1), (2, 3), (4, 5), (6, 7)],
+        );
+        assert_eq!(crossing_count(&g), 2);
+        assert_eq!(first_crossing(&g), Some(((0, 1), (2, 3))));
     }
 }

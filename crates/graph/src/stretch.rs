@@ -6,6 +6,8 @@
 //! Table I and Figures 9/11 report the average and maximum of these ratios
 //! over node pairs; this module computes them.
 
+use rayon::prelude::*;
+
 use crate::paths::{bfs_hops, dijkstra_lengths};
 use crate::Graph;
 
@@ -61,6 +63,10 @@ pub struct StretchReport {
 /// from the ratios.
 ///
 /// Runs one BFS and one Dijkstra per node and graph: `O(n · m log n)`.
+/// Sources are processed in parallel (the searches are independent); the
+/// per-source partial statistics are folded serially in source order, so
+/// the report is bit-identical for every thread count, including
+/// `RAYON_NUM_THREADS=1`.
 ///
 /// # Panics
 /// Panics if the graphs have different node counts.
@@ -85,39 +91,67 @@ pub fn stretch_factors(base: &Graph, sub: &Graph, opts: StretchOptions) -> Stret
         "stretch factors require a shared vertex set"
     );
     let n = base.node_count();
+
+    /// The statistics contributed by one source node's pairs `(u, v>u)`.
+    #[derive(Default)]
+    struct SourcePartial {
+        length_sum: f64,
+        length_max: f64,
+        length_pairs: usize,
+        hop_sum: f64,
+        hop_max: f64,
+        hop_pairs: usize,
+        disconnected_pairs: usize,
+    }
+
+    let partials: Vec<SourcePartial> = (0..n)
+        .into_par_iter()
+        .map(|u| {
+            let base_len = dijkstra_lengths(base, u);
+            let base_hop = bfs_hops(base, u);
+            let sub_len = dijkstra_lengths(sub, u);
+            let sub_hop = bfs_hops(sub, u);
+            let mut p = SourcePartial::default();
+            for v in u + 1..n {
+                let Some(bl) = base_len[v] else { continue };
+                let bh = base_hop[v].expect("hop- and length-reachability agree");
+                let (Some(sl), Some(sh)) = (sub_len[v], sub_hop[v]) else {
+                    p.disconnected_pairs += 1;
+                    continue;
+                };
+                // Hop stretch: all base-connected pairs.
+                let hs = sh as f64 / bh as f64;
+                p.hop_sum += hs;
+                p.hop_pairs += 1;
+                if hs > p.hop_max {
+                    p.hop_max = hs;
+                }
+                // Length stretch: optionally restricted to separated pairs.
+                if base.position(u).distance(base.position(v)) > opts.min_euclidean_separation {
+                    let ls = sl / bl;
+                    p.length_sum += ls;
+                    p.length_pairs += 1;
+                    if ls > p.length_max {
+                        p.length_max = ls;
+                    }
+                }
+            }
+            p
+        })
+        .collect();
+
+    // Serial fold in source order: deterministic regardless of thread count.
     let mut report = StretchReport::default();
     let mut length_sum = 0.0;
     let mut hop_sum = 0.0;
-
-    for u in 0..n {
-        let base_len = dijkstra_lengths(base, u);
-        let base_hop = bfs_hops(base, u);
-        let sub_len = dijkstra_lengths(sub, u);
-        let sub_hop = bfs_hops(sub, u);
-        for v in u + 1..n {
-            let Some(bl) = base_len[v] else { continue };
-            let bh = base_hop[v].expect("hop- and length-reachability agree");
-            let (Some(sl), Some(sh)) = (sub_len[v], sub_hop[v]) else {
-                report.disconnected_pairs += 1;
-                continue;
-            };
-            // Hop stretch: all base-connected pairs.
-            let hs = sh as f64 / bh as f64;
-            hop_sum += hs;
-            report.hop_pairs += 1;
-            if hs > report.hop_max {
-                report.hop_max = hs;
-            }
-            // Length stretch: optionally restricted to separated pairs.
-            if base.position(u).distance(base.position(v)) > opts.min_euclidean_separation {
-                let ls = sl / bl;
-                length_sum += ls;
-                report.length_pairs += 1;
-                if ls > report.length_max {
-                    report.length_max = ls;
-                }
-            }
-        }
+    for p in partials {
+        length_sum += p.length_sum;
+        hop_sum += p.hop_sum;
+        report.length_pairs += p.length_pairs;
+        report.hop_pairs += p.hop_pairs;
+        report.disconnected_pairs += p.disconnected_pairs;
+        report.length_max = report.length_max.max(p.length_max);
+        report.hop_max = report.hop_max.max(p.hop_max);
     }
     if report.length_pairs > 0 {
         report.length_avg = length_sum / report.length_pairs as f64;

@@ -2,6 +2,7 @@
 
 use geospan_geometry::gabriel_test;
 use geospan_graph::Graph;
+use rayon::prelude::*;
 
 use crate::rng::common_neighbors;
 
@@ -30,11 +31,25 @@ use crate::rng::common_neighbors;
 /// assert!(gg.has_edge(0, 2) && gg.has_edge(1, 2));
 /// ```
 pub fn gabriel(udg: &Graph) -> Graph {
-    udg.filter_edges(|u, v| {
-        let pu = udg.position(u);
-        let pv = udg.position(v);
-        !common_neighbors(udg, u, v).any(|w| gabriel_test(pu, pv, udg.position(w)))
-    })
+    // Each edge's emptiness test is independent, so the edges are tested
+    // in parallel; the keep-mask preserves the sorted edge order, keeping
+    // the result identical to the serial filter.
+    let edges: Vec<(usize, usize)> = udg.edges().collect();
+    let keep: Vec<bool> = edges
+        .par_iter()
+        .map(|&(u, v)| {
+            let pu = udg.position(u);
+            let pv = udg.position(v);
+            !common_neighbors(udg, u, v).any(|w| gabriel_test(pu, pv, udg.position(w)))
+        })
+        .collect();
+    let mut g = udg.same_vertices();
+    for ((u, v), k) in edges.into_iter().zip(keep) {
+        if k {
+            g.add_edge(u, v);
+        }
+    }
+    g
 }
 
 #[cfg(test)]

@@ -24,12 +24,12 @@
 //! witnesses to the Gabriel/Delaunay conditions are common neighbors, and
 //! the construction is genuinely 1-localized.
 
-use std::collections::HashSet;
-
 use geospan_geometry::{
-    gabriel_test, in_circumcircle, segments_properly_cross, CirclePosition, Triangulation,
+    delaunay_triangles, gabriel_test, in_circumcircle, segments_properly_cross, CirclePosition,
+    Point, UniformGrid,
 };
 use geospan_graph::Graph;
+use rayon::prelude::*;
 
 use crate::rng::common_neighbors;
 
@@ -67,51 +67,65 @@ pub struct LocalDelaunay {
 pub fn ldel1(g: &Graph) -> LocalDelaunay {
     let n = g.node_count();
     // Local Delaunay triangulation of N1(u) (including u) per node, kept
-    // as sets of global index triples for the three-way membership test.
-    let mut local_tris: Vec<HashSet<[usize; 3]>> = vec![HashSet::new(); n];
-    #[allow(clippy::needless_range_loop)]
-    for u in 0..n {
-        if g.degree(u) < 2 {
-            continue;
-        }
-        let mut ids: Vec<usize> = Vec::with_capacity(g.degree(u) + 1);
-        ids.push(u);
-        ids.extend_from_slice(g.neighbors(u));
-        let pts: Vec<_> = ids.iter().map(|&i| g.position(i)).collect();
-        let tri = Triangulation::build(&pts).expect("distinct node positions");
-        for t in tri.triangles() {
-            let [a, b, c] = t.indices();
-            let mut key = [ids[a], ids[b], ids[c]];
-            key.sort_unstable();
-            local_tris[u].insert(key);
-        }
-    }
+    // as sorted global index triples for the three-way membership test.
+    // Each node's triangulation is independent — the paper's
+    // `O(d log d)`-work-per-node locality — so the loop is data-parallel;
+    // contiguous-chunk splitting keeps the result order deterministic.
+    let local_tris: Vec<Vec<[usize; 3]>> = (0..n)
+        .into_par_iter()
+        .map(|u| {
+            if g.degree(u) < 2 {
+                return Vec::new();
+            }
+            let mut ids: Vec<usize> = Vec::with_capacity(g.degree(u) + 1);
+            ids.push(u);
+            ids.extend_from_slice(g.neighbors(u));
+            let pts: Vec<_> = ids.iter().map(|&i| g.position(i)).collect();
+            let mut keys: Vec<[usize; 3]> = delaunay_triangles(&pts)
+                .expect("distinct node positions")
+                .iter()
+                .map(|t| {
+                    let [a, b, c] = t.indices();
+                    let mut key = [ids[a], ids[b], ids[c]];
+                    key.sort_unstable();
+                    key
+                })
+                .collect();
+            keys.sort_unstable();
+            keys
+        })
+        .collect();
 
     // A triangle is accepted when it is a triangle of all three local
-    // triangulations and all three sides are graph edges.
-    let mut accepted: HashSet<[usize; 3]> = HashSet::new();
-    for u in 0..n {
-        for &key in &local_tris[u] {
-            let [a, b, c] = key;
-            if u != a {
-                continue; // consider each triple once, at its least vertex
-            }
-            if !(g.has_edge(a, b) && g.has_edge(b, c) && g.has_edge(a, c)) {
-                continue;
-            }
-            if local_tris[b].contains(&key) && local_tris[c].contains(&key) {
-                accepted.insert(key);
-            }
-        }
-    }
+    // triangulations and all three sides are graph edges. Each triple is
+    // considered once, at its least vertex, so concatenating the per-node
+    // accepted lists in node order yields a globally sorted list.
+    let accepted: Vec<Vec<[usize; 3]>> = (0..n)
+        .into_par_iter()
+        .map(|u| {
+            local_tris[u]
+                .iter()
+                .copied()
+                .filter(|&key| {
+                    let [a, b, c] = key;
+                    a == u
+                        && g.has_edge(a, b)
+                        && g.has_edge(b, c)
+                        && g.has_edge(a, c)
+                        && local_tris[b].binary_search(&key).is_ok()
+                        && local_tris[c].binary_search(&key).is_ok()
+                })
+                .collect()
+        })
+        .collect();
+    let triangles: Vec<[usize; 3]> = accepted.into_iter().flatten().collect();
+    debug_assert!(triangles.is_sorted());
 
     let gabriel_edges = gabriel_edge_list(g);
     let mut graph = g.same_vertices();
     for &(u, v) in &gabriel_edges {
         graph.add_edge(u, v);
     }
-    let mut triangles: Vec<[usize; 3]> = accepted.into_iter().collect();
-    triangles.sort_unstable();
     for &[a, b, c] in &triangles {
         graph.add_edge(a, b);
         graph.add_edge(b, c);
@@ -143,36 +157,46 @@ pub fn planarized(g: &Graph) -> LocalDelaunay {
 pub fn planarize(g: &Graph, raw: LocalDelaunay) -> LocalDelaunay {
     let tris = &raw.triangles;
     let m = tris.len();
-    let mut removed = vec![false; m];
 
-    // Bounding boxes + sweep over x to find intersecting pairs.
-    let mut order: Vec<usize> = (0..m).collect();
-    let bbox: Vec<(f64, f64)> = tris
+    // Every LDel¹ triangle has sides within the transmission radius, so a
+    // uniform grid over the triangle bounding boxes (cell ≈ that radius,
+    // derived from the largest box) yields each potentially-crossing pair
+    // exactly once, in near-linear total time.
+    let boxes: Vec<(Point, Point)> = tris
         .iter()
         .map(|t| {
-            let xs = t.iter().map(|&v| g.position(v).x);
-            (
-                xs.clone().fold(f64::INFINITY, f64::min),
-                xs.fold(f64::NEG_INFINITY, f64::max),
-            )
+            let p0 = g.position(t[0]);
+            let (mut lo, mut hi) = (p0, p0);
+            for &v in &t[1..] {
+                let p = g.position(v);
+                lo = Point::new(lo.x.min(p.x), lo.y.min(p.y));
+                hi = Point::new(hi.x.max(p.x), hi.y.max(p.y));
+            }
+            (lo, hi)
         })
         .collect();
-    order.sort_by(|&i, &j| bbox[i].0.partial_cmp(&bbox[j].0).expect("finite coords"));
+    let pairs = UniformGrid::from_boxes(&boxes, None).candidate_pairs();
 
-    for (oi, &i) in order.iter().enumerate() {
-        for &j in order[oi + 1..].iter() {
-            if bbox[j].0 > bbox[i].1 {
-                break;
-            }
+    // The removal test for a pair depends only on geometry, never on the
+    // other removal flags, so candidate pairs can be judged in parallel
+    // and the flags merged afterwards in any order.
+    let flags: Vec<(bool, bool)> = pairs
+        .par_iter()
+        .map(|&(i, j)| {
             if triangles_cross(g, tris[i], tris[j]) {
-                if circum_contains_any(g, tris[i], tris[j]) {
-                    removed[i] = true;
-                }
-                if circum_contains_any(g, tris[j], tris[i]) {
-                    removed[j] = true;
-                }
+                (
+                    circum_contains_any(g, tris[i], tris[j]),
+                    circum_contains_any(g, tris[j], tris[i]),
+                )
+            } else {
+                (false, false)
             }
-        }
+        })
+        .collect();
+    let mut removed = vec![false; m];
+    for (&(i, j), &(ri, rj)) in pairs.iter().zip(&flags) {
+        removed[i] |= ri;
+        removed[j] |= rj;
     }
 
     let triangles: Vec<[usize; 3]> = tris
@@ -266,13 +290,23 @@ pub fn ldel_k(g: &Graph, k: usize) -> LocalDelaunay {
 }
 
 /// All Gabriel edges of a distance-closed graph, `(u, v)` with `u < v`.
+///
+/// The per-edge emptiness test only reads shared state, so the edges are
+/// tested in parallel; the keep-mask preserves the sorted edge order.
 fn gabriel_edge_list(g: &Graph) -> Vec<(usize, usize)> {
-    g.edges()
-        .filter(|&(u, v)| {
+    let edges: Vec<(usize, usize)> = g.edges().collect();
+    let keep: Vec<bool> = edges
+        .par_iter()
+        .map(|&(u, v)| {
             let pu = g.position(u);
             let pv = g.position(v);
             !common_neighbors(g, u, v).any(|w| gabriel_test(pu, pv, g.position(w)))
         })
+        .collect();
+    edges
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(e, k)| k.then_some(e))
         .collect()
 }
 

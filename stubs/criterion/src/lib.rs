@@ -14,6 +14,14 @@ use std::time::{Duration, Instant};
 /// Number of timed iterations per benchmark in this stub.
 const ITERS: u32 = 5;
 
+/// Smoke mode: `cargo bench -- --test` (or `--quick`) runs every
+/// benchmark exactly once with no warm-up, as a correctness check rather
+/// than a measurement — mirroring real criterion's `--test` flag. Used by
+/// CI to keep the bench suite compiling and panic-free.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test" || a == "--quick")
+}
+
 /// Top-level benchmark driver.
 #[derive(Debug, Default)]
 pub struct Criterion {}
@@ -77,6 +85,12 @@ impl BenchmarkId {
     }
 }
 
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
 /// Timer handle passed to benchmark closures.
 #[derive(Debug, Default)]
 pub struct Bencher {
@@ -85,16 +99,22 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Times the routine over a few iterations.
+    /// Times the routine over a few iterations (once, without warm-up,
+    /// under `--test`).
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
-        // One untimed warm-up.
-        std::hint::black_box(routine());
+        let iters = if test_mode() {
+            1
+        } else {
+            // One untimed warm-up.
+            std::hint::black_box(routine());
+            ITERS
+        };
         let start = Instant::now();
-        for _ in 0..ITERS {
+        for _ in 0..iters {
             std::hint::black_box(routine());
         }
         self.elapsed = start.elapsed();
-        self.iters = ITERS;
+        self.iters = iters;
     }
 
     fn report(&self, group: &str, id: &str) {
