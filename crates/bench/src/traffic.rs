@@ -1,0 +1,409 @@
+//! The traffic-load sweep: serve packet workloads over UDG, CDS', and
+//! `LDel(ICDS)` across offered-load levels and measure delivery,
+//! latency, stretch, and queue behavior under congestion.
+//!
+//! This is the evaluation regime the backbone exists for — spanner
+//! bounds only matter for packets actually forwarded — run in the style
+//! of localized-spanner workload studies (throughput/stretch under
+//! sustained load) rather than static all-pairs tables.
+//!
+//! Cells (trial × load × topology) are independent and run in parallel;
+//! results are folded in deterministic order, so the CSV is
+//! byte-identical for every thread count.
+
+use std::fmt::Write as _;
+
+use geospan_core::{Backbone, BackboneBuilder, BackboneConfig, ClusterRank};
+use geospan_graph::Graph;
+use geospan_sim::FaultPlan;
+use geospan_traffic::{run, Forwarding, TrafficConfig, TrafficReport, Workload};
+use rayon::prelude::*;
+
+use crate::Scenario;
+
+/// Configuration of one traffic sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Deployment parameters (`n`, `side`, `radius`, `trials`, `seed`).
+    pub scenario: Scenario,
+    /// Offered loads to sweep, in expected packets per tick.
+    pub loads: Vec<f64>,
+    /// Ticks over which each workload offers packets.
+    pub duration: u64,
+    /// Per-node transmit queue capacity.
+    pub queue_capacity: usize,
+    /// Ticks per transmission.
+    pub service_time: u64,
+    /// Per-link delivery loss probability (0 for a congestion-only
+    /// sweep); seeded from the scenario seed.
+    pub loss: f64,
+}
+
+impl SweepConfig {
+    /// The default sweep: the paper's Table I deployment served at five
+    /// load levels.
+    pub fn standard() -> Self {
+        SweepConfig {
+            scenario: Scenario {
+                n: 100,
+                side: 200.0,
+                radius: 60.0,
+                trials: 3,
+                seed: 1,
+            },
+            loads: vec![0.05, 0.1, 0.2, 0.4, 0.8],
+            duration: 2_000,
+            queue_capacity: 64,
+            service_time: 1,
+            loss: 0.0,
+        }
+    }
+
+    /// The CI smoke sweep: a small field at two load levels.
+    pub fn quick() -> Self {
+        SweepConfig {
+            scenario: Scenario {
+                n: 40,
+                side: 120.0,
+                radius: 45.0,
+                trials: 1,
+                seed: 1,
+            },
+            loads: vec![0.05, 0.4],
+            duration: 500,
+            queue_capacity: 64,
+            service_time: 1,
+            loss: 0.0,
+        }
+    }
+}
+
+/// One aggregated sweep row: a (topology, load) cell averaged over the
+/// scenario's trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficRow {
+    /// Topology served.
+    pub topology: &'static str,
+    /// Forwarding scheme driven over it.
+    pub policy: &'static str,
+    /// Offered load in packets per tick.
+    pub load: f64,
+    /// Total packets offered across trials.
+    pub offered: usize,
+    /// Total packets delivered across trials.
+    pub delivered: usize,
+    /// Drop totals across trials, by cause.
+    pub drop_stuck: usize,
+    /// Dropped at full queues.
+    pub drop_queue: usize,
+    /// Lost on the air.
+    pub drop_loss: usize,
+    /// Lost to crashes.
+    pub drop_crash: usize,
+    /// Exceeded the hop budget.
+    pub drop_hop_limit: usize,
+    /// Mean over trials of the median delivery latency.
+    pub latency_p50: f64,
+    /// Mean over trials of the 99th-percentile delivery latency.
+    pub latency_p99: f64,
+    /// Mean over trials of the mean delivery latency.
+    pub latency_mean: f64,
+    /// Mean over trials of the average hop stretch vs. the UDG.
+    pub hop_stretch_avg: f64,
+    /// Mean over trials of the average length stretch vs. the UDG.
+    pub length_stretch_avg: f64,
+    /// Worst queue occupancy any node reached in any trial.
+    pub queue_peak_max: usize,
+}
+
+impl TrafficRow {
+    /// Delivered fraction of offered packets.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.offered as f64
+        }
+    }
+}
+
+/// The topologies a sweep serves, built once per trial.
+struct TrialTopologies {
+    udg: Graph,
+    cds_prime: Graph,
+    backbone: Backbone,
+}
+
+/// The three (topology, policy) pairs of the sweep, in row order.
+const TOPOLOGIES: [(&str, &str); 3] = [
+    ("UDG", "greedy"),
+    ("CDS'", "gpsr"),
+    ("LDel(ICDS)", "backbone"),
+];
+
+/// Splitmix-style seed mixing for per-cell workload schedules.
+fn mix_seed(base: u64, trial: u64, load_idx: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(trial.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(load_idx.wrapping_mul(0xc2b2_ae3d_27d4_eb4f));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Runs the sweep: every (trial, load, topology) cell in parallel, then
+/// a deterministic fold into one row per (topology, load).
+///
+/// # Panics
+/// Panics if the scenario yields no trials or no loads are configured.
+pub fn traffic_rows(cfg: &SweepConfig) -> Vec<TrafficRow> {
+    assert!(cfg.scenario.trials > 0, "sweep needs at least one trial");
+    assert!(!cfg.loads.is_empty(), "sweep needs at least one load");
+    let instances = cfg.scenario.instances();
+    let trials: Vec<TrialTopologies> = instances
+        .into_par_iter()
+        .map(|(_pts, udg)| {
+            let backbone = BackboneBuilder::new(
+                BackboneConfig::new(cfg.scenario.radius).with_rank(ClusterRank::LowestId),
+            )
+            .build(&udg)
+            .expect("centralized build cannot fail on a valid UDG");
+            let cds_prime = geospan_cds::build_cds(&udg, &ClusterRank::LowestId)
+                .cds_prime
+                .clone();
+            TrialTopologies {
+                udg,
+                cds_prime,
+                backbone,
+            }
+        })
+        .collect();
+
+    // One engine configuration for the whole sweep.
+    let engine_cfg = TrafficConfig {
+        queue_capacity: cfg.queue_capacity,
+        service_time: cfg.service_time,
+        max_hops: (50 * cfg.scenario.n) as u32,
+        ticks_per_round: 1,
+        record_paths: false,
+    };
+
+    // Cell grid: trial-major, then load, then topology.
+    let cells: Vec<(usize, usize, usize)> = (0..trials.len())
+        .flat_map(|t| {
+            (0..cfg.loads.len()).flat_map(move |l| (0..TOPOLOGIES.len()).map(move |k| (t, l, k)))
+        })
+        .collect();
+    let reports: Vec<TrafficReport> = cells
+        .par_iter()
+        .map(|&(t, l, k)| {
+            let topo = &trials[t];
+            let arrivals = Workload::uniform(cfg.loads[l], cfg.duration).generate(
+                cfg.scenario.n,
+                mix_seed(cfg.scenario.seed, t as u64, l as u64),
+            );
+            let faults = if cfg.loss > 0.0 {
+                FaultPlan::new(mix_seed(
+                    cfg.scenario.seed ^ 0x5bf0_3635,
+                    t as u64,
+                    l as u64,
+                ))
+                .with_loss(cfg.loss)
+            } else {
+                FaultPlan::none()
+            };
+            let forwarding = match k {
+                0 => Forwarding::Greedy(&topo.udg),
+                1 => Forwarding::Gpsr(&topo.cds_prime),
+                _ => Forwarding::Backbone {
+                    backbone: &topo.backbone,
+                    udg: &topo.udg,
+                },
+            };
+            run(&forwarding, &topo.udg, &arrivals, &faults, &engine_cfg).report
+        })
+        .collect();
+
+    // Fold trial-major cells into (topology, load) rows, trials averaged
+    // in index order.
+    let mut rows = Vec::with_capacity(cfg.loads.len() * TOPOLOGIES.len());
+    for (l, &load) in cfg.loads.iter().enumerate() {
+        for (k, &(topology, policy)) in TOPOLOGIES.iter().enumerate() {
+            let mut row = TrafficRow {
+                topology,
+                policy,
+                load,
+                offered: 0,
+                delivered: 0,
+                drop_stuck: 0,
+                drop_queue: 0,
+                drop_loss: 0,
+                drop_crash: 0,
+                drop_hop_limit: 0,
+                latency_p50: 0.0,
+                latency_p99: 0.0,
+                latency_mean: 0.0,
+                hop_stretch_avg: 0.0,
+                length_stretch_avg: 0.0,
+                queue_peak_max: 0,
+            };
+            for t in 0..trials.len() {
+                let r = &reports[(t * cfg.loads.len() + l) * TOPOLOGIES.len() + k];
+                row.offered += r.offered;
+                row.delivered += r.delivered;
+                row.drop_stuck += r.drops.stuck;
+                row.drop_queue += r.drops.queue_full;
+                row.drop_loss += r.drops.link_loss;
+                row.drop_crash += r.drops.node_crash;
+                row.drop_hop_limit += r.drops.hop_limit;
+                row.latency_p50 += r.latency_p50 as f64;
+                row.latency_p99 += r.latency_p99 as f64;
+                row.latency_mean += r.latency_mean;
+                row.hop_stretch_avg += r.hop_stretch_avg;
+                row.length_stretch_avg += r.length_stretch_avg;
+                row.queue_peak_max = row.queue_peak_max.max(r.queue_peak_max);
+            }
+            let t = trials.len() as f64;
+            row.latency_p50 /= t;
+            row.latency_p99 /= t;
+            row.latency_mean /= t;
+            row.hop_stretch_avg /= t;
+            row.length_stretch_avg /= t;
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// Renders sweep rows as CSV (stable column order and formatting: the
+/// artifact is byte-identical for a given seed).
+pub fn traffic_csv(rows: &[TrafficRow]) -> String {
+    let mut out = String::from(
+        "topology,policy,load,offered,delivered,delivery_ratio,\
+         drop_stuck,drop_queue,drop_loss,drop_crash,drop_hop_limit,\
+         latency_p50,latency_p99,latency_mean,\
+         hop_stretch_avg,length_stretch_avg,queue_peak_max\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{:.3},{},{},{:.6},{},{},{},{},{},{:.3},{:.3},{:.4},{:.4},{:.4},{}",
+            r.topology,
+            r.policy,
+            r.load,
+            r.offered,
+            r.delivered,
+            r.delivery_ratio(),
+            r.drop_stuck,
+            r.drop_queue,
+            r.drop_loss,
+            r.drop_crash,
+            r.drop_hop_limit,
+            r.latency_p50,
+            r.latency_p99,
+            r.latency_mean,
+            r.hop_stretch_avg,
+            r.length_stretch_avg,
+            r.queue_peak_max
+        );
+    }
+    out
+}
+
+/// Renders sweep rows as an aligned text table.
+pub fn format_traffic(rows: &[TrafficRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:<9} {:>6} {:>8} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "topology",
+        "policy",
+        "load",
+        "offered",
+        "delivered",
+        "ratio",
+        "p50",
+        "p99",
+        "stretch",
+        "queue"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:<9} {:>6.2} {:>8} {:>9} {:>9.4} {:>9.1} {:>9.1} {:>8.3} {:>8}",
+            r.topology,
+            r.policy,
+            r.load,
+            r.offered,
+            r.delivered,
+            r.delivery_ratio(),
+            r.latency_p50,
+            r.latency_p99,
+            r.hop_stretch_avg,
+            r.queue_peak_max
+        );
+    }
+    out
+}
+
+/// The smoke-test assertion: at the lowest swept load, dominating-set
+/// backbone routing delivers at least 99% of offered packets.
+///
+/// Returns a description of the violation, if any.
+pub fn check_low_load_delivery(rows: &[TrafficRow]) -> Result<(), String> {
+    let low = rows.iter().map(|r| r.load).fold(f64::INFINITY, f64::min);
+    let row = rows
+        .iter()
+        .find(|r| r.load == low && r.policy == "backbone")
+        .ok_or_else(|| "no backbone row at the lowest load".to_string())?;
+    if row.delivery_ratio() >= 0.99 {
+        Ok(())
+    } else {
+        Err(format!(
+            "backbone delivery at load {:.3} is {:.4} (< 0.99): {} of {} delivered",
+            row.load,
+            row.delivery_ratio(),
+            row.delivered,
+            row.offered
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_has_expected_shape() {
+        let cfg = SweepConfig::quick();
+        let rows = traffic_rows(&cfg);
+        assert_eq!(rows.len(), cfg.loads.len() * TOPOLOGIES.len());
+        for r in &rows {
+            assert!(r.offered > 0);
+            assert_eq!(
+                r.offered,
+                r.delivered
+                    + r.drop_stuck
+                    + r.drop_queue
+                    + r.drop_loss
+                    + r.drop_crash
+                    + r.drop_hop_limit
+            );
+        }
+        check_low_load_delivery(&rows).unwrap();
+        // Backbone routes detour: stretch is measured and ≥ 1.
+        let backbone_low = rows.iter().find(|r| r.policy == "backbone").unwrap();
+        assert!(backbone_low.hop_stretch_avg >= 1.0);
+        assert!(backbone_low.length_stretch_avg >= 1.0);
+    }
+
+    #[test]
+    fn csv_is_stable_and_parsable() {
+        let rows = traffic_rows(&SweepConfig::quick());
+        let a = traffic_csv(&rows);
+        let b = traffic_csv(&traffic_rows(&SweepConfig::quick()));
+        assert_eq!(a, b, "same seed must give a byte-identical artifact");
+        assert_eq!(a.lines().count(), rows.len() + 1);
+        assert!(a.starts_with("topology,policy,load,"));
+    }
+}

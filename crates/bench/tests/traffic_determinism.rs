@@ -1,0 +1,31 @@
+//! The traffic sweep artifact must be byte-identical for a given seed —
+//! across consecutive runs and across every thread count. Cells run in
+//! parallel, but the fold into rows is serial and index-ordered, so the
+//! CSV cannot depend on scheduling.
+
+use geospan_bench::traffic::{traffic_csv, traffic_rows, SweepConfig};
+
+fn sweep_csv() -> String {
+    let mut cfg = SweepConfig::quick();
+    cfg.scenario.n = 30;
+    cfg.scenario.side = 110.0;
+    cfg.duration = 300;
+    traffic_csv(&traffic_rows(&cfg))
+}
+
+/// One test owns every `RAYON_NUM_THREADS` mutation in this binary
+/// (tests share the process environment).
+#[test]
+fn traffic_csv_is_bit_identical_across_thread_counts_and_runs() {
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let serial = sweep_csv();
+    let serial_again = sweep_csv();
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let four = sweep_csv();
+    std::env::remove_var("RAYON_NUM_THREADS");
+    let auto = sweep_csv();
+
+    assert_eq!(serial, serial_again, "consecutive runs differ");
+    assert_eq!(serial, four, "1 vs 4 threads");
+    assert_eq!(serial, auto, "1 vs auto threads");
+}

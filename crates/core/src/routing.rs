@@ -14,6 +14,15 @@
 //! * [`backbone_route`] — the paper's dominating-set-based routing: hop
 //!   to a dominator, traverse the planar backbone `LDel(ICDS)` with GPSR,
 //!   hop to the destination.
+//!
+//! Every algorithm is built from a **single-hop decision**: given the
+//! packet's per-session state, the node currently holding it, and the
+//! destination, [`greedy_forward`], [`gpsr_forward`], and
+//! [`backbone_forward`] return one [`Decision`]. The whole-route
+//! functions above are thin loops over these; the discrete-event traffic
+//! engine (`geospan-traffic`) drives the very same decisions one radio
+//! transmission at a time, so congestion and faults interact with exactly
+//! the forwarding logic measured here.
 
 use geospan_geometry::{pseudo_angle, Point};
 use geospan_graph::Graph;
@@ -65,38 +74,69 @@ impl Route {
     }
 }
 
+/// A single forwarding decision: what the node currently holding a packet
+/// should do with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Hand the packet to this neighbor.
+    Forward(usize),
+    /// The packet is at its destination.
+    Arrived,
+    /// No forwarding rule applies from here: the destination is
+    /// unreachable for this algorithm (greedy local minimum, or an
+    /// exhausted perimeter walk).
+    Stuck,
+}
+
+/// One greedy forwarding decision at `u` toward `dst`.
+///
+/// Stateless: greedy forwarding needs no per-packet session.
+///
+/// # Panics
+/// Panics if `u` or `dst` are out of bounds.
+pub fn greedy_forward(g: &Graph, u: usize, dst: usize) -> Decision {
+    if u == dst {
+        return Decision::Arrived;
+    }
+    match greedy_next(g, u, g.position(dst)) {
+        Some(v) => Decision::Forward(v),
+        None => Decision::Stuck,
+    }
+}
+
 /// Greedy geographic forwarding: repeatedly move to the neighbor strictly
 /// closest to the destination.
 ///
 /// # Panics
 /// Panics if `src` or `dst` are out of bounds.
 pub fn greedy_route(g: &Graph, src: usize, dst: usize, max_hops: usize) -> Route {
-    let dpos = g.position(dst);
     let mut path = vec![src];
     let mut u = src;
-    while u != dst {
-        if path.len() > max_hops {
-            return Route {
-                path,
-                outcome: RouteOutcome::HopLimit,
-            };
-        }
-        match greedy_next(g, u, dpos) {
-            Some(v) => {
+    loop {
+        match greedy_forward(g, u, dst) {
+            Decision::Arrived => {
+                return Route {
+                    path,
+                    outcome: RouteOutcome::Delivered,
+                }
+            }
+            _ if path.len() > max_hops => {
+                return Route {
+                    path,
+                    outcome: RouteOutcome::HopLimit,
+                }
+            }
+            Decision::Forward(v) => {
                 path.push(v);
                 u = v;
             }
-            None => {
+            Decision::Stuck => {
                 return Route {
                     path,
                     outcome: RouteOutcome::Stuck,
                 }
             }
         }
-    }
-    Route {
-        path,
-        outcome: RouteOutcome::Delivered,
     }
 }
 
@@ -113,74 +153,99 @@ fn greedy_next(g: &Graph, u: usize, dpos: Point) -> Option<usize> {
         .map(|(_, v)| v)
 }
 
-/// GPSR-style routing: greedy forwarding with right-hand-rule perimeter
-/// recovery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Greedy,
+    Perimeter,
+}
+
+/// Per-packet state of a GPSR forwarding session.
 ///
-/// `g` must be a **plane** embedding (no two edges properly cross) for
-/// the perimeter mode to be meaningful; on the planar backbones produced
-/// by this workspace, delivery succeeds whenever source and destination
-/// are connected.
+/// One value travels with each packet; [`gpsr_forward`] reads and updates
+/// it at every hop. A fresh state starts in greedy mode.
+#[derive(Debug, Clone)]
+pub struct GpsrState {
+    mode: Mode,
+    /// Distance to the destination when perimeter mode was entered.
+    entry_dist: f64,
+    /// Current face entry point of the perimeter walk.
+    face_point: Point,
+    /// Node the packet arrived from (right-hand-rule reference).
+    prev: usize,
+    /// Directed edges walked on the current face.
+    walked: std::collections::HashSet<(usize, usize)>,
+}
+
+impl GpsrState {
+    /// A fresh session in greedy mode.
+    pub fn new() -> Self {
+        GpsrState {
+            mode: Mode::Greedy,
+            entry_dist: f64::INFINITY,
+            face_point: Point::new(0.0, 0.0),
+            prev: usize::MAX,
+            walked: std::collections::HashSet::new(),
+        }
+    }
+
+    /// True while the session is in greedy mode (no void encountered
+    /// since the last recovery).
+    pub fn is_greedy(&self) -> bool {
+        self.mode == Mode::Greedy
+    }
+}
+
+impl Default for GpsrState {
+    fn default() -> Self {
+        GpsrState::new()
+    }
+}
+
+/// One GPSR forwarding decision at `u` toward `dst`: greedy while
+/// progress is possible, right-hand-rule perimeter recovery otherwise.
+///
+/// `g` must be a **plane** embedding for the perimeter mode to be
+/// meaningful. The session state must accompany the packet: pass the
+/// same `state` for every hop of one packet, starting from
+/// [`GpsrState::new`].
 ///
 /// # Panics
-/// Panics if `src` or `dst` are out of bounds.
-pub fn gpsr_route(g: &Graph, src: usize, dst: usize, max_hops: usize) -> Route {
-    let dpos = g.position(dst);
-    let mut path = vec![src];
-    let mut u = src;
-
-    #[derive(PartialEq)]
-    enum Mode {
-        Greedy,
-        Perimeter,
+/// Panics if `u` or `dst` are out of bounds.
+pub fn gpsr_forward(g: &Graph, state: &mut GpsrState, u: usize, dst: usize) -> Decision {
+    if u == dst {
+        return Decision::Arrived;
     }
-    let mut mode = Mode::Greedy;
-    // Perimeter state: distance at perimeter entry, current face entry
-    // point, arrival node, and directed edges walked this session.
-    let mut entry_dist = f64::INFINITY;
-    let mut face_point = dpos;
-    let mut prev = src;
-    let mut walked: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
-
-    while u != dst {
-        if path.len() > max_hops {
-            return Route {
-                path,
-                outcome: RouteOutcome::HopLimit,
-            };
-        }
-        match mode {
-            Mode::Greedy => match greedy_next(g, u, dpos) {
-                Some(v) => {
-                    path.push(v);
-                    u = v;
-                }
-                None => {
-                    if g.degree(u) == 0 {
-                        return Route {
-                            path,
-                            outcome: RouteOutcome::Stuck,
-                        };
+    let dpos = g.position(dst);
+    loop {
+        match state.mode {
+            Mode::Greedy => {
+                return match greedy_next(g, u, dpos) {
+                    Some(v) => Decision::Forward(v),
+                    None => {
+                        if g.degree(u) == 0 {
+                            return Decision::Stuck;
+                        }
+                        state.mode = Mode::Perimeter;
+                        state.entry_dist = g.position(u).distance(dpos);
+                        state.face_point = g.position(u);
+                        state.walked.clear();
+                        let v = first_edge_ccw(g, u, dpos);
+                        state.walked.insert((u, v));
+                        state.prev = u;
+                        Decision::Forward(v)
                     }
-                    mode = Mode::Perimeter;
-                    entry_dist = g.position(u).distance(dpos);
-                    face_point = g.position(u);
-                    walked.clear();
-                    let v = first_edge_ccw(g, u, dpos);
-                    walked.insert((u, v));
-                    prev = u;
-                    path.push(v);
-                    u = v;
                 }
-            },
+            }
             Mode::Perimeter => {
-                if g.position(u).distance(dpos) < entry_dist {
-                    mode = Mode::Greedy;
+                if g.position(u).distance(dpos) < state.entry_dist {
+                    // Closer than the void that forced recovery: resume
+                    // greedy (a mode switch, not a hop).
+                    state.mode = Mode::Greedy;
                     continue;
                 }
-                let mut v = next_ccw(g, u, prev);
+                let mut v = next_ccw(g, u, state.prev);
                 if v == dst {
-                    path.push(v);
-                    break;
+                    return Decision::Forward(v);
                 }
                 // Face changes: when the chosen edge crosses the segment
                 // from the face entry point to the destination at a
@@ -193,37 +258,71 @@ pub fn gpsr_route(g: &Graph, src: usize, dst: usize, max_hops: usize) -> Route {
                 // must be ignored. Several exit edges can share `u`,
                 // hence the loop.
                 for _ in 0..=g.degree(u) {
-                    if !face_exit_crossing(g, u, v, face_point, dpos) {
+                    if !face_exit_crossing(g, u, v, state.face_point, dpos) {
                         break;
                     }
-                    let p = segment_intersection(g.position(u), g.position(v), face_point, dpos)
-                        .expect("exit test implies intersection");
-                    face_point = p;
+                    let p =
+                        segment_intersection(g.position(u), g.position(v), state.face_point, dpos)
+                            .expect("exit test implies intersection");
+                    state.face_point = p;
                     v = next_ccw(g, u, v);
                     // New face: edges may legitimately repeat.
-                    walked.clear();
+                    state.walked.clear();
                 }
                 if v == dst {
-                    path.push(v);
-                    break;
+                    return Decision::Forward(v);
                 }
-                if !walked.insert((u, v)) {
+                if !state.walked.insert((u, v)) {
                     // Same directed edge twice in one perimeter session:
                     // the destination is not reachable from this face.
-                    return Route {
-                        path,
-                        outcome: RouteOutcome::Stuck,
-                    };
+                    return Decision::Stuck;
                 }
-                prev = u;
-                path.push(v);
-                u = v;
+                state.prev = u;
+                return Decision::Forward(v);
             }
         }
     }
-    Route {
-        path,
-        outcome: RouteOutcome::Delivered,
+}
+
+/// GPSR-style routing: greedy forwarding with right-hand-rule perimeter
+/// recovery.
+///
+/// `g` must be a **plane** embedding (no two edges properly cross) for
+/// the perimeter mode to be meaningful; on the planar backbones produced
+/// by this workspace, delivery succeeds whenever source and destination
+/// are connected.
+///
+/// # Panics
+/// Panics if `src` or `dst` are out of bounds.
+pub fn gpsr_route(g: &Graph, src: usize, dst: usize, max_hops: usize) -> Route {
+    let mut state = GpsrState::new();
+    let mut path = vec![src];
+    let mut u = src;
+    loop {
+        match gpsr_forward(g, &mut state, u, dst) {
+            Decision::Arrived => {
+                return Route {
+                    path,
+                    outcome: RouteOutcome::Delivered,
+                }
+            }
+            _ if path.len() > max_hops => {
+                return Route {
+                    path,
+                    outcome: RouteOutcome::HopLimit,
+                }
+            }
+            Decision::Forward(v) => {
+                path.push(v);
+                u = v;
+            }
+            Decision::Stuck => {
+                return Route {
+                    path,
+                    outcome: RouteOutcome::Stuck,
+                }
+            }
+        }
     }
 }
 
@@ -301,10 +400,84 @@ pub fn face_route(g: &Graph, src: usize, dst: usize, max_hops: usize) -> Route {
     }
 }
 
+/// Per-packet state of a dominating-set-based routing session: which leg
+/// of the ingress → spanner → egress journey the packet is on, plus the
+/// GPSR state of the spanner leg.
+#[derive(Debug, Clone)]
+pub struct BackboneSession {
+    started: bool,
+    gpsr: GpsrState,
+}
+
+impl BackboneSession {
+    /// A fresh session (packet still at its source).
+    pub fn new() -> Self {
+        BackboneSession {
+            started: false,
+            gpsr: GpsrState::new(),
+        }
+    }
+}
+
+impl Default for BackboneSession {
+    fn default() -> Self {
+        BackboneSession::new()
+    }
+}
+
+/// One decision of the paper's dominating-set-based routing: direct
+/// delivery when source and destination are UDG neighbors; otherwise
+/// enter the backbone through a dominator, traverse the planar backbone
+/// `LDel(ICDS)` with GPSR toward the destination's dominator, and exit
+/// to the destination.
+///
+/// The session must accompany the packet. The hop sequence reproduces
+/// [`backbone_route`] node-for-node.
+///
+/// # Panics
+/// Panics if `u` or `dst` are out of bounds, or if `udg` does not match
+/// the backbone's vertex set.
+pub fn backbone_forward(
+    backbone: &Backbone,
+    udg: &Graph,
+    session: &mut BackboneSession,
+    u: usize,
+    dst: usize,
+) -> Decision {
+    if u == dst {
+        return Decision::Arrived;
+    }
+    if !session.started {
+        session.started = true;
+        // At the source: deliver directly to a 1-hop neighbor, or step
+        // onto the backbone through the source's dominator.
+        if udg.has_edge(u, dst) {
+            return Decision::Forward(dst);
+        }
+        let enter = backbone_entry(backbone, u);
+        if enter != u {
+            return Decision::Forward(enter);
+        }
+    }
+    // On the backbone: GPSR over LDel(ICDS) toward the exit dominator,
+    // then the final UDG hop to the destination.
+    let exit = backbone_entry(backbone, dst);
+    if u == exit {
+        return Decision::Forward(dst);
+    }
+    match gpsr_forward(backbone.ldel_icds(), &mut session.gpsr, u, exit) {
+        Decision::Arrived => Decision::Forward(dst),
+        d => d,
+    }
+}
+
 /// The paper's dominating-set-based routing: direct delivery when the
 /// destination is a UDG neighbor; otherwise enter the backbone through a
 /// dominator, traverse the planar backbone with GPSR, and exit through
 /// the destination's dominator.
+///
+/// `max_hops` bounds the backbone (GPSR) leg of the route, as in the
+/// original formulation; the ingress and egress hops ride on top.
 ///
 /// # Panics
 /// Panics if `src` or `dst` are out of bounds, or if `udg` does not match
@@ -321,45 +494,44 @@ pub fn backbone_route(
         backbone.roles().len(),
         "UDG and backbone must share the vertex set"
     );
-    if src == dst {
-        return Route {
-            path: vec![src],
-            outcome: RouteOutcome::Delivered,
-        };
-    }
-    if udg.has_edge(src, dst) {
-        return Route {
-            path: vec![src, dst],
-            outcome: RouteOutcome::Delivered,
-        };
-    }
-    let enter = entry_point(backbone, src);
-    let exit = entry_point(backbone, dst);
-
-    let mut path = Vec::new();
-    if enter != src {
-        path.push(src);
-    }
-    let mut inner = gpsr_route(backbone.ldel_icds(), enter, exit, max_hops);
-    path.append(&mut inner.path);
-    if inner.outcome != RouteOutcome::Delivered {
-        return Route {
-            path,
-            outcome: inner.outcome,
-        };
-    }
-    if exit != dst {
-        path.push(dst);
-    }
-    Route {
-        path,
-        outcome: RouteOutcome::Delivered,
+    let mut session = BackboneSession::new();
+    let mut path = vec![src];
+    let mut u = src;
+    // The spanner leg starts after the optional ingress hop; budget the
+    // GPSR leg exactly as before (ingress + egress hops are extra).
+    let enter = backbone_entry(backbone, src);
+    let budget = max_hops + usize::from(enter != src) + 1;
+    loop {
+        match backbone_forward(backbone, udg, &mut session, u, dst) {
+            Decision::Arrived => {
+                return Route {
+                    path,
+                    outcome: RouteOutcome::Delivered,
+                }
+            }
+            _ if path.len() > budget => {
+                return Route {
+                    path,
+                    outcome: RouteOutcome::HopLimit,
+                }
+            }
+            Decision::Forward(v) => {
+                path.push(v);
+                u = v;
+            }
+            Decision::Stuck => {
+                return Route {
+                    path,
+                    outcome: RouteOutcome::Stuck,
+                }
+            }
+        }
     }
 }
 
 /// A node's backbone entry point: itself when it is a dominator or
 /// connector, otherwise its smallest adjacent dominator.
-fn entry_point(backbone: &Backbone, v: usize) -> usize {
+pub fn backbone_entry(backbone: &Backbone, v: usize) -> usize {
     if backbone.cds_graphs().is_backbone(v) {
         v
     } else {
@@ -754,6 +926,47 @@ mod tests {
         );
         assert_eq!(flood_transmissions(&g, 0), 3);
         assert_eq!(flood_transmissions(&g, 3), 1);
+    }
+
+    #[test]
+    fn forward_api_reproduces_whole_routes() {
+        let (_pts, udg, _s) = connected_unit_disk(60, 150.0, 40.0, 9);
+        let gg = gabriel(&udg);
+        let b = BackboneBuilder::new(BackboneConfig::new(40.0))
+            .build(&udg)
+            .unwrap();
+        let n = gg.node_count();
+        let walk = |mut step: Box<dyn FnMut(usize) -> Decision + '_>, s: usize| {
+            let mut path = vec![s];
+            let mut u = s;
+            loop {
+                match step(u) {
+                    Decision::Arrived => break,
+                    Decision::Forward(v) => {
+                        path.push(v);
+                        u = v;
+                    }
+                    Decision::Stuck => break,
+                }
+                assert!(path.len() <= 100 * n, "runaway walk");
+            }
+            path
+        };
+        for (s, t) in [(0, n - 1), (3, n / 2), (n - 1, 1), (7, 7)] {
+            let mut gpsr = GpsrState::new();
+            let path = walk(Box::new(|u| gpsr_forward(&gg, &mut gpsr, u, t)), s);
+            assert_eq!(path, gpsr_route(&gg, s, t, 100 * n).path);
+
+            let mut session = BackboneSession::new();
+            let path = walk(
+                Box::new(|u| backbone_forward(&b, &udg, &mut session, u, t)),
+                s,
+            );
+            assert_eq!(path, backbone_route(&b, &udg, s, t, 100 * n).path);
+
+            let path = walk(Box::new(|u| greedy_forward(&udg, u, t)), s);
+            assert_eq!(path, greedy_route(&udg, s, t, 100 * n).path);
+        }
     }
 
     #[test]

@@ -210,6 +210,60 @@ pub fn path_length(g: &Graph, path: &[usize]) -> f64 {
     path.windows(2).map(|w| g.edge_length(w[0], w[1])).sum()
 }
 
+/// A lazy shortest-path oracle over one graph.
+///
+/// Per-source BFS hop rows and Dijkstra length rows are computed on
+/// first use and cached, so measuring many packets against the same few
+/// sources — the traffic engine's per-packet stretch accounting — costs
+/// one single-source run per distinct source instead of one per query.
+///
+/// # Example
+/// ```
+/// use geospan_graph::{Graph, Point};
+/// use geospan_graph::paths::DistanceOracle;
+/// let g = Graph::with_edges(
+///     vec![Point::new(0.,0.), Point::new(1.,0.), Point::new(2.,0.)],
+///     [(0,1),(1,2)]);
+/// let mut oracle = DistanceOracle::new(&g);
+/// assert_eq!(oracle.hops(0, 2), Some(2));
+/// assert!((oracle.length(0, 2).unwrap() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug)]
+pub struct DistanceOracle<'a> {
+    g: &'a Graph,
+    hops: Vec<Option<Vec<Option<u32>>>>,
+    lengths: Vec<Option<Vec<Option<f64>>>>,
+}
+
+impl<'a> DistanceOracle<'a> {
+    /// An oracle over `g` with no rows computed yet.
+    pub fn new(g: &'a Graph) -> Self {
+        let n = g.node_count();
+        DistanceOracle {
+            g,
+            hops: vec![None; n],
+            lengths: vec![None; n],
+        }
+    }
+
+    /// Hop distance from `src` to `dst` (`None` when unreachable).
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of bounds.
+    pub fn hops(&mut self, src: usize, dst: usize) -> Option<u32> {
+        self.hops[src].get_or_insert_with(|| bfs_hops(self.g, src))[dst]
+    }
+
+    /// Euclidean shortest-path length from `src` to `dst` (`None` when
+    /// unreachable).
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of bounds.
+    pub fn length(&mut self, src: usize, dst: usize) -> Option<f64> {
+        self.lengths[src].get_or_insert_with(|| dijkstra_lengths(self.g, src))[dst]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +330,22 @@ mod tests {
         g.remove_edge(0, 4);
         assert_eq!(shortest_hop_path(&g, 0, 3), None);
         assert_eq!(shortest_length_path(&g, 0, 3), None);
+    }
+
+    #[test]
+    fn oracle_matches_single_source_runs() {
+        let g = diamond();
+        let mut oracle = DistanceOracle::new(&g);
+        for src in 0..g.node_count() {
+            let hops = bfs_hops(&g, src);
+            let lens = dijkstra_lengths(&g, src);
+            for dst in 0..g.node_count() {
+                assert_eq!(oracle.hops(src, dst), hops[dst]);
+                assert_eq!(oracle.length(src, dst), lens[dst]);
+                // Cached second query agrees.
+                assert_eq!(oracle.hops(src, dst), hops[dst]);
+            }
+        }
     }
 
     #[test]

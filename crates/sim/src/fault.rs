@@ -230,6 +230,18 @@ impl FaultPlan {
         }
     }
 
+    /// True when the data delivery `(sender → receiver)` of packet `seq`
+    /// on transmission `attempt` is lost to radio noise.
+    ///
+    /// Public so engines outside this crate — the discrete-event traffic
+    /// engine in particular — can drive the *same* seeded plan with the
+    /// same per-event independence guarantees as the round simulator.
+    /// Crash and partition checks compose via [`FaultPlan::crashed`] and
+    /// [`FaultPlan::severed`].
+    pub fn drops_delivery(&self, sender: usize, receiver: usize, seq: u64, attempt: u32) -> bool {
+        self.loses(EventKind::Data, sender, receiver, seq, attempt)
+    }
+
     /// Stateless per-event roll in `[0, 1)`.
     pub(crate) fn roll(
         &self,

@@ -1,0 +1,557 @@
+//! The discrete-event core: event queue, per-node transmit queues, and
+//! the packet lifecycle (enqueue → transmit → deliver/drop).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use geospan_graph::paths::DistanceOracle;
+use geospan_graph::Graph;
+use geospan_sim::FaultPlan;
+
+use crate::report::{DropCause, DropCounts, PacketOutcome, PacketRecord, TrafficReport};
+use crate::workload::Arrival;
+use crate::{Decision, Forwarding, Session};
+
+/// Engine parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficConfig {
+    /// Per-node transmit queue capacity; `usize::MAX` for unbounded
+    /// queues.
+    pub queue_capacity: usize,
+    /// Ticks a node's radio takes to transmit one packet (the service
+    /// time of the FIFO queue).
+    pub service_time: u64,
+    /// Per-packet hop budget (drops with [`DropCause::HopLimit`] when
+    /// exceeded).
+    pub max_hops: u32,
+    /// Engine ticks per [`FaultPlan`] round: crash times and partition
+    /// windows configured in rounds activate at `round * ticks_per_round`.
+    pub ticks_per_round: u64,
+    /// Record every packet's node path (costs memory; used by tests and
+    /// diagnostics).
+    pub record_paths: bool,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            queue_capacity: 64,
+            service_time: 1,
+            max_hops: 10_000,
+            ticks_per_round: 1,
+            record_paths: false,
+        }
+    }
+}
+
+/// Everything a traffic run produced: the aggregate report plus the
+/// per-packet records it was computed from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficOutcome {
+    /// Aggregate measurements.
+    pub report: TrafficReport,
+    /// One record per offered packet, in arrival-schedule order.
+    pub packets: Vec<PacketRecord>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// A packet (by schedule index) is offered to its source node.
+    Arrival(usize),
+    /// A node's radio finishes transmitting its head-of-line packet.
+    Service(usize),
+}
+
+/// Events order by `(time, seq)`: `seq` is a global insertion counter,
+/// so simultaneous events fire in creation order and the run is
+/// deterministic. (`kind` participates in the derived `Ord` only after
+/// `seq`, which is unique — it never actually decides.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+struct Packet {
+    src: usize,
+    dst: usize,
+    spawn: u64,
+    hops: u32,
+    length: f64,
+    next_hop: usize,
+    session: Session,
+    path: Vec<usize>,
+}
+
+#[derive(Default)]
+struct NodeState {
+    queue: VecDeque<usize>,
+    busy: bool,
+    peak: usize,
+}
+
+struct Engine<'a, 'g> {
+    fw: &'a Forwarding<'g>,
+    udg: &'a Graph,
+    faults: &'a FaultPlan,
+    cfg: &'a TrafficConfig,
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    packets: Vec<Packet>,
+    fates: Vec<Option<(PacketOutcome, u64)>>,
+    nodes: Vec<NodeState>,
+    last_time: u64,
+}
+
+/// Serves `arrivals` over the forwarding scheme and returns the measured
+/// outcome.
+///
+/// `udg` supplies the shared node positions and the shortest-path
+/// baseline for per-packet stretch; the forwarding scheme must route
+/// over (sub)graphs of the same vertex set. The run is bit-reproducible:
+/// the same inputs give the same [`TrafficOutcome`] on every invocation
+/// and under any thread count (the engine itself is single-threaded).
+///
+/// # Panics
+/// Panics if an arrival endpoint is out of bounds or
+/// `cfg.ticks_per_round == 0`.
+pub fn run(
+    forwarding: &Forwarding<'_>,
+    udg: &Graph,
+    arrivals: &[Arrival],
+    faults: &FaultPlan,
+    cfg: &TrafficConfig,
+) -> TrafficOutcome {
+    assert!(cfg.ticks_per_round > 0, "ticks_per_round must be positive");
+    let n = udg.node_count();
+    let packets = arrivals
+        .iter()
+        .map(|a| {
+            assert!(a.src < n && a.dst < n, "arrival endpoints out of bounds");
+            Packet {
+                src: a.src,
+                dst: a.dst,
+                spawn: a.time,
+                hops: 0,
+                length: 0.0,
+                next_hop: usize::MAX,
+                session: forwarding.new_session(),
+                path: Vec::new(),
+            }
+        })
+        .collect::<Vec<_>>();
+    let mut engine = Engine {
+        fw: forwarding,
+        udg,
+        faults,
+        cfg,
+        heap: BinaryHeap::with_capacity(arrivals.len()),
+        seq: 0,
+        fates: vec![None; packets.len()],
+        packets,
+        nodes: (0..n).map(|_| NodeState::default()).collect(),
+        last_time: 0,
+    };
+    for (p, a) in arrivals.iter().enumerate() {
+        engine.push(a.time, EventKind::Arrival(p));
+    }
+    while let Some(Reverse(ev)) = engine.heap.pop() {
+        engine.last_time = ev.time;
+        match ev.kind {
+            EventKind::Arrival(p) => {
+                let src = engine.packets[p].src;
+                engine.arrive(p, src, ev.time);
+            }
+            EventKind::Service(u) => engine.service(u, ev.time),
+        }
+    }
+    engine.finish()
+}
+
+impl Engine<'_, '_> {
+    fn round(&self, time: u64) -> usize {
+        (time / self.cfg.ticks_per_round) as usize
+    }
+
+    fn push(&mut self, time: u64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Event { time, seq, kind }));
+    }
+
+    fn resolve(&mut self, p: usize, outcome: PacketOutcome, time: u64) {
+        debug_assert!(self.fates[p].is_none(), "packet resolved twice");
+        self.fates[p] = Some((outcome, time));
+    }
+
+    /// Packet `p` is now held by node `u`: decide its next hop and join
+    /// `u`'s transmit queue (or end its lifecycle).
+    fn arrive(&mut self, p: usize, u: usize, time: u64) {
+        if self.cfg.record_paths {
+            self.packets[p].path.push(u);
+        }
+        if self.faults.crashed(u, self.round(time)) {
+            return self.resolve(p, PacketOutcome::Dropped(DropCause::NodeCrash), time);
+        }
+        let dst = self.packets[p].dst;
+        let fw = self.fw;
+        let decision = fw.decide(&mut self.packets[p].session, u, dst);
+        match decision {
+            Decision::Arrived => self.resolve(p, PacketOutcome::Delivered, time),
+            Decision::Stuck => self.resolve(p, PacketOutcome::Dropped(DropCause::Stuck), time),
+            Decision::Forward(v) => {
+                if self.nodes[u].queue.len() >= self.cfg.queue_capacity {
+                    return self.resolve(p, PacketOutcome::Dropped(DropCause::QueueFull), time);
+                }
+                self.packets[p].next_hop = v;
+                self.nodes[u].queue.push_back(p);
+                let occupancy = self.nodes[u].queue.len();
+                self.nodes[u].peak = self.nodes[u].peak.max(occupancy);
+                if !self.nodes[u].busy {
+                    self.nodes[u].busy = true;
+                    self.push(time + self.cfg.service_time, EventKind::Service(u));
+                }
+            }
+        }
+    }
+
+    /// Node `u`'s radio finished a transmission slot: emit the
+    /// head-of-line packet toward its chosen next hop.
+    fn service(&mut self, u: usize, time: u64) {
+        if self.faults.crashed(u, self.round(time)) {
+            // The node died with packets queued: they die with it.
+            let queued = std::mem::take(&mut self.nodes[u].queue);
+            for p in queued {
+                self.resolve(p, PacketOutcome::Dropped(DropCause::NodeCrash), time);
+            }
+            self.nodes[u].busy = false;
+            return;
+        }
+        let Some(p) = self.nodes[u].queue.pop_front() else {
+            self.nodes[u].busy = false;
+            return;
+        };
+        if self.nodes[u].queue.is_empty() {
+            self.nodes[u].busy = false;
+        } else {
+            self.push(time + self.cfg.service_time, EventKind::Service(u));
+        }
+        let v = self.packets[p].next_hop;
+        let attempt = self.packets[p].hops;
+        let round = self.round(time);
+        if self.faults.severed(u, v, round) || self.faults.drops_delivery(u, v, p as u64, attempt) {
+            return self.resolve(p, PacketOutcome::Dropped(DropCause::LinkLoss), time);
+        }
+        self.packets[p].hops += 1;
+        if self.packets[p].hops > self.cfg.max_hops {
+            return self.resolve(p, PacketOutcome::Dropped(DropCause::HopLimit), time);
+        }
+        let hop_len = self.udg.position(u).distance(self.udg.position(v));
+        self.packets[p].length += hop_len;
+        self.arrive(p, v, time);
+    }
+
+    /// Folds the per-packet fates into the aggregate report.
+    fn finish(self) -> TrafficOutcome {
+        let Engine {
+            udg,
+            packets,
+            fates,
+            nodes,
+            last_time,
+            ..
+        } = self;
+        let mut records = Vec::with_capacity(packets.len());
+        let mut drops = DropCounts::default();
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut oracle = DistanceOracle::new(udg);
+        let mut hop_stretch_sum = 0.0;
+        let mut hop_stretch_max = 0.0f64;
+        let mut len_stretch_sum = 0.0;
+        let mut len_stretch_max = 0.0f64;
+        let mut stretch_pairs = 0usize;
+        for (pk, fate) in packets.into_iter().zip(fates) {
+            let (outcome, finish) =
+                fate.expect("every offered packet resolves before the event queue drains");
+            match outcome {
+                PacketOutcome::Delivered => {
+                    latencies.push(finish - pk.spawn);
+                    if pk.src != pk.dst {
+                        let best_hops = oracle
+                            .hops(pk.src, pk.dst)
+                            .expect("delivered packets have connected endpoints");
+                        let best_len = oracle
+                            .length(pk.src, pk.dst)
+                            .expect("delivered packets have connected endpoints");
+                        let hs = f64::from(pk.hops) / f64::from(best_hops.max(1));
+                        let ls = if best_len > 0.0 {
+                            pk.length / best_len
+                        } else {
+                            1.0
+                        };
+                        hop_stretch_sum += hs;
+                        hop_stretch_max = hop_stretch_max.max(hs);
+                        len_stretch_sum += ls;
+                        len_stretch_max = len_stretch_max.max(ls);
+                        stretch_pairs += 1;
+                    }
+                }
+                PacketOutcome::Dropped(cause) => drops.record(cause),
+            }
+            records.push(PacketRecord {
+                src: pk.src,
+                dst: pk.dst,
+                spawn: pk.spawn,
+                finish,
+                hops: pk.hops,
+                length: pk.length,
+                outcome,
+                path: pk.path,
+            });
+        }
+        latencies.sort_unstable();
+        let percentile = |q: f64| -> u64 {
+            if latencies.is_empty() {
+                0
+            } else {
+                let rank = (q * latencies.len() as f64).ceil() as usize;
+                latencies[rank.clamp(1, latencies.len()) - 1]
+            }
+        };
+        let delivered = latencies.len();
+        let peak_max = nodes.iter().map(|s| s.peak).max().unwrap_or(0);
+        let peak_sum: usize = nodes.iter().map(|s| s.peak).sum();
+        let report = TrafficReport {
+            offered: records.len(),
+            delivered,
+            drops,
+            latency_p50: percentile(0.5),
+            latency_p99: percentile(0.99),
+            latency_max: latencies.last().copied().unwrap_or(0),
+            latency_mean: if delivered == 0 {
+                0.0
+            } else {
+                latencies.iter().sum::<u64>() as f64 / delivered as f64
+            },
+            hop_stretch_avg: if stretch_pairs == 0 {
+                0.0
+            } else {
+                hop_stretch_sum / stretch_pairs as f64
+            },
+            hop_stretch_max,
+            length_stretch_avg: if stretch_pairs == 0 {
+                0.0
+            } else {
+                len_stretch_sum / stretch_pairs as f64
+            },
+            length_stretch_max: len_stretch_max,
+            queue_peak_max: peak_max,
+            queue_peak_mean: if nodes.is_empty() {
+                0.0
+            } else {
+                peak_sum as f64 / nodes.len() as f64
+            },
+            duration: last_time,
+        };
+        debug_assert_eq!(report.offered, report.delivered + report.drops.total());
+        TrafficOutcome {
+            report,
+            packets: records,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+    use geospan_graph::Point;
+
+    fn chain(len: usize) -> Graph {
+        let pts: Vec<Point> = (0..len).map(|i| Point::new(i as f64, 0.0)).collect();
+        let edges: Vec<(usize, usize)> = (1..len).map(|i| (i - 1, i)).collect();
+        Graph::with_edges(pts, edges)
+    }
+
+    fn one_packet(src: usize, dst: usize) -> Vec<Arrival> {
+        vec![Arrival { time: 0, src, dst }]
+    }
+
+    fn cfg_recording() -> TrafficConfig {
+        TrafficConfig {
+            record_paths: true,
+            ..TrafficConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_packet_walks_the_chain() {
+        let g = chain(5);
+        let out = run(
+            &Forwarding::Greedy(&g),
+            &g,
+            &one_packet(0, 4),
+            &FaultPlan::none(),
+            &cfg_recording(),
+        );
+        assert_eq!(out.report.delivered, 1);
+        assert_eq!(out.packets[0].path, vec![0, 1, 2, 3, 4]);
+        assert_eq!(out.packets[0].hops, 4);
+        // One service slot per hop at service_time 1.
+        assert_eq!(out.packets[0].latency(), 4);
+        assert!((out.report.hop_stretch_avg - 1.0).abs() < 1e-12);
+        assert!((out.report.length_stretch_avg - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_serializes_a_shared_radio() {
+        let g = chain(3);
+        // Two packets offered to node 0 at the same tick: the second
+        // waits a full service slot behind the first at every hop.
+        let arrivals = vec![
+            Arrival {
+                time: 0,
+                src: 0,
+                dst: 2,
+            },
+            Arrival {
+                time: 0,
+                src: 0,
+                dst: 2,
+            },
+        ];
+        let out = run(
+            &Forwarding::Greedy(&g),
+            &g,
+            &arrivals,
+            &FaultPlan::none(),
+            &TrafficConfig::default(),
+        );
+        assert_eq!(out.report.delivered, 2);
+        let (a, b) = (&out.packets[0], &out.packets[1]);
+        assert_eq!(a.latency(), 2);
+        assert_eq!(b.latency(), 3, "head-of-line blocking costs one slot");
+        assert_eq!(out.report.queue_peak_max, 2);
+    }
+
+    #[test]
+    fn full_queues_drop_excess_load() {
+        let g = chain(3);
+        let arrivals: Vec<Arrival> = (0..5)
+            .map(|_| Arrival {
+                time: 0,
+                src: 0,
+                dst: 2,
+            })
+            .collect();
+        let cfg = TrafficConfig {
+            queue_capacity: 1,
+            ..TrafficConfig::default()
+        };
+        let out = run(
+            &Forwarding::Greedy(&g),
+            &g,
+            &arrivals,
+            &FaultPlan::none(),
+            &cfg,
+        );
+        assert_eq!(out.report.delivered, 1);
+        assert_eq!(out.report.drops.queue_full, 4);
+        assert_eq!(out.report.queue_peak_max, 1);
+    }
+
+    #[test]
+    fn crashed_nodes_kill_traffic_through_them() {
+        let g = chain(4);
+        let plan = FaultPlan::new(1).with_crash(1, 0);
+        let out = run(
+            &Forwarding::Greedy(&g),
+            &g,
+            &one_packet(0, 3),
+            &plan,
+            &TrafficConfig::default(),
+        );
+        assert_eq!(out.report.delivered, 0);
+        assert_eq!(out.report.drops.node_crash, 1);
+    }
+
+    #[test]
+    fn mid_flow_crash_drops_queued_packets() {
+        let g = chain(4);
+        // Node 1 dies at round 2: the packet reaches it at t=1 and is
+        // still queued when the crash hits.
+        let plan = FaultPlan::new(1).with_crash(1, 2);
+        let cfg = TrafficConfig {
+            service_time: 5,
+            ..TrafficConfig::default()
+        };
+        let out = run(&Forwarding::Greedy(&g), &g, &one_packet(0, 3), &plan, &cfg);
+        assert_eq!(out.report.delivered, 0);
+        assert_eq!(out.report.drops.node_crash, 1);
+    }
+
+    #[test]
+    fn partitions_sever_links_while_active() {
+        let g = chain(3);
+        let plan = FaultPlan::new(0).with_partition(0..1_000, [0]);
+        let out = run(
+            &Forwarding::Greedy(&g),
+            &g,
+            &one_packet(0, 2),
+            &plan,
+            &TrafficConfig::default(),
+        );
+        assert_eq!(out.report.drops.link_loss, 1);
+        // After the partition heals, the same packet schedule delivers.
+        let plan = FaultPlan::new(0).with_partition(0..1_000, [0]);
+        let late = vec![Arrival {
+            time: 2_000,
+            src: 0,
+            dst: 2,
+        }];
+        let out = run(
+            &Forwarding::Greedy(&g),
+            &g,
+            &late,
+            &plan,
+            &TrafficConfig::default(),
+        );
+        assert_eq!(out.report.delivered, 1);
+    }
+
+    #[test]
+    fn hop_budget_bounds_packet_lifetime() {
+        let g = chain(10);
+        let cfg = TrafficConfig {
+            max_hops: 3,
+            ..TrafficConfig::default()
+        };
+        let out = run(
+            &Forwarding::Greedy(&g),
+            &g,
+            &one_packet(0, 9),
+            &FaultPlan::none(),
+            &cfg,
+        );
+        assert_eq!(out.report.drops.hop_limit, 1);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let g = chain(8);
+        let arrivals = Workload::bursty(4, 0.9, 300).generate(8, 11);
+        let plan = FaultPlan::new(5).with_loss(0.1);
+        let cfg = TrafficConfig {
+            queue_capacity: 2,
+            ..TrafficConfig::default()
+        };
+        let a = run(&Forwarding::Greedy(&g), &g, &arrivals, &plan, &cfg);
+        let b = run(&Forwarding::Greedy(&g), &g, &arrivals, &plan, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(
+            a.report.offered,
+            a.report.delivered + a.report.drops.total()
+        );
+    }
+}

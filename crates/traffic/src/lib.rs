@@ -1,0 +1,125 @@
+//! A deterministic discrete-event traffic engine for spanner backbones.
+//!
+//! The backbone `LDel(ICDS)` of Wang & Li (ICDCS 2002) exists to *route
+//! traffic*: its hop- and length-spanner bounds only matter for packets
+//! actually forwarded over it. This crate serves sustained packet
+//! workloads over the topologies the workspace constructs and measures
+//! what the static stretch tables cannot — delivery under load,
+//! queueing latency, congestion drops, and how faults interact with
+//! forwarding decisions made hop by hop.
+//!
+//! The engine is event-driven rather than round-synchronous:
+//!
+//! * a binary-heap event queue orders events by `(time, seq)`, where
+//!   `seq` is a global insertion counter — ties are broken by insertion
+//!   order, so runs are bit-reproducible;
+//! * each node owns a FIFO transmit queue with finite capacity and a
+//!   radio that serves one packet per [`TrafficConfig::service_time`]
+//!   ticks — contention and queue drops emerge from load;
+//! * forwarding decisions are the *single-hop* [`Decision`] API of
+//!   `geospan_core::routing` (greedy, GPSR, dominating-set backbone
+//!   routing), invoked per transmission, so routing state travels with
+//!   the packet exactly as it would in a deployed network;
+//! * a seeded [`FaultPlan`] drops deliveries, severs partitions, and
+//!   crashes nodes mid-flow using the same per-event hash rolls as the
+//!   round simulator in `geospan-sim`.
+//!
+//! # Example
+//!
+//! ```
+//! use geospan_graph::gen::connected_unit_disk;
+//! use geospan_sim::FaultPlan;
+//! use geospan_topology::gabriel;
+//! use geospan_traffic::{run, Forwarding, TrafficConfig, Workload};
+//!
+//! let (_pts, udg, _s) = connected_unit_disk(40, 120.0, 45.0, 3);
+//! let gg = gabriel(&udg);
+//! let arrivals = Workload::uniform(0.2, 200).generate(udg.node_count(), 7);
+//! let outcome = run(
+//!     &Forwarding::Gpsr(&gg),
+//!     &udg,
+//!     &arrivals,
+//!     &FaultPlan::none(),
+//!     &TrafficConfig::default(),
+//! );
+//! assert_eq!(outcome.report.offered, arrivals.len());
+//! assert!(outcome.report.delivery_ratio() > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use geospan_core::routing::{
+    backbone_forward, gpsr_forward, greedy_forward, BackboneSession, Decision, GpsrState,
+};
+use geospan_core::Backbone;
+use geospan_graph::Graph;
+
+mod engine;
+mod report;
+mod workload;
+
+pub use engine::{run, TrafficConfig, TrafficOutcome};
+pub use report::{DropCause, DropCounts, PacketOutcome, PacketRecord, TrafficReport};
+pub use workload::{Arrival, Workload, WorkloadKind};
+
+/// The forwarding scheme a traffic run drives, bound to the topology it
+/// routes over.
+///
+/// All variants share the UDG's vertex set; the engine charges hop
+/// lengths from the embedded positions.
+pub enum Forwarding<'a> {
+    /// Greedy geographic forwarding over the given graph.
+    Greedy(&'a Graph),
+    /// GPSR (greedy + perimeter recovery) over the given **planar**
+    /// graph.
+    Gpsr(&'a Graph),
+    /// The paper's dominating-set-based routing: ingress to a dominator,
+    /// GPSR across `LDel(ICDS)`, egress to the destination.
+    Backbone {
+        /// The constructed backbone.
+        backbone: &'a Backbone,
+        /// The unit disk graph the backbone dominates.
+        udg: &'a Graph,
+    },
+}
+
+impl Forwarding<'_> {
+    /// A short label for reports and CSV rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Forwarding::Greedy(_) => "greedy",
+            Forwarding::Gpsr(_) => "gpsr",
+            Forwarding::Backbone { .. } => "backbone",
+        }
+    }
+
+    /// Fresh per-packet routing state.
+    fn new_session(&self) -> Session {
+        match self {
+            Forwarding::Greedy(_) => Session::Stateless,
+            Forwarding::Gpsr(_) => Session::Gpsr(GpsrState::new()),
+            Forwarding::Backbone { .. } => Session::Backbone(BackboneSession::new()),
+        }
+    }
+
+    /// One forwarding decision for a packet held by `u` toward `dst`.
+    fn decide(&self, session: &mut Session, u: usize, dst: usize) -> Decision {
+        match (self, session) {
+            (Forwarding::Greedy(g), Session::Stateless) => greedy_forward(g, u, dst),
+            (Forwarding::Gpsr(g), Session::Gpsr(state)) => gpsr_forward(g, state, u, dst),
+            (Forwarding::Backbone { backbone, udg }, Session::Backbone(state)) => {
+                backbone_forward(backbone, udg, state, u, dst)
+            }
+            _ => unreachable!("session type always matches the forwarding scheme"),
+        }
+    }
+}
+
+/// Per-packet routing state, created by [`Forwarding::new_session`].
+#[derive(Debug, Clone)]
+enum Session {
+    Stateless,
+    Gpsr(GpsrState),
+    Backbone(BackboneSession),
+}

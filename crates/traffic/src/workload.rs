@@ -1,0 +1,204 @@
+//! Seeded workload generators: who sends to whom, and when.
+//!
+//! A workload is expanded up front into a sorted arrival schedule — a
+//! plain `Vec<Arrival>` — so the same seed always produces the same
+//! packets regardless of how the engine is driven. All randomness comes
+//! from one `StdRng` consumed in a fixed order.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One packet entering the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Tick at which the packet is offered to its source node.
+    pub time: u64,
+    /// Source node.
+    pub src: usize,
+    /// Destination node (always distinct from `src`).
+    pub dst: usize,
+}
+
+/// The shape of a workload's demand matrix and arrival process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadKind {
+    /// Independent uniform random source/destination pairs.
+    Uniform,
+    /// A fraction `bias` of all packets targets one `sink` node (data
+    /// collection / gateway traffic); the rest are uniform.
+    Hotspot {
+        /// The sink node every biased packet targets.
+        sink: usize,
+        /// Probability a packet targets the sink.
+        bias: f64,
+    },
+    /// Arrivals come in bursts: each tick starts a burst of `burst`
+    /// back-to-back packets with probability `rate / burst`, so the
+    /// long-run offered load still matches `rate` while instantaneous
+    /// demand spikes stress the transmit queues.
+    Bursty {
+        /// Packets per burst.
+        burst: usize,
+    },
+}
+
+/// A sustained packet workload: an arrival process at `rate` expected
+/// packets per tick over `duration` ticks, with a [`WorkloadKind`]
+/// demand shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Demand shape.
+    pub kind: WorkloadKind,
+    /// Expected packets per tick (the offered load).
+    pub rate: f64,
+    /// Number of ticks over which packets arrive.
+    pub duration: u64,
+}
+
+impl Workload {
+    /// Uniform random pairs at `rate` packets per tick.
+    pub fn uniform(rate: f64, duration: u64) -> Self {
+        Workload {
+            kind: WorkloadKind::Uniform,
+            rate,
+            duration,
+        }
+    }
+
+    /// Hotspot traffic: probability `bias` of targeting `sink`.
+    pub fn hotspot(sink: usize, bias: f64, rate: f64, duration: u64) -> Self {
+        Workload {
+            kind: WorkloadKind::Hotspot { sink, bias },
+            rate,
+            duration,
+        }
+    }
+
+    /// Bursty arrivals: bursts of `burst` packets, long-run load `rate`.
+    pub fn bursty(burst: usize, rate: f64, duration: u64) -> Self {
+        Workload {
+            kind: WorkloadKind::Bursty {
+                burst: burst.max(1),
+            },
+            rate,
+            duration,
+        }
+    }
+
+    /// Expands the workload into a time-sorted arrival schedule over `n`
+    /// nodes, deterministically from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `n < 2`, the rate is not a finite non-negative number,
+    /// or a hotspot sink is out of bounds.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<Arrival> {
+        assert!(n >= 2, "a workload needs at least two nodes");
+        assert!(
+            self.rate.is_finite() && self.rate >= 0.0,
+            "rate must be finite and non-negative"
+        );
+        if let WorkloadKind::Hotspot { sink, bias } = self.kind {
+            assert!(sink < n, "hotspot sink {sink} out of bounds for {n} nodes");
+            assert!((0.0..=1.0).contains(&bias), "bias must be in [0, 1]");
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        for time in 0..self.duration {
+            let count = match self.kind {
+                WorkloadKind::Bursty { burst } => {
+                    let p = (self.rate / burst as f64).min(1.0);
+                    if rng.random_range(0.0..1.0) < p {
+                        burst
+                    } else {
+                        0
+                    }
+                }
+                _ => {
+                    let whole = self.rate.floor();
+                    let extra = rng.random_range(0.0..1.0) < self.rate - whole;
+                    whole as usize + usize::from(extra)
+                }
+            };
+            for _ in 0..count {
+                let dst = match self.kind {
+                    WorkloadKind::Hotspot { sink, bias } if rng.random_range(0.0..1.0) < bias => {
+                        sink
+                    }
+                    _ => rng.random_range(0..n),
+                };
+                let mut src = rng.random_range(0..n);
+                while src == dst {
+                    src = rng.random_range(0..n);
+                }
+                out.push(Arrival { time, src, dst });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let w = Workload::uniform(0.7, 500);
+        assert_eq!(w.generate(20, 9), w.generate(20, 9));
+        assert_ne!(w.generate(20, 9), w.generate(20, 10));
+    }
+
+    #[test]
+    fn rate_is_roughly_respected() {
+        for w in [
+            Workload::uniform(0.5, 4000),
+            Workload::bursty(8, 0.5, 4000),
+            Workload::hotspot(0, 0.8, 0.5, 4000),
+        ] {
+            let arrivals = w.generate(30, 42);
+            let expected = 0.5 * 4000.0;
+            assert!(
+                (arrivals.len() as f64) > 0.7 * expected
+                    && (arrivals.len() as f64) < 1.3 * expected,
+                "{:?}: {} arrivals",
+                w.kind,
+                arrivals.len()
+            );
+        }
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_loopless() {
+        let arrivals = Workload::bursty(5, 1.3, 300).generate(10, 1);
+        for pair in arrivals.windows(2) {
+            assert!(pair[0].time <= pair[1].time);
+        }
+        for a in &arrivals {
+            assert_ne!(a.src, a.dst);
+            assert!(a.src < 10 && a.dst < 10);
+        }
+    }
+
+    #[test]
+    fn hotspot_bias_concentrates_on_sink() {
+        let arrivals = Workload::hotspot(3, 0.9, 1.0, 2000).generate(25, 5);
+        let to_sink = arrivals.iter().filter(|a| a.dst == 3).count();
+        assert!(
+            to_sink * 10 > arrivals.len() * 8,
+            "{to_sink}/{} to sink",
+            arrivals.len()
+        );
+    }
+
+    #[test]
+    fn rates_above_one_offer_multiple_packets_per_tick() {
+        let arrivals = Workload::uniform(2.5, 1000).generate(12, 2);
+        assert!(arrivals.len() > 2200 && arrivals.len() < 2800);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn tiny_networks_rejected() {
+        let _ = Workload::uniform(1.0, 10).generate(1, 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests: on a clean network the event-driven engine is exactly
+//! the whole-route functions, packet by packet.
+//!
+//! With a connected planar topology, no faults, and unbounded queues,
+//! GPSR traffic must deliver every packet, and every delivered packet's
+//! recorded node sequence must equal `gpsr_route`'s path node-for-node —
+//! contention only delays packets, it never reroutes them.
+
+use geospan_core::routing::gpsr_route;
+use geospan_graph::gen::{connected_unit_disk, UnitDiskBuilder};
+use geospan_graph::Graph;
+use geospan_topology::gabriel;
+use geospan_traffic::{run, Forwarding, PacketOutcome, TrafficConfig, Workload};
+use proptest::prelude::*;
+
+/// A connected UDG and its Gabriel subgraph (planar, connected, spans
+/// every node — the setting in which GPSR is provably correct).
+fn planar_deployment() -> impl Strategy<Value = (Graph, Graph)> {
+    (12usize..50, 0u64..10_000).prop_map(|(n, seed)| {
+        let (pts, udg, _used) = connected_unit_disk(n, 140.0, 50.0, seed.wrapping_mul(7) + 1);
+        let planar = gabriel(&UnitDiskBuilder::new(50.0).build(&pts));
+        (udg, planar)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn clean_gpsr_traffic_is_lossless_and_matches_whole_routes(
+        (udg, planar) in planar_deployment(),
+        rate in 0.05f64..0.9,
+        wl_seed in 0u64..1_000,
+    ) {
+        let n = udg.node_count();
+        let arrivals = Workload::uniform(rate, 400).generate(n, wl_seed);
+        let cfg = TrafficConfig {
+            queue_capacity: usize::MAX,
+            record_paths: true,
+            max_hops: (50 * n) as u32,
+            ..TrafficConfig::default()
+        };
+        let outcome = run(
+            &Forwarding::Gpsr(&planar),
+            &udg,
+            &arrivals,
+            &geospan_sim::FaultPlan::none(),
+            &cfg,
+        );
+
+        // 100% delivery: GPSR on a connected planar graph cannot fail,
+        // and infinite queues mean congestion can only add latency.
+        prop_assert_eq!(outcome.report.offered, arrivals.len());
+        prop_assert_eq!(
+            outcome.report.delivered,
+            outcome.report.offered,
+            "drops on a clean planar network: {:?}",
+            outcome.report.drops
+        );
+
+        // Node-for-node agreement with the whole-route function.
+        for p in &outcome.packets {
+            prop_assert_eq!(p.outcome, PacketOutcome::Delivered);
+            let route = gpsr_route(&planar, p.src, p.dst, 50 * n);
+            prop_assert!(route.delivered());
+            prop_assert_eq!(&p.path, &route.path,
+                "packet {} -> {} took a different path through the engine", p.src, p.dst);
+            prop_assert_eq!(p.hops as usize, route.hops());
+        }
+    }
+}

@@ -5,6 +5,7 @@
 //! geospan-cli build    --nodes nodes.csv --radius 60 [--distributed]
 //! geospan-cli render   --nodes nodes.csv --radius 60 --topology ldel-icds --out topo.svg
 //! geospan-cli route    --nodes nodes.csv --radius 60 --from 0 --to 42
+//! geospan-cli traffic  --nodes nodes.csv --radius 60 --rate 0.2 --duration 1000 --seed 1
 //! ```
 //!
 //! Node files are CSV with one `x,y` pair per line.
@@ -17,9 +18,11 @@ use geospan::core::{verify, BackboneBuilder, BackboneConfig};
 use geospan::graph::gen::UnitDiskBuilder;
 use geospan::graph::svg::{render_svg, NodeRole, SvgOptions};
 use geospan::graph::{Graph, Point};
+use geospan::sim::FaultPlan;
 use geospan::topology::{
     gabriel, ldel, relative_neighborhood, restricted_delaunay, theta, yao, yao_sink,
 };
+use geospan::traffic::{run, Forwarding, TrafficConfig, Workload};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +42,7 @@ fn main() -> ExitCode {
         "build" => cmd_build(&flags),
         "render" => cmd_render(&flags),
         "route" => cmd_route(&flags),
+        "traffic" => cmd_traffic(&flags),
         other => Err(format!("unknown command `{other}`")),
     };
     match result {
@@ -56,9 +60,15 @@ usage:
   geospan-cli build    --nodes FILE --radius R [--distributed]
   geospan-cli render   --nodes FILE --radius R [--topology NAME] --out FILE.svg
   geospan-cli route    --nodes FILE --radius R --from A --to B
+  geospan-cli traffic  (--nodes FILE | --n N --side S) --radius R
+                       [--policy backbone|gpsr|greedy] [--workload uniform|hotspot|bursty]
+                       [--rate P] [--duration T] [--seed K] [--capacity Q] [--service T]
+                       [--loss P] [--sink I] [--bias P] [--burst B] [--out FILE.csv]
 
 topologies: udg, rng, gabriel, yao, theta, yao-sink, rdg, ldel, cds, ldel-icds,
-            ldel-icds-prime";
+            ldel-icds-prime
+policies:   backbone (dominating-set routing over LDel(ICDS)),
+            gpsr (over LDel(ICDS')), greedy (over the UDG)";
 
 /// Minimal flag map: `--key value` pairs plus boolean `--distributed`.
 struct Flags {
@@ -255,4 +265,103 @@ fn cmd_route(flags: &Flags) -> Result<(), String> {
             route.outcome, route.path
         ))
     }
+}
+
+fn cmd_traffic(flags: &Flags) -> Result<(), String> {
+    // Deployment: an explicit node file, or a generated connected field.
+    let pts = if flags.kv.contains_key("nodes") {
+        load_nodes(flags)?
+    } else {
+        let n: usize = flags.get("n")?;
+        let side: f64 = flags.get("side")?;
+        let radius: f64 = flags.get("radius")?;
+        let seed: u64 = flags.get_or("seed", 1)?;
+        geospan::graph::gen::connected_unit_disk(n, side, radius, seed).0
+    };
+    let (udg, radius) = udg_of(flags, &pts)?;
+    let n = udg.node_count();
+    if n < 2 {
+        return Err("traffic needs at least two nodes".into());
+    }
+
+    let seed: u64 = flags.get_or("seed", 1)?;
+    let rate: f64 = flags.get_or("rate", 0.2)?;
+    let duration: u64 = flags.get_or("duration", 1_000)?;
+    if !(rate > 0.0 && rate.is_finite()) {
+        return Err("rate must be positive".into());
+    }
+    let workload_name: String = flags.get_or("workload", "uniform".to_string())?;
+    let workload = match workload_name.as_str() {
+        "uniform" => Workload::uniform(rate, duration),
+        "hotspot" => {
+            let sink: usize = flags.get_or("sink", 0)?;
+            if sink >= n {
+                return Err(format!("sink must be < {n}"));
+            }
+            Workload::hotspot(sink, flags.get_or("bias", 0.8)?, rate, duration)
+        }
+        "bursty" => Workload::bursty(flags.get_or("burst", 8)?, rate, duration),
+        other => return Err(format!("unknown workload `{other}`")),
+    };
+    let arrivals = workload.generate(n, seed);
+
+    let policy: String = flags.get_or("policy", "backbone".to_string())?;
+    let backbone = BackboneBuilder::new(BackboneConfig::new(radius))
+        .build(&udg)
+        .map_err(|e| e.to_string())?;
+    let forwarding = match policy.as_str() {
+        "backbone" => Forwarding::Backbone {
+            backbone: &backbone,
+            udg: &udg,
+        },
+        "gpsr" => Forwarding::Gpsr(backbone.ldel_icds_prime()),
+        "greedy" => Forwarding::Greedy(&udg),
+        other => return Err(format!("unknown policy `{other}`")),
+    };
+
+    let loss: f64 = flags.get_or("loss", 0.0)?;
+    let faults = if loss > 0.0 {
+        FaultPlan::new(seed ^ 0x7a_f1c0).with_loss(loss)
+    } else {
+        FaultPlan::none()
+    };
+    let cfg = TrafficConfig {
+        queue_capacity: flags.get_or("capacity", 64)?,
+        service_time: flags.get_or("service", 1)?,
+        max_hops: (50 * n) as u32,
+        ..TrafficConfig::default()
+    };
+
+    let outcome = run(&forwarding, &udg, &arrivals, &faults, &cfg);
+    let report = &outcome.report;
+    println!(
+        "{workload_name} workload over `{policy}` ({n} nodes, rate {rate}, {duration} ticks, seed {seed})"
+    );
+    print!("{}", report.format());
+    if let Some(path) = flags.kv.get("out") {
+        let csv = format!(
+            "policy,workload,rate,duration,seed,offered,delivered,delivery_ratio,\
+             drop_stuck,drop_queue,drop_loss,drop_crash,drop_hop_limit,\
+             latency_p50,latency_p99,latency_mean,hop_stretch_avg,length_stretch_avg,\
+             queue_peak_max\n\
+             {policy},{workload_name},{rate},{duration},{seed},{},{},{:.6},{},{},{},{},{},{},{},{:.4},{:.4},{:.4},{}\n",
+            report.offered,
+            report.delivered,
+            report.delivery_ratio(),
+            report.drops.stuck,
+            report.drops.queue_full,
+            report.drops.link_loss,
+            report.drops.node_crash,
+            report.drops.hop_limit,
+            report.latency_p50,
+            report.latency_p99,
+            report.latency_mean,
+            report.hop_stretch_avg,
+            report.length_stretch_avg,
+            report.queue_peak_max
+        );
+        std::fs::write(path, csv).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
 }

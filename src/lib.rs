@@ -13,7 +13,8 @@
 //! * [`sim`] — the deterministic message-passing simulator,
 //! * [`topology`] — RNG / Gabriel / Yao / localized-Delaunay baselines,
 //! * [`cds`] — clustering and connector election (the CDS backbone),
-//! * [`core`] — the full `LDel(ICDS)` pipeline and routing.
+//! * [`core`] — the full `LDel(ICDS)` pipeline and routing,
+//! * [`traffic`] — the discrete-event packet traffic engine.
 //!
 //! # Quickstart
 //!
@@ -38,3 +39,4 @@ pub use geospan_geometry as geometry;
 pub use geospan_graph as graph;
 pub use geospan_sim as sim;
 pub use geospan_topology as topology;
+pub use geospan_traffic as traffic;

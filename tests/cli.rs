@@ -92,6 +92,68 @@ fn generate_build_route_render_pipeline() {
 }
 
 #[test]
+fn traffic_reports_delivery_and_is_seed_deterministic() {
+    let dir = tempdir();
+    let base = [
+        "traffic",
+        "--n",
+        "40",
+        "--side",
+        "130",
+        "--radius",
+        "45",
+        "--rate",
+        "0.2",
+        "--duration",
+        "400",
+        "--seed",
+        "11",
+    ];
+
+    let run = |out_name: &str| {
+        let csv = dir.join(out_name);
+        let out = cli().args(base).arg("--out").arg(&csv).output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        (text, std::fs::read_to_string(&csv).unwrap())
+    };
+
+    let (text, csv_a) = run("a.csv");
+    assert!(text.contains("uniform workload over `backbone`"), "{text}");
+    assert!(text.contains("offered:"), "{text}");
+    assert!(text.contains("delivered:"), "{text}");
+    assert!(csv_a.starts_with("policy,workload,rate,"), "{csv_a}");
+    assert_eq!(csv_a.lines().count(), 2);
+
+    // Same seed, same bytes.
+    let (_, csv_b) = run("b.csv");
+    assert_eq!(
+        csv_a, csv_b,
+        "same seed must give a byte-identical artifact"
+    );
+
+    // A clean low-rate run over the backbone delivers everything.
+    let delivered: Vec<&str> = csv_a.lines().nth(1).unwrap().split(',').collect();
+    assert_eq!(delivered[5], delivered[6], "offered != delivered: {csv_a}");
+
+    // Unknown policy fails cleanly.
+    let out = cli()
+        .args([
+            "traffic", "--n", "10", "--side", "50", "--radius", "30", "--policy", "warp",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown policy"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     // No command.
     let out = cli().output().unwrap();
