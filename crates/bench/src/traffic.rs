@@ -15,8 +15,8 @@ use std::fmt::Write as _;
 
 use geospan_core::{Backbone, BackboneBuilder, BackboneConfig, ClusterRank};
 use geospan_graph::Graph;
-use geospan_sim::FaultPlan;
-use geospan_traffic::{run, Forwarding, TrafficConfig, TrafficReport, Workload};
+use geospan_sim::{FaultPlan, ReliabilityConfig};
+use geospan_traffic::{run, Discipline, Forwarding, TrafficConfig, TrafficReport, Workload};
 use rayon::prelude::*;
 
 use crate::Scenario;
@@ -179,13 +179,17 @@ pub fn traffic_rows(cfg: &SweepConfig) -> Vec<TrafficRow> {
         })
         .collect();
 
-    // One engine configuration for the whole sweep.
+    // One engine configuration for the whole sweep: FIFO queues, no
+    // retransmit — the historical regime, kept so the artifact stays
+    // byte-identical (the reliability sweep varies both knobs).
     let engine_cfg = TrafficConfig {
         queue_capacity: cfg.queue_capacity,
         service_time: cfg.service_time,
         max_hops: (50 * cfg.scenario.n) as u32,
         ticks_per_round: 1,
         record_paths: false,
+        discipline: Discipline::Fifo,
+        reliability: None,
     };
 
     // Cell grid: trial-major, then load, then topology.
@@ -369,6 +373,442 @@ pub fn check_low_load_delivery(rows: &[TrafficRow]) -> Result<(), String> {
     }
 }
 
+/// Configuration of the reliability sweep: hotspot and bursty workloads
+/// served over the backbone across queue disciplines, with and without
+/// link-layer retransmit, under seeded radio loss.
+#[derive(Debug, Clone)]
+pub struct ReliabilitySweepConfig {
+    /// Deployment parameters (`n`, `side`, `radius`, `trials`, `seed`).
+    pub scenario: Scenario,
+    /// Offered loads to sweep, in expected packets per tick. The lowest
+    /// load anchors the recovery and delivery checks.
+    pub loads: Vec<f64>,
+    /// Ticks over which each workload offers packets.
+    pub duration: u64,
+    /// Per-node transmit queue capacity.
+    pub queue_capacity: usize,
+    /// Ticks per transmission.
+    pub service_time: u64,
+    /// Per-link delivery loss probability (the noise retransmit fights).
+    pub loss: f64,
+    /// Hotspot sink biases to sweep (each is one workload, sink node 0).
+    pub hotspot_biases: Vec<f64>,
+    /// Burst sizes to sweep (each is one workload).
+    pub burst_sizes: Vec<usize>,
+    /// DRR quantum (packets per flow per round-robin visit).
+    pub quantum: u32,
+    /// The retransmit scheme of the `retx = on` half of the sweep.
+    pub reliability: ReliabilityConfig,
+}
+
+impl ReliabilitySweepConfig {
+    /// The default sweep: the Table I deployment under 5% loss, two
+    /// biases and two burst sizes, at a low and a saturating load.
+    pub fn standard() -> Self {
+        ReliabilitySweepConfig {
+            scenario: Scenario {
+                n: 100,
+                side: 200.0,
+                radius: 60.0,
+                trials: 3,
+                seed: 1,
+            },
+            loads: vec![0.05, 0.4],
+            duration: 2_000,
+            queue_capacity: 64,
+            service_time: 1,
+            loss: 0.05,
+            hotspot_biases: vec![0.5, 0.9],
+            burst_sizes: vec![4, 16],
+            quantum: 2,
+            reliability: ReliabilityConfig::default(),
+        }
+    }
+
+    /// The CI smoke sweep: a small field, one bias, one burst size.
+    pub fn quick() -> Self {
+        ReliabilitySweepConfig {
+            scenario: Scenario {
+                n: 40,
+                side: 120.0,
+                radius: 45.0,
+                trials: 1,
+                seed: 1,
+            },
+            loads: vec![0.05, 0.4],
+            duration: 500,
+            queue_capacity: 64,
+            service_time: 1,
+            loss: 0.05,
+            hotspot_biases: vec![0.8],
+            burst_sizes: vec![8],
+            quantum: 2,
+            reliability: ReliabilityConfig::default(),
+        }
+    }
+
+    /// The swept workloads in row order: hotspot biases, then bursts.
+    fn workloads(&self, load: f64) -> Vec<Workload> {
+        self.hotspot_biases
+            .iter()
+            .map(|&bias| Workload::hotspot(0, bias, load, self.duration))
+            .chain(
+                self.burst_sizes
+                    .iter()
+                    .map(|&burst| Workload::bursty(burst, load, self.duration)),
+            )
+            .collect()
+    }
+
+    /// The swept disciplines in row order.
+    fn disciplines(&self) -> [Discipline; 3] {
+        [
+            Discipline::Fifo,
+            Discipline::NearestFirst,
+            Discipline::Drr {
+                quantum: self.quantum,
+            },
+        ]
+    }
+}
+
+/// One aggregated reliability-sweep row: a (workload, load, discipline,
+/// retx) cell summed/averaged over the scenario's trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilityRow {
+    /// Workload shape ("hotspot" or "bursty").
+    pub workload: &'static str,
+    /// Shape parameter: sink bias for hotspot, burst size for bursty.
+    pub param: f64,
+    /// Queue discipline label ("fifo", "priority", "drr").
+    pub discipline: &'static str,
+    /// Whether link-layer retransmit was enabled.
+    pub retx: bool,
+    /// Offered load in packets per tick.
+    pub load: f64,
+    /// Total packets offered across trials.
+    pub offered: usize,
+    /// Total packets delivered across trials.
+    pub delivered: usize,
+    /// Dropped at forwarding dead ends.
+    pub drop_stuck: usize,
+    /// Dropped at full queues.
+    pub drop_queue: usize,
+    /// Lost on the air (after the retransmit budget, when enabled).
+    pub drop_loss: usize,
+    /// Lost to crashes.
+    pub drop_crash: usize,
+    /// Exceeded the hop budget.
+    pub drop_hop_limit: usize,
+    /// Link-layer retransmissions spent across trials.
+    pub retransmissions: usize,
+    /// Mean over trials of the median delivery latency.
+    pub latency_p50: f64,
+    /// Mean over trials of the 99th-percentile delivery latency.
+    pub latency_p99: f64,
+    /// Mean over trials of the mean delivery latency.
+    pub latency_mean: f64,
+    /// Worst queue occupancy any node reached in any trial.
+    pub queue_peak_max: usize,
+}
+
+impl ReliabilityRow {
+    /// Delivered fraction of offered packets.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Runs the reliability sweep: every (trial, workload, load, discipline,
+/// retx) cell in parallel over the backbone forwarding scheme, then a
+/// deterministic fold into one row per (workload, load, discipline,
+/// retx).
+///
+/// The arrival schedule and fault seed of a cell depend only on (trial,
+/// workload, load) — the discipline and retransmit halves of the sweep
+/// see identical packets and identical loss rolls, so their rows are
+/// paired comparisons, not independent samples.
+///
+/// # Panics
+/// Panics if the scenario yields no trials, or no loads or workloads
+/// are configured.
+pub fn reliability_rows(cfg: &ReliabilitySweepConfig) -> Vec<ReliabilityRow> {
+    assert!(cfg.scenario.trials > 0, "sweep needs at least one trial");
+    assert!(!cfg.loads.is_empty(), "sweep needs at least one load");
+    assert!(
+        !cfg.hotspot_biases.is_empty() || !cfg.burst_sizes.is_empty(),
+        "sweep needs at least one workload"
+    );
+    let instances = cfg.scenario.instances();
+    let trials: Vec<(Graph, Backbone)> = instances
+        .into_par_iter()
+        .map(|(_pts, udg)| {
+            let backbone = BackboneBuilder::new(
+                BackboneConfig::new(cfg.scenario.radius).with_rank(ClusterRank::LowestId),
+            )
+            .build(&udg)
+            .expect("centralized build cannot fail on a valid UDG");
+            (udg, backbone)
+        })
+        .collect();
+
+    let n_workloads = cfg.hotspot_biases.len() + cfg.burst_sizes.len();
+    let disciplines = cfg.disciplines();
+    // Cell grid: trial-major, then workload, then load, then
+    // (discipline × retx).
+    let variants = disciplines.len() * 2;
+    let cells: Vec<(usize, usize, usize, usize)> = (0..trials.len())
+        .flat_map(|t| {
+            (0..n_workloads).flat_map(move |w| {
+                (0..cfg.loads.len()).flat_map(move |l| (0..variants).map(move |v| (t, w, l, v)))
+            })
+        })
+        .collect();
+    let reports: Vec<TrafficReport> = cells
+        .par_iter()
+        .map(|&(t, w, l, v)| {
+            let (udg, backbone) = &trials[t];
+            let wl = cfg.workloads(cfg.loads[l])[w];
+            let arrivals = wl.generate(
+                cfg.scenario.n,
+                mix_seed(
+                    cfg.scenario.seed,
+                    t as u64,
+                    (w * cfg.loads.len() + l) as u64,
+                ),
+            );
+            let faults = FaultPlan::new(mix_seed(
+                cfg.scenario.seed ^ 0x7e11_ab1e,
+                t as u64,
+                (w * cfg.loads.len() + l) as u64,
+            ))
+            .with_loss(cfg.loss);
+            let engine_cfg = TrafficConfig {
+                queue_capacity: cfg.queue_capacity,
+                service_time: cfg.service_time,
+                max_hops: (50 * cfg.scenario.n) as u32,
+                discipline: disciplines[v / 2],
+                reliability: (v % 2 == 1).then_some(cfg.reliability),
+                ..TrafficConfig::default()
+            };
+            let forwarding = Forwarding::Backbone { backbone, udg };
+            run(&forwarding, udg, &arrivals, &faults, &engine_cfg).report
+        })
+        .collect();
+
+    // Fold trial-major cells into (workload, load, discipline, retx)
+    // rows, trials averaged in index order.
+    let workload_meta: Vec<(&'static str, f64)> = cfg
+        .workloads(1.0)
+        .iter()
+        .map(|wl| (wl.kind.label(), wl.kind.param()))
+        .collect();
+    let mut rows = Vec::with_capacity(n_workloads * cfg.loads.len() * variants);
+    for (w, &(workload, param)) in workload_meta.iter().enumerate() {
+        for (l, &load) in cfg.loads.iter().enumerate() {
+            for (v, disc) in disciplines
+                .iter()
+                .enumerate()
+                .flat_map(|(d, disc)| [(d * 2, disc), (d * 2 + 1, disc)])
+            {
+                let mut row = ReliabilityRow {
+                    workload,
+                    param,
+                    discipline: disc.label(),
+                    retx: v % 2 == 1,
+                    load,
+                    offered: 0,
+                    delivered: 0,
+                    drop_stuck: 0,
+                    drop_queue: 0,
+                    drop_loss: 0,
+                    drop_crash: 0,
+                    drop_hop_limit: 0,
+                    retransmissions: 0,
+                    latency_p50: 0.0,
+                    latency_p99: 0.0,
+                    latency_mean: 0.0,
+                    queue_peak_max: 0,
+                };
+                for t in 0..trials.len() {
+                    let idx = ((t * n_workloads + w) * cfg.loads.len() + l) * variants + v;
+                    let r = &reports[idx];
+                    row.offered += r.offered;
+                    row.delivered += r.delivered;
+                    row.drop_stuck += r.drops.stuck;
+                    row.drop_queue += r.drops.queue_full;
+                    row.drop_loss += r.drops.link_loss;
+                    row.drop_crash += r.drops.node_crash;
+                    row.drop_hop_limit += r.drops.hop_limit;
+                    row.retransmissions += r.retransmissions;
+                    row.latency_p50 += r.latency_p50 as f64;
+                    row.latency_p99 += r.latency_p99 as f64;
+                    row.latency_mean += r.latency_mean;
+                    row.queue_peak_max = row.queue_peak_max.max(r.queue_peak_max);
+                }
+                let t = trials.len() as f64;
+                row.latency_p50 /= t;
+                row.latency_p99 /= t;
+                row.latency_mean /= t;
+                rows.push(row);
+            }
+        }
+    }
+    rows
+}
+
+/// Renders reliability rows as CSV (stable column order and formatting:
+/// the artifact is byte-identical for a given seed).
+pub fn reliability_csv(rows: &[ReliabilityRow]) -> String {
+    let mut out = String::from(
+        "workload,param,discipline,retx,load,offered,delivered,delivery_ratio,\
+         drop_stuck,drop_queue,drop_loss,drop_crash,drop_hop_limit,\
+         retransmissions,latency_p50,latency_p99,latency_mean,queue_peak_max\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{:.3},{},{},{:.3},{},{},{:.6},{},{},{},{},{},{},{:.3},{:.3},{:.4},{}",
+            r.workload,
+            r.param,
+            r.discipline,
+            if r.retx { "on" } else { "off" },
+            r.load,
+            r.offered,
+            r.delivered,
+            r.delivery_ratio(),
+            r.drop_stuck,
+            r.drop_queue,
+            r.drop_loss,
+            r.drop_crash,
+            r.drop_hop_limit,
+            r.retransmissions,
+            r.latency_p50,
+            r.latency_p99,
+            r.latency_mean,
+            r.queue_peak_max
+        );
+    }
+    out
+}
+
+/// Renders reliability rows as an aligned text table.
+pub fn format_reliability(rows: &[ReliabilityRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:>6} {:<9} {:>4} {:>6} {:>8} {:>9} {:>9} {:>7} {:>6} {:>9} {:>9}",
+        "workload",
+        "param",
+        "disc",
+        "retx",
+        "load",
+        "offered",
+        "delivered",
+        "ratio",
+        "loss",
+        "retx#",
+        "p50",
+        "p99"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>6.2} {:<9} {:>4} {:>6.2} {:>8} {:>9} {:>9.4} {:>7} {:>6} {:>9.1} {:>9.1}",
+            r.workload,
+            r.param,
+            r.discipline,
+            if r.retx { "on" } else { "off" },
+            r.load,
+            r.offered,
+            r.delivered,
+            r.delivery_ratio(),
+            r.drop_loss,
+            r.retransmissions,
+            r.latency_p50,
+            r.latency_p99
+        );
+    }
+    out
+}
+
+/// The recovery assertion: at the lowest swept load, for every
+/// (workload, discipline), retransmit recovers at least 90% of the
+/// first-attempt link losses — `drop_loss` with retx on is at most 10%
+/// of the paired no-retx cell's.
+///
+/// Returns a description of the first violation, if any.
+pub fn check_retx_recovery(rows: &[ReliabilityRow]) -> Result<(), String> {
+    let low = rows.iter().map(|r| r.load).fold(f64::INFINITY, f64::min);
+    for base in rows.iter().filter(|r| r.load == low && !r.retx) {
+        let paired = rows
+            .iter()
+            .find(|r| {
+                r.load == low
+                    && r.retx
+                    && r.workload == base.workload
+                    && r.param == base.param
+                    && r.discipline == base.discipline
+            })
+            .ok_or_else(|| format!("no retx row pairing {base:?}"))?;
+        if base.drop_loss == 0 {
+            continue;
+        }
+        let recovered = 1.0 - paired.drop_loss as f64 / base.drop_loss as f64;
+        if recovered < 0.9 {
+            return Err(format!(
+                "{}/{} ({}) at load {:.3}: retransmit recovered only {:.1}% \
+                 of link losses ({} -> {})",
+                base.workload,
+                base.param,
+                base.discipline,
+                low,
+                100.0 * recovered,
+                base.drop_loss,
+                paired.drop_loss
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The delivery assertion: at the lowest swept load, every retransmit
+/// row delivers at least as large a fraction as the FIFO/no-retx
+/// baseline of its workload.
+///
+/// Returns a description of the first violation, if any.
+pub fn check_retx_delivery(rows: &[ReliabilityRow]) -> Result<(), String> {
+    let low = rows.iter().map(|r| r.load).fold(f64::INFINITY, f64::min);
+    for r in rows.iter().filter(|r| r.load == low && r.retx) {
+        let base = rows
+            .iter()
+            .find(|b| {
+                b.load == low
+                    && !b.retx
+                    && b.discipline == "fifo"
+                    && b.workload == r.workload
+                    && b.param == r.param
+            })
+            .ok_or_else(|| format!("no fifo/no-retx baseline for {r:?}"))?;
+        if r.delivery_ratio() < base.delivery_ratio() {
+            return Err(format!(
+                "{}/{} ({}, retx) delivers {:.4} < baseline {:.4} at load {:.3}",
+                r.workload,
+                r.param,
+                r.discipline,
+                r.delivery_ratio(),
+                base.delivery_ratio(),
+                low
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,5 +845,62 @@ mod tests {
         assert_eq!(a, b, "same seed must give a byte-identical artifact");
         assert_eq!(a.lines().count(), rows.len() + 1);
         assert!(a.starts_with("topology,policy,load,"));
+    }
+
+    #[test]
+    fn quick_reliability_sweep_recovers_losses_and_conserves_packets() {
+        let cfg = ReliabilitySweepConfig::quick();
+        let rows = reliability_rows(&cfg);
+        // workloads × loads × disciplines × {off, on}.
+        assert_eq!(rows.len(), 2 * cfg.loads.len() * 3 * 2);
+        for r in &rows {
+            assert!(r.offered > 0);
+            assert_eq!(
+                r.offered,
+                r.delivered
+                    + r.drop_stuck
+                    + r.drop_queue
+                    + r.drop_loss
+                    + r.drop_crash
+                    + r.drop_hop_limit
+            );
+            // Retransmissions only happen in the retx half.
+            assert_eq!(r.retx, r.retransmissions > 0 || r.retx && r.drop_loss == 0);
+        }
+        check_retx_recovery(&rows).unwrap();
+        check_retx_delivery(&rows).unwrap();
+    }
+
+    #[test]
+    fn reliability_halves_are_paired_comparisons() {
+        // Same arrivals, same loss rolls on the first attempt: the retx
+        // half can only move packets from drop_loss to delivered (or to
+        // another cause), never see different traffic — offered counts
+        // match pairwise.
+        let rows = reliability_rows(&ReliabilitySweepConfig::quick());
+        for base in rows.iter().filter(|r| !r.retx) {
+            let paired = rows
+                .iter()
+                .find(|r| {
+                    r.retx
+                        && r.workload == base.workload
+                        && r.param == base.param
+                        && r.discipline == base.discipline
+                        && r.load == base.load
+                })
+                .unwrap();
+            assert_eq!(base.offered, paired.offered);
+        }
+    }
+
+    #[test]
+    fn reliability_csv_is_stable_and_parsable() {
+        let rows = reliability_rows(&ReliabilitySweepConfig::quick());
+        let a = reliability_csv(&rows);
+        let b = reliability_csv(&reliability_rows(&ReliabilitySweepConfig::quick()));
+        assert_eq!(a, b, "same seed must give a byte-identical artifact");
+        assert_eq!(a.lines().count(), rows.len() + 1);
+        assert!(a.starts_with("workload,param,discipline,retx,load,"));
+        assert!(!format_reliability(&rows).is_empty());
     }
 }

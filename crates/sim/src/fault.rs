@@ -242,6 +242,23 @@ impl FaultPlan {
         self.loses(EventKind::Data, sender, receiver, seq, attempt)
     }
 
+    /// True when the data delivery `(sender → receiver)` of packet `seq`
+    /// on transmission `attempt` arrives twice (a stale MAC
+    /// retransmission).
+    ///
+    /// Public for the same reason as [`FaultPlan::drops_delivery`]: the
+    /// traffic engine consumes the identical per-event rolls, so a
+    /// delivery duplicates there iff it would in the round simulator.
+    pub fn duplicates_delivery(
+        &self,
+        sender: usize,
+        receiver: usize,
+        seq: u64,
+        attempt: u32,
+    ) -> bool {
+        self.duplicates(sender, receiver, seq, attempt)
+    }
+
     /// Stateless per-event roll in `[0, 1)`.
     pub(crate) fn roll(
         &self,
@@ -311,6 +328,22 @@ pub struct ReliabilityConfig {
     /// round trip (2 under synchronous delivery, `2 * max_delay` under
     /// jitter).
     pub ack_timeout: usize,
+}
+
+impl ReliabilityConfig {
+    /// Ticks a traffic-engine sender waits before retransmission
+    /// `attempt` (1-based): one ack timeout's worth of service slots,
+    /// doubling per attempt — binary exponential backoff, with the
+    /// exponent capped at 6 so delays stay bounded.
+    ///
+    /// The round simulator keys its own retransmit clock off
+    /// [`ReliabilityConfig::ack_timeout`] directly; this helper maps the
+    /// same budget onto the discrete-event engine's tick clock so both
+    /// layers share one configuration.
+    pub fn retry_delay(&self, attempt: u32, service_time: u64) -> u64 {
+        let base = (self.ack_timeout.max(1) as u64) * service_time.max(1);
+        base << attempt.saturating_sub(1).min(6)
+    }
 }
 
 impl Default for ReliabilityConfig {
@@ -428,5 +461,40 @@ mod tests {
     #[should_panic(expected = "must be in [0, 1]")]
     fn loss_out_of_range_rejected() {
         let _ = FaultPlan::new(0).with_loss(1.5);
+    }
+
+    #[test]
+    fn public_delivery_rolls_match_internal_ones() {
+        let plan = FaultPlan::new(11).with_loss(0.3).with_duplication(0.3);
+        for seq in 0..200 {
+            assert_eq!(
+                plan.drops_delivery(1, 2, seq, 0),
+                plan.loses(EventKind::Data, 1, 2, seq, 0)
+            );
+            assert_eq!(
+                plan.duplicates_delivery(1, 2, seq, 0),
+                plan.duplicates(1, 2, seq, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn retry_delay_backs_off_exponentially_and_caps() {
+        let rel = ReliabilityConfig {
+            max_retries: 10,
+            ack_timeout: 3,
+        };
+        assert_eq!(rel.retry_delay(1, 1), 3);
+        assert_eq!(rel.retry_delay(2, 1), 6);
+        assert_eq!(rel.retry_delay(3, 1), 12);
+        assert_eq!(rel.retry_delay(3, 2), 24, "scales with service time");
+        assert_eq!(rel.retry_delay(7, 1), 3 << 6);
+        assert_eq!(rel.retry_delay(40, 1), 3 << 6, "exponent capped");
+        // Degenerate configs still wait at least one tick.
+        let zero = ReliabilityConfig {
+            max_retries: 1,
+            ack_timeout: 0,
+        };
+        assert_eq!(zero.retry_delay(1, 0), 1);
     }
 }

@@ -1,13 +1,15 @@
 //! The discrete-event core: event queue, per-node transmit queues, and
-//! the packet lifecycle (enqueue → transmit → deliver/drop).
+//! the packet lifecycle (enqueue → transmit → deliver/drop, with
+//! optional per-hop retransmission).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 
 use geospan_graph::paths::DistanceOracle;
 use geospan_graph::Graph;
-use geospan_sim::FaultPlan;
+use geospan_sim::{FaultPlan, ReliabilityConfig};
 
+use crate::queue::{Discipline, QueueDiscipline, QueuedPacket};
 use crate::report::{DropCause, DropCounts, PacketOutcome, PacketRecord, TrafficReport};
 use crate::workload::Arrival;
 use crate::{Decision, Forwarding, Session};
@@ -19,7 +21,7 @@ pub struct TrafficConfig {
     /// queues.
     pub queue_capacity: usize,
     /// Ticks a node's radio takes to transmit one packet (the service
-    /// time of the FIFO queue).
+    /// time of the transmit queue).
     pub service_time: u64,
     /// Per-packet hop budget (drops with [`DropCause::HopLimit`] when
     /// exceeded).
@@ -30,6 +32,15 @@ pub struct TrafficConfig {
     /// Record every packet's node path (costs memory; used by tests and
     /// diagnostics).
     pub record_paths: bool,
+    /// The scheduling policy of every node's transmit queue.
+    pub discipline: Discipline,
+    /// Per-hop link-layer retransmission: a transmission lost to noise
+    /// or an active partition is retried after a backoff
+    /// ([`ReliabilityConfig::retry_delay`]) up to
+    /// [`ReliabilityConfig::max_retries`] times, the retry re-entering
+    /// the sender's queue in competition with fresh traffic. `None`
+    /// drops on first loss (the original engine behavior).
+    pub reliability: Option<ReliabilityConfig>,
 }
 
 impl Default for TrafficConfig {
@@ -40,6 +51,8 @@ impl Default for TrafficConfig {
             max_hops: 10_000,
             ticks_per_round: 1,
             record_paths: false,
+            discipline: Discipline::Fifo,
+            reliability: None,
         }
     }
 }
@@ -60,6 +73,9 @@ enum EventKind {
     Arrival(usize),
     /// A node's radio finishes transmitting its head-of-line packet.
     Service(usize),
+    /// A packet's retransmission backoff expired: it rejoins its
+    /// holder's transmit queue.
+    Retry(usize),
 }
 
 /// Events order by `(time, seq)`: `seq` is a global insertion counter,
@@ -78,15 +94,25 @@ struct Packet {
     dst: usize,
     spawn: u64,
     hops: u32,
+    /// Total transmissions performed (hops + retransmissions): the
+    /// fault-roll attempt coordinate, so every retry sees an
+    /// independent loss roll. Without reliability this equals `hops`
+    /// at every roll, preserving the historical per-event decisions.
+    tx: u32,
+    /// Retransmissions already spent on the current hop.
+    hop_attempt: u32,
+    /// Retransmission transmissions performed over the whole lifecycle.
+    retx: u32,
     length: f64,
+    /// Node currently holding the packet (where a retry re-enqueues).
+    holder: usize,
     next_hop: usize,
     session: Session,
     path: Vec<usize>,
 }
 
-#[derive(Default)]
 struct NodeState {
-    queue: VecDeque<usize>,
+    queue: Box<dyn QueueDiscipline>,
     busy: bool,
     peak: usize,
 }
@@ -98,9 +124,14 @@ struct Engine<'a, 'g> {
     cfg: &'a TrafficConfig,
     heap: BinaryHeap<Reverse<Event>>,
     seq: u64,
+    /// Global enqueue counter: the disciplines' deterministic
+    /// tie-breaker.
+    enqueue_seq: u64,
     packets: Vec<Packet>,
     fates: Vec<Option<(PacketOutcome, u64)>>,
     nodes: Vec<NodeState>,
+    retransmissions: usize,
+    duplicates_suppressed: usize,
     last_time: u64,
 }
 
@@ -134,7 +165,11 @@ pub fn run(
                 dst: a.dst,
                 spawn: a.time,
                 hops: 0,
+                tx: 0,
+                hop_attempt: 0,
+                retx: 0,
                 length: 0.0,
+                holder: a.src,
                 next_hop: usize::MAX,
                 session: forwarding.new_session(),
                 path: Vec::new(),
@@ -148,9 +183,18 @@ pub fn run(
         cfg,
         heap: BinaryHeap::with_capacity(arrivals.len()),
         seq: 0,
+        enqueue_seq: 0,
         fates: vec![None; packets.len()],
         packets,
-        nodes: (0..n).map(|_| NodeState::default()).collect(),
+        nodes: (0..n)
+            .map(|_| NodeState {
+                queue: cfg.discipline.new_queue(),
+                busy: false,
+                peak: 0,
+            })
+            .collect(),
+        retransmissions: 0,
+        duplicates_suppressed: 0,
         last_time: 0,
     };
     for (p, a) in arrivals.iter().enumerate() {
@@ -164,6 +208,7 @@ pub fn run(
                 engine.arrive(p, src, ev.time);
             }
             EventKind::Service(u) => engine.service(u, ev.time),
+            EventKind::Retry(p) => engine.retry(p, ev.time),
         }
     }
     engine.finish()
@@ -194,6 +239,8 @@ impl Engine<'_, '_> {
         if self.faults.crashed(u, self.round(time)) {
             return self.resolve(p, PacketOutcome::Dropped(DropCause::NodeCrash), time);
         }
+        self.packets[p].holder = u;
+        self.packets[p].hop_attempt = 0;
         let dst = self.packets[p].dst;
         let fw = self.fw;
         let decision = fw.decide(&mut self.packets[p].session, u, dst);
@@ -201,19 +248,45 @@ impl Engine<'_, '_> {
             Decision::Arrived => self.resolve(p, PacketOutcome::Delivered, time),
             Decision::Stuck => self.resolve(p, PacketOutcome::Dropped(DropCause::Stuck), time),
             Decision::Forward(v) => {
-                if self.nodes[u].queue.len() >= self.cfg.queue_capacity {
-                    return self.resolve(p, PacketOutcome::Dropped(DropCause::QueueFull), time);
-                }
                 self.packets[p].next_hop = v;
-                self.nodes[u].queue.push_back(p);
-                let occupancy = self.nodes[u].queue.len();
-                self.nodes[u].peak = self.nodes[u].peak.max(occupancy);
-                if !self.nodes[u].busy {
-                    self.nodes[u].busy = true;
-                    self.push(time + self.cfg.service_time, EventKind::Service(u));
-                }
+                self.enqueue(p, u, time);
             }
         }
+    }
+
+    /// Packet `p` (next hop already chosen) joins `u`'s transmit queue,
+    /// subject to the capacity check — retransmissions pass through here
+    /// too, competing with fresh traffic for the same slots.
+    fn enqueue(&mut self, p: usize, u: usize, time: u64) {
+        if self.nodes[u].queue.len() >= self.cfg.queue_capacity {
+            return self.resolve(p, PacketOutcome::Dropped(DropCause::QueueFull), time);
+        }
+        let dst = self.packets[p].dst;
+        let remaining = self.udg.position(u).distance(self.udg.position(dst));
+        let enqueue_seq = self.enqueue_seq;
+        self.enqueue_seq += 1;
+        self.nodes[u].queue.push(QueuedPacket {
+            id: p,
+            dst,
+            remaining,
+            enqueue_seq,
+        });
+        let occupancy = self.nodes[u].queue.len();
+        self.nodes[u].peak = self.nodes[u].peak.max(occupancy);
+        if !self.nodes[u].busy {
+            self.nodes[u].busy = true;
+            self.push(time + self.cfg.service_time, EventKind::Service(u));
+        }
+    }
+
+    /// A retransmission backoff expired: the packet rejoins its holder's
+    /// queue (unless the holder died while it waited).
+    fn retry(&mut self, p: usize, time: u64) {
+        let u = self.packets[p].holder;
+        if self.faults.crashed(u, self.round(time)) {
+            return self.resolve(p, PacketOutcome::Dropped(DropCause::NodeCrash), time);
+        }
+        self.enqueue(p, u, time);
     }
 
     /// Node `u`'s radio finished a transmission slot: emit the
@@ -221,14 +294,13 @@ impl Engine<'_, '_> {
     fn service(&mut self, u: usize, time: u64) {
         if self.faults.crashed(u, self.round(time)) {
             // The node died with packets queued: they die with it.
-            let queued = std::mem::take(&mut self.nodes[u].queue);
-            for p in queued {
-                self.resolve(p, PacketOutcome::Dropped(DropCause::NodeCrash), time);
+            for qp in self.nodes[u].queue.drain() {
+                self.resolve(qp.id, PacketOutcome::Dropped(DropCause::NodeCrash), time);
             }
             self.nodes[u].busy = false;
             return;
         }
-        let Some(p) = self.nodes[u].queue.pop_front() else {
+        let Some(qp) = self.nodes[u].queue.pop() else {
             self.nodes[u].busy = false;
             return;
         };
@@ -237,11 +309,36 @@ impl Engine<'_, '_> {
         } else {
             self.push(time + self.cfg.service_time, EventKind::Service(u));
         }
+        // Work conservation: a node with queued packets always has a
+        // service slot scheduled.
+        debug_assert!(self.nodes[u].busy || self.nodes[u].queue.is_empty());
+        let p = qp.id;
         let v = self.packets[p].next_hop;
-        let attempt = self.packets[p].hops;
+        let attempt = self.packets[p].tx;
+        self.packets[p].tx += 1;
+        if self.packets[p].hop_attempt > 0 {
+            // This transmission slot is a link-layer retransmission.
+            self.retransmissions += 1;
+            self.packets[p].retx += 1;
+        }
         let round = self.round(time);
         if self.faults.severed(u, v, round) || self.faults.drops_delivery(u, v, p as u64, attempt) {
+            if let Some(rel) = self.cfg.reliability {
+                if self.packets[p].hop_attempt < rel.max_retries {
+                    // The sender times out waiting for the ack, backs
+                    // off, and re-queues the frame for the same hop.
+                    self.packets[p].hop_attempt += 1;
+                    let delay = rel.retry_delay(self.packets[p].hop_attempt, self.cfg.service_time);
+                    self.push(time + delay, EventKind::Retry(p));
+                    return;
+                }
+            }
             return self.resolve(p, PacketOutcome::Dropped(DropCause::LinkLoss), time);
+        }
+        if self.faults.duplicates_delivery(u, v, p as u64, attempt) {
+            // The receiver sees the frame twice (stale MAC retransmit);
+            // per-packet identity deduplicates, the copy is only counted.
+            self.duplicates_suppressed += 1;
         }
         self.packets[p].hops += 1;
         if self.packets[p].hops > self.cfg.max_hops {
@@ -259,6 +356,8 @@ impl Engine<'_, '_> {
             packets,
             fates,
             nodes,
+            retransmissions,
+            duplicates_suppressed,
             last_time,
             ..
         } = self;
@@ -276,6 +375,9 @@ impl Engine<'_, '_> {
                 fate.expect("every offered packet resolves before the event queue drains");
             match outcome {
                 PacketOutcome::Delivered => {
+                    // Latency from first enqueue (the arrival tick), not
+                    // from any retransmission: backoff waits are part of
+                    // the packet's measured delay.
                     latencies.push(finish - pk.spawn);
                     if pk.src != pk.dst {
                         let best_hops = oracle
@@ -305,6 +407,7 @@ impl Engine<'_, '_> {
                 spawn: pk.spawn,
                 finish,
                 hops: pk.hops,
+                retries: pk.retx,
                 length: pk.length,
                 outcome,
                 path: pk.path,
@@ -326,6 +429,8 @@ impl Engine<'_, '_> {
             offered: records.len(),
             delivered,
             drops,
+            retransmissions,
+            duplicates_suppressed,
             latency_p50: percentile(0.5),
             latency_p99: percentile(0.99),
             latency_max: latencies.last().copied().unwrap_or(0),
@@ -398,6 +503,7 @@ mod tests {
         assert_eq!(out.report.delivered, 1);
         assert_eq!(out.packets[0].path, vec![0, 1, 2, 3, 4]);
         assert_eq!(out.packets[0].hops, 4);
+        assert_eq!(out.packets[0].retries, 0);
         // One service slot per hop at service_time 1.
         assert_eq!(out.packets[0].latency(), 4);
         assert!((out.report.hop_stretch_avg - 1.0).abs() < 1e-12);
@@ -542,16 +648,142 @@ mod tests {
         let g = chain(8);
         let arrivals = Workload::bursty(4, 0.9, 300).generate(8, 11);
         let plan = FaultPlan::new(5).with_loss(0.1);
+        for discipline in [
+            Discipline::Fifo,
+            Discipline::NearestFirst,
+            Discipline::Drr { quantum: 1 },
+        ] {
+            for reliability in [None, Some(ReliabilityConfig::default())] {
+                let cfg = TrafficConfig {
+                    queue_capacity: 2,
+                    discipline,
+                    reliability,
+                    ..TrafficConfig::default()
+                };
+                let a = run(&Forwarding::Greedy(&g), &g, &arrivals, &plan, &cfg);
+                let b = run(&Forwarding::Greedy(&g), &g, &arrivals, &plan, &cfg);
+                assert_eq!(a, b, "{discipline:?} retx={}", reliability.is_some());
+                assert_eq!(
+                    a.report.offered,
+                    a.report.delivered + a.report.drops.total()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retransmit_recovers_a_transient_partition() {
+        let g = chain(3);
+        // Link (0,1) severed for rounds 0..4: the first attempt at t=1
+        // is lost; with retransmit the packet retries past the heal.
+        let plan = || FaultPlan::new(0).with_partition(0..4, [0]);
+        let without = run(
+            &Forwarding::Greedy(&g),
+            &g,
+            &one_packet(0, 2),
+            &plan(),
+            &TrafficConfig::default(),
+        );
+        assert_eq!(without.report.drops.link_loss, 1);
+        assert_eq!(without.report.retransmissions, 0);
+
         let cfg = TrafficConfig {
-            queue_capacity: 2,
+            reliability: Some(ReliabilityConfig {
+                max_retries: 3,
+                ack_timeout: 2,
+            }),
+            record_paths: true,
             ..TrafficConfig::default()
         };
-        let a = run(&Forwarding::Greedy(&g), &g, &arrivals, &plan, &cfg);
-        let b = run(&Forwarding::Greedy(&g), &g, &arrivals, &plan, &cfg);
-        assert_eq!(a, b);
-        assert_eq!(
-            a.report.offered,
-            a.report.delivered + a.report.drops.total()
+        let with = run(
+            &Forwarding::Greedy(&g),
+            &g,
+            &one_packet(0, 2),
+            &plan(),
+            &cfg,
         );
+        assert_eq!(with.report.delivered, 1);
+        assert!(with.report.retransmissions >= 1);
+        assert_eq!(
+            with.packets[0].retries as usize,
+            with.report.retransmissions
+        );
+        assert_eq!(with.packets[0].path, vec![0, 1, 2]);
+        // Latency includes the backoff waits, counted from first enqueue.
+        assert!(with.packets[0].latency() > without.packets[0].latency());
+    }
+
+    #[test]
+    fn retransmit_budget_is_bounded_and_attributed_to_link_loss() {
+        let g = chain(2);
+        // Permanently severed link: every retry fails, the budget runs
+        // out, and the drop is attributed to LinkLoss.
+        let plan = FaultPlan::new(0).with_partition(0..1_000_000, [0]);
+        let cfg = TrafficConfig {
+            reliability: Some(ReliabilityConfig {
+                max_retries: 4,
+                ack_timeout: 1,
+            }),
+            ..TrafficConfig::default()
+        };
+        let out = run(&Forwarding::Greedy(&g), &g, &one_packet(0, 1), &plan, &cfg);
+        assert_eq!(out.report.delivered, 0);
+        assert_eq!(out.report.drops.link_loss, 1);
+        assert_eq!(out.report.retransmissions, 4, "exactly the retry budget");
+        assert_eq!(out.packets[0].retries, 4);
+    }
+
+    #[test]
+    fn duplicated_deliveries_are_suppressed_and_counted() {
+        let g = chain(3);
+        let plan = FaultPlan::new(9).with_duplication(1.0);
+        let out = run(
+            &Forwarding::Greedy(&g),
+            &g,
+            &one_packet(0, 2),
+            &plan,
+            &cfg_recording(),
+        );
+        // Delivered exactly once despite every hop duplicating.
+        assert_eq!(out.report.delivered, 1);
+        assert_eq!(out.report.duplicates_suppressed, 2, "one per hop");
+        assert_eq!(out.packets[0].path, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn default_config_is_bit_identical_to_the_pre_reliability_engine() {
+        // The attempt coordinate of the fault rolls must stay `hops`
+        // when reliability is off, so existing seeded artifacts
+        // (results/traffic_load.csv) are unchanged by the retransmit
+        // machinery.
+        let g = chain(8);
+        let arrivals = Workload::uniform(0.8, 400).generate(8, 3);
+        let plan = FaultPlan::new(5).with_loss(0.15);
+        let out = run(
+            &Forwarding::Greedy(&g),
+            &g,
+            &arrivals,
+            &plan,
+            &TrafficConfig::default(),
+        );
+        // Replay the per-hop loss decisions with attempt == hops.
+        for (p, rec) in out.packets.iter().enumerate() {
+            assert_eq!(rec.retries, 0, "no retries without reliability");
+            if rec.outcome == PacketOutcome::Dropped(DropCause::LinkLoss) {
+                // The failing roll used attempt == hops at drop time.
+                let mut u = rec.src as i64;
+                let step: i64 = if rec.dst > rec.src { 1 } else { -1 };
+                let mut hops = 0u32;
+                loop {
+                    let v = u + step; // greedy on a chain walks toward dst
+                    if plan.drops_delivery(u as usize, v as usize, p as u64, hops) {
+                        break;
+                    }
+                    hops += 1;
+                    u = v;
+                }
+                assert_eq!(hops, rec.hops, "packet {p} dropped at a different hop");
+            }
+        }
     }
 }

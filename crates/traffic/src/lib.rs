@@ -13,9 +13,16 @@
 //! * a binary-heap event queue orders events by `(time, seq)`, where
 //!   `seq` is a global insertion counter — ties are broken by insertion
 //!   order, so runs are bit-reproducible;
-//! * each node owns a FIFO transmit queue with finite capacity and a
-//!   radio that serves one packet per [`TrafficConfig::service_time`]
-//!   ticks — contention and queue drops emerge from load;
+//! * each node owns a finite-capacity transmit queue scheduled by a
+//!   pluggable [`QueueDiscipline`] — FIFO, priority by remaining
+//!   distance, or per-destination deficit round robin — and a radio
+//!   that serves one packet per [`TrafficConfig::service_time`] ticks,
+//!   so contention and queue drops emerge from load;
+//! * an optional link-layer retransmit scheme (the same
+//!   [`ReliabilityConfig`](geospan_sim::ReliabilityConfig) as the round
+//!   simulator) retries lost transmissions per hop with exponential
+//!   backoff, the retries competing with fresh traffic for queue
+//!   slots;
 //! * forwarding decisions are the *single-hop* [`Decision`] API of
 //!   `geospan_core::routing` (greedy, GPSR, dominating-set backbone
 //!   routing), invoked per transmission, so routing state travels with
@@ -56,10 +63,12 @@ use geospan_core::Backbone;
 use geospan_graph::Graph;
 
 mod engine;
+mod queue;
 mod report;
 mod workload;
 
 pub use engine::{run, TrafficConfig, TrafficOutcome};
+pub use queue::{DeficitRoundRobin, Discipline, Fifo, NearestFirst, QueueDiscipline, QueuedPacket};
 pub use report::{DropCause, DropCounts, PacketOutcome, PacketRecord, TrafficReport};
 pub use workload::{Arrival, Workload, WorkloadKind};
 

@@ -1,0 +1,430 @@
+//! Pluggable per-node transmit-queue scheduling.
+//!
+//! Every node owns one [`QueueDiscipline`]: the policy that decides
+//! which queued packet its radio transmits next. The engine interacts
+//! with the queue only through this trait, so scheduling policies are
+//! swappable without touching the event loop. Three disciplines ship:
+//!
+//! * [`Fifo`] — first-come-first-served (the original engine behavior);
+//! * [`NearestFirst`] — priority by remaining Euclidean distance to the
+//!   destination: packets closest to finishing transmit first
+//!   (SRPT-style), which trades tail latency of far packets for faster
+//!   drain of almost-done ones;
+//! * [`DeficitRoundRobin`] — per-destination fair queueing: flows (one
+//!   per destination) are served round-robin, `quantum` packets per
+//!   visit, so a hotspot sink cannot starve cross traffic sharing a
+//!   relay.
+//!
+//! All three are strictly deterministic: ties are broken by a global
+//! enqueue sequence number, never by iteration order of a hash map.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+/// A packet waiting in a node's transmit queue, with the keys the
+/// disciplines schedule by.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuedPacket {
+    /// Index of the packet in the engine's packet table.
+    pub id: usize,
+    /// The packet's final destination (the DRR flow key).
+    pub dst: usize,
+    /// Euclidean distance from the queuing node to the destination
+    /// (the priority key; smaller transmits first).
+    pub remaining: f64,
+    /// Global enqueue counter: the deterministic tie-breaker, and the
+    /// FIFO order itself.
+    pub enqueue_seq: u64,
+}
+
+/// A per-node transmit-queue scheduling policy.
+///
+/// Implementations must be **work-conserving** — [`QueueDiscipline::pop`]
+/// returns `Some` whenever the queue is non-empty — and **lossless** —
+/// every pushed packet is eventually popped (or drained); the engine
+/// enforces capacity *before* pushing. Determinism is part of the
+/// contract: the pop order must be a pure function of the push sequence.
+pub trait QueueDiscipline: std::fmt::Debug + Send {
+    /// Adds a packet to the queue.
+    fn push(&mut self, packet: QueuedPacket);
+
+    /// Removes and returns the next packet to transmit, or `None` when
+    /// the queue is empty.
+    fn pop(&mut self) -> Option<QueuedPacket>;
+
+    /// Number of queued packets.
+    fn len(&self) -> usize;
+
+    /// True when no packet is queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Empties the queue, returning the packets in an arbitrary but
+    /// deterministic order (used when the owning node crashes).
+    fn drain(&mut self) -> Vec<QueuedPacket>;
+}
+
+/// Which [`QueueDiscipline`] each node runs, carried by
+/// [`TrafficConfig`](crate::TrafficConfig).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Discipline {
+    /// First-come-first-served.
+    #[default]
+    Fifo,
+    /// Smallest remaining distance to destination first.
+    NearestFirst,
+    /// Per-destination deficit round robin with the given quantum
+    /// (packets served per flow visit; `0` is treated as `1`).
+    Drr {
+        /// Packets a flow may send per round-robin visit.
+        quantum: u32,
+    },
+}
+
+impl Discipline {
+    /// A short label for reports and CSV rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Discipline::Fifo => "fifo",
+            Discipline::NearestFirst => "priority",
+            Discipline::Drr { .. } => "drr",
+        }
+    }
+
+    /// Instantiates one node's queue.
+    pub fn new_queue(&self) -> Box<dyn QueueDiscipline> {
+        match *self {
+            Discipline::Fifo => Box::new(Fifo::new()),
+            Discipline::NearestFirst => Box::new(NearestFirst::new()),
+            Discipline::Drr { quantum } => Box::new(DeficitRoundRobin::new(quantum.max(1))),
+        }
+    }
+
+    /// Parses a CLI/CSV label (`fifo`, `priority`, `drr`).
+    pub fn parse(label: &str) -> Option<Discipline> {
+        match label {
+            "fifo" => Some(Discipline::Fifo),
+            "priority" => Some(Discipline::NearestFirst),
+            "drr" => Some(Discipline::Drr { quantum: 1 }),
+            _ => None,
+        }
+    }
+}
+
+/// First-come-first-served: the baseline discipline.
+#[derive(Debug, Default)]
+pub struct Fifo {
+    queue: VecDeque<QueuedPacket>,
+}
+
+impl Fifo {
+    /// An empty FIFO queue.
+    pub fn new() -> Self {
+        Fifo::default()
+    }
+}
+
+impl QueueDiscipline for Fifo {
+    fn push(&mut self, packet: QueuedPacket) {
+        self.queue.push_back(packet);
+    }
+
+    fn pop(&mut self) -> Option<QueuedPacket> {
+        self.queue.pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn drain(&mut self) -> Vec<QueuedPacket> {
+        self.queue.drain(..).collect()
+    }
+}
+
+/// Heap entry ordered by `(remaining asc, enqueue_seq asc)`; the
+/// `BinaryHeap` is a max-heap, so the `Ord` is reversed.
+#[derive(Debug, Clone, Copy)]
+struct PrioEntry(QueuedPacket);
+
+impl PartialEq for PrioEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for PrioEntry {}
+
+impl PartialOrd for PrioEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PrioEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: the max-heap then pops smallest remaining first,
+        // with the enqueue sequence as a total-order tie-break (equal
+        // keys pop in FIFO order).
+        other
+            .0
+            .remaining
+            .total_cmp(&self.0.remaining)
+            .then(other.0.enqueue_seq.cmp(&self.0.enqueue_seq))
+    }
+}
+
+/// Priority by remaining distance: the queued packet whose destination
+/// is Euclidean-closest to this node transmits first.
+#[derive(Debug, Default)]
+pub struct NearestFirst {
+    heap: BinaryHeap<PrioEntry>,
+}
+
+impl NearestFirst {
+    /// An empty priority queue.
+    pub fn new() -> Self {
+        NearestFirst::default()
+    }
+}
+
+impl QueueDiscipline for NearestFirst {
+    fn push(&mut self, packet: QueuedPacket) {
+        self.heap.push(PrioEntry(packet));
+    }
+
+    fn pop(&mut self) -> Option<QueuedPacket> {
+        self.heap.pop().map(|e| e.0)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn drain(&mut self) -> Vec<QueuedPacket> {
+        // Deterministic drain order: priority order.
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(e) = self.heap.pop() {
+            out.push(e.0);
+        }
+        out
+    }
+}
+
+/// Per-destination deficit round robin: one FIFO flow per destination,
+/// served cyclically with `quantum` packets per visit. All packets cost
+/// one unit, so a flow transmits at most `quantum` back-to-back before
+/// yielding — no destination waits more than
+/// `(active_flows - 1) * quantum` services between its own.
+#[derive(Debug)]
+pub struct DeficitRoundRobin {
+    quantum: u32,
+    /// Per-destination FIFO sub-queues (kept allocated when empty).
+    flows: BTreeMap<usize, VecDeque<QueuedPacket>>,
+    /// Destinations with queued packets, in round-robin order.
+    active: VecDeque<usize>,
+    /// Remaining credit of the flow at the front of `active`.
+    deficit: u32,
+    len: usize,
+}
+
+impl DeficitRoundRobin {
+    /// An empty DRR queue with the given per-visit quantum (≥ 1).
+    pub fn new(quantum: u32) -> Self {
+        DeficitRoundRobin {
+            quantum: quantum.max(1),
+            flows: BTreeMap::new(),
+            active: VecDeque::new(),
+            deficit: 0,
+            len: 0,
+        }
+    }
+}
+
+impl QueueDiscipline for DeficitRoundRobin {
+    fn push(&mut self, packet: QueuedPacket) {
+        let flow = self.flows.entry(packet.dst).or_default();
+        if flow.is_empty() {
+            // Newly active flow joins the back of the rotation; a flow
+            // that drained lost its turn and its leftover credit.
+            self.active.push_back(packet.dst);
+            if self.active.len() == 1 {
+                self.deficit = self.quantum;
+            }
+        }
+        flow.push_back(packet);
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<QueuedPacket> {
+        let &dst = self.active.front()?;
+        let flow = self.flows.get_mut(&dst).expect("active flow exists");
+        let packet = flow.pop_front().expect("active flow is non-empty");
+        self.len -= 1;
+        self.deficit -= 1;
+        if flow.is_empty() {
+            // Flow drained: leaves the rotation entirely.
+            self.active.pop_front();
+            self.deficit = self.quantum;
+        } else if self.deficit == 0 {
+            // Quantum spent: rotate to the back of the ring.
+            let d = self.active.pop_front().expect("front exists");
+            self.active.push_back(d);
+            self.deficit = self.quantum;
+        }
+        Some(packet)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn drain(&mut self) -> Vec<QueuedPacket> {
+        // Deterministic drain order: keep serving the rotation.
+        let mut out = Vec::with_capacity(self.len);
+        while let Some(p) = self.pop() {
+            out.push(p);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qp(id: usize, dst: usize, remaining: f64, seq: u64) -> QueuedPacket {
+        QueuedPacket {
+            id,
+            dst,
+            remaining,
+            enqueue_seq: seq,
+        }
+    }
+
+    fn pop_ids(q: &mut dyn QueueDiscipline) -> Vec<usize> {
+        let mut out = Vec::new();
+        while let Some(p) = q.pop() {
+            out.push(p.id);
+        }
+        out
+    }
+
+    #[test]
+    fn fifo_pops_in_push_order() {
+        let mut q = Fifo::new();
+        for i in 0..5 {
+            q.push(qp(i, 0, 1.0, i as u64));
+        }
+        assert_eq!(q.len(), 5);
+        assert_eq!(pop_ids(&mut q), vec![0, 1, 2, 3, 4]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn nearest_first_orders_by_remaining_then_fifo() {
+        let mut q = NearestFirst::new();
+        q.push(qp(0, 9, 5.0, 0));
+        q.push(qp(1, 9, 1.0, 1));
+        q.push(qp(2, 9, 3.0, 2));
+        q.push(qp(3, 9, 1.0, 3)); // ties with packet 1: FIFO between them
+        assert_eq!(pop_ids(&mut q), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn nearest_first_equals_fifo_on_equal_keys() {
+        let mut prio = NearestFirst::new();
+        let mut fifo = Fifo::new();
+        for i in 0..20 {
+            let p = qp(i, 4, 2.5, i as u64);
+            prio.push(p);
+            fifo.push(p);
+        }
+        assert_eq!(pop_ids(&mut prio), pop_ids(&mut fifo));
+    }
+
+    #[test]
+    fn drr_round_robins_across_destinations() {
+        let mut q = DeficitRoundRobin::new(1);
+        // Flow A (dst 0): ids 0..3; flow B (dst 1): ids 10..13 — pushed
+        // A-first in a burst, served alternately.
+        for i in 0..3 {
+            q.push(qp(i, 0, 1.0, i as u64));
+        }
+        for i in 0..3 {
+            q.push(qp(10 + i, 1, 1.0, 10 + i as u64));
+        }
+        assert_eq!(pop_ids(&mut q), vec![0, 10, 1, 11, 2, 12]);
+    }
+
+    #[test]
+    fn drr_quantum_serves_bursts_per_visit() {
+        let mut q = DeficitRoundRobin::new(2);
+        for i in 0..4 {
+            q.push(qp(i, 0, 1.0, i as u64));
+        }
+        for i in 0..4 {
+            q.push(qp(10 + i, 1, 1.0, 10 + i as u64));
+        }
+        assert_eq!(pop_ids(&mut q), vec![0, 1, 10, 11, 2, 3, 12, 13]);
+    }
+
+    #[test]
+    fn drr_single_flow_is_fifo() {
+        let mut q = DeficitRoundRobin::new(3);
+        for i in 0..7 {
+            q.push(qp(i, 5, 1.0, i as u64));
+        }
+        assert_eq!(pop_ids(&mut q), vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn drr_reactivated_flow_rejoins_at_the_back() {
+        let mut q = DeficitRoundRobin::new(1);
+        q.push(qp(0, 0, 1.0, 0));
+        q.push(qp(1, 1, 1.0, 1));
+        assert_eq!(q.pop().unwrap().id, 0); // flow 0 drains, leaves ring
+        q.push(qp(2, 0, 1.0, 2)); // flow 0 reactivates behind flow 1
+        assert_eq!(q.pop().unwrap().id, 1);
+        assert_eq!(q.pop().unwrap().id, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn drains_are_complete_and_deterministic() {
+        for kind in [
+            Discipline::Fifo,
+            Discipline::NearestFirst,
+            Discipline::Drr { quantum: 2 },
+        ] {
+            let mut a = kind.new_queue();
+            let mut b = kind.new_queue();
+            for i in 0..9 {
+                let p = qp(i, i % 3, (i % 4) as f64, i as u64);
+                a.push(p);
+                b.push(p);
+            }
+            let da: Vec<usize> = a.drain().iter().map(|p| p.id).collect();
+            let db: Vec<usize> = b.drain().iter().map(|p| p.id).collect();
+            assert_eq!(da, db, "{kind:?} drain not deterministic");
+            let mut sorted = da.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..9).collect::<Vec<_>>(), "{kind:?} lost packets");
+            assert!(a.is_empty());
+            assert_eq!(a.len(), 0);
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in [
+            Discipline::Fifo,
+            Discipline::NearestFirst,
+            Discipline::Drr { quantum: 1 },
+        ] {
+            assert_eq!(Discipline::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(Discipline::parse("warp"), None);
+        assert_eq!(Discipline::default(), Discipline::Fifo);
+    }
+}

@@ -70,8 +70,13 @@ pub struct PacketRecord {
     pub spawn: u64,
     /// Tick the lifecycle ended (delivery or drop).
     pub finish: u64,
-    /// Radio transmissions the packet consumed.
+    /// Successful radio transmissions the packet consumed (its hop
+    /// count; retransmissions are counted separately in `retries`).
     pub hops: u32,
+    /// Link-layer retransmissions spent on this packet across all hops
+    /// (0 unless [`TrafficConfig::reliability`](crate::TrafficConfig)
+    /// is set).
+    pub retries: u32,
     /// Euclidean length of the traversed path.
     pub length: f64,
     /// How the lifecycle ended.
@@ -107,6 +112,13 @@ pub struct TrafficReport {
     pub delivered: usize,
     /// Drops by cause (`offered == delivered + drops.total()`).
     pub drops: DropCounts,
+    /// Link-layer retransmissions performed across all packets (the
+    /// `-retx` overhead of the reliability layer; 0 when retransmit is
+    /// disabled).
+    pub retransmissions: usize,
+    /// Duplicate deliveries injected by the fault plan and suppressed by
+    /// per-packet identity (each packet still resolves exactly once).
+    pub duplicates_suppressed: usize,
     /// Median delivery latency in ticks (0 when nothing was delivered).
     pub latency_p50: u64,
     /// 99th-percentile delivery latency in ticks.
@@ -163,6 +175,11 @@ impl TrafficReport {
         );
         let _ = writeln!(
             out,
+            "reliability:      {} retransmissions, {} duplicates suppressed",
+            self.retransmissions, self.duplicates_suppressed
+        );
+        let _ = writeln!(
+            out,
             "latency (ticks):  p50 {}, p99 {}, max {}, mean {:.2}",
             self.latency_p50, self.latency_p99, self.latency_max, self.latency_mean
         );
@@ -212,6 +229,8 @@ mod tests {
             offered: 0,
             delivered: 0,
             drops: DropCounts::default(),
+            retransmissions: 0,
+            duplicates_suppressed: 0,
             latency_p50: 0,
             latency_p99: 0,
             latency_max: 0,

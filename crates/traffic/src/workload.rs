@@ -55,6 +55,27 @@ pub struct Workload {
     pub duration: u64,
 }
 
+impl WorkloadKind {
+    /// A short label for reports and CSV rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadKind::Uniform => "uniform",
+            WorkloadKind::Hotspot { .. } => "hotspot",
+            WorkloadKind::Bursty { .. } => "bursty",
+        }
+    }
+
+    /// The kind's shape parameter for CSV rows: the sink bias for
+    /// hotspot, the burst size for bursty, 0 for uniform.
+    pub fn param(&self) -> f64 {
+        match *self {
+            WorkloadKind::Uniform => 0.0,
+            WorkloadKind::Hotspot { bias, .. } => bias,
+            WorkloadKind::Bursty { burst } => burst as f64,
+        }
+    }
+}
+
 impl Workload {
     /// Uniform random pairs at `rate` packets per tick.
     pub fn uniform(rate: f64, duration: u64) -> Self {
@@ -200,5 +221,17 @@ mod tests {
     #[should_panic(expected = "at least two nodes")]
     fn tiny_networks_rejected() {
         let _ = Workload::uniform(1.0, 10).generate(1, 0);
+    }
+
+    #[test]
+    fn kind_labels_and_params() {
+        assert_eq!(Workload::uniform(0.1, 10).kind.label(), "uniform");
+        assert_eq!(Workload::uniform(0.1, 10).kind.param(), 0.0);
+        let h = Workload::hotspot(2, 0.75, 0.1, 10);
+        assert_eq!(h.kind.label(), "hotspot");
+        assert_eq!(h.kind.param(), 0.75);
+        let b = Workload::bursty(16, 0.1, 10);
+        assert_eq!(b.kind.label(), "bursty");
+        assert_eq!(b.kind.param(), 16.0);
     }
 }

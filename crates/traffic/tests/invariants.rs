@@ -1,0 +1,372 @@
+//! The invariant-test harness pinning the traffic engine's scheduling
+//! and reliability behavior.
+//!
+//! Everything downstream (the reliability sweep, the determinism CSV
+//! checks, the CLI) rests on three engine invariants:
+//!
+//! * **Conservation** — every offered packet resolves exactly once:
+//!   delivered, or attributed to exactly one drop cause. Loss,
+//!   duplication, retransmission, and queue competition may delay or
+//!   kill packets but never duplicate or lose track of one.
+//! * **Scheduling** — disciplines are work-conserving (a node with a
+//!   non-empty queue always has a service slot scheduled; on a clean
+//!   network with unbounded queues nothing is ever stranded), DRR never
+//!   starves a destination, and the priority discipline degenerates to
+//!   FIFO when every packet shares one destination.
+//! * **Latency accounting** — a retransmitted packet's latency counts
+//!   from its first enqueue, never from a retry.
+
+use geospan_graph::gen::connected_unit_disk;
+use geospan_graph::{Graph, Point};
+use geospan_sim::{FaultPlan, ReliabilityConfig};
+use geospan_traffic::{
+    run, Arrival, Discipline, Forwarding, PacketOutcome, QueuedPacket, TrafficConfig, Workload,
+};
+use proptest::prelude::*;
+
+const DISCIPLINES: [Discipline; 3] = [
+    Discipline::Fifo,
+    Discipline::NearestFirst,
+    Discipline::Drr { quantum: 1 },
+];
+
+fn discipline() -> impl Strategy<Value = Discipline> {
+    (0usize..3).prop_map(|i| DISCIPLINES[i])
+}
+
+fn workload() -> impl Strategy<Value = Workload> {
+    (0usize..3, 0.05f64..0.8).prop_map(|(kind, rate)| match kind {
+        0 => Workload::uniform(rate, 300),
+        1 => Workload::hotspot(0, 0.8, rate, 300),
+        _ => Workload::bursty(6, rate, 300),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Conservation: under any seeded fault plan with loss *and*
+    /// duplication, across all disciplines, with and without
+    /// retransmit, `offered == delivered + drops.total()`, no packet is
+    /// delivered twice, none vanishes, and the per-packet records agree
+    /// with the aggregate counters.
+    #[test]
+    fn every_packet_resolves_exactly_once_under_loss_and_duplication(
+        seed in 0u64..5_000,
+        (loss, dup) in (0.0f64..0.4, 0.0f64..0.4),
+        wl in workload(),
+        disc in discipline(),
+        retx in any::<bool>(),
+        capacity in 2usize..24,
+    ) {
+        let (_pts, udg, _s) = connected_unit_disk(24, 110.0, 45.0, seed % 60 + 1);
+        let n = udg.node_count();
+        let arrivals = wl.generate(n, seed);
+        let faults = FaultPlan::new(seed ^ 0xfeed)
+            .with_loss(loss)
+            .with_duplication(dup);
+        let cfg = TrafficConfig {
+            queue_capacity: capacity,
+            max_hops: (50 * n) as u32,
+            discipline: disc,
+            reliability: retx.then(ReliabilityConfig::default),
+            ..TrafficConfig::default()
+        };
+        let out = run(&Forwarding::Greedy(&udg), &udg, &arrivals, &faults, &cfg);
+
+        // One record per offered packet, in schedule order.
+        prop_assert_eq!(out.report.offered, arrivals.len());
+        prop_assert_eq!(out.packets.len(), arrivals.len());
+
+        // Exactly-once accounting: the aggregate equals the records.
+        let delivered = out.packets.iter().filter(|p| p.delivered()).count();
+        prop_assert_eq!(out.report.delivered, delivered, "duplicate or lost delivery");
+        prop_assert_eq!(
+            out.report.offered,
+            out.report.delivered + out.report.drops.total(),
+            "packets vanished or double-counted: {:?}",
+            out.report.drops
+        );
+        let mut by_cause = [0usize; 5];
+        for p in &out.packets {
+            if let PacketOutcome::Dropped(c) = p.outcome {
+                by_cause[c as usize] += 1;
+            }
+        }
+        prop_assert_eq!(by_cause.iter().sum::<usize>(), out.report.drops.total());
+
+        // Retransmission accounting ties out packet by packet.
+        let retries: usize = out.packets.iter().map(|p| p.retries as usize).sum();
+        prop_assert_eq!(out.report.retransmissions, retries);
+        if !retx {
+            prop_assert_eq!(out.report.retransmissions, 0);
+        }
+    }
+
+    /// Work conservation: on a clean connected planar network with
+    /// unbounded queues, every discipline drains every queue — no
+    /// packet is ever stranded behind an idle radio, so GPSR delivery
+    /// is 100% regardless of how the discipline reorders service.
+    #[test]
+    fn disciplines_are_work_conserving_on_clean_networks(
+        seed in 0u64..5_000,
+        rate in 0.1f64..1.2,
+        disc in discipline(),
+    ) {
+        let (pts, udg, _s) = connected_unit_disk(20, 100.0, 45.0, seed % 40 + 1);
+        let planar = geospan_topology::gabriel(
+            &geospan_graph::gen::UnitDiskBuilder::new(45.0).build(&pts),
+        );
+        let n = udg.node_count();
+        let arrivals = Workload::uniform(rate, 250).generate(n, seed);
+        let cfg = TrafficConfig {
+            queue_capacity: usize::MAX,
+            max_hops: (50 * n) as u32,
+            discipline: disc,
+            ..TrafficConfig::default()
+        };
+        let out = run(
+            &Forwarding::Gpsr(&planar),
+            &udg,
+            &arrivals,
+            &FaultPlan::none(),
+            &cfg,
+        );
+        prop_assert_eq!(
+            out.report.delivered,
+            out.report.offered,
+            "{:?} stranded packets: {:?}",
+            disc,
+            out.report.drops
+        );
+    }
+
+    /// DRR starvation bound at the discipline level: with F active
+    /// flows and quantum q, a flow with packets left waits at most
+    /// (F - 1) * q pops between two of its own services.
+    #[test]
+    fn drr_gap_between_services_of_a_flow_is_bounded(
+        flows in 2usize..6,
+        quantum in 1u32..4,
+        per_flow in 1usize..8,
+        order_seed in 0u64..1_000,
+    ) {
+        let mut q = Discipline::Drr { quantum }.new_queue();
+        // Push per_flow packets for each flow in a seed-scrambled but
+        // deterministic interleave.
+        let mut pushes: Vec<(usize, usize)> = (0..flows)
+            .flat_map(|f| (0..per_flow).map(move |i| (f, i)))
+            .collect();
+        let mut s = order_seed | 1;
+        for i in (1..pushes.len()).rev() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            pushes.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        for (seq, &(f, i)) in pushes.iter().enumerate() {
+            q.push(QueuedPacket {
+                id: f * 1_000 + i,
+                dst: f,
+                remaining: 1.0,
+                enqueue_seq: seq as u64,
+            });
+        }
+        let mut last_seen: Vec<Option<usize>> = vec![None; flows];
+        let mut served: Vec<usize> = vec![0; flows];
+        let total = flows * per_flow;
+        for pop_idx in 0..total {
+            let p = q.pop().expect("work conserving: non-empty queue pops");
+            let f = p.dst;
+            if let Some(prev) = last_seen[f] {
+                let gap = pop_idx - prev - 1;
+                prop_assert!(
+                    gap <= (flows - 1) * quantum as usize,
+                    "flow {f} waited {gap} pops (F={flows}, q={quantum})"
+                );
+            }
+            last_seen[f] = Some(pop_idx);
+            served[f] += 1;
+        }
+        prop_assert!(q.pop().is_none());
+        prop_assert_eq!(served, vec![per_flow; flows], "a flow lost packets");
+    }
+
+    /// On single-destination workloads every queued packet shares one
+    /// priority key and one DRR flow, so all three disciplines collapse
+    /// to FIFO — outcomes are identical, byte for byte.
+    #[test]
+    fn priority_and_drr_equal_fifo_on_single_destination_workloads(
+        seed in 0u64..5_000,
+        rate in 0.1f64..0.9,
+        loss in 0.0f64..0.2,
+        retx in any::<bool>(),
+    ) {
+        let (_pts, udg, _s) = connected_unit_disk(18, 100.0, 45.0, seed % 40 + 1);
+        let n = udg.node_count();
+        // Bias 1.0: every packet targets node 0.
+        let arrivals = Workload::hotspot(0, 1.0, rate, 250).generate(n, seed);
+        let faults = FaultPlan::new(seed).with_loss(loss);
+        let outcome = |disc: Discipline| {
+            let cfg = TrafficConfig {
+                queue_capacity: 16,
+                max_hops: (50 * n) as u32,
+                record_paths: true,
+                discipline: disc,
+                reliability: retx.then(ReliabilityConfig::default),
+                ..TrafficConfig::default()
+            };
+            run(&Forwarding::Greedy(&udg), &udg, &arrivals, &faults, &cfg)
+        };
+        let fifo = outcome(Discipline::Fifo);
+        prop_assert_eq!(&fifo, &outcome(Discipline::NearestFirst), "priority != fifo");
+        prop_assert_eq!(&fifo, &outcome(Discipline::Drr { quantum: 1 }), "drr != fifo");
+    }
+}
+
+/// Star deployment: leaves 0, 2, 3 around center 1. The flood 0 → 2 and
+/// the single packet 0 → 3 compete for node 0's radio.
+fn star() -> Graph {
+    let pts = vec![
+        Point::new(0.0, 0.0),
+        Point::new(1.0, 0.0),
+        Point::new(2.0, 0.0),
+        Point::new(1.0, 1.0),
+    ];
+    Graph::with_edges(pts, [(0, 1), (1, 2), (1, 3)])
+}
+
+/// DRR serves the sparse destination within its round-robin turn even
+/// while a hotspot flood occupies the same queue; FIFO makes it wait
+/// behind the whole backlog. The engine-level face of the starvation
+/// bound.
+#[test]
+fn drr_shields_a_sparse_flow_from_a_hotspot_flood() {
+    let g = star();
+    let mut arrivals: Vec<Arrival> = (0..40)
+        .map(|_| Arrival {
+            time: 0,
+            src: 0,
+            dst: 2,
+        })
+        .collect();
+    // The sparse packet enqueues last, behind the whole flood.
+    arrivals.push(Arrival {
+        time: 0,
+        src: 0,
+        dst: 3,
+    });
+    let latency_of_sparse = |disc: Discipline| {
+        let cfg = TrafficConfig {
+            queue_capacity: usize::MAX,
+            discipline: disc,
+            ..TrafficConfig::default()
+        };
+        let out = run(
+            &Forwarding::Greedy(&g),
+            &g,
+            &arrivals,
+            &FaultPlan::none(),
+            &cfg,
+        );
+        assert_eq!(out.report.delivered, out.report.offered, "{disc:?}");
+        out.packets.last().unwrap().latency()
+    };
+    let fifo = latency_of_sparse(Discipline::Fifo);
+    let drr = latency_of_sparse(Discipline::Drr { quantum: 1 });
+    let prio = latency_of_sparse(Discipline::NearestFirst);
+    assert!(fifo > 40, "FIFO makes the sparse packet wait out the flood");
+    assert!(
+        drr <= 6,
+        "DRR serves the sparse flow within its turn (latency {drr})"
+    );
+    assert!(
+        prio <= 6,
+        "priority favors the closer destination (latency {prio})"
+    );
+}
+
+/// Regression (latency accounting): with a forced single-loss link —
+/// a partition that swallows exactly the first transmission attempt —
+/// the delivered packet's latency must count from its first enqueue at
+/// the source, including the retransmission backoff, not from the
+/// retry.
+#[test]
+fn retransmitted_latency_counts_from_first_enqueue() {
+    let g = {
+        let pts: Vec<Point> = (0..3).map(|i| Point::new(i as f64, 0.0)).collect();
+        Graph::with_edges(pts, [(0, 1), (1, 2)])
+    };
+    // Rounds 0..4 sever {0}: the attempt at t=1 is lost, the retry
+    // lands after the heal.
+    let plan = FaultPlan::new(0).with_partition(0..4, [0]);
+    let cfg = TrafficConfig {
+        reliability: Some(ReliabilityConfig {
+            max_retries: 3,
+            ack_timeout: 2,
+        }),
+        record_paths: true,
+        ..TrafficConfig::default()
+    };
+    let out = run(
+        &Forwarding::Greedy(&g),
+        &g,
+        &[Arrival {
+            time: 0,
+            src: 0,
+            dst: 2,
+        }],
+        &plan,
+        &cfg,
+    );
+    assert_eq!(out.report.delivered, 1);
+    assert_eq!(out.report.retransmissions, 1, "exactly one forced loss");
+    let p = &out.packets[0];
+    assert_eq!(p.retries, 1);
+    assert_eq!(p.path, vec![0, 1, 2]);
+    // Timeline: enqueue t=0; attempt t=1 lost; backoff 2 ticks; retry
+    // enqueued t=3; transmits t=4 (healed); final hop t=5. Counting
+    // from the retry would claim 2 ticks — the invariant demands 5.
+    assert_eq!(p.spawn, 0, "spawn is the first enqueue, never rewritten");
+    assert_eq!(p.latency(), 5, "latency spans backoff waits");
+}
+
+/// The drop cause of a retry that finds its queue full is `QueueFull`:
+/// retries compete with fresh traffic for slots rather than bypassing
+/// them.
+#[test]
+fn retries_compete_for_queue_slots() {
+    let g = star();
+    // Node 0's queue capacity is 1. The packet to 2 loses its first
+    // attempt and backs off; while it waits, fresh packets 0 -> 3 keep
+    // the single slot occupied, so the retry finds it taken.
+    let plan = FaultPlan::new(0).with_partition(0..1_000, [0]);
+    let mut arrivals = vec![Arrival {
+        time: 0,
+        src: 0,
+        dst: 2,
+    }];
+    for t in 1..40 {
+        arrivals.push(Arrival {
+            time: t,
+            src: 0,
+            dst: 3,
+        });
+    }
+    let cfg = TrafficConfig {
+        queue_capacity: 1,
+        reliability: Some(ReliabilityConfig {
+            max_retries: 3,
+            ack_timeout: 2,
+        }),
+        ..TrafficConfig::default()
+    };
+    let out = run(&Forwarding::Greedy(&g), &g, &arrivals, &plan, &cfg);
+    let first = &out.packets[0];
+    assert_eq!(
+        first.outcome,
+        PacketOutcome::Dropped(geospan_traffic::DropCause::QueueFull),
+        "the retry lost the slot race: {:?}",
+        first.outcome
+    );
+}

@@ -18,11 +18,11 @@ use geospan::core::{verify, BackboneBuilder, BackboneConfig};
 use geospan::graph::gen::UnitDiskBuilder;
 use geospan::graph::svg::{render_svg, NodeRole, SvgOptions};
 use geospan::graph::{Graph, Point};
-use geospan::sim::FaultPlan;
+use geospan::sim::{FaultPlan, ReliabilityConfig};
 use geospan::topology::{
     gabriel, ldel, relative_neighborhood, restricted_delaunay, theta, yao, yao_sink,
 };
-use geospan::traffic::{run, Forwarding, TrafficConfig, Workload};
+use geospan::traffic::{run, Discipline, Forwarding, TrafficConfig, Workload};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,12 +63,18 @@ usage:
   geospan-cli traffic  (--nodes FILE | --n N --side S) --radius R
                        [--policy backbone|gpsr|greedy] [--workload uniform|hotspot|bursty]
                        [--rate P] [--duration T] [--seed K] [--capacity Q] [--service T]
-                       [--loss P] [--sink I] [--bias P] [--burst B] [--out FILE.csv]
+                       [--loss P] [--sink I] [--bias P] [--burst B]
+                       [--discipline fifo|priority|drr] [--quantum N]
+                       [--retries N] [--ack-timeout T] [--out FILE.csv]
 
-topologies: udg, rng, gabriel, yao, theta, yao-sink, rdg, ldel, cds, ldel-icds,
-            ldel-icds-prime
-policies:   backbone (dominating-set routing over LDel(ICDS)),
-            gpsr (over LDel(ICDS')), greedy (over the UDG)";
+topologies:  udg, rng, gabriel, yao, theta, yao-sink, rdg, ldel, cds, ldel-icds,
+             ldel-icds-prime
+policies:    backbone (dominating-set routing over LDel(ICDS)),
+             gpsr (over LDel(ICDS')), greedy (over the UDG)
+disciplines: fifo, priority (by remaining distance), drr (per-destination
+             deficit round robin, --quantum packets per visit)
+retransmit:  --retries N > 0 enables per-hop link-layer retransmit with
+             --ack-timeout service times of backoff";
 
 /// Minimal flag map: `--key value` pairs plus boolean `--distributed`.
 struct Flags {
@@ -325,26 +331,49 @@ fn cmd_traffic(flags: &Flags) -> Result<(), String> {
     } else {
         FaultPlan::none()
     };
+    let discipline_name: String = flags.get_or("discipline", "fifo".to_string())?;
+    let discipline = match Discipline::parse(&discipline_name) {
+        Some(Discipline::Drr { .. }) => Discipline::Drr {
+            quantum: flags.get_or("quantum", 1)?,
+        },
+        Some(d) => d,
+        None => return Err(format!("unknown discipline `{discipline_name}`")),
+    };
+    let retries: u32 = flags.get_or("retries", 0)?;
+    let reliability = (retries > 0).then_some(ReliabilityConfig {
+        max_retries: retries,
+        ack_timeout: flags.get_or("ack-timeout", 3)?,
+    });
     let cfg = TrafficConfig {
         queue_capacity: flags.get_or("capacity", 64)?,
         service_time: flags.get_or("service", 1)?,
         max_hops: (50 * n) as u32,
+        discipline,
+        reliability,
         ..TrafficConfig::default()
     };
 
     let outcome = run(&forwarding, &udg, &arrivals, &faults, &cfg);
     let report = &outcome.report;
     println!(
-        "{workload_name} workload over `{policy}` ({n} nodes, rate {rate}, {duration} ticks, seed {seed})"
+        "{workload_name} workload over `{policy}` ({n} nodes, rate {rate}, {duration} ticks, \
+         seed {seed}, {} queue{})",
+        discipline.label(),
+        match cfg.reliability {
+            Some(rel) => format!(", retransmit x{}", rel.max_retries),
+            None => String::new(),
+        }
     );
     print!("{}", report.format());
     if let Some(path) = flags.kv.get("out") {
         let csv = format!(
-            "policy,workload,rate,duration,seed,offered,delivered,delivery_ratio,\
-             drop_stuck,drop_queue,drop_loss,drop_crash,drop_hop_limit,\
-             latency_p50,latency_p99,latency_mean,hop_stretch_avg,length_stretch_avg,\
-             queue_peak_max\n\
-             {policy},{workload_name},{rate},{duration},{seed},{},{},{:.6},{},{},{},{},{},{},{},{:.4},{:.4},{:.4},{}\n",
+            "policy,workload,discipline,retx,rate,duration,seed,offered,delivered,\
+             delivery_ratio,drop_stuck,drop_queue,drop_loss,drop_crash,drop_hop_limit,\
+             retransmissions,latency_p50,latency_p99,latency_mean,hop_stretch_avg,\
+             length_stretch_avg,queue_peak_max\n\
+             {policy},{workload_name},{},{},{rate},{duration},{seed},{},{},{:.6},{},{},{},{},{},{},{},{},{:.4},{:.4},{:.4},{}\n",
+            discipline.label(),
+            if cfg.reliability.is_some() { "on" } else { "off" },
             report.offered,
             report.delivered,
             report.delivery_ratio(),
@@ -353,6 +382,7 @@ fn cmd_traffic(flags: &Flags) -> Result<(), String> {
             report.drops.link_loss,
             report.drops.node_crash,
             report.drops.hop_limit,
+            report.retransmissions,
             report.latency_p50,
             report.latency_p99,
             report.latency_mean,

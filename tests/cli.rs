@@ -6,15 +6,15 @@ fn cli() -> Command {
     Command::new(env!("CARGO_BIN_EXE_geospan-cli"))
 }
 
-fn tempdir() -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!("geospan-cli-test-{}", std::process::id()));
+fn tempdir(test: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("geospan-cli-test-{}-{test}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     dir
 }
 
 #[test]
 fn generate_build_route_render_pipeline() {
-    let dir = tempdir();
+    let dir = tempdir("pipeline");
     let nodes = dir.join("nodes.csv");
 
     // generate
@@ -93,7 +93,7 @@ fn generate_build_route_render_pipeline() {
 
 #[test]
 fn traffic_reports_delivery_and_is_seed_deterministic() {
-    let dir = tempdir();
+    let dir = tempdir("traffic");
     let base = [
         "traffic",
         "--n",
@@ -126,7 +126,10 @@ fn traffic_reports_delivery_and_is_seed_deterministic() {
     assert!(text.contains("uniform workload over `backbone`"), "{text}");
     assert!(text.contains("offered:"), "{text}");
     assert!(text.contains("delivered:"), "{text}");
-    assert!(csv_a.starts_with("policy,workload,rate,"), "{csv_a}");
+    assert!(
+        csv_a.starts_with("policy,workload,discipline,retx,rate,"),
+        "{csv_a}"
+    );
     assert_eq!(csv_a.lines().count(), 2);
 
     // Same seed, same bytes.
@@ -136,9 +139,13 @@ fn traffic_reports_delivery_and_is_seed_deterministic() {
         "same seed must give a byte-identical artifact"
     );
 
-    // A clean low-rate run over the backbone delivers everything.
-    let delivered: Vec<&str> = csv_a.lines().nth(1).unwrap().split(',').collect();
-    assert_eq!(delivered[5], delivered[6], "offered != delivered: {csv_a}");
+    // A clean low-rate run over the backbone delivers everything, with
+    // the default fifo/no-retransmit configuration on record.
+    let row: Vec<&str> = csv_a.lines().nth(1).unwrap().split(',').collect();
+    assert_eq!(row[2], "fifo", "{csv_a}");
+    assert_eq!(row[3], "off", "{csv_a}");
+    assert_eq!(row[7], row[8], "offered != delivered: {csv_a}");
+    assert_eq!(row[15], "0", "retransmissions without --retries: {csv_a}");
 
     // Unknown policy fails cleanly.
     let out = cli()
@@ -149,6 +156,106 @@ fn traffic_reports_delivery_and_is_seed_deterministic() {
         .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown policy"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn traffic_disciplines_and_retransmit_flags_work_end_to_end() {
+    let dir = tempdir("reliability");
+    let base = [
+        "traffic",
+        "--n",
+        "40",
+        "--side",
+        "130",
+        "--radius",
+        "45",
+        "--rate",
+        "0.2",
+        "--duration",
+        "400",
+        "--seed",
+        "11",
+        "--loss",
+        "0.05",
+        "--workload",
+        "hotspot",
+        "--bias",
+        "0.8",
+    ];
+
+    let run = |out_name: &str, extra: &[&str]| {
+        let csv = dir.join(out_name);
+        let out = cli()
+            .args(base)
+            .args(extra)
+            .arg("--out")
+            .arg(&csv)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        (text, std::fs::read_to_string(&csv).unwrap())
+    };
+
+    // Lossy, no retransmit: losses land in drop_loss.
+    let (_, plain) = run("rel_off.csv", &[]);
+    let row: Vec<String> = plain
+        .lines()
+        .nth(1)
+        .unwrap()
+        .split(',')
+        .map(str::to_string)
+        .collect();
+    let lost: usize = row[12].parse().unwrap();
+    assert!(lost > 0, "5% loss over 400 ticks never rolled: {plain}");
+
+    // Same seed with retransmit + DRR: the report names the scheme, the
+    // CSV records it, and retries recover the losses.
+    let (text, rel) = run(
+        "rel_on.csv",
+        &[
+            "--discipline",
+            "drr",
+            "--quantum",
+            "2",
+            "--retries",
+            "3",
+            "--ack-timeout",
+            "2",
+        ],
+    );
+    assert!(text.contains("drr queue, retransmit x3"), "{text}");
+    let row: Vec<String> = rel
+        .lines()
+        .nth(1)
+        .unwrap()
+        .split(',')
+        .map(str::to_string)
+        .collect();
+    assert_eq!(row[2], "drr", "{rel}");
+    assert_eq!(row[3], "on", "{rel}");
+    let lost_with_retx: usize = row[12].parse().unwrap();
+    let retransmissions: usize = row[15].parse().unwrap();
+    assert!(retransmissions > 0, "no retries under 5% loss: {rel}");
+    assert!(
+        lost_with_retx < lost,
+        "retransmit did not reduce link losses ({lost} -> {lost_with_retx})"
+    );
+
+    // Unknown discipline fails cleanly.
+    let out = cli()
+        .args(base)
+        .args(["--discipline", "lifo"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown discipline"));
 
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -184,7 +291,7 @@ fn bad_usage_fails_cleanly() {
     assert!(!out.status.success());
 
     // Unknown topology.
-    let dir = tempdir();
+    let dir = tempdir("usage");
     let nodes = dir.join("n.csv");
     std::fs::write(&nodes, "0,0\n1,0\n").unwrap();
     let out = cli()
@@ -207,7 +314,7 @@ fn bad_usage_fails_cleanly() {
 
 #[test]
 fn malformed_csv_rejected() {
-    let dir = tempdir();
+    let dir = tempdir("malformed");
     let nodes = dir.join("bad.csv");
     std::fs::write(&nodes, "0,0\nnot-a-number,3\n").unwrap();
     let out = cli()
