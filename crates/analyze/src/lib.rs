@@ -1,0 +1,170 @@
+//! `geospan-analyze` — the workspace determinism linter.
+//!
+//! Every artifact this reproduction ships (Table-1 rows,
+//! `traffic_load.csv`, `traffic_reliability.csv`) is contractually
+//! byte-identical across runs and thread counts. That property is easy
+//! to break silently: one `HashMap` iteration feeding an output, one
+//! `partial_cmp().unwrap()` comparator meeting a NaN, one wall-clock
+//! read in a measurement path. This crate is a dependency-free,
+//! token-level static pass over the workspace's own source that turns
+//! those conventions into named, enforced lint rules — see
+//! [`rules::RULES`] and DESIGN.md §9.
+//!
+//! Suppression is always *with a reason*: inline
+//! `// geospan-analyze: allow(<rule>, <reason>)` directives for
+//! reviewed sites, or the committed tab-separated baseline
+//! (`analyze-baseline.tsv`) for triaged legacy findings. Stale baseline
+//! entries fail the gate, so suppressions cannot outlive their code.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use baseline::{Baseline, BaselineResult};
+pub use rules::{check_source, Finding, RULES};
+
+/// Directories never scanned, at any depth.
+const SKIP_DIRS: &[&str] = &[
+    "target", "stubs", ".git",
+    // Test/bench/example trees: the determinism contract is about
+    // library and binary code; tests exercise panics and hash maps
+    // freely.
+    "tests", "benches", "examples",
+];
+
+/// Collects the workspace `.rs` files subject to the lint, relative to
+/// `root`: every `crates/*/src/**` tree plus the root package `src/`.
+///
+/// # Errors
+/// Returns an IO error message when a directory walk fails.
+pub fn workspace_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = read_dir_sorted(&crates_dir)?
+            .into_iter()
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            let src = member.join("src");
+            if src.is_dir() {
+                walk(&src, &mut out)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        walk(&root_src, &mut out)?;
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let rd = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    let mut entries = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        entries.push(entry.path());
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for path in read_dir_sorted(dir)? {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace under `root` and returns all raw findings
+/// (inline directives applied; baseline not yet applied), sorted by
+/// path, line, rule.
+///
+/// # Errors
+/// Returns an IO error message when a file cannot be read.
+pub fn analyze_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    for file in workspace_files(root)? {
+        let src = fs::read_to_string(&file).map_err(|e| format!("read {}: {e}", file.display()))?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(check_source(&rel, &src));
+    }
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    Ok(findings)
+}
+
+/// Renders findings as a JSON array (machine-readable output; the crate
+/// is dependency-free, so the JSON is emitted by hand).
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"snippet\":\"{}\",\"message\":\"{}\"}}",
+            f.rule,
+            esc(&f.path),
+            f.line,
+            esc(&f.snippet),
+            esc(&f.message)
+        ));
+    }
+    out.push_str(if findings.is_empty() { "]" } else { "\n]" });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_output_escapes_quotes_and_backslashes() {
+        let f = Finding {
+            rule: "D04",
+            path: "src/a.rs".to_string(),
+            line: 3,
+            snippet: "x.expect(\"a\\b\")".to_string(),
+            message: "m".to_string(),
+        };
+        let json = findings_to_json(&[f]);
+        assert!(json.contains("\\\"a\\\\b\\\""), "{json}");
+        assert_eq!(findings_to_json(&[]), "[]");
+    }
+}

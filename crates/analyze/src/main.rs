@@ -1,0 +1,164 @@
+//! CLI for the workspace determinism linter.
+//!
+//! ```text
+//! cargo run -p geospan-analyze -- --check
+//! ```
+//!
+//! Exit codes: 0 clean (or findings printed without `--check`),
+//! 1 usage / IO error, 2 findings (or stale baseline entries) under
+//! `--check`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use geospan_analyze::{analyze_workspace, findings_to_json, Baseline, RULES};
+
+const DEFAULT_BASELINE: &str = "analyze-baseline.tsv";
+
+struct Options {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    check: bool,
+    json: bool,
+    write_baseline: bool,
+    list_rules: bool,
+}
+
+const USAGE: &str = "\
+geospan-analyze — workspace determinism linter
+
+USAGE:
+    geospan-analyze [OPTIONS]
+
+OPTIONS:
+    --check              exit 2 when unsuppressed findings (or stale
+                         baseline entries) remain
+    --root <DIR>         workspace root to scan (default: .)
+    --baseline <FILE>    baseline file (default: <root>/analyze-baseline.tsv;
+                         a missing default file means an empty baseline)
+    --format <text|json> output format (default: text)
+    --write-baseline     write all current findings to the baseline file
+                         (with a TRIAGE-ME reason) and exit
+    --list-rules         print the rule table and exit
+    --help               this message
+";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        baseline: None,
+        check: false,
+        json: false,
+        write_baseline: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => opts.check = true,
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a value")?);
+            }
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(
+                    args.next().ok_or("--baseline needs a value")?,
+                ));
+            }
+            "--format" => match args.next().as_deref() {
+                Some("text") => opts.json = false,
+                Some("json") => opts.json = true,
+                other => return Err(format!("--format expects text|json, got {other:?}")),
+            },
+            "--write-baseline" => opts.write_baseline = true,
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let opts = parse_args()?;
+    if opts.list_rules {
+        for (id, what) in RULES {
+            println!("{id}  {what}");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    let findings = analyze_workspace(&opts.root)?;
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| opts.root.join(DEFAULT_BASELINE));
+
+    if opts.write_baseline {
+        let text = Baseline::render(&findings, "TRIAGE-ME: reason pending");
+        std::fs::write(&baseline_path, &text)
+            .map_err(|e| format!("write {}: {e}", baseline_path.display()))?;
+        eprintln!(
+            "wrote {} entries to {} — replace every TRIAGE-ME with a real reason",
+            findings.len(),
+            baseline_path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::parse(&text)?,
+        // A missing *default* baseline is an empty baseline; an
+        // explicitly named missing file is an error.
+        Err(_) if opts.baseline.is_none() => Baseline::default(),
+        Err(e) => return Err(format!("read {}: {e}", baseline_path.display())),
+    };
+    let res = baseline.apply(findings);
+
+    if opts.json {
+        println!("{}", findings_to_json(&res.unsuppressed));
+    } else {
+        for f in &res.unsuppressed {
+            println!("{}: {}:{}: {}", f.rule, f.path, f.line, f.message);
+            println!("    {}", f.snippet);
+        }
+        if res.suppressed > 0 {
+            eprintln!("note: baseline suppressed {} finding(s)", res.suppressed);
+        }
+    }
+    for e in &res.stale {
+        eprintln!(
+            "stale baseline entry (matches nothing): {}\t{}\t{}",
+            e.rule, e.path, e.snippet
+        );
+    }
+
+    let failed = !res.unsuppressed.is_empty() || (opts.check && !res.stale.is_empty());
+    if failed {
+        eprintln!(
+            "geospan-analyze: {} finding(s), {} stale baseline entr(ies)",
+            res.unsuppressed.len(),
+            res.stale.len()
+        );
+        if opts.check {
+            return Ok(ExitCode::from(2));
+        }
+    } else if !opts.json {
+        eprintln!(
+            "geospan-analyze: clean ({} suppressed by baseline)",
+            res.suppressed
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("geospan-analyze: error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,587 @@
+//! The determinism lint rules (D01–D05) plus directive hygiene (A00).
+//!
+//! Every rule is a token-pattern check over the [`crate::lexer`] output.
+//! The rules are deliberately conservative heuristics: they know nothing
+//! about types, only about names and shapes — which is exactly what the
+//! project's conventions are written in terms of. False positives are
+//! handled by inline `// geospan-analyze: allow(<rule>, reason)`
+//! directives or the committed baseline, both of which require a reason.
+
+use crate::lexer::{lex, Directive, Lexed, Tok, TokKind};
+
+/// A single lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`D01`..`D05`, `A00`).
+    pub rule: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The trimmed source line the finding sits on (the baseline key).
+    pub snippet: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Rule metadata for `--list-rules` and the docs.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "A00",
+        "malformed geospan-analyze directive (needs allow(<rule>, <reason>))",
+    ),
+    (
+        "D01",
+        "iteration over std HashMap/HashSet in non-test code: unordered iteration makes \
+         results order-dependent; use BTreeMap/BTreeSet or sort before consuming",
+    ),
+    (
+        "D02",
+        "wall-clock / OS-entropy / raw-thread API (Instant::now, SystemTime, thread_rng, \
+         std::thread::spawn): nondeterministic outside the sim clock and the rayon stub",
+    ),
+    (
+        "D03",
+        "partial_cmp(..).unwrap()/expect() float comparator: panics on NaN and invites \
+         inconsistent orderings; use f64::total_cmp",
+    ),
+    (
+        "D04",
+        "bare .unwrap() in non-test code: panics without a recorded reason; use \
+         expect(\"why\") or an allow directive",
+    ),
+    (
+        "D05",
+        "float accumulation through a parallel iterator (sum/fold/reduce after par_iter): \
+         reduction order depends on the scheduler; fold serially in a fixed order",
+    ),
+];
+
+/// Iterator-producing methods on hash collections (rule D01).
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+
+/// Chain sinks whose result is independent of iteration order.
+const ORDER_FREE_SINKS: &[&str] = &["any", "all", "count", "contains", "is_empty", "len"];
+
+/// Parallel-iterator entry points (rule D05).
+const PAR_ITER: &[&str] = &[
+    "par_iter",
+    "into_par_iter",
+    "par_iter_mut",
+    "par_chunks",
+    "par_bridge",
+];
+
+/// Order-sensitive reducers on a parallel chain (rule D05).
+const PAR_REDUCERS: &[&str] = &["sum", "product", "fold", "reduce", "reduce_with"];
+
+/// Runs every rule over one file's source and returns the raw findings
+/// (inline directives already applied; malformed directives reported).
+pub fn check_source(path: &str, src: &str) -> Vec<Finding> {
+    let lexed = lex(src);
+    let test_lines = test_region_lines(&lexed.tokens);
+    let lines: Vec<&str> = src.lines().collect();
+    let snippet = |line: u32| -> String {
+        lines
+            .get(line as usize - 1)
+            .map_or(String::new(), |l| l.trim().to_string())
+    };
+
+    let mut findings = Vec::new();
+    let mut emit = |rule: &'static str, line: u32, message: String| {
+        findings.push(Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            snippet: snippet(line),
+            message,
+        });
+    };
+
+    for d in &lexed.directives {
+        if d.malformed {
+            emit(
+                "A00",
+                d.line,
+                "malformed directive: expected `geospan-analyze: allow(<rule>, <reason>)` \
+                 with a known rule id and a non-empty reason"
+                    .to_string(),
+            );
+        }
+    }
+
+    let toks = &lexed.tokens;
+    let in_test = |line: u32| test_lines.contains(&line);
+
+    rule_d01(toks, &in_test, &mut emit);
+    rule_d02(toks, &in_test, &mut emit);
+    rule_d03(toks, &in_test, &mut emit);
+    rule_d04(toks, &in_test, &mut emit);
+    rule_d05(toks, &in_test, &mut emit);
+
+    apply_directives(findings, &lexed)
+}
+
+/// Drops findings covered by a well-formed allow directive on the same
+/// line or the directly preceding line.
+fn apply_directives(findings: Vec<Finding>, lexed: &Lexed) -> Vec<Finding> {
+    let allows: Vec<&Directive> = lexed.directives.iter().filter(|d| !d.malformed).collect();
+    findings
+        .into_iter()
+        .filter(|f| {
+            !allows
+                .iter()
+                .any(|d| d.rule == f.rule && (d.line == f.line || d.line + 1 == f.line))
+        })
+        .collect()
+}
+
+/// Lines covered by `#[test]` functions and `#[cfg(test)]` items.
+///
+/// Found by scanning for the attribute, then brace-matching the next
+/// item. `#[cfg(any(.., test, ..))]` counts as a test attribute too.
+fn test_region_lines(toks: &[Tok]) -> std::collections::BTreeSet<u32> {
+    let mut out = std::collections::BTreeSet::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text == "#" && i + 1 < toks.len() && toks[i + 1].text == "[" {
+            // Collect the attribute tokens up to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut attr: Vec<&str> = Vec::new();
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    _ => {}
+                }
+                if depth > 0 {
+                    attr.push(toks[j].text.as_str());
+                }
+                j += 1;
+            }
+            let is_test_attr =
+                attr.first() == Some(&"test") || (attr.contains(&"cfg") && attr.contains(&"test"));
+            if is_test_attr {
+                // The region runs to the end of the next item: the
+                // matching `}` of its first depth-0 `{`, or a `;` that
+                // arrives first (e.g. `#[cfg(test)] use ...;`).
+                let start_line = toks[i].line;
+                let mut k = j;
+                let mut bdepth = 0usize;
+                let mut end_line = start_line;
+                while k < toks.len() {
+                    match toks[k].text.as_str() {
+                        "{" => bdepth += 1,
+                        "}" => {
+                            bdepth = bdepth.saturating_sub(1);
+                            if bdepth == 0 {
+                                end_line = toks[k].line;
+                                break;
+                            }
+                        }
+                        ";" if bdepth == 0 => {
+                            end_line = toks[k].line;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    end_line = toks[k].line;
+                    k += 1;
+                }
+                out.extend(start_line..=end_line);
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// D01 — iteration over `HashMap`/`HashSet`.
+fn rule_d01(
+    toks: &[Tok],
+    in_test: &dyn Fn(u32) -> bool,
+    emit: &mut dyn FnMut(&'static str, u32, String),
+) {
+    let hashy = collect_hash_names(toks);
+    if hashy.is_empty() {
+        return;
+    }
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            // `for <pat> in <expr> {` with a hash-typed name in the expr.
+            "for" => {
+                if let Some(in_pos) = find_for_in(toks, i) {
+                    let mut j = in_pos + 1;
+                    let mut depth = 0usize;
+                    let mut hit: Option<(u32, String)> = None;
+                    while j < toks.len() {
+                        let u = &toks[j];
+                        match u.text.as_str() {
+                            "(" | "[" => depth += 1,
+                            ")" | "]" => depth = depth.saturating_sub(1),
+                            "{" if depth == 0 => break,
+                            _ => {}
+                        }
+                        if u.kind == TokKind::Ident && hashy.contains(&u.text) && hit.is_none() {
+                            hit = Some((u.line, u.text.clone()));
+                        }
+                        j += 1;
+                    }
+                    if let Some((line, name)) = hit {
+                        if !in_test(line) {
+                            emit(
+                                "D01",
+                                line,
+                                format!(
+                                    "`for` over hash collection `{name}`: iteration order is \
+                                     unspecified; use BTreeMap/BTreeSet or sort first"
+                                ),
+                            );
+                        }
+                    }
+                    i = j;
+                    continue;
+                }
+            }
+            // `<hashy>.iter()`-family with an order-sensitive consumer.
+            name if hashy.contains(&t.text) => {
+                if let Some((method, after_call)) = method_call_after(toks, i) {
+                    if ITER_METHODS.contains(&method.as_str()) {
+                        let line = t.line;
+                        if !in_test(line) && !chain_is_order_free(toks, after_call) {
+                            emit(
+                                "D01",
+                                line,
+                                format!(
+                                    "iteration over hash collection `{name}` feeds an \
+                                     order-sensitive consumer; use BTreeMap/BTreeSet, sort, \
+                                     or an order-free sink (any/all/count)"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Names declared with a `HashMap`/`HashSet` type or initializer in this
+/// file (struct fields, lets, fn params — anything shaped `name :` or
+/// `name =` followed by a path ending in the hash type).
+fn collect_hash_names(toks: &[Tok]) -> std::collections::BTreeSet<String> {
+    let mut out = std::collections::BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        // Walk back over the path prefix (`std :: collections ::`).
+        let mut j = i;
+        while j >= 2 && toks[j - 1].text == ":" && toks[j - 2].text == ":" {
+            if j >= 3 && toks[j - 3].kind == TokKind::Ident {
+                j -= 3;
+            } else {
+                break;
+            }
+        }
+        if j == 0 {
+            continue;
+        }
+        // `name : [&]*[mut]? [Vec <]? path::HashMap` — accept a couple of
+        // wrapper tokens between the colon and the path head.
+        let mut k = j - 1;
+        let mut steps = 0;
+        while steps < 4 {
+            match toks[k].text.as_str() {
+                "&" | "mut" | "Vec" | "<" => {
+                    if k == 0 {
+                        break;
+                    }
+                    k -= 1;
+                    steps += 1;
+                }
+                _ => break,
+            }
+        }
+        let bindish = toks[k].text == ":" || toks[k].text == "=";
+        if bindish && k > 0 && toks[k - 1].kind == TokKind::Ident {
+            // Skip `::` paths masquerading: `a::HashMap` handled above.
+            if !(toks[k].text == ":" && k >= 2 && toks[k - 2].text == ":") {
+                out.insert(toks[k - 1].text.clone());
+            }
+        }
+    }
+    out
+}
+
+/// For a `for` at `i`, the position of its depth-0 `in` (None for
+/// `for<'a>` HRTBs and malformed input).
+fn find_for_in(toks: &[Tok], i: usize) -> Option<usize> {
+    if toks.get(i + 1).map(|t| t.kind) == Some(TokKind::Lifetime)
+        || toks.get(i + 1).map(|t| t.text.as_str()) == Some("<")
+    {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(i + 1).take(64) {
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth = depth.saturating_sub(1),
+            "in" if depth == 0 => return Some(j),
+            "{" | ";" => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// If `toks[i]` is followed by `.method(`, returns the method name and
+/// the index just past the call's matching `)`.
+fn method_call_after(toks: &[Tok], i: usize) -> Option<(String, usize)> {
+    if toks.get(i + 1)?.text != "." {
+        return None;
+    }
+    let m = toks.get(i + 2)?;
+    if m.kind != TokKind::Ident || toks.get(i + 3)?.text != "(" {
+        return None;
+    }
+    let mut depth = 1usize;
+    let mut j = i + 4;
+    while j < toks.len() && depth > 0 {
+        match toks[j].text.as_str() {
+            "(" => depth += 1,
+            ")" => depth -= 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    Some((m.text.clone(), j))
+}
+
+/// Walks a method chain starting at `pos` (just past a call) and decides
+/// whether the eventual sink is order-independent: an order-free
+/// terminal (`any`, `all`, `count`, ...) or a `collect` into a `BTree*`
+/// collection.
+fn chain_is_order_free(toks: &[Tok], mut pos: usize) -> bool {
+    loop {
+        if toks.get(pos).map(|t| t.text.as_str()) != Some(".") {
+            return false;
+        }
+        let Some(m) = toks.get(pos + 1) else {
+            return false;
+        };
+        if m.kind != TokKind::Ident {
+            return false;
+        }
+        if ORDER_FREE_SINKS.contains(&m.text.as_str()) {
+            return true;
+        }
+        if m.text == "collect" {
+            // Order-free only when collecting back into an ordered or
+            // unordered *set/map*, where insertion order can't leak:
+            // look for BTreeSet/BTreeMap/HashSet/HashMap in the turbofish.
+            for t in toks.iter().skip(pos + 2).take(8) {
+                if matches!(
+                    t.text.as_str(),
+                    "BTreeSet" | "BTreeMap" | "HashSet" | "HashMap"
+                ) {
+                    return true;
+                }
+                if matches!(t.text.as_str(), "(" | ";") {
+                    break;
+                }
+            }
+            return false;
+        }
+        // Adapter (`map`, `filter`, `copied`, ...): skip its args.
+        match toks.get(pos + 2).map(|t| t.text.as_str()) {
+            Some("(") => {
+                let mut depth = 1usize;
+                let mut j = pos + 3;
+                while j < toks.len() && depth > 0 {
+                    match toks[j].text.as_str() {
+                        "(" => depth += 1,
+                        ")" => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                pos = j;
+            }
+            Some("::") => {
+                // Turbofish on an adapter; too rare to chase. Treat as
+                // order-sensitive.
+                return false;
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// D02 — wall clock, OS entropy, raw threads.
+fn rule_d02(
+    toks: &[Tok],
+    in_test: &dyn Fn(u32) -> bool,
+    emit: &mut dyn FnMut(&'static str, u32, String),
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_test(t.line) {
+            continue;
+        }
+        let flagged = match t.text.as_str() {
+            "Instant" | "SystemTime" => true,
+            "thread_rng" => true,
+            "spawn" => {
+                i >= 2 && toks[i - 1].text == ":" && toks[i - 2].text == ":" && {
+                    toks.get(i.wrapping_sub(3)).map(|t| t.text.as_str()) == Some("thread")
+                }
+            }
+            _ => false,
+        };
+        if flagged {
+            emit(
+                "D02",
+                t.line,
+                format!(
+                    "`{}` is nondeterministic (wall clock / OS entropy / raw threads); \
+                     use the sim clock, seeded RNGs, or the rayon stub",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// D03 — `partial_cmp` comparators resolved with `unwrap`/`expect`.
+fn rule_d03(
+    toks: &[Tok],
+    in_test: &dyn Fn(u32) -> bool,
+    emit: &mut dyn FnMut(&'static str, u32, String),
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "partial_cmp" || in_test(t.line) {
+            continue;
+        }
+        // Skip the `fn partial_cmp` of a PartialOrd impl.
+        if i > 0 && toks[i - 1].text == "fn" {
+            continue;
+        }
+        // Scan the rest of the statement for unwrap/expect.
+        let mut depth = 0i32;
+        for u in toks.iter().skip(i + 1).take(80) {
+            match u.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth < -1 {
+                        break;
+                    }
+                }
+                ";" if depth <= 0 => break,
+                "unwrap" | "expect" if u.kind == TokKind::Ident => {
+                    emit(
+                        "D03",
+                        t.line,
+                        "float comparator via partial_cmp().unwrap()/expect(): NaN panics \
+                         and the ordering is not total; use f64::total_cmp"
+                            .to_string(),
+                    );
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// D04 — bare `.unwrap()` without a recorded reason.
+fn rule_d04(
+    toks: &[Tok],
+    in_test: &dyn Fn(u32) -> bool,
+    emit: &mut dyn FnMut(&'static str, u32, String),
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "unwrap" || in_test(t.line) {
+            continue;
+        }
+        let dotted = i > 0 && toks[i - 1].text == ".";
+        let called = toks.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+            && toks.get(i + 2).map(|t| t.text.as_str()) == Some(")");
+        if dotted && called {
+            emit(
+                "D04",
+                t.line,
+                "bare .unwrap() in non-test code: record the reason with expect(\"...\") \
+                 or an allow directive"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// D05 — order-sensitive reduction on a parallel iterator chain.
+fn rule_d05(
+    toks: &[Tok],
+    in_test: &dyn Fn(u32) -> bool,
+    emit: &mut dyn FnMut(&'static str, u32, String),
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !PAR_ITER.contains(&t.text.as_str()) || in_test(t.line) {
+            continue;
+        }
+        // Scan the rest of the statement for a reducing combinator at
+        // chain position (preceded by `.`).
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < toks.len() && j < i + 200 {
+            let u = &toks[j];
+            match u.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth < -1 {
+                        break;
+                    }
+                }
+                ";" if depth <= 0 => break,
+                name if u.kind == TokKind::Ident
+                    && PAR_REDUCERS.contains(&name)
+                    && toks[j - 1].text == "." =>
+                {
+                    emit(
+                        "D05",
+                        u.line,
+                        format!(
+                            "`{name}` on a parallel iterator: float accumulation order \
+                             depends on chunking; collect and fold serially in index order"
+                        ),
+                    );
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+}

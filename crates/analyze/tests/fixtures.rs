@@ -1,0 +1,322 @@
+//! Per-rule positive/negative fixtures for the determinism linter.
+//!
+//! Each rule gets at least one source string it must flag and one
+//! shaped-alike string it must not, plus coverage for the two
+//! suppression channels (inline allow directives, baseline entries).
+
+use geospan_analyze::{check_source, Baseline};
+
+fn rules_hit(src: &str) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = check_source("fixture.rs", src)
+        .into_iter()
+        .map(|f| f.rule)
+        .collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+// ---------------------------------------------------------------- D01
+
+#[test]
+fn d01_flags_for_loop_over_hashmap() {
+    let src = r#"
+use std::collections::HashMap;
+pub fn emit() -> Vec<(u32, u32)> {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    let mut out = Vec::new();
+    for (k, v) in &m {
+        out.push((*k, *v));
+    }
+    out
+}
+"#;
+    assert_eq!(rules_hit(src), ["D01"]);
+}
+
+#[test]
+fn d01_flags_iter_collect_into_vec() {
+    let src = r#"
+use std::collections::HashSet;
+pub fn emit(s: HashSet<u32>) -> Vec<u32> {
+    s.into_iter().collect()
+}
+"#;
+    assert_eq!(rules_hit(src), ["D01"]);
+}
+
+#[test]
+fn d01_ignores_btreemap_and_order_free_sinks() {
+    let src = r#"
+use std::collections::{BTreeMap, HashSet};
+pub fn ok(m: BTreeMap<u32, u32>, s: HashSet<u32>) -> (u32, bool, usize) {
+    let mut acc = 0;
+    for (_k, v) in &m {
+        acc += v;
+    }
+    // Order-free sinks on a hash collection are fine.
+    (acc, s.iter().any(|&x| x > 3), s.iter().count())
+}
+"#;
+    assert_eq!(rules_hit(src), Vec::<&str>::new());
+}
+
+#[test]
+fn d01_ignores_hash_iteration_inside_test_code() {
+    let src = r#"
+use std::collections::HashSet;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[test]
+    fn order_does_not_matter_here() {
+        let s: HashSet<u32> = HashSet::new();
+        for x in &s {
+            let _ = x;
+        }
+    }
+}
+"#;
+    assert_eq!(rules_hit(src), Vec::<&str>::new());
+}
+
+#[test]
+fn d01_collect_back_into_a_set_is_order_free() {
+    let src = r#"
+use std::collections::{BTreeSet, HashSet};
+pub fn ok(s: HashSet<u32>) -> BTreeSet<u32> {
+    s.into_iter().collect::<BTreeSet<u32>>()
+}
+"#;
+    assert_eq!(rules_hit(src), Vec::<&str>::new());
+}
+
+// ---------------------------------------------------------------- D02
+
+#[test]
+fn d02_flags_instant_systemtime_thread_rng_and_raw_spawn() {
+    let src = r#"
+pub fn bad() {
+    let _t = std::time::Instant::now();
+    let _s = std::time::SystemTime::now();
+    let _r = rand::thread_rng();
+    let _h = std::thread::spawn(|| 1);
+}
+"#;
+    let findings = check_source("fixture.rs", src);
+    let d02 = findings.iter().filter(|f| f.rule == "D02").count();
+    assert_eq!(d02, 4, "{findings:?}");
+}
+
+#[test]
+fn d02_ignores_sim_clock_and_test_code() {
+    let src = r#"
+pub fn ok(clock: u64) -> u64 {
+    clock + 1
+}
+
+#[test]
+fn timing_in_tests_is_fine() {
+    let _t = std::time::Instant::now();
+}
+"#;
+    assert_eq!(rules_hit(src), Vec::<&str>::new());
+}
+
+// ---------------------------------------------------------------- D03
+
+#[test]
+fn d03_flags_partial_cmp_unwrap_and_expect() {
+    let src = r#"
+pub fn sortit(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+pub fn sortit2(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+}
+"#;
+    let findings = check_source("fixture.rs", src);
+    let d03 = findings.iter().filter(|f| f.rule == "D03").count();
+    assert_eq!(d03, 2, "{findings:?}");
+}
+
+#[test]
+fn d03_ignores_total_cmp_and_partial_ord_impls() {
+    let src = r#"
+use std::cmp::Ordering;
+pub struct E(f64);
+impl PartialOrd for E {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.0.total_cmp(&other.0))
+    }
+}
+pub fn sortit(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}
+"#;
+    // The bare `.unwrap()`-free source must not trip D03; the
+    // PartialOrd impl's own `fn partial_cmp` is exempt.
+    assert_eq!(rules_hit(src), Vec::<&str>::new());
+}
+
+// ---------------------------------------------------------------- D04
+
+#[test]
+fn d04_flags_bare_unwrap_but_not_expect() {
+    let src = r#"
+pub fn bad(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+pub fn ok(x: Option<u32>) -> u32 {
+    x.expect("caller guarantees Some")
+}
+"#;
+    let findings = check_source("fixture.rs", src);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "D04");
+    assert_eq!(findings[0].snippet, "x.unwrap()");
+}
+
+#[test]
+fn d04_ignores_unwrap_in_test_functions() {
+    let src = r#"
+#[test]
+fn unwrap_is_fine_in_tests() {
+    let x: Option<u32> = Some(1);
+    assert_eq!(x.unwrap(), 1);
+}
+"#;
+    assert_eq!(rules_hit(src), Vec::<&str>::new());
+}
+
+#[test]
+fn d04_ignores_unwrap_or_variants() {
+    let src = r#"
+pub fn ok(x: Option<u32>) -> u32 {
+    x.unwrap_or(0) + x.unwrap_or_default() + x.unwrap_or_else(|| 2)
+}
+"#;
+    assert_eq!(rules_hit(src), Vec::<&str>::new());
+}
+
+// ---------------------------------------------------------------- D05
+
+#[test]
+fn d05_flags_parallel_float_reduction() {
+    let src = r#"
+use rayon::prelude::*;
+pub fn bad(v: &[f64]) -> f64 {
+    v.par_iter().map(|x| x * x).sum()
+}
+"#;
+    assert_eq!(rules_hit(src), ["D05"]);
+}
+
+#[test]
+fn d05_ignores_par_map_collect_with_serial_fold() {
+    let src = r#"
+use rayon::prelude::*;
+pub fn ok(v: &[f64]) -> f64 {
+    let squares: Vec<f64> = v.par_iter().map(|x| x * x).collect();
+    let mut acc = 0.0;
+    for s in &squares {
+        acc += s;
+    }
+    acc
+}
+"#;
+    assert_eq!(rules_hit(src), Vec::<&str>::new());
+}
+
+// ------------------------------------------------- directives and A00
+
+#[test]
+fn allow_directive_on_same_line_suppresses() {
+    let src = r#"
+pub fn bad(x: Option<u32>) -> u32 {
+    x.unwrap() // geospan-analyze: allow(D04, fixture demonstrates suppression)
+}
+"#;
+    assert_eq!(rules_hit(src), Vec::<&str>::new());
+}
+
+#[test]
+fn allow_directive_on_preceding_line_suppresses() {
+    let src = r#"
+pub fn bad(x: Option<u32>) -> u32 {
+    // geospan-analyze: allow(D04, fixture demonstrates suppression)
+    x.unwrap()
+}
+"#;
+    assert_eq!(rules_hit(src), Vec::<&str>::new());
+}
+
+#[test]
+fn allow_directive_for_wrong_rule_does_not_suppress() {
+    let src = r#"
+pub fn bad(x: Option<u32>) -> u32 {
+    // geospan-analyze: allow(D01, wrong rule id)
+    x.unwrap()
+}
+"#;
+    assert_eq!(rules_hit(src), ["D04"]);
+}
+
+#[test]
+fn malformed_directive_is_reported_as_a00() {
+    // Missing reason.
+    let src = "pub fn f() {} // geospan-analyze: allow(D04)\n";
+    assert_eq!(rules_hit(src), ["A00"]);
+    // Unknown shape.
+    let src = "pub fn f() {} // geospan-analyze: suppress(D04, reason)\n";
+    assert_eq!(rules_hit(src), ["A00"]);
+}
+
+#[test]
+fn directive_syntax_inside_doc_comments_is_not_parsed() {
+    let src = r#"
+//! Mentions `geospan-analyze: allow(D04)` in crate docs.
+
+/// Docs may show `geospan-analyze: allow(broken` without tripping A00.
+pub fn f() {}
+"#;
+    assert_eq!(rules_hit(src), Vec::<&str>::new());
+}
+
+// ------------------------------------------------------------ baseline
+
+#[test]
+fn baseline_suppresses_finding_and_flags_stale_entries() {
+    let src = r#"
+pub fn bad(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+"#;
+    let findings = check_source("src/legacy.rs", src);
+    assert_eq!(findings.len(), 1);
+
+    let bl =
+        Baseline::parse("D04\tsrc/legacy.rs\tx.unwrap()\ttriaged legacy site\n").expect("parses");
+    let res = bl.apply(findings.clone());
+    assert_eq!(res.suppressed, 1);
+    assert!(res.unsuppressed.is_empty());
+    assert!(res.stale.is_empty());
+
+    // A baseline for code that no longer exists is stale.
+    let bl = Baseline::parse("D04\tsrc/legacy.rs\tgone.unwrap()\told\n").expect("parses");
+    let res = bl.apply(findings);
+    assert_eq!(res.unsuppressed.len(), 1);
+    assert_eq!(res.stale.len(), 1);
+}
+
+#[test]
+fn violations_inside_string_literals_are_not_flagged() {
+    let src = r#"
+pub fn ok() -> &'static str {
+    "for x in &hash_map { x.unwrap() } std::time::Instant::now()"
+}
+"#;
+    assert_eq!(rules_hit(src), Vec::<&str>::new());
+}

@@ -14,6 +14,7 @@
 //! Table I calibration (side `200·√(n/100)`, radius 60), so the average
 //! degree stays constant across sizes.
 
+// geospan-analyze: allow(D02, wall-clock timing is the benchmark's measurement, not an artifact input)
 use std::time::Instant;
 
 use geospan_bench::baseline::{seed_crossing_count, seed_ldel1, seed_planarize};
@@ -127,6 +128,7 @@ fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     let mut best = f64::INFINITY;
     let mut out = None;
     for _ in 0..reps {
+        // geospan-analyze: allow(D02, wall-clock timing is the benchmark's measurement, not an artifact input)
         let t0 = Instant::now();
         let r = f();
         best = best.min(t0.elapsed().as_secs_f64() * 1e3);

@@ -54,7 +54,8 @@ fn main() {
                 if s == t {
                     continue;
                 }
-                let (oh, ol) = (f64::from(oh[t].unwrap()), ol[t].unwrap());
+                let oh = f64::from(oh[t].expect("UDG is connected: BFS reaches every target"));
+                let ol = ol[t].expect("UDG is connected: Dijkstra reaches every target");
                 for (k, g) in graphs.iter().enumerate() {
                     let r = gpsr_route(g, s, t, 100 * n);
                     tallies[k].total += 1;

@@ -16,7 +16,7 @@
 //! final structure is identical to the centralized reference
 //! ([`crate::build_cds`]) — enforced by tests.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use geospan_graph::Graph;
 use geospan_sim::{
@@ -95,7 +95,7 @@ pub struct CdsNode {
     key: (i64, usize),
     status: Status,
     /// Neighbor ranks from `Hello`.
-    nbr_keys: HashMap<usize, (i64, usize)>,
+    nbr_keys: BTreeMap<usize, (i64, usize)>,
     /// Neighbors confirmed as dominatees.
     nbr_dominatee: BTreeSet<usize>,
     /// Adjacent dominators.
@@ -108,7 +108,7 @@ pub struct CdsNode {
     /// Candidacies this node entered: `(u, v, stage)`.
     my_tries: BTreeSet<(usize, usize, u8)>,
     /// Candidacy announcements heard, keyed by election.
-    try_heard: HashMap<(usize, usize, u8), BTreeSet<usize>>,
+    try_heard: BTreeMap<(usize, usize, u8), BTreeSet<usize>>,
     /// Stage-2 winners heard per ordered pair `(u, v)`.
     stage2_winners: BTreeMap<(usize, usize), BTreeSet<usize>>,
     /// Whether this node elected itself a connector.
@@ -123,13 +123,13 @@ impl CdsNode {
             id,
             key,
             status: Status::White,
-            nbr_keys: HashMap::new(),
+            nbr_keys: BTreeMap::new(),
             nbr_dominatee: BTreeSet::new(),
             dominators: BTreeSet::new(),
             heard_dominators: BTreeSet::new(),
             announced: BTreeSet::new(),
             my_tries: BTreeSet::new(),
-            try_heard: HashMap::new(),
+            try_heard: BTreeMap::new(),
             stage2_winners: BTreeMap::new(),
             is_connector: false,
             edges: BTreeSet::new(),

@@ -149,7 +149,7 @@ fn greedy_next(g: &Graph, u: usize, dpos: Point) -> Option<usize> {
         .copied()
         .map(|v| (g.position(v).distance_sq(dpos), v))
         .filter(|&(d, _)| d < du)
-        .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))
+        .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
         .map(|(_, v)| v)
 }
 
@@ -654,7 +654,7 @@ fn best_by_ccw_angle(g: &Graph, u: usize, ref_angle: f64) -> usize {
             }
             (diff, v)
         })
-        .min_by(|a, b| a.partial_cmp(b).expect("finite angles"))
+        .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
         .map(|(_, v)| v)
         .expect("perimeter mode requires degree >= 1")
 }

@@ -110,17 +110,11 @@ impl Point {
 
     /// Lexicographic comparison by `(x, y)`.
     ///
-    /// Useful for canonical orderings of point sets. Total as long as no
-    /// coordinate is NaN.
-    ///
-    /// # Panics
-    /// Panics if any coordinate is NaN.
+    /// Useful for canonical orderings of point sets. Total over all
+    /// float values (including NaN) via IEEE 754 `totalOrder`.
     #[inline]
     pub fn lex_cmp(self, other: Point) -> std::cmp::Ordering {
-        self.x
-            .partial_cmp(&other.x)
-            .and_then(|o| Some(o.then(self.y.partial_cmp(&other.y)?)))
-            .expect("NaN coordinate in Point::lex_cmp")
+        self.x.total_cmp(&other.x).then(self.y.total_cmp(&other.y))
     }
 }
 

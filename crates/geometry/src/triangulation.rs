@@ -432,7 +432,11 @@ impl<'a> Core<'a> {
                     if self.in_conflict(g, p) {
                         return g;
                     }
-                    let k = self.tris[g].v.iter().position(|&v| v == GHOST).unwrap();
+                    let k = self.tris[g]
+                        .v
+                        .iter()
+                        .position(|&v| v == GHOST)
+                        .expect("ghost triangle has a ghost vertex");
                     g = self.tris[g].n[(k + 1) % 3]; // next ghost around the hull
                 }
                 break 'walk;
@@ -564,8 +568,8 @@ impl<'a> Core<'a> {
     fn finish(self, points: &[Point]) -> Triangulation {
         let n = points.len();
         let mut triangles = Vec::new();
-        let mut edge_set: std::collections::HashSet<(usize, usize)> =
-            std::collections::HashSet::new();
+        let mut edge_set: std::collections::BTreeSet<(usize, usize)> =
+            std::collections::BTreeSet::new();
         let mut tri_keys = std::collections::HashSet::new();
         let mut hull = Vec::new();
 
@@ -592,7 +596,11 @@ impl<'a> Core<'a> {
             {
                 let mut g = start;
                 loop {
-                    let k = self.tris[g].v.iter().position(|&v| v == GHOST).unwrap();
+                    let k = self.tris[g]
+                        .v
+                        .iter()
+                        .position(|&v| v == GHOST)
+                        .expect("ghost triangle has a ghost vertex");
                     // Stored edge (u, w) reverses hull edge w -> u: emit w.
                     hull.push(self.tris[g].v[(k + 2) % 3]);
                     g = self.tris[g].n[(k + 1) % 3];

@@ -155,7 +155,9 @@ impl Graph {
             Err(_) => false,
             Ok(iu) => {
                 self.adjacency[u].remove(iu);
-                let iv = self.adjacency[v].binary_search(&u).unwrap();
+                let iv = self.adjacency[v]
+                    .binary_search(&u)
+                    .expect("adjacency lists mirror each other");
                 self.adjacency[v].remove(iv);
                 self.edge_count -= 1;
                 true

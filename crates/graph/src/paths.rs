@@ -60,8 +60,7 @@ impl Ord for HeapEntry {
         // Reverse: BinaryHeap is a max-heap, we want the nearest node.
         other
             .dist
-            .partial_cmp(&self.dist)
-            .expect("distances are never NaN")
+            .total_cmp(&self.dist)
             .then_with(|| other.node.cmp(&self.node))
     }
 }

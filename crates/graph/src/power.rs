@@ -28,8 +28,7 @@ impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         other
             .cost
-            .partial_cmp(&self.cost)
-            .expect("costs are never NaN")
+            .total_cmp(&self.cost)
             .then_with(|| other.node.cmp(&self.node))
     }
 }

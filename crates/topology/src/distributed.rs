@@ -22,7 +22,7 @@
 //! bounded-degree backbone), which the experiments of Figures 10 and 12
 //! measure.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use geospan_geometry::{
     gabriel_test, in_circumcircle, segments_properly_cross, CirclePosition, Point, Triangulation,
@@ -100,28 +100,28 @@ pub struct LdelNode {
     /// dominatees when the protocol runs over the backbone) send nothing.
     active: bool,
     /// Positions learned from `Hello` messages (1-hop knowledge only).
-    known: HashMap<usize, Point>,
+    known: BTreeMap<usize, Point>,
     /// Triangles of `Del(N₁(self))`, as ascending global triples.
-    local_tris: HashSet<[usize; 3]>,
+    local_tris: BTreeSet<[usize; 3]>,
     /// Confirmations per triangle: which *other* vertices vouched for it
     /// (by proposing it or accepting it).
-    confirmations: HashMap<[usize; 3], HashSet<usize>>,
+    confirmations: BTreeMap<[usize; 3], BTreeSet<usize>>,
     /// Triangles rejected by some vertex.
-    dead: HashSet<[usize; 3]>,
+    dead: BTreeSet<[usize; 3]>,
     /// Triples this node already responded to (proposal dedup).
-    responded: HashSet<[usize; 3]>,
+    responded: BTreeSet<[usize; 3]>,
     /// Gabriel edges incident on this node.
     gabriel: Vec<(usize, usize)>,
     /// Triangles accepted after Algorithm 2 (incident on this node).
-    accepted: HashSet<[usize; 3]>,
+    accepted: BTreeSet<[usize; 3]>,
     /// Triangles (with coordinates) known from phase-2 exchange.
-    known_tris: HashMap<[usize; 3], [Point; 3]>,
+    known_tris: BTreeMap<[usize; 3], [Point; 3]>,
     /// Triangles surviving the local removal at this node.
-    survived: HashSet<[usize; 3]>,
+    survived: BTreeSet<[usize; 3]>,
     /// Survivor confirmations from other vertices.
-    survivor_votes: HashMap<[usize; 3], HashSet<usize>>,
+    survivor_votes: BTreeMap<[usize; 3], BTreeSet<usize>>,
     /// Final triangles after Algorithm 3 step 4.
-    final_tris: HashSet<[usize; 3]>,
+    final_tris: BTreeSet<[usize; 3]>,
 }
 
 impl LdelNode {
@@ -131,17 +131,17 @@ impl LdelNode {
             pos,
             radius,
             active,
-            known: HashMap::new(),
-            local_tris: HashSet::new(),
-            confirmations: HashMap::new(),
-            dead: HashSet::new(),
-            responded: HashSet::new(),
+            known: BTreeMap::new(),
+            local_tris: BTreeSet::new(),
+            confirmations: BTreeMap::new(),
+            dead: BTreeSet::new(),
+            responded: BTreeSet::new(),
             gabriel: Vec::new(),
-            accepted: HashSet::new(),
-            known_tris: HashMap::new(),
-            survived: HashSet::new(),
-            survivor_votes: HashMap::new(),
-            final_tris: HashSet::new(),
+            accepted: BTreeSet::new(),
+            known_tris: BTreeMap::new(),
+            survived: BTreeSet::new(),
+            survivor_votes: BTreeMap::new(),
+            final_tris: BTreeSet::new(),
         }
     }
 
@@ -513,8 +513,8 @@ fn assemble_ldel(
     crashed: &BTreeSet<usize>,
 ) -> DistributedOutcome {
     let mut graph = g.same_vertices();
-    let mut gabriel: HashSet<(usize, usize)> = HashSet::new();
-    let mut triangles: HashSet<[usize; 3]> = HashSet::new();
+    let mut gabriel: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut triangles: BTreeSet<[usize; 3]> = BTreeSet::new();
     for node in nodes {
         if crashed.contains(&node.id) {
             continue;

@@ -16,7 +16,7 @@
 //! `Proposal`/`Accept`/`Reject` on triangles whose circumcircles are
 //! empty of the proposer's 2-hop neighborhood → local finalization.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use geospan_geometry::{in_circumcircle, CirclePosition, Point};
 use geospan_graph::Graph;
@@ -78,14 +78,14 @@ pub struct Ldel2Node {
     radius: f64,
     active: bool,
     /// 1-hop neighbors (from `Hello`).
-    neighbors: HashMap<usize, Point>,
+    neighbors: BTreeMap<usize, Point>,
     /// 2-hop knowledge (from `NeighborTable`), including the 1-hop ring.
-    known2: HashMap<usize, Point>,
-    confirmations: HashMap<[usize; 3], HashSet<usize>>,
-    dead: HashSet<[usize; 3]>,
-    responded: HashSet<[usize; 3]>,
+    known2: BTreeMap<usize, Point>,
+    confirmations: BTreeMap<[usize; 3], BTreeSet<usize>>,
+    dead: BTreeSet<[usize; 3]>,
+    responded: BTreeSet<[usize; 3]>,
     gabriel: Vec<(usize, usize)>,
-    final_tris: HashSet<[usize; 3]>,
+    final_tris: BTreeSet<[usize; 3]>,
 }
 
 impl Ldel2Node {
@@ -299,13 +299,13 @@ fn new_node(g: &Graph, id: usize, radius: f64) -> Ldel2Node {
         pos: g.position(id),
         radius,
         active: g.degree(id) > 0,
-        neighbors: HashMap::new(),
-        known2: HashMap::new(),
-        confirmations: HashMap::new(),
-        dead: HashSet::new(),
-        responded: HashSet::new(),
+        neighbors: BTreeMap::new(),
+        known2: BTreeMap::new(),
+        confirmations: BTreeMap::new(),
+        dead: BTreeSet::new(),
+        responded: BTreeSet::new(),
         gabriel: Vec::new(),
-        final_tris: HashSet::new(),
+        final_tris: BTreeSet::new(),
     }
 }
 
@@ -316,8 +316,8 @@ fn assemble_ldel2(
     crashed: &BTreeSet<usize>,
 ) -> (LocalDelaunay, MessageStats) {
     let mut graph = g.same_vertices();
-    let mut gabriel: HashSet<(usize, usize)> = HashSet::new();
-    let mut triangles: HashSet<[usize; 3]> = HashSet::new();
+    let mut gabriel: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut triangles: BTreeSet<[usize; 3]> = BTreeSet::new();
     for node in nodes {
         if crashed.contains(&node.id) {
             continue;
@@ -345,6 +345,11 @@ fn assemble_ldel2(
     gabriel_edges.sort_unstable();
     let mut triangles: Vec<[usize; 3]> = triangles.into_iter().collect();
     triangles.sort_unstable();
+    #[cfg(feature = "invariant-checks")]
+    assert!(
+        geospan_graph::planarity::is_plane_embedding(&graph),
+        "assembled LDel(2) output is not a plane embedding"
+    );
     (
         LocalDelaunay {
             graph,

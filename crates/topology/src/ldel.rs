@@ -214,6 +214,11 @@ pub fn planarize(g: &Graph, raw: LocalDelaunay) -> LocalDelaunay {
         graph.add_edge(b, c);
         graph.add_edge(a, c);
     }
+    #[cfg(feature = "invariant-checks")]
+    assert!(
+        geospan_graph::planarity::is_plane_embedding(&graph),
+        "PLDel output is not a plane embedding"
+    );
     LocalDelaunay {
         graph,
         triangles,

@@ -17,7 +17,7 @@
 //! on bounded-degree graphs. We implement the centralized structure for
 //! the comparison experiments.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use geospan_geometry::Triangulation;
 use geospan_graph::Graph;
@@ -47,7 +47,7 @@ pub fn restricted_delaunay(g: &Graph) -> Graph {
     let n = g.node_count();
     // Edge sets of each node's local Delaunay triangulation, as global
     // index pairs (u < v).
-    let mut local_edges: Vec<HashSet<(usize, usize)>> = vec![HashSet::new(); n];
+    let mut local_edges: Vec<BTreeSet<(usize, usize)>> = vec![BTreeSet::new(); n];
     #[allow(clippy::needless_range_loop)]
     for u in 0..n {
         if g.degree(u) == 0 {
@@ -112,9 +112,9 @@ pub struct RdgNode {
     id: usize,
     pos: geospan_geometry::Point,
     radius: f64,
-    known: std::collections::HashMap<usize, geospan_geometry::Point>,
-    local_edges: HashSet<(usize, usize)>,
-    approvals: std::collections::HashMap<(usize, usize), HashSet<usize>>,
+    known: BTreeMap<usize, geospan_geometry::Point>,
+    local_edges: BTreeSet<(usize, usize)>,
+    approvals: BTreeMap<(usize, usize), BTreeSet<usize>>,
     surviving: Vec<(usize, usize)>,
     /// Communication-graph degree; isolated nodes stay silent.
     degree: usize,
@@ -223,9 +223,9 @@ pub fn run_rdg(
         id,
         pos: g.position(id),
         radius,
-        known: std::collections::HashMap::new(),
-        local_edges: HashSet::new(),
-        approvals: std::collections::HashMap::new(),
+        known: BTreeMap::new(),
+        local_edges: BTreeSet::new(),
+        approvals: BTreeMap::new(),
         surviving: Vec::new(),
         degree: g.degree(id),
     });

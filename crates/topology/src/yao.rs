@@ -188,9 +188,9 @@ pub fn yao_sink(udg: &Graph, k: usize) -> Graph {
                     .iter()
                     .copied()
                     .min_by(|&a, &b| {
-                        (pv.distance_sq(udg.position(a)), a)
-                            .partial_cmp(&(pv.distance_sq(udg.position(b)), b))
-                            .expect("finite distances")
+                        pv.distance_sq(udg.position(a))
+                            .total_cmp(&pv.distance_sq(udg.position(b)))
+                            .then(a.cmp(&b))
                     })
                     .expect("non-empty cone");
                 debug_assert!(udg.has_edge(w, v), "sink link must be a UDG edge");

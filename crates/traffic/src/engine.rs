@@ -227,6 +227,8 @@ impl Engine<'_, '_> {
 
     fn resolve(&mut self, p: usize, outcome: PacketOutcome, time: u64) {
         debug_assert!(self.fates[p].is_none(), "packet resolved twice");
+        #[cfg(feature = "invariant-checks")]
+        assert!(self.fates[p].is_none(), "packet {p} resolved twice");
         self.fates[p] = Some((outcome, time));
     }
 
@@ -272,6 +274,12 @@ impl Engine<'_, '_> {
             enqueue_seq,
         });
         let occupancy = self.nodes[u].queue.len();
+        #[cfg(feature = "invariant-checks")]
+        assert!(
+            occupancy <= self.cfg.queue_capacity,
+            "queue at node {u} exceeds capacity: {occupancy} > {}",
+            self.cfg.queue_capacity
+        );
         self.nodes[u].peak = self.nodes[u].peak.max(occupancy);
         if !self.nodes[u].busy {
             self.nodes[u].busy = true;
@@ -460,6 +468,12 @@ impl Engine<'_, '_> {
             duration: last_time,
         };
         debug_assert_eq!(report.offered, report.delivered + report.drops.total());
+        #[cfg(feature = "invariant-checks")]
+        assert_eq!(
+            report.offered,
+            report.delivered + report.drops.total(),
+            "packet conservation violated: offered != delivered + drops"
+        );
         TrafficOutcome {
             report,
             packets: records,
