@@ -15,8 +15,10 @@ use std::fmt::Write as _;
 
 use geospan_core::{Backbone, BackboneBuilder, BackboneConfig, ClusterRank};
 use geospan_graph::Graph;
-use geospan_sim::{FaultPlan, ReliabilityConfig};
-use geospan_traffic::{run, Discipline, Forwarding, TrafficConfig, TrafficReport, Workload};
+use geospan_sim::{FaultPlan, OverloadConfig, ReliabilityConfig};
+use geospan_traffic::{
+    run, AdmissionPolicy, Discipline, Forwarding, TrafficConfig, TrafficReport, Workload,
+};
 use rayon::prelude::*;
 
 use crate::Scenario;
@@ -102,6 +104,12 @@ pub struct TrafficRow {
     pub drop_crash: usize,
     /// Exceeded the hop budget.
     pub drop_hop_limit: usize,
+    /// Shed by watermark overload control (always 0 here: this sweep
+    /// runs without overload control; the column keeps the drop
+    /// breakdown schema uniform across traffic artifacts).
+    pub drop_retry_shed: usize,
+    /// Refused admission at sources (always 0 here, same reason).
+    pub refused: usize,
     /// Mean over trials of the median delivery latency.
     pub latency_p50: f64,
     /// Mean over trials of the 99th-percentile delivery latency.
@@ -190,6 +198,8 @@ pub fn traffic_rows(cfg: &SweepConfig) -> Vec<TrafficRow> {
         record_paths: false,
         discipline: Discipline::Fifo,
         reliability: None,
+        overload: None,
+        admission: AdmissionPolicy::Open,
     };
 
     // Cell grid: trial-major, then load, then topology.
@@ -244,6 +254,8 @@ pub fn traffic_rows(cfg: &SweepConfig) -> Vec<TrafficRow> {
                 drop_loss: 0,
                 drop_crash: 0,
                 drop_hop_limit: 0,
+                drop_retry_shed: 0,
+                refused: 0,
                 latency_p50: 0.0,
                 latency_p99: 0.0,
                 latency_mean: 0.0,
@@ -260,6 +272,8 @@ pub fn traffic_rows(cfg: &SweepConfig) -> Vec<TrafficRow> {
                 row.drop_loss += r.drops.link_loss;
                 row.drop_crash += r.drops.node_crash;
                 row.drop_hop_limit += r.drops.hop_limit;
+                row.drop_retry_shed += r.drops.retry_shed;
+                row.refused += r.refused;
                 row.latency_p50 += r.latency_p50 as f64;
                 row.latency_p99 += r.latency_p99 as f64;
                 row.latency_mean += r.latency_mean;
@@ -285,13 +299,14 @@ pub fn traffic_csv(rows: &[TrafficRow]) -> String {
     let mut out = String::from(
         "topology,policy,load,offered,delivered,delivery_ratio,\
          drop_stuck,drop_queue,drop_loss,drop_crash,drop_hop_limit,\
+         drop_retry_shed,refused,\
          latency_p50,latency_p99,latency_mean,\
          hop_stretch_avg,length_stretch_avg,queue_peak_max\n",
     );
     for r in rows {
         let _ = writeln!(
             out,
-            "{},{},{:.3},{},{},{:.6},{},{},{},{},{},{:.3},{:.3},{:.4},{:.4},{:.4},{}",
+            "{},{},{:.3},{},{},{:.6},{},{},{},{},{},{},{},{:.3},{:.3},{:.4},{:.4},{:.4},{}",
             r.topology,
             r.policy,
             r.load,
@@ -303,6 +318,8 @@ pub fn traffic_csv(rows: &[TrafficRow]) -> String {
             r.drop_loss,
             r.drop_crash,
             r.drop_hop_limit,
+            r.drop_retry_shed,
+            r.refused,
             r.latency_p50,
             r.latency_p99,
             r.latency_mean,
@@ -500,6 +517,11 @@ pub struct ReliabilityRow {
     pub drop_crash: usize,
     /// Exceeded the hop budget.
     pub drop_hop_limit: usize,
+    /// Shed by watermark overload control (always 0 here: this sweep
+    /// runs without overload control).
+    pub drop_retry_shed: usize,
+    /// Refused admission at sources (always 0 here, same reason).
+    pub refused: usize,
     /// Link-layer retransmissions spent across trials.
     pub retransmissions: usize,
     /// Mean over trials of the median delivery latency.
@@ -628,6 +650,8 @@ pub fn reliability_rows(cfg: &ReliabilitySweepConfig) -> Vec<ReliabilityRow> {
                     drop_loss: 0,
                     drop_crash: 0,
                     drop_hop_limit: 0,
+                    drop_retry_shed: 0,
+                    refused: 0,
                     retransmissions: 0,
                     latency_p50: 0.0,
                     latency_p99: 0.0,
@@ -644,6 +668,8 @@ pub fn reliability_rows(cfg: &ReliabilitySweepConfig) -> Vec<ReliabilityRow> {
                     row.drop_loss += r.drops.link_loss;
                     row.drop_crash += r.drops.node_crash;
                     row.drop_hop_limit += r.drops.hop_limit;
+                    row.drop_retry_shed += r.drops.retry_shed;
+                    row.refused += r.refused;
                     row.retransmissions += r.retransmissions;
                     row.latency_p50 += r.latency_p50 as f64;
                     row.latency_p99 += r.latency_p99 as f64;
@@ -667,12 +693,13 @@ pub fn reliability_csv(rows: &[ReliabilityRow]) -> String {
     let mut out = String::from(
         "workload,param,discipline,retx,load,offered,delivered,delivery_ratio,\
          drop_stuck,drop_queue,drop_loss,drop_crash,drop_hop_limit,\
+         drop_retry_shed,refused,\
          retransmissions,latency_p50,latency_p99,latency_mean,queue_peak_max\n",
     );
     for r in rows {
         let _ = writeln!(
             out,
-            "{},{:.3},{},{},{:.3},{},{},{:.6},{},{},{},{},{},{},{:.3},{:.3},{:.4},{}",
+            "{},{:.3},{},{},{:.3},{},{},{:.6},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.4},{}",
             r.workload,
             r.param,
             r.discipline,
@@ -686,6 +713,8 @@ pub fn reliability_csv(rows: &[ReliabilityRow]) -> String {
             r.drop_loss,
             r.drop_crash,
             r.drop_hop_limit,
+            r.drop_retry_shed,
+            r.refused,
             r.retransmissions,
             r.latency_p50,
             r.latency_p99,
@@ -809,6 +838,449 @@ pub fn check_retx_delivery(rows: &[ReliabilityRow]) -> Result<(), String> {
     Ok(())
 }
 
+/// Configuration of the saturation sweep: a hotspot workload served
+/// over the backbone, pushed up the load axis until every queue
+/// discipline's delivery collapses — then the same cells re-run with
+/// congestion-adaptive overload control (sender-queue watermarks +
+/// token-bucket admission) to measure how far the 95%-delivery frontier
+/// moves outward.
+#[derive(Debug, Clone)]
+pub struct SaturationSweepConfig {
+    /// Deployment parameters (`n`, `side`, `radius`, `trials`, `seed`).
+    pub scenario: Scenario,
+    /// Offered loads to sweep, ascending, in expected packets per tick.
+    /// The top of the range must saturate the hotspot ingress.
+    pub loads: Vec<f64>,
+    /// Ticks over which each workload offers packets.
+    pub duration: u64,
+    /// Per-node transmit queue capacity (small, so saturation shows up
+    /// as `QueueFull` instead of unbounded latency).
+    pub queue_capacity: usize,
+    /// Ticks per transmission.
+    pub service_time: u64,
+    /// Per-link delivery loss probability (the retransmit layer's
+    /// pressure source).
+    pub loss: f64,
+    /// Hotspot sink bias of the workload (sink node 0): the fraction of
+    /// traffic funneled through the sink's ingress relay, which is the
+    /// resource that saturates.
+    pub sink_bias: f64,
+    /// DRR quantum (packets per flow per round-robin visit).
+    pub quantum: u32,
+    /// The retransmit scheme, active in *both* halves of the sweep —
+    /// overload control adapts it, it does not replace it.
+    pub reliability: ReliabilityConfig,
+    /// Sender-queue watermarks of the control-on half.
+    pub overload: OverloadConfig,
+    /// Source admission of the control-on half.
+    pub admission: AdmissionPolicy,
+}
+
+impl SaturationSweepConfig {
+    /// The default sweep: the Table I deployment under 10% loss, loads
+    /// pushed past the hotspot ingress saturation point. The sink (node
+    /// 0, a lowest-ID dominator) is reached through several backbone
+    /// relays, so collapse arrives well above the single-relay estimate
+    /// `1/bias` — the range must extend past it by several octaves.
+    pub fn standard() -> Self {
+        SaturationSweepConfig {
+            scenario: Scenario {
+                n: 100,
+                side: 200.0,
+                radius: 60.0,
+                trials: 3,
+                seed: 1,
+            },
+            loads: vec![0.4, 0.8, 1.6, 3.2, 6.4, 12.8],
+            duration: 2_000,
+            queue_capacity: 16,
+            service_time: 1,
+            loss: 0.1,
+            sink_bias: 0.7,
+            quantum: 2,
+            reliability: ReliabilityConfig::default(),
+            overload: OverloadConfig::for_capacity(16),
+            // Aggregate admitted ceiling n / ticks_per_token = 1.0
+            // packet per tick — under the ingress saturation point, so
+            // admitted traffic keeps delivering while offered load
+            // grows without bound.
+            admission: AdmissionPolicy::TokenBucket {
+                ticks_per_token: 100,
+                burst: 2,
+            },
+        }
+    }
+
+    /// The CI smoke sweep: a small field pushed over the same cliff.
+    pub fn quick() -> Self {
+        SaturationSweepConfig {
+            scenario: Scenario {
+                n: 40,
+                side: 120.0,
+                radius: 45.0,
+                trials: 1,
+                seed: 1,
+            },
+            loads: vec![0.4, 1.6, 6.4, 12.8],
+            duration: 600,
+            queue_capacity: 8,
+            service_time: 1,
+            loss: 0.1,
+            sink_bias: 0.7,
+            quantum: 2,
+            reliability: ReliabilityConfig::default(),
+            overload: OverloadConfig::for_capacity(8),
+            admission: AdmissionPolicy::TokenBucket {
+                ticks_per_token: 40,
+                burst: 2,
+            },
+        }
+    }
+
+    /// The swept disciplines in row order.
+    fn disciplines(&self) -> [Discipline; 3] {
+        [
+            Discipline::Fifo,
+            Discipline::NearestFirst,
+            Discipline::Drr {
+                quantum: self.quantum,
+            },
+        ]
+    }
+}
+
+/// One aggregated saturation row: a (discipline, control, load) cell
+/// summed/averaged over the scenario's trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaturationRow {
+    /// Queue discipline label ("fifo", "priority", "drr").
+    pub discipline: &'static str,
+    /// Whether overload control (watermarks + admission) was on.
+    pub control: bool,
+    /// Offered load in packets per tick.
+    pub load: f64,
+    /// Total packets offered across trials.
+    pub offered: usize,
+    /// Refused admission at sources (0 in the control-off half).
+    pub refused: usize,
+    /// Total packets delivered across trials.
+    pub delivered: usize,
+    /// Dropped at forwarding dead ends.
+    pub drop_stuck: usize,
+    /// Dropped at full queues: the congestion-collapse signature.
+    pub drop_queue: usize,
+    /// Lost on the air (after the retransmit budget).
+    pub drop_loss: usize,
+    /// Lost to crashes.
+    pub drop_crash: usize,
+    /// Exceeded the hop budget.
+    pub drop_hop_limit: usize,
+    /// Shed by watermark overload control (0 in the control-off half).
+    pub drop_retry_shed: usize,
+    /// Link-layer retransmissions spent across trials.
+    pub retransmissions: usize,
+    /// Mean over trials of the median delivery latency.
+    pub latency_p50: f64,
+    /// Mean over trials of the 99th-percentile delivery latency.
+    pub latency_p99: f64,
+    /// Worst queue occupancy any node reached in any trial.
+    pub queue_peak_max: usize,
+}
+
+impl SaturationRow {
+    /// Packets that entered the network: offered minus refusals.
+    pub fn admitted(&self) -> usize {
+        self.offered - self.refused
+    }
+
+    /// Delivered fraction of *admitted* packets (1.0 when nothing was
+    /// admitted). This is the frontier metric: an admission gate is
+    /// judged on what it let in, a watermark on what it kept flowing —
+    /// in the control-off half `admitted == offered`, so the two
+    /// halves' ratios are directly comparable.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.admitted() == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.admitted() as f64
+        }
+    }
+}
+
+/// Runs the saturation sweep: every (trial, load, discipline, control)
+/// cell in parallel over backbone forwarding, then a deterministic fold
+/// into one row per (discipline, control, load).
+///
+/// The arrival schedule and fault seed of a cell depend only on (trial,
+/// load) — all disciplines and both control halves see identical
+/// packets and identical loss rolls, so rows are paired comparisons.
+///
+/// # Panics
+/// Panics if the scenario yields no trials or no loads are configured.
+pub fn saturation_rows(cfg: &SaturationSweepConfig) -> Vec<SaturationRow> {
+    assert!(cfg.scenario.trials > 0, "sweep needs at least one trial");
+    assert!(!cfg.loads.is_empty(), "sweep needs at least one load");
+    let instances = cfg.scenario.instances();
+    let trials: Vec<(Graph, Backbone)> = instances
+        .into_par_iter()
+        .map(|(_pts, udg)| {
+            let backbone = BackboneBuilder::new(
+                BackboneConfig::new(cfg.scenario.radius).with_rank(ClusterRank::LowestId),
+            )
+            .build(&udg)
+            .expect("centralized build cannot fail on a valid UDG");
+            (udg, backbone)
+        })
+        .collect();
+
+    let disciplines = cfg.disciplines();
+    // Cell grid: trial-major, then load, then (discipline × control).
+    let variants = disciplines.len() * 2;
+    let cells: Vec<(usize, usize, usize)> = (0..trials.len())
+        .flat_map(|t| (0..cfg.loads.len()).flat_map(move |l| (0..variants).map(move |v| (t, l, v))))
+        .collect();
+    let reports: Vec<TrafficReport> = cells
+        .par_iter()
+        .map(|&(t, l, v)| {
+            let (udg, backbone) = &trials[t];
+            let arrivals = Workload::hotspot(0, cfg.sink_bias, cfg.loads[l], cfg.duration)
+                .generate(
+                    cfg.scenario.n,
+                    mix_seed(cfg.scenario.seed, t as u64, l as u64),
+                );
+            let faults = FaultPlan::new(mix_seed(
+                cfg.scenario.seed ^ 0x5a70_ca7e,
+                t as u64,
+                l as u64,
+            ))
+            .with_loss(cfg.loss);
+            let control = v % 2 == 1;
+            let engine_cfg = TrafficConfig {
+                queue_capacity: cfg.queue_capacity,
+                service_time: cfg.service_time,
+                max_hops: (50 * cfg.scenario.n) as u32,
+                discipline: disciplines[v / 2],
+                reliability: Some(cfg.reliability),
+                overload: control.then_some(cfg.overload),
+                admission: if control {
+                    cfg.admission
+                } else {
+                    AdmissionPolicy::Open
+                },
+                ..TrafficConfig::default()
+            };
+            let forwarding = Forwarding::Backbone { backbone, udg };
+            run(&forwarding, udg, &arrivals, &faults, &engine_cfg).report
+        })
+        .collect();
+
+    // Fold trial-major cells into (discipline, control, load) rows,
+    // trials averaged in index order.
+    let mut rows = Vec::with_capacity(cfg.loads.len() * variants);
+    for (d, disc) in disciplines.iter().enumerate() {
+        for control in [false, true] {
+            let v = d * 2 + usize::from(control);
+            for (l, &load) in cfg.loads.iter().enumerate() {
+                let mut row = SaturationRow {
+                    discipline: disc.label(),
+                    control,
+                    load,
+                    offered: 0,
+                    refused: 0,
+                    delivered: 0,
+                    drop_stuck: 0,
+                    drop_queue: 0,
+                    drop_loss: 0,
+                    drop_crash: 0,
+                    drop_hop_limit: 0,
+                    drop_retry_shed: 0,
+                    retransmissions: 0,
+                    latency_p50: 0.0,
+                    latency_p99: 0.0,
+                    queue_peak_max: 0,
+                };
+                for t in 0..trials.len() {
+                    let idx = (t * cfg.loads.len() + l) * variants + v;
+                    let r = &reports[idx];
+                    row.offered += r.offered;
+                    row.refused += r.refused;
+                    row.delivered += r.delivered;
+                    row.drop_stuck += r.drops.stuck;
+                    row.drop_queue += r.drops.queue_full;
+                    row.drop_loss += r.drops.link_loss;
+                    row.drop_crash += r.drops.node_crash;
+                    row.drop_hop_limit += r.drops.hop_limit;
+                    row.drop_retry_shed += r.drops.retry_shed;
+                    row.retransmissions += r.retransmissions;
+                    row.latency_p50 += r.latency_p50 as f64;
+                    row.latency_p99 += r.latency_p99 as f64;
+                    row.queue_peak_max = row.queue_peak_max.max(r.queue_peak_max);
+                }
+                let t = trials.len() as f64;
+                row.latency_p50 /= t;
+                row.latency_p99 /= t;
+                rows.push(row);
+            }
+        }
+    }
+    rows
+}
+
+/// The delivery threshold defining the saturation frontier.
+pub const FRONTIER_THRESHOLD: f64 = 0.95;
+
+/// The saturation frontier of one (discipline, control) curve: the
+/// smallest swept load whose delivery ratio falls under
+/// [`FRONTIER_THRESHOLD`], or `None` if the curve never collapses
+/// within the sweep (an unbounded frontier — strictly further out than
+/// any finite one).
+pub fn saturation_frontier(rows: &[SaturationRow], discipline: &str, control: bool) -> Option<f64> {
+    rows.iter()
+        .filter(|r| r.discipline == discipline && r.control == control)
+        .filter(|r| r.delivery_ratio() < FRONTIER_THRESHOLD)
+        .map(|r| r.load)
+        .fold(None, |acc, load| {
+            Some(acc.map_or(load, |a: f64| a.min(load)))
+        })
+}
+
+/// The collapse assertion: with overload control off, every discipline
+/// has a cell where delivery collapses under the frontier threshold
+/// *with queue-full drops present* — congestion, not noise, is what
+/// broke delivery.
+///
+/// Returns a description of the first violation, if any.
+pub fn check_saturation_collapse(rows: &[SaturationRow]) -> Result<(), String> {
+    for disc in ["fifo", "priority", "drr"] {
+        let collapsed = rows.iter().any(|r| {
+            r.discipline == disc
+                && !r.control
+                && r.delivery_ratio() < FRONTIER_THRESHOLD
+                && r.drop_queue > 0
+        });
+        if !collapsed {
+            return Err(format!(
+                "{disc} never collapsed without overload control: the sweep's \
+                 load range does not reach saturation"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The frontier-shift assertion: for every discipline, the 95%-delivery
+/// frontier with overload control on sits at a strictly higher load
+/// than with it off (or does not exist at all — control kept delivery
+/// above the threshold through the whole sweep).
+///
+/// Returns a description of the first violation, if any.
+pub fn check_frontier_shift(rows: &[SaturationRow]) -> Result<(), String> {
+    for disc in ["fifo", "priority", "drr"] {
+        let off = saturation_frontier(rows, disc, false).ok_or_else(|| {
+            format!("{disc}: no control-off frontier — the sweep never saturates")
+        })?;
+        match saturation_frontier(rows, disc, true) {
+            None => {} // never collapses: frontier pushed past the sweep
+            Some(on) if on > off => {}
+            Some(on) => {
+                return Err(format!(
+                    "{disc}: overload control did not move the frontier \
+                     outward (off {off:.3}, on {on:.3})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders saturation rows as CSV (stable column order and formatting:
+/// the artifact is byte-identical for a given seed). `delivery_ratio`
+/// is delivered / admitted — see [`SaturationRow::delivery_ratio`].
+pub fn saturation_csv(rows: &[SaturationRow]) -> String {
+    let mut out = String::from(
+        "discipline,control,load,offered,refused,admitted,delivered,delivery_ratio,\
+         drop_stuck,drop_queue,drop_loss,drop_crash,drop_hop_limit,drop_retry_shed,\
+         retransmissions,latency_p50,latency_p99,queue_peak_max\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{:.3},{},{},{},{},{:.6},{},{},{},{},{},{},{},{:.3},{:.3},{}",
+            r.discipline,
+            if r.control { "on" } else { "off" },
+            r.load,
+            r.offered,
+            r.refused,
+            r.admitted(),
+            r.delivered,
+            r.delivery_ratio(),
+            r.drop_stuck,
+            r.drop_queue,
+            r.drop_loss,
+            r.drop_crash,
+            r.drop_hop_limit,
+            r.drop_retry_shed,
+            r.retransmissions,
+            r.latency_p50,
+            r.latency_p99,
+            r.queue_peak_max
+        );
+    }
+    out
+}
+
+/// Renders saturation rows as an aligned text table, followed by the
+/// per-discipline frontier summary.
+pub fn format_saturation(rows: &[SaturationRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<9} {:>7} {:>6} {:>8} {:>8} {:>9} {:>9} {:>7} {:>7} {:>7} {:>9}",
+        "disc",
+        "control",
+        "load",
+        "offered",
+        "refused",
+        "delivered",
+        "ratio",
+        "queue",
+        "shed",
+        "retx#",
+        "p99"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<9} {:>7} {:>6.2} {:>8} {:>8} {:>9} {:>9.4} {:>7} {:>7} {:>7} {:>9.1}",
+            r.discipline,
+            if r.control { "on" } else { "off" },
+            r.load,
+            r.offered,
+            r.refused,
+            r.delivered,
+            r.delivery_ratio(),
+            r.drop_queue,
+            r.drop_retry_shed,
+            r.retransmissions,
+            r.latency_p99
+        );
+    }
+    let _ = writeln!(out);
+    for disc in ["fifo", "priority", "drr"] {
+        let fmt = |f: Option<f64>| match f {
+            Some(load) => format!("{load:.2}"),
+            None => "beyond sweep".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{disc:<9} 95% frontier: off at {}, on at {}",
+            fmt(saturation_frontier(rows, disc, false)),
+            fmt(saturation_frontier(rows, disc, true))
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -891,6 +1363,62 @@ mod tests {
                 .unwrap();
             assert_eq!(base.offered, paired.offered);
         }
+    }
+
+    #[test]
+    fn quick_saturation_sweep_collapses_and_control_moves_the_frontier() {
+        let cfg = SaturationSweepConfig::quick();
+        let rows = saturation_rows(&cfg);
+        // disciplines × {off, on} × loads.
+        assert_eq!(rows.len(), 3 * 2 * cfg.loads.len());
+        for r in &rows {
+            assert!(r.offered > 0);
+            assert_eq!(
+                r.offered,
+                r.delivered
+                    + r.refused
+                    + r.drop_stuck
+                    + r.drop_queue
+                    + r.drop_loss
+                    + r.drop_crash
+                    + r.drop_hop_limit
+                    + r.drop_retry_shed
+            );
+            if !r.control {
+                assert_eq!(r.refused, 0, "no admission gate in the off half");
+                assert_eq!(r.drop_retry_shed, 0, "no watermarks in the off half");
+            }
+        }
+        check_saturation_collapse(&rows).unwrap();
+        check_frontier_shift(&rows).unwrap();
+    }
+
+    #[test]
+    fn saturation_halves_are_paired_comparisons() {
+        let rows = saturation_rows(&SaturationSweepConfig::quick());
+        for base in rows.iter().filter(|r| !r.control) {
+            let paired = rows
+                .iter()
+                .find(|r| r.control && r.discipline == base.discipline && r.load == base.load)
+                .unwrap();
+            assert_eq!(base.offered, paired.offered, "same arrival schedule");
+        }
+    }
+
+    #[test]
+    fn saturation_csv_is_stable_and_parsable() {
+        let rows = saturation_rows(&SaturationSweepConfig::quick());
+        let a = saturation_csv(&rows);
+        let b = saturation_csv(&saturation_rows(&SaturationSweepConfig::quick()));
+        assert_eq!(a, b, "same seed must give a byte-identical artifact");
+        assert_eq!(a.lines().count(), rows.len() + 1);
+        assert!(a.starts_with("discipline,control,load,"));
+        assert!(!format_saturation(&rows).is_empty());
+    }
+
+    #[test]
+    fn frontier_of_an_empty_curve_is_none() {
+        assert_eq!(saturation_frontier(&[], "fifo", false), None);
     }
 
     #[test]

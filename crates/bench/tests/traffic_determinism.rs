@@ -4,8 +4,8 @@
 //! CSVs cannot depend on scheduling.
 
 use geospan_bench::traffic::{
-    reliability_csv, reliability_rows, traffic_csv, traffic_rows, ReliabilitySweepConfig,
-    SweepConfig,
+    reliability_csv, reliability_rows, saturation_csv, saturation_rows, traffic_csv, traffic_rows,
+    ReliabilitySweepConfig, SaturationSweepConfig, SweepConfig,
 };
 
 fn sweep_csv() -> String {
@@ -27,6 +27,18 @@ fn reliability_sweep_csv() -> String {
     reliability_csv(&reliability_rows(&cfg))
 }
 
+/// The saturation sweep exercises the overload layer — watermark
+/// retry-shedding, inflated backoff, and token-bucket admission — whose
+/// decisions are all node-local and must not leak scheduling either.
+fn saturation_sweep_csv() -> String {
+    let mut cfg = SaturationSweepConfig::quick();
+    cfg.scenario.n = 30;
+    cfg.scenario.side = 110.0;
+    cfg.duration = 300;
+    cfg.loads = vec![0.4, 3.2];
+    saturation_csv(&saturation_rows(&cfg))
+}
+
 /// One test owns every `RAYON_NUM_THREADS` mutation in this binary
 /// (tests share the process environment).
 #[test]
@@ -36,12 +48,16 @@ fn traffic_csvs_are_bit_identical_across_thread_counts_and_runs() {
     let serial_again = sweep_csv();
     let rel_serial = reliability_sweep_csv();
     let rel_serial_again = reliability_sweep_csv();
+    let sat_serial = saturation_sweep_csv();
+    let sat_serial_again = saturation_sweep_csv();
     std::env::set_var("RAYON_NUM_THREADS", "4");
     let four = sweep_csv();
     let rel_four = reliability_sweep_csv();
+    let sat_four = saturation_sweep_csv();
     std::env::remove_var("RAYON_NUM_THREADS");
     let auto = sweep_csv();
     let rel_auto = reliability_sweep_csv();
+    let sat_auto = saturation_sweep_csv();
 
     assert_eq!(serial, serial_again, "consecutive runs differ");
     assert_eq!(serial, four, "1 vs 4 threads");
@@ -53,4 +69,11 @@ fn traffic_csvs_are_bit_identical_across_thread_counts_and_runs() {
     );
     assert_eq!(rel_serial, rel_four, "reliability: 1 vs 4 threads");
     assert_eq!(rel_serial, rel_auto, "reliability: 1 vs auto threads");
+
+    assert_eq!(
+        sat_serial, sat_serial_again,
+        "consecutive saturation runs differ"
+    );
+    assert_eq!(sat_serial, sat_four, "saturation: 1 vs 4 threads");
+    assert_eq!(sat_serial, sat_auto, "saturation: 1 vs auto threads");
 }

@@ -344,6 +344,15 @@ impl ReliabilityConfig {
         let base = (self.ack_timeout.max(1) as u64) * service_time.max(1);
         base << attempt.saturating_sub(1).min(6)
     }
+
+    /// [`retry_delay`](Self::retry_delay) inflated multiplicatively by
+    /// an [`OverloadConfig::backoff_factor`] — the backoff a *congested*
+    /// sender uses so its retries spread away from a draining queue.
+    /// A factor below 1 behaves as 1 (no inflation).
+    pub fn congested_retry_delay(&self, attempt: u32, service_time: u64, factor: u32) -> u64 {
+        self.retry_delay(attempt, service_time)
+            .saturating_mul(u64::from(factor.max(1)))
+    }
 }
 
 impl Default for ReliabilityConfig {
@@ -352,6 +361,59 @@ impl Default for ReliabilityConfig {
             max_retries: 3,
             ack_timeout: 3,
         }
+    }
+}
+
+/// Node-local overload control for the retransmit layer: sender-queue
+/// watermarks with hysteresis.
+///
+/// Reacting only to the sender's *own* transmit-queue occupancy keeps
+/// the rule strictly localized — the same design discipline as the
+/// paper's topology-control protocols, where every decision reads only
+/// 1- or 2-hop state. The state machine:
+///
+/// * occupancy ≥ `high_watermark` — **overloaded**: retries are shed
+///   outright (the packet drops as `RetryShed`) instead of competing
+///   with fresh traffic for the saturated queue;
+/// * occupancy back under the high watermark but not yet drained to
+///   `low_watermark` — **congested**: retries are still scheduled, but
+///   their backoff is multiplied by `backoff_factor`, spreading retry
+///   pressure away from the draining queue;
+/// * occupancy ≤ `low_watermark` — **normal**: the fixed-budget
+///   exponential-backoff behavior resumes unchanged.
+///
+/// With no overload config attached the retransmit layer is bit-identical
+/// to the fixed-budget scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadConfig {
+    /// Occupancy at which a sender sheds retries (and enters the
+    /// congested state).
+    pub high_watermark: usize,
+    /// Occupancy at which a congested sender returns to normal
+    /// behavior (hysteresis: must drain below this, not merely below
+    /// the high watermark).
+    pub low_watermark: usize,
+    /// Multiplicative backoff inflation applied while congested
+    /// (values < 1 behave as 1).
+    pub backoff_factor: u32,
+}
+
+impl OverloadConfig {
+    /// Watermarks scaled to a queue capacity: shed at 3/4 full, recover
+    /// at 1/4 full, quadruple backoff in between.
+    pub fn for_capacity(capacity: usize) -> Self {
+        OverloadConfig {
+            high_watermark: (capacity * 3 / 4).max(1),
+            low_watermark: capacity / 4,
+            backoff_factor: 4,
+        }
+    }
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        // Matched to the traffic engine's default queue capacity of 64.
+        OverloadConfig::for_capacity(64)
     }
 }
 
@@ -496,5 +558,32 @@ mod tests {
             ack_timeout: 0,
         };
         assert_eq!(zero.retry_delay(1, 0), 1);
+    }
+
+    #[test]
+    fn congested_retry_delay_inflates_multiplicatively() {
+        let rel = ReliabilityConfig {
+            max_retries: 10,
+            ack_timeout: 3,
+        };
+        assert_eq!(rel.congested_retry_delay(1, 1, 4), 12);
+        assert_eq!(rel.congested_retry_delay(2, 1, 4), 24);
+        assert_eq!(rel.congested_retry_delay(3, 2, 2), 48);
+        assert_eq!(rel.congested_retry_delay(1, 1, 0), 3, "factor 0 acts as 1");
+        assert_eq!(rel.congested_retry_delay(1, 1, 1), rel.retry_delay(1, 1));
+    }
+
+    #[test]
+    fn overload_config_scales_watermarks_to_capacity() {
+        let o = OverloadConfig::for_capacity(16);
+        assert_eq!(o.high_watermark, 12);
+        assert_eq!(o.low_watermark, 4);
+        assert_eq!(o.backoff_factor, 4);
+        assert!(o.low_watermark < o.high_watermark);
+        // Tiny queues still get a sane (nonzero) high watermark.
+        let tiny = OverloadConfig::for_capacity(1);
+        assert_eq!(tiny.high_watermark, 1);
+        assert_eq!(tiny.low_watermark, 0);
+        assert_eq!(OverloadConfig::default(), OverloadConfig::for_capacity(64));
     }
 }

@@ -84,7 +84,7 @@ use geospan_graph::Graph;
 mod fault;
 
 use fault::EventKind;
-pub use fault::{FaultPlan, FaultReport, Partition, ReliabilityConfig};
+pub use fault::{FaultPlan, FaultReport, OverloadConfig, Partition, ReliabilityConfig};
 
 /// A protocol message that can report its kind for accounting.
 ///

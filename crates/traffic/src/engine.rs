@@ -7,12 +7,42 @@ use std::collections::BinaryHeap;
 
 use geospan_graph::paths::DistanceOracle;
 use geospan_graph::Graph;
-use geospan_sim::{FaultPlan, ReliabilityConfig};
+use geospan_sim::{FaultPlan, OverloadConfig, ReliabilityConfig};
 
-use crate::queue::{Discipline, QueueDiscipline, QueuedPacket};
+use crate::queue::{Discipline, Pressure, PressureGauge, QueueDiscipline, QueuedPacket};
 use crate::report::{DropCause, DropCounts, PacketOutcome, PacketRecord, TrafficReport};
 use crate::workload::Arrival;
 use crate::{Decision, Forwarding, Session};
+
+/// Source admission control: whether a scheduled arrival is allowed to
+/// enter the network at all.
+///
+/// Refused packets resolve as [`PacketOutcome::Refused`] and are counted
+/// in [`TrafficReport::refused`], separately from drops — a refusal
+/// spends no network resources, so pacing sources during overload
+/// trades offered load for delivery of what *is* admitted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Every scheduled arrival enters the network (the historical
+    /// behavior).
+    #[default]
+    Open,
+    /// A deterministic per-source token bucket: each source holds up to
+    /// `burst` tokens, regains one every `ticks_per_token` ticks, and
+    /// spends one per admitted packet. Arrivals finding an empty bucket
+    /// are refused. Buckets start full, refill lazily on arrival, and
+    /// use pure integer arithmetic, so admission decisions are a
+    /// deterministic function of the arrival schedule alone.
+    TokenBucket {
+        /// Ticks per regained token (`0` is treated as `1`). A source's
+        /// sustained admitted rate is `1 / ticks_per_token` packets per
+        /// tick.
+        ticks_per_token: u64,
+        /// Bucket depth: the largest back-to-back burst a source may
+        /// inject (`0` refuses everything).
+        burst: u64,
+    },
+}
 
 /// Engine parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +71,20 @@ pub struct TrafficConfig {
     /// the sender's queue in competition with fresh traffic. `None`
     /// drops on first loss (the original engine behavior).
     pub reliability: Option<ReliabilityConfig>,
+    /// Congestion-adaptive overload control for the retransmit layer:
+    /// sender-queue watermarks with hysteresis (see [`OverloadConfig`]
+    /// and [`PressureGauge`](crate::PressureGauge)). At each retry
+    /// decision the sender reads its own queue occupancy — an
+    /// overloaded sender sheds the retry ([`DropCause::RetryShed`]); a
+    /// congested one inflates the backoff by
+    /// [`OverloadConfig::backoff_factor`]. Only meaningful with
+    /// `reliability` set; `None` keeps the engine bit-identical to the
+    /// fixed-budget retransmit scheme.
+    pub overload: Option<OverloadConfig>,
+    /// Source admission control. [`AdmissionPolicy::Open`] (the
+    /// default) admits every scheduled arrival and is bit-identical to
+    /// the historical engine.
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for TrafficConfig {
@@ -53,6 +97,8 @@ impl Default for TrafficConfig {
             record_paths: false,
             discipline: Discipline::Fifo,
             reliability: None,
+            overload: None,
+            admission: AdmissionPolicy::Open,
         }
     }
 }
@@ -115,6 +161,20 @@ struct NodeState {
     queue: Box<dyn QueueDiscipline>,
     busy: bool,
     peak: usize,
+    /// Watermark hysteresis state (only consulted when
+    /// [`TrafficConfig::overload`] is set).
+    gauge: PressureGauge,
+}
+
+/// Per-source token-bucket state for
+/// [`AdmissionPolicy::TokenBucket`]: lazily refilled on arrival with
+/// pure integer arithmetic.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: u64,
+    /// Tick of the last accounted refill boundary (refill remainders
+    /// carry forward exactly).
+    refilled: u64,
 }
 
 struct Engine<'a, 'g> {
@@ -130,6 +190,9 @@ struct Engine<'a, 'g> {
     packets: Vec<Packet>,
     fates: Vec<Option<(PacketOutcome, u64)>>,
     nodes: Vec<NodeState>,
+    /// Per-source token buckets, allocated only under
+    /// [`AdmissionPolicy::TokenBucket`].
+    buckets: Vec<Bucket>,
     retransmissions: usize,
     duplicates_suppressed: usize,
     last_time: u64,
@@ -191,8 +254,23 @@ pub fn run(
                 queue: cfg.discipline.new_queue(),
                 busy: false,
                 peak: 0,
+                gauge: PressureGauge::new(),
             })
             .collect(),
+        buckets: match cfg.admission {
+            AdmissionPolicy::Open => Vec::new(),
+            AdmissionPolicy::TokenBucket { burst, .. } => {
+                // Buckets start full: an initial burst up to the depth
+                // is admitted before pacing engages.
+                vec![
+                    Bucket {
+                        tokens: burst,
+                        refilled: 0,
+                    };
+                    n
+                ]
+            }
+        },
         retransmissions: 0,
         duplicates_suppressed: 0,
         last_time: 0,
@@ -205,7 +283,11 @@ pub fn run(
         match ev.kind {
             EventKind::Arrival(p) => {
                 let src = engine.packets[p].src;
-                engine.arrive(p, src, ev.time);
+                if engine.admit(src, ev.time) {
+                    engine.arrive(p, src, ev.time);
+                } else {
+                    engine.resolve(p, PacketOutcome::Refused, ev.time);
+                }
             }
             EventKind::Service(u) => engine.service(u, ev.time),
             EventKind::Retry(p) => engine.retry(p, ev.time),
@@ -223,6 +305,35 @@ impl Engine<'_, '_> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Reverse(Event { time, seq, kind }));
+    }
+
+    /// Applies the admission policy to an arrival at source `src`.
+    /// Deterministic: the decision depends only on the arrival schedule
+    /// (tick and per-source order), never on network state.
+    fn admit(&mut self, src: usize, time: u64) -> bool {
+        match self.cfg.admission {
+            AdmissionPolicy::Open => true,
+            AdmissionPolicy::TokenBucket {
+                ticks_per_token,
+                burst,
+            } => {
+                let period = ticks_per_token.max(1);
+                let bucket = &mut self.buckets[src];
+                let credit = (time - bucket.refilled) / period;
+                if credit > 0 {
+                    bucket.tokens = (bucket.tokens + credit).min(burst);
+                    // Advance only by whole periods so the remainder
+                    // keeps accruing toward the next token.
+                    bucket.refilled += credit * period;
+                }
+                if bucket.tokens > 0 {
+                    bucket.tokens -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
     }
 
     fn resolve(&mut self, p: usize, outcome: PacketOutcome, time: u64) {
@@ -333,10 +444,34 @@ impl Engine<'_, '_> {
         if self.faults.severed(u, v, round) || self.faults.drops_delivery(u, v, p as u64, attempt) {
             if let Some(rel) = self.cfg.reliability {
                 if self.packets[p].hop_attempt < rel.max_retries {
+                    // Overload control: before committing to a retry,
+                    // the sender reads its own queue pressure.
+                    let mut backoff_factor = 1;
+                    if let Some(ov) = self.cfg.overload {
+                        let occupancy = self.nodes[u].queue.len();
+                        match self.nodes[u].gauge.observe(occupancy, &ov) {
+                            Pressure::Overloaded => {
+                                // Shed: the retry would only deepen the
+                                // overload. Not a retransmission — the
+                                // frame is never re-sent.
+                                return self.resolve(
+                                    p,
+                                    PacketOutcome::Dropped(DropCause::RetryShed),
+                                    time,
+                                );
+                            }
+                            Pressure::Congested => backoff_factor = ov.backoff_factor,
+                            Pressure::Normal => {}
+                        }
+                    }
                     // The sender times out waiting for the ack, backs
                     // off, and re-queues the frame for the same hop.
                     self.packets[p].hop_attempt += 1;
-                    let delay = rel.retry_delay(self.packets[p].hop_attempt, self.cfg.service_time);
+                    let delay = rel.congested_retry_delay(
+                        self.packets[p].hop_attempt,
+                        self.cfg.service_time,
+                        backoff_factor,
+                    );
                     self.push(time + delay, EventKind::Retry(p));
                     return;
                 }
@@ -371,6 +506,7 @@ impl Engine<'_, '_> {
         } = self;
         let mut records = Vec::with_capacity(packets.len());
         let mut drops = DropCounts::default();
+        let mut refused = 0usize;
         let mut latencies: Vec<u64> = Vec::new();
         let mut oracle = DistanceOracle::new(udg);
         let mut hop_stretch_sum = 0.0;
@@ -408,6 +544,7 @@ impl Engine<'_, '_> {
                     }
                 }
                 PacketOutcome::Dropped(cause) => drops.record(cause),
+                PacketOutcome::Refused => refused += 1,
             }
             records.push(PacketRecord {
                 src: pk.src,
@@ -437,6 +574,7 @@ impl Engine<'_, '_> {
             offered: records.len(),
             delivered,
             drops,
+            refused,
             retransmissions,
             duplicates_suppressed,
             latency_p50: percentile(0.5),
@@ -467,12 +605,15 @@ impl Engine<'_, '_> {
             },
             duration: last_time,
         };
-        debug_assert_eq!(report.offered, report.delivered + report.drops.total());
+        debug_assert_eq!(
+            report.offered,
+            report.delivered + report.drops.total() + report.refused
+        );
         #[cfg(feature = "invariant-checks")]
         assert_eq!(
             report.offered,
-            report.delivered + report.drops.total(),
-            "packet conservation violated: offered != delivered + drops"
+            report.delivered + report.drops.total() + report.refused,
+            "packet conservation violated: offered != delivered + drops + refused"
         );
         TrafficOutcome {
             report,
@@ -762,6 +903,214 @@ mod tests {
         assert_eq!(out.report.delivered, 1);
         assert_eq!(out.report.duplicates_suppressed, 2, "one per hop");
         assert_eq!(out.packets[0].path, vec![0, 1, 2]);
+    }
+
+    /// A star: sources 1..=k all route to sink 0 through no relay (the
+    /// sink is adjacent to everyone), so node positions put every
+    /// source one hop out.
+    fn flood_arrivals(sources: usize, per_source: usize) -> Vec<Arrival> {
+        let mut arrivals = Vec::new();
+        for t in 0..per_source {
+            for s in 1..=sources {
+                arrivals.push(Arrival {
+                    time: t as u64,
+                    src: s,
+                    dst: 0,
+                });
+            }
+        }
+        arrivals
+    }
+
+    #[test]
+    fn overloaded_sender_sheds_retries() {
+        let g = chain(2);
+        // Link permanently severed; node 0's queue stays saturated by a
+        // flood, so with watermarks every retry decision sees occupancy
+        // >= high and sheds.
+        let plan = FaultPlan::new(0).with_partition(0..1_000_000, [0]);
+        let arrivals: Vec<Arrival> = (0..30)
+            .map(|i| Arrival {
+                time: i / 3,
+                src: 0,
+                dst: 1,
+            })
+            .collect();
+        let base = TrafficConfig {
+            queue_capacity: 8,
+            reliability: Some(ReliabilityConfig {
+                max_retries: 4,
+                ack_timeout: 1,
+            }),
+            ..TrafficConfig::default()
+        };
+        let without = run(&Forwarding::Greedy(&g), &g, &arrivals, &plan, &base);
+        assert_eq!(without.report.drops.retry_shed, 0);
+        assert!(without.report.retransmissions > 0);
+
+        let cfg = TrafficConfig {
+            overload: Some(OverloadConfig {
+                high_watermark: 1,
+                low_watermark: 0,
+                backoff_factor: 4,
+            }),
+            ..base
+        };
+        let with = run(&Forwarding::Greedy(&g), &g, &arrivals, &plan, &cfg);
+        assert!(with.report.drops.retry_shed > 0, "watermark shed retries");
+        assert!(
+            with.report.retransmissions < without.report.retransmissions,
+            "shedding replaces most retransmissions ({} vs {})",
+            with.report.retransmissions,
+            without.report.retransmissions
+        );
+        assert_eq!(
+            with.report.offered,
+            with.report.delivered + with.report.drops.total() + with.report.refused
+        );
+    }
+
+    #[test]
+    fn congested_sender_inflates_backoff() {
+        let g = chain(3);
+        // Three packets at node 0 while link (0,1) is severed until
+        // tick 35 (service_time 10, so pops land at t=10/20/30):
+        //  * t=10 — pop p0, loss, occupancy 2 ≥ high 2: overloaded,
+        //    p0 is shed (and the congested flag latches);
+        //  * t=20 — pop p1, loss, occupancy 1: congested band, the
+        //    retry backoff is inflated ×4 (40 ticks instead of 10);
+        //  * t=30 — pop p2, loss, occupancy 0 ≤ low 0: normal retry.
+        // After the heal both survivors deliver; p1's inflated backoff
+        // shows up as strictly larger latency than the fixed-budget
+        // run gives it.
+        let plan = || FaultPlan::new(0).with_partition(0..35, [0]);
+        let arrivals: Vec<Arrival> = (0..3)
+            .map(|_| Arrival {
+                time: 0,
+                src: 0,
+                dst: 2,
+            })
+            .collect();
+        let base = TrafficConfig {
+            service_time: 10,
+            reliability: Some(ReliabilityConfig {
+                max_retries: 6,
+                ack_timeout: 1,
+            }),
+            ..TrafficConfig::default()
+        };
+        let without = run(&Forwarding::Greedy(&g), &g, &arrivals, &plan(), &base);
+        assert_eq!(without.report.delivered, 3);
+        let cfg = TrafficConfig {
+            overload: Some(OverloadConfig {
+                high_watermark: 2,
+                low_watermark: 0,
+                backoff_factor: 4,
+            }),
+            ..base
+        };
+        let with = run(&Forwarding::Greedy(&g), &g, &arrivals, &plan(), &cfg);
+        assert_eq!(with.report.drops.retry_shed, 1, "p0 shed while overloaded");
+        assert_eq!(with.report.delivered, 2);
+        assert_eq!(with.packets[1].outcome, PacketOutcome::Delivered);
+        assert!(
+            with.packets[1].latency() > without.packets[1].latency(),
+            "inflated backoff stretches p1's latency ({} vs {})",
+            with.packets[1].latency(),
+            without.packets[1].latency()
+        );
+    }
+
+    #[test]
+    fn token_bucket_paces_sources_deterministically() {
+        let g = chain(2);
+        // 10 back-to-back arrivals at tick 0, then one every 2 ticks.
+        let mut arrivals: Vec<Arrival> = (0..10)
+            .map(|_| Arrival {
+                time: 0,
+                src: 0,
+                dst: 1,
+            })
+            .collect();
+        arrivals.extend((1..=5).map(|i| Arrival {
+            time: 10 * i,
+            src: 0,
+            dst: 1,
+        }));
+        let cfg = TrafficConfig {
+            admission: AdmissionPolicy::TokenBucket {
+                ticks_per_token: 10,
+                burst: 3,
+            },
+            ..TrafficConfig::default()
+        };
+        let out = run(
+            &Forwarding::Greedy(&g),
+            &g,
+            &arrivals,
+            &FaultPlan::none(),
+            &cfg,
+        );
+        // Burst admits 3 of the 10 simultaneous arrivals; the paced
+        // tail regains exactly one token per arrival.
+        assert_eq!(out.report.refused, 7);
+        assert_eq!(out.report.delivered, 8);
+        assert_eq!(out.report.admitted(), 8);
+        assert_eq!(out.report.offered, 15);
+        assert_eq!(out.report.admitted_delivery_ratio(), 1.0);
+        for (i, rec) in out.packets.iter().enumerate() {
+            let expect = if (3..10).contains(&i) {
+                PacketOutcome::Refused
+            } else {
+                PacketOutcome::Delivered
+            };
+            assert_eq!(rec.outcome, expect, "packet {i}");
+        }
+        // Refusals are not drops.
+        assert_eq!(out.report.drops.total(), 0);
+    }
+
+    #[test]
+    fn zero_burst_refuses_everything() {
+        let g = chain(2);
+        let cfg = TrafficConfig {
+            admission: AdmissionPolicy::TokenBucket {
+                ticks_per_token: 1,
+                burst: 0,
+            },
+            ..TrafficConfig::default()
+        };
+        let out = run(
+            &Forwarding::Greedy(&g),
+            &g,
+            &one_packet(0, 1),
+            &FaultPlan::none(),
+            &cfg,
+        );
+        assert_eq!(out.report.refused, 1);
+        assert_eq!(out.report.delivered, 0);
+        assert_eq!(out.report.delivery_ratio(), 0.0);
+        assert_eq!(out.report.admitted_delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn overload_disabled_is_bit_identical_to_fixed_budget_retransmit() {
+        // `overload: None` + `admission: Open` must not perturb a
+        // single event: same outcome struct, bit for bit, as the PR-4
+        // configuration on a lossy contended run.
+        let g = chain(8);
+        let arrivals = flood_arrivals(7, 40);
+        let plan = FaultPlan::new(5).with_loss(0.2);
+        let cfg = TrafficConfig {
+            queue_capacity: 4,
+            reliability: Some(ReliabilityConfig::default()),
+            ..TrafficConfig::default()
+        };
+        let a = run(&Forwarding::Greedy(&g), &g, &arrivals, &plan, &cfg);
+        let b = run(&Forwarding::Greedy(&g), &g, &arrivals, &plan, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.report.drops.retry_shed, 0);
+        assert_eq!(a.report.refused, 0);
     }
 
     #[test]

@@ -23,6 +23,12 @@
 //!   simulator) retries lost transmissions per hop with exponential
 //!   backoff, the retries competing with fresh traffic for queue
 //!   slots;
+//! * an optional congestion-adaptive overload layer: sender-queue
+//!   watermarks ([`OverloadConfig`](geospan_sim::OverloadConfig), read
+//!   through a hysteresis [`PressureGauge`]) shed retries and inflate
+//!   backoff when a sender's own queue saturates, and a deterministic
+//!   token-bucket [`AdmissionPolicy`] paces injection at sources —
+//!   both purely node-local rules, so determinism is preserved;
 //! * forwarding decisions are the *single-hop* [`Decision`] API of
 //!   `geospan_core::routing` (greedy, GPSR, dominating-set backbone
 //!   routing), invoked per transmission, so routing state travels with
@@ -67,8 +73,11 @@ mod queue;
 mod report;
 mod workload;
 
-pub use engine::{run, TrafficConfig, TrafficOutcome};
-pub use queue::{DeficitRoundRobin, Discipline, Fifo, NearestFirst, QueueDiscipline, QueuedPacket};
+pub use engine::{run, AdmissionPolicy, TrafficConfig, TrafficOutcome};
+pub use queue::{
+    DeficitRoundRobin, Discipline, Fifo, NearestFirst, Pressure, PressureGauge, QueueDiscipline,
+    QueuedPacket,
+};
 pub use report::{DropCause, DropCounts, PacketOutcome, PacketRecord, TrafficReport};
 pub use workload::{Arrival, Workload, WorkloadKind};
 

@@ -21,6 +21,62 @@
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
+use geospan_sim::OverloadConfig;
+
+/// The pressure state a [`PressureGauge`] reports for one sender queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pressure {
+    /// Occupancy has drained to the low watermark (or overload control
+    /// never engaged): retransmit behaves exactly as the fixed-budget
+    /// scheme.
+    Normal,
+    /// Occupancy previously hit the high watermark and has not yet
+    /// drained to the low watermark: retries are scheduled with
+    /// inflated backoff.
+    Congested,
+    /// Occupancy is at or above the high watermark right now: retries
+    /// are shed.
+    Overloaded,
+}
+
+/// Hysteresis state machine over one node's transmit-queue occupancy,
+/// driving the congestion-adaptive retransmit rules of
+/// [`OverloadConfig`].
+///
+/// The gauge is observed (not sampled on a clock): the engine calls
+/// [`PressureGauge::observe`] with the current occupancy at each retry
+/// decision. Crossing `high_watermark` latches the congested flag;
+/// only draining to `low_watermark` clears it — so a queue oscillating
+/// just under the high watermark keeps its retries inflated instead of
+/// flapping between behaviors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PressureGauge {
+    congested: bool,
+}
+
+impl PressureGauge {
+    /// A gauge in the normal state.
+    pub fn new() -> Self {
+        PressureGauge::default()
+    }
+
+    /// Updates the hysteresis state for the given occupancy and returns
+    /// the pressure level the caller should act on.
+    pub fn observe(&mut self, occupancy: usize, cfg: &OverloadConfig) -> Pressure {
+        if occupancy >= cfg.high_watermark {
+            self.congested = true;
+            Pressure::Overloaded
+        } else if occupancy <= cfg.low_watermark {
+            self.congested = false;
+            Pressure::Normal
+        } else if self.congested {
+            Pressure::Congested
+        } else {
+            Pressure::Normal
+        }
+    }
+}
+
 /// A packet waiting in a node's transmit queue, with the keys the
 /// disciplines schedule by.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -413,6 +469,46 @@ mod tests {
             assert!(a.is_empty());
             assert_eq!(a.len(), 0);
         }
+    }
+
+    #[test]
+    fn pressure_gauge_hysteresis() {
+        let cfg = OverloadConfig {
+            high_watermark: 8,
+            low_watermark: 2,
+            backoff_factor: 4,
+        };
+        let mut g = PressureGauge::new();
+        // Below high, never congested: normal.
+        assert_eq!(g.observe(5, &cfg), Pressure::Normal);
+        assert_eq!(g.observe(7, &cfg), Pressure::Normal);
+        // Hits high: overloaded, and the congested flag latches.
+        assert_eq!(g.observe(8, &cfg), Pressure::Overloaded);
+        assert_eq!(g.observe(12, &cfg), Pressure::Overloaded);
+        // Drains under high but not to low: still congested.
+        assert_eq!(g.observe(7, &cfg), Pressure::Congested);
+        assert_eq!(g.observe(3, &cfg), Pressure::Congested);
+        // Reaches low: normal again, flag cleared.
+        assert_eq!(g.observe(2, &cfg), Pressure::Normal);
+        assert_eq!(g.observe(7, &cfg), Pressure::Normal, "flag was cleared");
+        // Re-latches on the next high crossing.
+        assert_eq!(g.observe(9, &cfg), Pressure::Overloaded);
+        assert_eq!(g.observe(4, &cfg), Pressure::Congested);
+    }
+
+    #[test]
+    fn pressure_gauge_degenerate_watermarks() {
+        // high == low: the gauge flaps between overloaded and normal
+        // with no congested band, but never wedges.
+        let cfg = OverloadConfig {
+            high_watermark: 4,
+            low_watermark: 4,
+            backoff_factor: 2,
+        };
+        let mut g = PressureGauge::new();
+        assert_eq!(g.observe(4, &cfg), Pressure::Overloaded);
+        assert_eq!(g.observe(3, &cfg), Pressure::Normal);
+        assert_eq!(g.observe(5, &cfg), Pressure::Overloaded);
     }
 
     #[test]

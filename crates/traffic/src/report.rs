@@ -16,6 +16,12 @@ pub enum DropCause {
     NodeCrash,
     /// The per-packet hop budget ran out.
     HopLimit,
+    /// A retry was shed by an overloaded sender: the transmission was
+    /// lost and the sender's queue occupancy sat at or above its
+    /// [`OverloadConfig::high_watermark`](geospan_sim::OverloadConfig),
+    /// so instead of scheduling a retransmission the packet was dropped
+    /// to protect the queue.
+    RetryShed,
 }
 
 /// Packet drops bucketed by cause.
@@ -31,12 +37,19 @@ pub struct DropCounts {
     pub node_crash: usize,
     /// Exceeded the hop budget.
     pub hop_limit: usize,
+    /// Retry shed by an overloaded sender (watermark overload control).
+    pub retry_shed: usize,
 }
 
 impl DropCounts {
     /// Total packets dropped.
     pub fn total(&self) -> usize {
-        self.stuck + self.queue_full + self.link_loss + self.node_crash + self.hop_limit
+        self.stuck
+            + self.queue_full
+            + self.link_loss
+            + self.node_crash
+            + self.hop_limit
+            + self.retry_shed
     }
 
     pub(crate) fn record(&mut self, cause: DropCause) {
@@ -46,6 +59,7 @@ impl DropCounts {
             DropCause::LinkLoss => self.link_loss += 1,
             DropCause::NodeCrash => self.node_crash += 1,
             DropCause::HopLimit => self.hop_limit += 1,
+            DropCause::RetryShed => self.retry_shed += 1,
         }
     }
 }
@@ -57,6 +71,10 @@ pub enum PacketOutcome {
     Delivered,
     /// Dropped for the given cause.
     Dropped(DropCause),
+    /// Refused admission at the source by an
+    /// [`AdmissionPolicy`](crate::AdmissionPolicy) — the packet never
+    /// entered the network, so it is counted separately from drops.
+    Refused,
 }
 
 /// One packet's measured lifecycle.
@@ -110,8 +128,13 @@ pub struct TrafficReport {
     pub offered: usize,
     /// Packets delivered to their destination.
     pub delivered: usize,
-    /// Drops by cause (`offered == delivered + drops.total()`).
+    /// Drops by cause
+    /// (`offered == delivered + drops.total() + refused`).
     pub drops: DropCounts,
+    /// Packets refused admission at the source by an
+    /// [`AdmissionPolicy`](crate::AdmissionPolicy); they never entered
+    /// the network and are not drops.
+    pub refused: usize,
     /// Link-layer retransmissions performed across all packets (the
     /// `-retx` overhead of the reliability layer; 0 when retransmit is
     /// disabled).
@@ -153,6 +176,24 @@ impl TrafficReport {
         }
     }
 
+    /// Packets that actually entered the network: offered minus those
+    /// refused admission at the source.
+    pub fn admitted(&self) -> usize {
+        self.offered - self.refused
+    }
+
+    /// Delivered fraction of *admitted* packets (1.0 when nothing was
+    /// admitted). This is the delivery metric overload control is
+    /// judged on: an admission gate that refuses packets it could not
+    /// have delivered raises this ratio without lying about drops.
+    pub fn admitted_delivery_ratio(&self) -> f64 {
+        if self.admitted() == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.admitted() as f64
+        }
+    }
+
     /// Renders the report as an aligned human-readable block.
     pub fn format(&self) -> String {
         use std::fmt::Write as _;
@@ -164,14 +205,18 @@ impl TrafficReport {
             self.delivered,
             100.0 * self.delivery_ratio()
         );
+        if self.refused > 0 {
+            let _ = writeln!(out, "refused:          {} (admission gate)", self.refused);
+        }
         let _ = writeln!(
             out,
-            "drops:            stuck {}, queue {}, loss {}, crash {}, hop-limit {}",
+            "drops:            stuck {}, queue {}, loss {}, crash {}, hop-limit {}, retry-shed {}",
             self.drops.stuck,
             self.drops.queue_full,
             self.drops.link_loss,
             self.drops.node_crash,
-            self.drops.hop_limit
+            self.drops.hop_limit,
+            self.drops.retry_shed
         );
         let _ = writeln!(
             out,
@@ -215,12 +260,14 @@ mod tests {
             DropCause::LinkLoss,
             DropCause::NodeCrash,
             DropCause::HopLimit,
+            DropCause::RetryShed,
         ] {
             d.record(c);
         }
         assert_eq!(d.stuck, 1);
         assert_eq!(d.queue_full, 2);
-        assert_eq!(d.total(), 6);
+        assert_eq!(d.retry_shed, 1);
+        assert_eq!(d.total(), 7);
     }
 
     #[test]
@@ -229,6 +276,7 @@ mod tests {
             offered: 0,
             delivered: 0,
             drops: DropCounts::default(),
+            refused: 0,
             retransmissions: 0,
             duplicates_suppressed: 0,
             latency_p50: 0,
@@ -244,6 +292,41 @@ mod tests {
             duration: 0,
         };
         assert_eq!(r.delivery_ratio(), 1.0);
+        assert_eq!(r.admitted_delivery_ratio(), 1.0);
         assert!(r.format().contains("offered:          0"));
+        assert!(
+            !r.format().contains("refused:"),
+            "refused line is omitted when the admission gate never fired"
+        );
+    }
+
+    #[test]
+    fn admitted_ratio_excludes_refusals() {
+        let r = TrafficReport {
+            offered: 10,
+            delivered: 6,
+            drops: DropCounts {
+                link_loss: 2,
+                ..DropCounts::default()
+            },
+            refused: 2,
+            retransmissions: 0,
+            duplicates_suppressed: 0,
+            latency_p50: 0,
+            latency_p99: 0,
+            latency_max: 0,
+            latency_mean: 0.0,
+            hop_stretch_avg: 0.0,
+            hop_stretch_max: 0.0,
+            length_stretch_avg: 0.0,
+            length_stretch_max: 0.0,
+            queue_peak_max: 0,
+            queue_peak_mean: 0.0,
+            duration: 0,
+        };
+        assert_eq!(r.admitted(), 8);
+        assert_eq!(r.delivery_ratio(), 0.6);
+        assert_eq!(r.admitted_delivery_ratio(), 0.75);
+        assert!(r.format().contains("refused:          2"));
     }
 }

@@ -18,9 +18,10 @@
 
 use geospan_graph::gen::connected_unit_disk;
 use geospan_graph::{Graph, Point};
-use geospan_sim::{FaultPlan, ReliabilityConfig};
+use geospan_sim::{FaultPlan, OverloadConfig, ReliabilityConfig};
 use geospan_traffic::{
-    run, Arrival, Discipline, Forwarding, PacketOutcome, QueuedPacket, TrafficConfig, Workload,
+    run, AdmissionPolicy, Arrival, Discipline, Forwarding, PacketOutcome, QueuedPacket,
+    TrafficConfig, Workload,
 };
 use proptest::prelude::*;
 
@@ -46,8 +47,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// Conservation: under any seeded fault plan with loss *and*
-    /// duplication, across all disciplines, with and without
-    /// retransmit, `offered == delivered + drops.total()`, no packet is
+    /// duplication, across all disciplines × watermarks × admission,
+    /// with and without retransmit,
+    /// `offered == delivered + drops.total() + refused`, no packet is
     /// delivered twice, none vanishes, and the per-packet records agree
     /// with the aggregate counters.
     #[test]
@@ -56,7 +58,7 @@ proptest! {
         (loss, dup) in (0.0f64..0.4, 0.0f64..0.4),
         wl in workload(),
         disc in discipline(),
-        retx in any::<bool>(),
+        (retx, watermarks, paced) in (any::<bool>(), any::<bool>(), any::<bool>()),
         capacity in 2usize..24,
     ) {
         let (_pts, udg, _s) = connected_unit_disk(24, 110.0, 45.0, seed % 60 + 1);
@@ -70,6 +72,12 @@ proptest! {
             max_hops: (50 * n) as u32,
             discipline: disc,
             reliability: retx.then(ReliabilityConfig::default),
+            overload: watermarks.then(|| OverloadConfig::for_capacity(capacity)),
+            admission: if paced {
+                AdmissionPolicy::TokenBucket { ticks_per_token: 3, burst: 4 }
+            } else {
+                AdmissionPolicy::Open
+            },
             ..TrafficConfig::default()
         };
         let out = run(&Forwarding::Greedy(&udg), &udg, &arrivals, &faults, &cfg);
@@ -81,19 +89,34 @@ proptest! {
         // Exactly-once accounting: the aggregate equals the records.
         let delivered = out.packets.iter().filter(|p| p.delivered()).count();
         prop_assert_eq!(out.report.delivered, delivered, "duplicate or lost delivery");
+        let refused = out
+            .packets
+            .iter()
+            .filter(|p| p.outcome == PacketOutcome::Refused)
+            .count();
+        prop_assert_eq!(out.report.refused, refused, "refusal accounting disagrees");
         prop_assert_eq!(
             out.report.offered,
-            out.report.delivered + out.report.drops.total(),
+            out.report.delivered + out.report.drops.total() + out.report.refused,
             "packets vanished or double-counted: {:?}",
             out.report.drops
         );
-        let mut by_cause = [0usize; 5];
+        let mut by_cause = [0usize; 6];
         for p in &out.packets {
             if let PacketOutcome::Dropped(c) = p.outcome {
                 by_cause[c as usize] += 1;
             }
         }
         prop_assert_eq!(by_cause.iter().sum::<usize>(), out.report.drops.total());
+
+        // Refusals only come from the admission gate; shed retries only
+        // from the watermark layer.
+        if !paced {
+            prop_assert_eq!(out.report.refused, 0);
+        }
+        if !(watermarks && retx) {
+            prop_assert_eq!(out.report.drops.retry_shed, 0);
+        }
 
         // Retransmission accounting ties out packet by packet.
         let retries: usize = out.packets.iter().map(|p| p.retries as usize).sum();
@@ -368,5 +391,175 @@ fn retries_compete_for_queue_slots() {
         PacketOutcome::Dropped(geospan_traffic::DropCause::QueueFull),
         "the retry lost the slot race: {:?}",
         first.outcome
+    );
+}
+
+/// Regression (retry accounting): a shed retry is *not* a
+/// retransmission — the frame is never re-sent. On a scenario where
+/// every packet loses exactly its first transmission and retries at
+/// most once, each packet either retransmits (no watermarks, or queue
+/// drained) or is shed, so
+/// `retransmissions + retry_shed` under watermarks must equal the
+/// fixed-budget run's `retransmissions` on the same seed.
+#[test]
+fn shed_retries_are_not_retransmissions() {
+    let g = {
+        let pts: Vec<Point> = (0..2).map(|i| Point::new(i as f64, 0.0)).collect();
+        Graph::with_edges(pts, [(0, 1)])
+    };
+    // Permanently severed link, retry budget 1: every packet is
+    // serviced once, hits the single retry decision, and (if retried)
+    // is serviced exactly once more before dropping as LinkLoss.
+    let plan = FaultPlan::new(0).with_partition(0..1_000_000, [0]);
+    let arrivals: Vec<Arrival> = (0..20u64)
+        .map(|i| Arrival {
+            time: i / 4,
+            src: 0,
+            dst: 1,
+        })
+        .collect();
+    let base = TrafficConfig {
+        queue_capacity: 64,
+        reliability: Some(ReliabilityConfig {
+            max_retries: 1,
+            ack_timeout: 1,
+        }),
+        ..TrafficConfig::default()
+    };
+    let nowm = run(&Forwarding::Greedy(&g), &g, &arrivals, &plan, &base);
+    assert_eq!(nowm.report.retransmissions, arrivals.len());
+    assert_eq!(nowm.report.drops.retry_shed, 0);
+
+    let cfg = TrafficConfig {
+        overload: Some(OverloadConfig {
+            high_watermark: 2,
+            low_watermark: 0,
+            backoff_factor: 4,
+        }),
+        ..base
+    };
+    let wm = run(&Forwarding::Greedy(&g), &g, &arrivals, &plan, &cfg);
+    assert!(wm.report.drops.retry_shed > 0, "the backlog shed retries");
+    assert!(wm.report.retransmissions > 0, "drained tail still retried");
+    assert_eq!(
+        wm.report.retransmissions + wm.report.drops.retry_shed,
+        nowm.report.retransmissions,
+        "every shed retry must be missing from the retransmission count"
+    );
+    // The per-packet records agree: shed packets spent no retries.
+    for p in &wm.packets {
+        if p.outcome == PacketOutcome::Dropped(geospan_traffic::DropCause::RetryShed) {
+            assert_eq!(p.retries, 0, "a shed packet never retransmitted");
+        }
+    }
+}
+
+/// Determinism contract under overload control: consecutive runs with
+/// watermarks *and* admission enabled are bit-identical (the
+/// cross-thread-count face of this lives in the bench determinism
+/// tests, which diff whole CSV artifacts).
+#[test]
+fn overload_control_runs_are_bit_identical() {
+    let (_pts, udg, _s) = connected_unit_disk(24, 110.0, 45.0, 9);
+    let n = udg.node_count();
+    let arrivals = Workload::hotspot(0, 0.7, 1.5, 250).generate(n, 13);
+    let faults = FaultPlan::new(77).with_loss(0.2);
+    let cfg = TrafficConfig {
+        queue_capacity: 8,
+        max_hops: (50 * n) as u32,
+        reliability: Some(ReliabilityConfig::default()),
+        overload: Some(OverloadConfig::for_capacity(8)),
+        admission: AdmissionPolicy::TokenBucket {
+            ticks_per_token: 60,
+            burst: 1,
+        },
+        ..TrafficConfig::default()
+    };
+    let a = run(&Forwarding::Greedy(&udg), &udg, &arrivals, &faults, &cfg);
+    let b = run(&Forwarding::Greedy(&udg), &udg, &arrivals, &faults, &cfg);
+    assert_eq!(a, b);
+    assert!(a.report.refused > 0, "admission engaged");
+    assert_eq!(
+        a.report.offered,
+        a.report.delivered + a.report.drops.total() + a.report.refused
+    );
+}
+
+/// Mobility × traffic: a workload served over a backbone whose
+/// structure takes a hit. Traffic routed while a backbone node is dead
+/// (routing state still pointing at it) dips; after
+/// `MobileBackbone::remove_node` heals the hole with one localized
+/// 2-hop repair, the same workload delivers fully again.
+#[test]
+fn delivery_dips_during_a_crash_and_recovers_after_local_repair() {
+    use geospan_core::maintenance::{MaintenanceAction, MobileBackbone};
+    use geospan_core::BackboneConfig;
+
+    let (pts, _udg, _s) = connected_unit_disk(60, 150.0, 50.0, 6);
+    let mut m = MobileBackbone::new(pts, BackboneConfig::new(50.0)).expect("backbone builds");
+    let v = m.backbone().backbone_nodes()[0];
+    let n = m.udg().node_count();
+    // The workload never sources or sinks at the doomed node itself:
+    // the dip must come from *transit* traffic through the backbone.
+    let arrivals: Vec<Arrival> = Workload::uniform(0.6, 400)
+        .generate(n, 21)
+        .into_iter()
+        .filter(|a| a.src != v && a.dst != v)
+        .collect();
+    let cfg = TrafficConfig {
+        max_hops: (50 * n) as u32,
+        ..TrafficConfig::default()
+    };
+
+    // Phase 1 — healthy backbone: everything delivers.
+    let before = {
+        let fw = Forwarding::Backbone {
+            backbone: m.backbone(),
+            udg: m.udg(),
+        };
+        run(&fw, m.udg(), &arrivals, &FaultPlan::none(), &cfg)
+    };
+    assert_eq!(
+        before.report.delivered, before.report.offered,
+        "healthy backbone delivers everything: {:?}",
+        before.report.drops
+    );
+
+    // Phase 2 — the node dies but routing still flows over the old
+    // structure: transit packets crash with it, delivery dips.
+    let during = {
+        let fw = Forwarding::Backbone {
+            backbone: m.backbone(),
+            udg: m.udg(),
+        };
+        let crash = FaultPlan::new(0).with_crash(v, 0);
+        run(&fw, m.udg(), &arrivals, &crash, &cfg)
+    };
+    assert!(
+        during.report.delivered < before.report.delivered,
+        "no transit traffic crossed the dead backbone node {v}"
+    );
+    assert!(during.report.drops.node_crash > 0);
+
+    // Phase 3 — maintenance heals around the hole with one localized
+    // repair (no rebuild), and the same workload delivers fully over
+    // the repaired backbone.
+    let report = m.remove_node(v).expect("removal succeeds");
+    assert!(
+        matches!(report.action, MaintenanceAction::LocalRepair { .. }),
+        "expected a localized 2-hop repair, got {:?}",
+        report.action
+    );
+    let after = {
+        let fw = Forwarding::Backbone {
+            backbone: m.backbone(),
+            udg: m.udg(),
+        };
+        run(&fw, m.udg(), &arrivals, &FaultPlan::none(), &cfg)
+    };
+    assert_eq!(
+        after.report.delivered, after.report.offered,
+        "repaired backbone delivers everything again: {:?}",
+        after.report.drops
     );
 }

@@ -18,11 +18,11 @@ use geospan::core::{verify, BackboneBuilder, BackboneConfig};
 use geospan::graph::gen::UnitDiskBuilder;
 use geospan::graph::svg::{render_svg, NodeRole, SvgOptions};
 use geospan::graph::{Graph, Point};
-use geospan::sim::{FaultPlan, ReliabilityConfig};
+use geospan::sim::{FaultPlan, OverloadConfig, ReliabilityConfig};
 use geospan::topology::{
     gabriel, ldel, relative_neighborhood, restricted_delaunay, theta, yao, yao_sink,
 };
-use geospan::traffic::{run, Discipline, Forwarding, TrafficConfig, Workload};
+use geospan::traffic::{run, AdmissionPolicy, Discipline, Forwarding, TrafficConfig, Workload};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -65,7 +65,9 @@ usage:
                        [--rate P] [--duration T] [--seed K] [--capacity Q] [--service T]
                        [--loss P] [--sink I] [--bias P] [--burst B]
                        [--discipline fifo|priority|drr] [--quantum N]
-                       [--retries N] [--ack-timeout T] [--out FILE.csv]
+                       [--retries N] [--ack-timeout T]
+                       [--high-watermark N [--low-watermark N] [--backoff-factor F]]
+                       [--admit-ticks T [--admit-burst B]] [--out FILE.csv]
 
 topologies:  udg, rng, gabriel, yao, theta, yao-sink, rdg, ldel, cds, ldel-icds,
              ldel-icds-prime
@@ -74,7 +76,13 @@ policies:    backbone (dominating-set routing over LDel(ICDS)),
 disciplines: fifo, priority (by remaining distance), drr (per-destination
              deficit round robin, --quantum packets per visit)
 retransmit:  --retries N > 0 enables per-hop link-layer retransmit with
-             --ack-timeout service times of backoff";
+             --ack-timeout service times of backoff
+overload:    --high-watermark enables congestion-adaptive retransmit
+             (shed retries above the high watermark, inflate backoff
+             by --backoff-factor until the queue drains to
+             --low-watermark); --admit-ticks enables token-bucket
+             source admission (one packet per T ticks per source,
+             bursts up to --admit-burst)";
 
 /// Minimal flag map: `--key value` pairs plus boolean `--distributed`.
 struct Flags {
@@ -344,12 +352,33 @@ fn cmd_traffic(flags: &Flags) -> Result<(), String> {
         max_retries: retries,
         ack_timeout: flags.get_or("ack-timeout", 3)?,
     });
+    let overload = if flags.kv.contains_key("high-watermark") {
+        let high: usize = flags.get("high-watermark")?;
+        Some(OverloadConfig {
+            high_watermark: high,
+            // Mirror OverloadConfig::for_capacity's 3:1 hysteresis gap.
+            low_watermark: flags.get_or("low-watermark", high / 3)?,
+            backoff_factor: flags.get_or("backoff-factor", 4)?,
+        })
+    } else {
+        None
+    };
+    let admission = if flags.kv.contains_key("admit-ticks") {
+        AdmissionPolicy::TokenBucket {
+            ticks_per_token: flags.get("admit-ticks")?,
+            burst: flags.get_or("admit-burst", 1)?,
+        }
+    } else {
+        AdmissionPolicy::Open
+    };
     let cfg = TrafficConfig {
         queue_capacity: flags.get_or("capacity", 64)?,
         service_time: flags.get_or("service", 1)?,
         max_hops: (50 * n) as u32,
         discipline,
         reliability,
+        overload,
+        admission,
         ..TrafficConfig::default()
     };
 
@@ -369,9 +398,9 @@ fn cmd_traffic(flags: &Flags) -> Result<(), String> {
         let csv = format!(
             "policy,workload,discipline,retx,rate,duration,seed,offered,delivered,\
              delivery_ratio,drop_stuck,drop_queue,drop_loss,drop_crash,drop_hop_limit,\
-             retransmissions,latency_p50,latency_p99,latency_mean,hop_stretch_avg,\
-             length_stretch_avg,queue_peak_max\n\
-             {policy},{workload_name},{},{},{rate},{duration},{seed},{},{},{:.6},{},{},{},{},{},{},{},{},{:.4},{:.4},{:.4},{}\n",
+             drop_retry_shed,refused,retransmissions,latency_p50,latency_p99,latency_mean,\
+             hop_stretch_avg,length_stretch_avg,queue_peak_max\n\
+             {policy},{workload_name},{},{},{rate},{duration},{seed},{},{},{:.6},{},{},{},{},{},{},{},{},{},{},{:.4},{:.4},{:.4},{}\n",
             discipline.label(),
             if cfg.reliability.is_some() { "on" } else { "off" },
             report.offered,
@@ -382,6 +411,8 @@ fn cmd_traffic(flags: &Flags) -> Result<(), String> {
             report.drops.link_loss,
             report.drops.node_crash,
             report.drops.hop_limit,
+            report.drops.retry_shed,
+            report.refused,
             report.retransmissions,
             report.latency_p50,
             report.latency_p99,

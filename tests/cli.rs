@@ -145,7 +145,9 @@ fn traffic_reports_delivery_and_is_seed_deterministic() {
     assert_eq!(row[2], "fifo", "{csv_a}");
     assert_eq!(row[3], "off", "{csv_a}");
     assert_eq!(row[7], row[8], "offered != delivered: {csv_a}");
-    assert_eq!(row[15], "0", "retransmissions without --retries: {csv_a}");
+    assert_eq!(row[15], "0", "retry-shed without watermarks: {csv_a}");
+    assert_eq!(row[16], "0", "refusals without admission: {csv_a}");
+    assert_eq!(row[17], "0", "retransmissions without --retries: {csv_a}");
 
     // Unknown policy fails cleanly.
     let out = cli()
@@ -241,7 +243,7 @@ fn traffic_disciplines_and_retransmit_flags_work_end_to_end() {
     assert_eq!(row[2], "drr", "{rel}");
     assert_eq!(row[3], "on", "{rel}");
     let lost_with_retx: usize = row[12].parse().unwrap();
-    let retransmissions: usize = row[15].parse().unwrap();
+    let retransmissions: usize = row[17].parse().unwrap();
     assert!(retransmissions > 0, "no retries under 5% loss: {rel}");
     assert!(
         lost_with_retx < lost,
@@ -256,6 +258,100 @@ fn traffic_disciplines_and_retransmit_flags_work_end_to_end() {
         .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown discipline"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn traffic_overload_flags_shed_retries_and_refuse_admissions() {
+    let dir = tempdir("overload");
+    let base = [
+        "traffic",
+        "--n",
+        "40",
+        "--side",
+        "130",
+        "--radius",
+        "45",
+        "--rate",
+        "6.4",
+        "--duration",
+        "300",
+        "--seed",
+        "11",
+        "--loss",
+        "0.1",
+        "--workload",
+        "hotspot",
+        "--bias",
+        "0.8",
+        "--capacity",
+        "8",
+        "--retries",
+        "3",
+    ];
+
+    let run = |out_name: &str, extra: &[&str]| {
+        let csv = dir.join(out_name);
+        let out = cli()
+            .args(base)
+            .args(extra)
+            .arg("--out")
+            .arg(&csv)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let row: Vec<String> = std::fs::read_to_string(&csv)
+            .unwrap()
+            .lines()
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .map(str::to_string)
+            .collect();
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        (text, row)
+    };
+    let col = |row: &[String], i: usize| -> usize { row[i].parse().unwrap() };
+
+    // Watermarks alone: the saturated hotspot sheds retries.
+    let (text, wm) = run("wm.csv", &["--high-watermark", "6", "--low-watermark", "2"]);
+    assert!(text.contains("retry-shed"), "{text}");
+    assert!(
+        col(&wm, 15) > 0,
+        "saturated run with watermarks never shed a retry: {wm:?}"
+    );
+    assert_eq!(col(&wm, 16), 0, "refusals without admission: {wm:?}");
+
+    // Watermarks + token-bucket admission: sources get refused, and the
+    // ledger still balances (offered = delivered + drops + refused).
+    let (_, adm) = run(
+        "adm.csv",
+        &[
+            "--high-watermark",
+            "6",
+            "--low-watermark",
+            "2",
+            "--admit-ticks",
+            "40",
+            "--admit-burst",
+            "2",
+        ],
+    );
+    assert!(
+        col(&adm, 16) > 0,
+        "tight token bucket never refused: {adm:?}"
+    );
+    let drops: usize = (10..=15).map(|i| col(&adm, i)).sum();
+    assert_eq!(
+        col(&adm, 7),
+        col(&adm, 8) + drops + col(&adm, 16),
+        "offered != delivered + drops + refused: {adm:?}"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }
