@@ -55,6 +55,23 @@ pub const RULES: &[(&str, &str)] = &[
         "float accumulation through a parallel iterator (sum/fold/reduce after par_iter): \
          reduction order depends on the scheduler; fold serially in a fixed order",
     ),
+    (
+        "D06",
+        "node-id-keyed BTreeMap<usize, _>/BTreeSet<usize> in a construction crate: the hot \
+         path uses flat arenas (VecMap/VecSet from geospan-graph) with identical ascending \
+         iteration; BTree stays only where a non-usize key (pair/triple/tuple) encodes \
+         message-emission order",
+    ),
+];
+
+/// Crates whose construction hot path is arena-backed (rule D06). Paths
+/// are workspace-relative with forward slashes; `src/` excludes the
+/// `tests/` oracles, which deliberately keep the pre-refactor containers.
+const D06_CRATES: &[&str] = &[
+    "crates/geometry/src/",
+    "crates/graph/src/",
+    "crates/topology/src/",
+    "crates/cds/src/",
 ];
 
 /// Iterator-producing methods on hash collections (rule D01).
@@ -128,6 +145,7 @@ pub fn check_source(path: &str, src: &str) -> Vec<Finding> {
     rule_d03(toks, &in_test, &mut emit);
     rule_d04(toks, &in_test, &mut emit);
     rule_d05(toks, &in_test, &mut emit);
+    rule_d06(path, toks, &in_test, &mut emit);
 
     apply_directives(findings, &lexed)
 }
@@ -582,6 +600,44 @@ fn rule_d05(
                 _ => {}
             }
             j += 1;
+        }
+    }
+}
+
+/// D06: node-id-keyed `BTreeMap<usize, _>` / `BTreeSet<usize>` in the
+/// arena-backed construction crates. Matches the literal token shapes
+/// `BTreeSet < usize >` and `BTreeMap < usize ,` — the order-load-bearing
+/// survivors are keyed by pairs, triples, or tuples and never match.
+fn rule_d06(
+    path: &str,
+    toks: &[Tok],
+    in_test: &dyn Fn(u32) -> bool,
+    emit: &mut dyn FnMut(&'static str, u32, String),
+) {
+    if !D06_CRATES.iter().any(|c| path.starts_with(c)) {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_test(t.line) {
+            continue;
+        }
+        let (name, closer) = match t.text.as_str() {
+            "BTreeSet" => ("BTreeSet<usize>", ">"),
+            "BTreeMap" => ("BTreeMap<usize, _>", ","),
+            _ => continue,
+        };
+        let keyed_by_node_id = toks.get(i + 1).map(|u| u.text.as_str()) == Some("<")
+            && toks.get(i + 2).map(|u| u.text.as_str()) == Some("usize")
+            && toks.get(i + 3).map(|u| u.text.as_str()) == Some(closer);
+        if keyed_by_node_id {
+            emit(
+                "D06",
+                t.line,
+                format!(
+                    "`{name}` keyed by node id in a construction crate: use VecSet/VecMap \
+                     from geospan-graph (same ascending iteration, flat storage)"
+                ),
+            );
         }
     }
 }

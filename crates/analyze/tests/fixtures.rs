@@ -230,6 +230,68 @@ pub fn ok(v: &[f64]) -> f64 {
     assert_eq!(rules_hit(src), Vec::<&str>::new());
 }
 
+// ---------------------------------------------------------------- D06
+
+#[test]
+fn d06_flags_node_id_keyed_btrees_in_construction_crates() {
+    let src = r#"
+use std::collections::{BTreeMap, BTreeSet};
+pub struct NodeState {
+    neighbors: BTreeSet<usize>,
+    positions: BTreeMap<usize, (f64, f64)>,
+}
+"#;
+    let findings = check_source("crates/topology/src/fixture.rs", src);
+    let d06 = findings.iter().filter(|f| f.rule == "D06").count();
+    assert_eq!(d06, 2, "{findings:?}");
+}
+
+#[test]
+fn d06_ignores_tuple_keys_and_non_construction_crates() {
+    // Pair/triple keys encode message-emission order and never match.
+    let src = r#"
+use std::collections::{BTreeMap, BTreeSet};
+pub struct NodeState {
+    edges: BTreeSet<(usize, usize)>,
+    votes: BTreeMap<[usize; 3], u32>,
+    winners: BTreeMap<(usize, usize), Vec<usize>>,
+}
+"#;
+    assert!(check_source("crates/cds/src/fixture.rs", src).is_empty());
+
+    // Node-id keys outside the construction crates are not D06's business.
+    let src = r#"
+use std::collections::BTreeSet;
+pub struct Flows {
+    active: BTreeSet<usize>,
+}
+"#;
+    assert!(check_source("crates/traffic/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn d06_ignores_test_code_and_honors_allow_directive() {
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeSet;
+    pub struct Oracle {
+        neighbors: BTreeSet<usize>,
+    }
+}
+"#;
+    assert!(check_source("crates/graph/src/fixture.rs", src).is_empty());
+
+    let src = r#"
+use std::collections::BTreeSet;
+pub struct NodeState {
+    // geospan-analyze: allow(D06, emission order of this set is load-bearing)
+    neighbors: BTreeSet<usize>,
+}
+"#;
+    assert!(check_source("crates/graph/src/fixture.rs", src).is_empty());
+}
+
 // ------------------------------------------------- directives and A00
 
 #[test]

@@ -1,29 +1,49 @@
-//! Persisted pipeline benchmark: the frozen seed implementation versus
-//! the optimized (parallel + grid-indexed) construction pipeline.
+//! Persisted pipeline benchmark: the frozen baselines versus the
+//! arena-backed construction pipeline, from n=200 up to n=1M.
 //!
-//! For each deployment size the binary times the seed `LDel¹ → PLDel`
-//! pipeline (serial, hash-map Bowyer–Watson, x-sweep planarization,
-//! `O(m²)` crossing count) against the current library pipeline, checks
-//! that both produce **identical** output, and writes the measurements to
+//! For each deployment size the binary times three implementations of the
+//! `LDel¹ → PLDel` pipeline on the same instance:
+//!
+//! - the frozen **seed** (serial, hash-map Bowyer–Watson, x-sweep
+//!   planarization, `O(m²)` crossing count) — run for n ≤ 10k,
+//! - the frozen **prev** optimized path (grid-indexed, parallel, but
+//!   BTree-keyed state and per-edge sorted inserts) — run for n ≤ 10k,
+//! - the current **arena** pipeline (flat stores, sorted-vec sets, CSR
+//!   freeze for queries) — run at every size,
+//!
+//! checks that all produce **identical** output wherever they run, and
+//! writes wall-clock, bytes-per-node, and peak-RSS measurements to
 //! `results/BENCH_pipeline.json` so regressions are diffable in review.
 //!
-//! Usage: `pipeline_speedup [--quick] [--seed S] [--out DIR]`
+//! Usage: `pipeline_speedup [--quick] [--check] [--seed S] [--out DIR]`
 //!
-//! `--quick` restricts the sweep to the two smallest sizes and one timing
-//! repetition — the CI smoke mode. Node density follows the paper's
-//! Table I calibration (side `200·√(n/100)`, radius 60), so the average
-//! degree stays constant across sizes.
+//! `--quick` restricts the sweep to n = 200 / 500 / 10k and one timing
+//! repetition — the CI smoke mode. `--check` additionally verifies scale
+//! invariants (PLDel ⊆ UDG, zero crossings, component preservation) so a
+//! correctness regression at n=10k fails CI, not just a slowdown. Node
+//! density follows the paper's Table I calibration (side `200·√(n/100)`,
+//! radius 60), so the average degree stays constant across sizes.
 
 // geospan-analyze: allow(D02, wall-clock timing is the benchmark's measurement, not an artifact input)
 use std::time::Instant;
 
-use geospan_bench::baseline::{seed_crossing_count, seed_ldel1, seed_planarize};
+use geospan_bench::baseline::{prev_planarized, seed_crossing_count, seed_ldel1, seed_planarize};
 use geospan_cds::build_cds;
 use geospan_core::ClusterRank;
 use geospan_graph::gen::connected_unit_disk;
 use geospan_graph::planarity::crossing_count;
 use geospan_graph::stretch::{stretch_factors, StretchOptions};
 use geospan_topology::ldel;
+
+/// Largest size the frozen seed and prev pipelines are timed at; beyond
+/// this the seed's hash-map Bowyer–Watson dominates the whole sweep.
+const BASELINE_MAX_N: usize = 10_000;
+/// Largest size for the seed's `O(m²)` crossing count.
+const SEED_CROSSING_MAX_N: usize = 2_000;
+/// Largest size for the grid crossing count and the CDS construction.
+const QUERY_MAX_N: usize = 100_000;
+/// Largest size for the all-pairs stretch measurement.
+const STRETCH_MAX_N: usize = 500;
 
 struct SizeResult {
     n: usize,
@@ -35,22 +55,34 @@ struct SizeResult {
     pldel_triangles: usize,
     pldel_edges: usize,
     /// Seed pipeline (LDel¹ + planarize), best-of-reps wall clock.
-    serial_pipeline_ms: f64,
-    /// Current pipeline on the same instance.
+    serial_pipeline_ms: Option<f64>,
+    /// Frozen pre-arena optimized pipeline on the same instance.
+    prev_pipeline_ms: Option<f64>,
+    /// Current arena-backed pipeline on the same instance.
     parallel_pipeline_ms: f64,
-    pipeline_speedup: f64,
+    /// seed / arena.
+    pipeline_speedup: Option<f64>,
+    /// prev / arena: the gain attributable to this refactor alone.
+    arena_speedup: Option<f64>,
     /// Seed `O(m²)` crossing count over the UDG edges.
-    serial_crossing_ms: f64,
+    serial_crossing_ms: Option<f64>,
     /// Grid-indexed crossing count (same result).
-    grid_crossing_ms: f64,
-    crossing_speedup: f64,
-    udg_crossings: usize,
-    cds_ms: f64,
-    cds_edges: usize,
+    grid_crossing_ms: Option<f64>,
+    crossing_speedup: Option<f64>,
+    udg_crossings: Option<usize>,
+    cds_ms: Option<f64>,
+    cds_edges: Option<usize>,
     /// Stretch of PLDel vs the UDG; only measured for n ≤ 500 (the
     /// all-pairs measurement dwarfs construction above that).
     stretch_ms: Option<f64>,
-    outputs_identical: bool,
+    /// Frozen-CSR footprint of the UDG, per node.
+    bytes_per_node: f64,
+    /// Frozen-CSR footprint of the PLDel output, per node.
+    pldel_bytes_per_node: f64,
+    /// Process high-water RSS when this row was recorded (monotone over
+    /// the ascending sweep; the last row is the true peak).
+    peak_rss_mb: Option<f64>,
+    outputs_identical: Option<bool>,
 }
 
 struct Report {
@@ -59,6 +91,20 @@ struct Report {
     quick: bool,
     reps: usize,
     sizes: Vec<SizeResult>,
+}
+
+fn json_opt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.3}"),
+        None => "null".into(),
+    }
+}
+
+fn json_opt_usize(v: Option<usize>) -> String {
+    match v {
+        Some(x) => x.to_string(),
+        None => "null".into(),
+    }
 }
 
 impl Report {
@@ -84,34 +130,67 @@ impl Report {
             let _ = writeln!(s, "      \"pldel_edges\": {},", r.pldel_edges);
             let _ = writeln!(
                 s,
-                "      \"serial_pipeline_ms\": {:.3},",
-                r.serial_pipeline_ms
+                "      \"serial_pipeline_ms\": {},",
+                json_opt_f64(r.serial_pipeline_ms)
+            );
+            let _ = writeln!(
+                s,
+                "      \"prev_pipeline_ms\": {},",
+                json_opt_f64(r.prev_pipeline_ms)
             );
             let _ = writeln!(
                 s,
                 "      \"parallel_pipeline_ms\": {:.3},",
                 r.parallel_pipeline_ms
             );
-            let _ = writeln!(s, "      \"pipeline_speedup\": {:.3},", r.pipeline_speedup);
             let _ = writeln!(
                 s,
-                "      \"serial_crossing_ms\": {:.3},",
-                r.serial_crossing_ms
+                "      \"pipeline_speedup\": {},",
+                json_opt_f64(r.pipeline_speedup)
             );
-            let _ = writeln!(s, "      \"grid_crossing_ms\": {:.3},", r.grid_crossing_ms);
-            let _ = writeln!(s, "      \"crossing_speedup\": {:.3},", r.crossing_speedup);
-            let _ = writeln!(s, "      \"udg_crossings\": {},", r.udg_crossings);
-            let _ = writeln!(s, "      \"cds_ms\": {:.3},", r.cds_ms);
-            let _ = writeln!(s, "      \"cds_edges\": {},", r.cds_edges);
-            match r.stretch_ms {
-                Some(ms) => {
-                    let _ = writeln!(s, "      \"stretch_ms\": {ms:.3},");
+            let _ = writeln!(
+                s,
+                "      \"arena_speedup\": {},",
+                json_opt_f64(r.arena_speedup)
+            );
+            let _ = writeln!(
+                s,
+                "      \"serial_crossing_ms\": {},",
+                json_opt_f64(r.serial_crossing_ms)
+            );
+            let _ = writeln!(
+                s,
+                "      \"grid_crossing_ms\": {},",
+                json_opt_f64(r.grid_crossing_ms)
+            );
+            let _ = writeln!(
+                s,
+                "      \"crossing_speedup\": {},",
+                json_opt_f64(r.crossing_speedup)
+            );
+            let _ = writeln!(
+                s,
+                "      \"udg_crossings\": {},",
+                json_opt_usize(r.udg_crossings)
+            );
+            let _ = writeln!(s, "      \"cds_ms\": {},", json_opt_f64(r.cds_ms));
+            let _ = writeln!(s, "      \"cds_edges\": {},", json_opt_usize(r.cds_edges));
+            let _ = writeln!(s, "      \"stretch_ms\": {},", json_opt_f64(r.stretch_ms));
+            let _ = writeln!(s, "      \"bytes_per_node\": {:.1},", r.bytes_per_node);
+            let _ = writeln!(
+                s,
+                "      \"pldel_bytes_per_node\": {:.1},",
+                r.pldel_bytes_per_node
+            );
+            let _ = writeln!(s, "      \"peak_rss_mb\": {},", json_opt_f64(r.peak_rss_mb));
+            let _ = writeln!(
+                s,
+                "      \"outputs_identical\": {}",
+                match r.outputs_identical {
+                    Some(b) => b.to_string(),
+                    None => "null".into(),
                 }
-                None => {
-                    let _ = writeln!(s, "      \"stretch_ms\": null,");
-                }
-            }
-            let _ = writeln!(s, "      \"outputs_identical\": {}", r.outputs_identical);
+            );
             s.push_str(if k + 1 < self.sizes.len() {
                 "    },\n"
             } else {
@@ -137,14 +216,56 @@ fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     (best, out.expect("reps >= 1"))
 }
 
+/// Best-of-`reps` for two alternatives timed back-to-back within each
+/// repetition, so clock-frequency drift on a busy host hits both sides
+/// of the ratio equally. One untimed warmup precedes the timed reps.
+fn interleaved_best<A, B>(
+    reps: usize,
+    mut f: impl FnMut() -> A,
+    mut g: impl FnMut() -> B,
+) -> ((f64, A), (f64, B)) {
+    let _ = f();
+    let _ = g();
+    let mut best_f = f64::INFINITY;
+    let mut best_g = f64::INFINITY;
+    let mut out_f = None;
+    let mut out_g = None;
+    for _ in 0..reps {
+        // geospan-analyze: allow(D02, wall-clock timing is the benchmark's measurement, not an artifact input)
+        let t0 = Instant::now();
+        let a = f();
+        best_f = best_f.min(t0.elapsed().as_secs_f64() * 1e3);
+        out_f = Some(a);
+        // geospan-analyze: allow(D02, wall-clock timing is the benchmark's measurement, not an artifact input)
+        let t1 = Instant::now();
+        let b = g();
+        best_g = best_g.min(t1.elapsed().as_secs_f64() * 1e3);
+        out_g = Some(b);
+    }
+    (
+        (best_f, out_f.expect("reps >= 1")),
+        (best_g, out_g.expect("reps >= 1")),
+    )
+}
+
+/// Process peak RSS from `/proc/self/status` (Linux only).
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
 fn main() {
     let mut quick = false;
+    let mut check = false;
     let mut seed = 1u64;
     let mut out_dir = std::path::PathBuf::from("results");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--check" => check = true,
             "--seed" => {
                 seed = args
                     .next()
@@ -153,16 +274,18 @@ fn main() {
                     .expect("u64")
             }
             "--out" => out_dir = args.next().expect("value after --out").into(),
-            other => panic!("unknown argument {other}; supported: --quick --seed S --out DIR"),
+            other => {
+                panic!("unknown argument {other}; supported: --quick --check --seed S --out DIR")
+            }
         }
     }
 
     let sizes: &[usize] = if quick {
-        &[200, 500]
+        &[200, 500, 10_000]
     } else {
-        &[200, 500, 1000, 2000]
+        &[200, 500, 1000, 2000, 10_000, 100_000, 1_000_000]
     };
-    let reps = if quick { 1 } else { 3 };
+    let base_reps = if quick { 1 } else { 3 };
     let radius = 60.0;
 
     let mut results = Vec::new();
@@ -170,27 +293,86 @@ fn main() {
         // Constant density: scale the region with n (Table I calibration).
         let side = 200.0 * ((n as f64) / 100.0).sqrt();
         let (_pts, udg, used_seed) = connected_unit_disk(n, side, radius, seed);
+        // Single repetition above the baseline ceiling: one arena run at
+        // n=1M outweighs the noise a best-of would absorb.
+        let reps = if n > BASELINE_MAX_N { 1 } else { base_reps };
 
-        let (serial_ms, serial) = best_of(reps, || seed_planarize(&udg, seed_ldel1(&udg)));
-        let (parallel_ms, parallel) = best_of(reps, || ldel::planarized(&udg));
-        let identical = serial == parallel;
-        assert!(
-            identical,
-            "n={n}: optimized pipeline output diverged from the seed baseline"
-        );
+        // The frozen prev pipeline and the arena pipeline are the ratio
+        // the acceptance gate reads, so they are timed interleaved.
+        let pair_reps = if quick || n > SEED_CROSSING_MAX_N {
+            reps
+        } else {
+            7
+        };
+        let (prev_timing, (parallel_ms, parallel)) = if n <= BASELINE_MAX_N {
+            let ((prev_ms, prev), new) = interleaved_best(
+                pair_reps,
+                || prev_planarized(&udg),
+                || ldel::planarized(&udg),
+            );
+            assert_eq!(
+                prev, new.1,
+                "n={n}: arena pipeline output diverged from the frozen prev pipeline"
+            );
+            (Some(prev_ms), new)
+        } else {
+            (None, best_of(reps, || ldel::planarized(&udg)))
+        };
 
-        let (serial_cross_ms, serial_crossings) = best_of(reps, || seed_crossing_count(&udg));
-        let (grid_cross_ms, grid_crossings) = best_of(reps, || crossing_count(&udg));
-        assert_eq!(serial_crossings, grid_crossings, "n={n}: crossing counts");
+        let (serial_ms, identical) = if n <= BASELINE_MAX_N {
+            let (ms, serial) = best_of(reps, || seed_planarize(&udg, seed_ldel1(&udg)));
+            let identical = serial == parallel;
+            assert!(
+                identical,
+                "n={n}: optimized pipeline output diverged from the seed baseline"
+            );
+            (Some(ms), Some(identical))
+        } else {
+            (None, None)
+        };
 
-        let (cds_ms, cds) = best_of(reps, || build_cds(&udg, &ClusterRank::LowestId));
+        let serial_crossing =
+            (n <= SEED_CROSSING_MAX_N).then(|| best_of(reps, || seed_crossing_count(&udg)));
+        let grid_crossing = (n <= QUERY_MAX_N).then(|| best_of(reps, || crossing_count(&udg)));
+        if let (Some((_, s)), Some((_, g))) = (&serial_crossing, &grid_crossing) {
+            assert_eq!(s, g, "n={n}: crossing counts");
+        }
 
-        let stretch_ms = (n <= 500).then(|| {
+        let cds =
+            (n <= QUERY_MAX_N).then(|| best_of(reps, || build_cds(&udg, &ClusterRank::LowestId)));
+
+        let stretch_ms = (n <= STRETCH_MAX_N).then(|| {
             best_of(reps, || {
                 stretch_factors(&udg, &parallel.graph, StretchOptions::default())
             })
             .0
         });
+
+        let udg_csr = udg.freeze();
+        let pldel_csr = parallel.graph.freeze();
+
+        if check {
+            // Scale invariants: a correctness regression at large n must
+            // fail CI even where the frozen baselines no longer run.
+            for (u, v) in parallel.graph.edges() {
+                assert!(udg.has_edge(u, v), "n={n}: PLDel edge ({u},{v}) not in UDG");
+            }
+            assert_eq!(
+                crossing_count(&parallel.graph),
+                0,
+                "n={n}: PLDel is not plane"
+            );
+            assert_eq!(
+                parallel.graph.components().len(),
+                udg.components().len(),
+                "n={n}: PLDel broke connectivity"
+            );
+            assert_eq!(
+                pldel_csr.thaw().edges().collect::<Vec<_>>(),
+                parallel.graph.edges().collect::<Vec<_>>(),
+                "n={n}: freeze/thaw round-trip"
+            );
+        }
 
         let r = SizeResult {
             n,
@@ -198,44 +380,58 @@ fn main() {
             radius,
             seed: used_seed,
             udg_edges: udg.edge_count(),
-            ldel_triangles: seed_ldel1(&udg).triangles.len(),
+            ldel_triangles: ldel::ldel1(&udg).triangles.len(),
             pldel_triangles: parallel.triangles.len(),
             pldel_edges: parallel.graph.edge_count(),
             serial_pipeline_ms: serial_ms,
+            prev_pipeline_ms: prev_timing,
             parallel_pipeline_ms: parallel_ms,
-            pipeline_speedup: serial_ms / parallel_ms,
-            serial_crossing_ms: serial_cross_ms,
-            grid_crossing_ms: grid_cross_ms,
-            crossing_speedup: serial_cross_ms / grid_cross_ms,
-            udg_crossings: grid_crossings,
-            cds_ms,
-            cds_edges: cds.cds.edge_count(),
+            pipeline_speedup: serial_ms.map(|s| s / parallel_ms),
+            arena_speedup: prev_timing.map(|p| p / parallel_ms),
+            serial_crossing_ms: serial_crossing.as_ref().map(|(ms, _)| *ms),
+            grid_crossing_ms: grid_crossing.as_ref().map(|(ms, _)| *ms),
+            crossing_speedup: match (&serial_crossing, &grid_crossing) {
+                (Some((s, _)), Some((g, _))) => Some(s / g),
+                _ => None,
+            },
+            udg_crossings: grid_crossing.as_ref().map(|(_, c)| *c),
+            cds_ms: cds.as_ref().map(|(ms, _)| *ms),
+            cds_edges: cds.as_ref().map(|(_, c)| c.cds.edge_count()),
             stretch_ms,
+            bytes_per_node: udg_csr.memory_bytes() as f64 / n as f64,
+            pldel_bytes_per_node: pldel_csr.memory_bytes() as f64 / n as f64,
+            peak_rss_mb: peak_rss_mb(),
             outputs_identical: identical,
         };
         println!(
-            "n={:>5}  pipeline {:>8.2}ms -> {:>7.2}ms ({:.2}x)   crossings {:>8.2}ms -> {:>7.2}ms ({:.2}x)",
+            "n={:>7}  arena {:>9.2}ms  prev {}  seed {}  ({} B/node UDG, rss {})",
             r.n,
-            r.serial_pipeline_ms,
             r.parallel_pipeline_ms,
-            r.pipeline_speedup,
-            r.serial_crossing_ms,
-            r.grid_crossing_ms,
-            r.crossing_speedup,
+            r.prev_pipeline_ms
+                .map_or("      n/a".into(), |ms| format!("{ms:>9.2}ms")),
+            r.serial_pipeline_ms
+                .map_or("      n/a".into(), |ms| format!("{ms:>9.2}ms")),
+            r.bytes_per_node as usize,
+            r.peak_rss_mb
+                .map_or("n/a".into(), |mb| format!("{mb:.0}MB")),
         );
         results.push(r);
     }
 
     let report = Report {
-        description: "Construction pipeline: frozen seed implementation vs optimized \
-                      (grid-indexed, parallel) pipeline; best-of-reps wall clock",
+        description: "Construction pipeline: frozen seed and prev-optimized baselines vs the \
+                      arena-backed pipeline; best-of-reps wall clock, frozen-CSR bytes-per-node, \
+                      peak RSS",
         threads: rayon::current_num_threads(),
         quick,
-        reps,
+        reps: base_reps,
         sizes: results,
     };
     std::fs::create_dir_all(&out_dir).expect("create output directory");
     let path = out_dir.join("BENCH_pipeline.json");
     std::fs::write(&path, report.to_json()).expect("write BENCH_pipeline.json");
     println!("wrote {}", path.display());
+    if check {
+        println!("check: all scale invariants hold");
+    }
 }

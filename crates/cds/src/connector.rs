@@ -22,6 +22,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use geospan_graph::collections::VecSet;
 use geospan_graph::Graph;
 
 use crate::Clustering;
@@ -50,7 +51,7 @@ pub fn find_connectors(g: &Graph, clustering: &Clustering) -> ConnectorResult {
 pub fn find_connectors_for_pairs(
     g: &Graph,
     clustering: &Clustering,
-    dominators: &BTreeSet<usize>,
+    dominators: &VecSet,
 ) -> ConnectorResult {
     find_connectors_impl(g, clustering, Some(dominators))
 }
@@ -58,20 +59,27 @@ pub fn find_connectors_for_pairs(
 fn find_connectors_impl(
     g: &Graph,
     clustering: &Clustering,
-    restrict: Option<&BTreeSet<usize>>,
+    restrict: Option<&VecSet>,
 ) -> ConnectorResult {
     let n = g.node_count();
     let doms = &clustering.dominators_of;
     let pair_in_scope =
-        |u: usize, v: usize| restrict.is_none_or(|set| set.contains(&u) || set.contains(&v));
+        |u: usize, v: usize| restrict.is_none_or(|set| set.contains(u) || set.contains(v));
 
     // 2-hop dominators per dominatee: v such that some neighboring
     // dominatee is dominated by v, and v is not already adjacent.
-    let mut two_hop: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    let mut two_hop: Vec<VecSet> = vec![VecSet::new(); n];
+    // Dominatees per dominator (ascending), so stage 3 enumerates only
+    // the far dominator's dominatees instead of scanning all n nodes
+    // per winning pair.
+    let mut dominatees_of: Vec<Vec<usize>> = vec![Vec::new(); n];
     #[allow(clippy::needless_range_loop)]
     for w in 0..n {
         if clustering.is_dominator[w] {
             continue;
+        }
+        for &v in &doms[w] {
+            dominatees_of[v].push(w);
         }
         for &x in g.neighbors(w) {
             if clustering.is_dominator[x] {
@@ -85,7 +93,7 @@ fn find_connectors_impl(
         }
     }
 
-    let mut connectors: BTreeSet<usize> = BTreeSet::new();
+    let mut connectors = VecSet::new();
     let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
     let add_edge = |edges: &mut BTreeSet<(usize, usize)>, a: usize, b: usize| {
         edges.insert((a.min(b), a.max(b)));
@@ -125,7 +133,7 @@ fn find_connectors_impl(
             continue;
         }
         for &u in &doms[w] {
-            for &v in &two_hop[w] {
+            for v in &two_hop[w] {
                 if v != u && pair_in_scope(u, v) {
                     cand2.entry((u, v)).or_default().push(w);
                 }
@@ -145,14 +153,12 @@ fn find_connectors_impl(
     }
 
     // Stage 3: dominatees of v adjacent to a stage-2 winner for (u, v).
+    // `dominatees_of[v]` is ascending, so the candidate list comes out
+    // in the same order the old all-nodes scan produced.
     for ((u, v), ws) in &winners2 {
         let _ = u;
         let mut cands: Vec<usize> = Vec::new();
-        #[allow(clippy::needless_range_loop)]
-        for x in 0..n {
-            if clustering.is_dominator[x] || !doms[x].contains(v) {
-                continue;
-            }
+        for &x in &dominatees_of[*v] {
             if ws.iter().any(|&w| g.has_edge(x, w)) {
                 cands.push(x);
             }
@@ -175,7 +181,7 @@ fn find_connectors_impl(
     }
 
     ConnectorResult {
-        connectors: connectors.into_iter().collect(),
+        connectors: connectors.iter().collect(),
         edges: edges.into_iter().collect(),
     }
 }
@@ -287,14 +293,14 @@ mod tests {
             let c = cluster(&g, &ClusterRank::LowestId);
             let full = find_connectors(&g, &c);
             // Restricting to every dominator reproduces the full election.
-            let all: BTreeSet<usize> = c.dominators.iter().copied().collect();
+            let all: VecSet = c.dominators.iter().copied().collect();
             assert_eq!(find_connectors_for_pairs(&g, &c, &all), full);
             // The empty restriction elects nothing.
-            let none = find_connectors_for_pairs(&g, &c, &BTreeSet::new());
+            let none = find_connectors_for_pairs(&g, &c, &VecSet::new());
             assert!(none.connectors.is_empty() && none.edges.is_empty());
             // A single-dominator restriction yields a subset of the full
             // election (its pairs' winners are unchanged by locality).
-            let one: BTreeSet<usize> = [c.dominators[0]].into();
+            let one: VecSet = [c.dominators[0]].into_iter().collect();
             let partial = find_connectors_for_pairs(&g, &c, &one);
             for e in &partial.edges {
                 assert!(full.edges.contains(e), "seed {seed}: extra edge {e:?}");

@@ -1,0 +1,181 @@
+//! Centralized reference implementation of Algorithm 1 (finding
+//! connectors).
+//!
+//! Mirrors the distributed election exactly (the protocol in
+//! [`geospan_cds::protocol`] is tested to produce identical output):
+//!
+//! * **Stage 1** — for every unordered dominator pair `{u, v}` sharing a
+//!   dominatee, each common dominatee is a candidate; a candidate wins
+//!   when it has the smallest identifier among itself and its *adjacent*
+//!   candidates (so up to two non-adjacent winners per pair, as the paper
+//!   notes). A winner `w` contributes the path `u — w — v`.
+//! * **Stage 2** — for every dominatee `w` with dominator `u` and a
+//!   2-hop-away dominator `v` (learned from a neighboring dominatee of
+//!   `v`), `w` is a candidate for the ordered pair `(u, v)`; local-minimum
+//!   winners contribute the edge `u — w`.
+//! * **Stage 3** — dominatees of `v` adjacent to a stage-2 winner for
+//!   `(u, v)` are candidates; local-minimum winners `x` contribute the
+//!   edges `x — v` and `x — w` to the smallest adjacent stage-2 winner.
+//!
+//! Together the stages link every dominator pair at hop distance two or
+//! three, which suffices for backbone connectivity.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use geospan_graph::Graph;
+
+use geospan_cds::Clustering;
+
+/// Output of connector election.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectorResult {
+    /// Elected connectors (dominatees), ascending.
+    pub connectors: Vec<usize>,
+    /// Backbone edges contributed by the elections, `(a, b)` unordered.
+    pub edges: Vec<(usize, usize)>,
+}
+
+/// Runs the three election stages. See the module documentation.
+pub fn find_connectors(g: &Graph, clustering: &Clustering) -> ConnectorResult {
+    find_connectors_impl(g, clustering, None)
+}
+
+/// Runs the election stages only for dominator pairs touching `dominators`
+/// (i.e. pairs `{u, v}` with `u` or `v` in the set).
+///
+/// This is the localized-repair entry point: when a link break or node
+/// death perturbs a bounded neighborhood, only the elections involving
+/// the affected dominators can change, so only those are re-run. The
+/// result composes with the retained elections of the untouched region.
+pub fn find_connectors_for_pairs(
+    g: &Graph,
+    clustering: &Clustering,
+    dominators: &BTreeSet<usize>,
+) -> ConnectorResult {
+    find_connectors_impl(g, clustering, Some(dominators))
+}
+
+fn find_connectors_impl(
+    g: &Graph,
+    clustering: &Clustering,
+    restrict: Option<&BTreeSet<usize>>,
+) -> ConnectorResult {
+    let n = g.node_count();
+    let doms = &clustering.dominators_of;
+    let pair_in_scope =
+        |u: usize, v: usize| restrict.is_none_or(|set| set.contains(&u) || set.contains(&v));
+
+    // 2-hop dominators per dominatee: v such that some neighboring
+    // dominatee is dominated by v, and v is not already adjacent.
+    let mut two_hop: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    #[allow(clippy::needless_range_loop)]
+    for w in 0..n {
+        if clustering.is_dominator[w] {
+            continue;
+        }
+        for &x in g.neighbors(w) {
+            if clustering.is_dominator[x] {
+                continue;
+            }
+            for &v in &doms[x] {
+                if !doms[w].contains(&v) {
+                    two_hop[w].insert(v);
+                }
+            }
+        }
+    }
+
+    let mut connectors: BTreeSet<usize> = BTreeSet::new();
+    let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let add_edge = |edges: &mut BTreeSet<(usize, usize)>, a: usize, b: usize| {
+        edges.insert((a.min(b), a.max(b)));
+    };
+
+    // Stage 1: common dominatees of an unordered dominator pair.
+    let mut cand1: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+    #[allow(clippy::needless_range_loop)]
+    for w in 0..n {
+        if clustering.is_dominator[w] {
+            continue;
+        }
+        let ds = &doms[w];
+        for (i, &u) in ds.iter().enumerate() {
+            for &v in &ds[i + 1..] {
+                if pair_in_scope(u, v) {
+                    cand1.entry((u, v)).or_default().push(w);
+                }
+            }
+        }
+    }
+    for ((u, v), cands) in &cand1 {
+        for &w in cands {
+            let beaten = cands.iter().any(|&w2| w2 < w && g.has_edge(w, w2));
+            if !beaten {
+                connectors.insert(w);
+                add_edge(&mut edges, *u, w);
+                add_edge(&mut edges, w, *v);
+            }
+        }
+    }
+
+    // Stage 2: dominatee w of u proposing toward a 2-hop dominator v.
+    let mut cand2: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+    for w in 0..n {
+        if clustering.is_dominator[w] {
+            continue;
+        }
+        for &u in &doms[w] {
+            for &v in &two_hop[w] {
+                if v != u && pair_in_scope(u, v) {
+                    cand2.entry((u, v)).or_default().push(w);
+                }
+            }
+        }
+    }
+    let mut winners2: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+    for ((u, v), cands) in &cand2 {
+        for &w in cands {
+            let beaten = cands.iter().any(|&w2| w2 < w && g.has_edge(w, w2));
+            if !beaten {
+                connectors.insert(w);
+                add_edge(&mut edges, *u, w);
+                winners2.entry((*u, *v)).or_default().push(w);
+            }
+        }
+    }
+
+    // Stage 3: dominatees of v adjacent to a stage-2 winner for (u, v).
+    for ((u, v), ws) in &winners2 {
+        let _ = u;
+        let mut cands: Vec<usize> = Vec::new();
+        #[allow(clippy::needless_range_loop)]
+        for x in 0..n {
+            if clustering.is_dominator[x] || !doms[x].contains(v) {
+                continue;
+            }
+            if ws.iter().any(|&w| g.has_edge(x, w)) {
+                cands.push(x);
+            }
+        }
+        for &x in &cands {
+            let beaten = cands.iter().any(|&x2| x2 < x && g.has_edge(x, x2));
+            if !beaten {
+                connectors.insert(x);
+                add_edge(&mut edges, x, *v);
+                // Link to the smallest adjacent stage-2 winner.
+                let w = ws
+                    .iter()
+                    .copied()
+                    .filter(|&w| g.has_edge(x, w))
+                    .min()
+                    .expect("candidate is adjacent to a winner");
+                add_edge(&mut edges, x, w);
+            }
+        }
+    }
+
+    ConnectorResult {
+        connectors: connectors.into_iter().collect(),
+        edges: edges.into_iter().collect(),
+    }
+}

@@ -14,18 +14,17 @@
 //! Each message is a 1-hop broadcast; per-node totals are bounded by a
 //! constant (Lemma 3 of the paper) and are measured, not assumed. The
 //! final structure is identical to the centralized reference
-//! ([`crate::build_cds`]) — enforced by tests.
+//! ([`geospan_cds::build_cds`]) — enforced by tests.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use geospan_graph::collections::{VecMap, VecSet};
 use geospan_graph::Graph;
 use geospan_sim::{
     Context, FaultPlan, FaultReport, MessageKind, MessageStats, Network, Protocol,
     QuiescenceTimeout, ReliabilityConfig,
 };
 
-use crate::{assemble, CdsGraphs, ClusterRank, Clustering, ConnectorResult};
+use geospan_cds::{assemble, CdsGraphs, ClusterRank, Clustering, ConnectorResult};
 
 /// Messages of the CDS formation protocol (the paper's primitives).
 #[derive(Debug, Clone, PartialEq)]
@@ -95,27 +94,23 @@ pub struct CdsNode {
     id: usize,
     key: (i64, usize),
     status: Status,
-    /// Neighbor ranks from `Hello`. Sorted-vec map: ascending-by-id
-    /// iteration, exactly like the `BTreeMap` it replaced.
-    nbr_keys: VecMap<(i64, usize)>,
+    /// Neighbor ranks from `Hello`.
+    nbr_keys: BTreeMap<usize, (i64, usize)>,
     /// Neighbors confirmed as dominatees.
-    nbr_dominatee: VecSet,
+    nbr_dominatee: BTreeSet<usize>,
     /// Adjacent dominators.
-    dominators: VecSet,
+    dominators: BTreeSet<usize>,
     /// Dominators heard of via neighboring dominatees (raw; filtered
     /// against `dominators` when candidacies are formed).
-    heard_dominators: VecSet,
+    heard_dominators: BTreeSet<usize>,
     /// Dominators already acknowledged with `IamDominatee`.
-    announced: VecSet,
-    /// Candidacies this node entered: `(u, v, stage)`. Election-keyed
-    /// (not node-id-keyed), and phase 3/4 broadcasts iterate it in key
-    /// order — load-bearing for the pinned message traces, so `BTree*`
-    /// stays here and for the two maps below.
+    announced: BTreeSet<usize>,
+    /// Candidacies this node entered: `(u, v, stage)`.
     my_tries: BTreeSet<(usize, usize, u8)>,
     /// Candidacy announcements heard, keyed by election.
-    try_heard: BTreeMap<(usize, usize, u8), VecSet>,
+    try_heard: BTreeMap<(usize, usize, u8), BTreeSet<usize>>,
     /// Stage-2 winners heard per ordered pair `(u, v)`.
-    stage2_winners: BTreeMap<(usize, usize), VecSet>,
+    stage2_winners: BTreeMap<(usize, usize), BTreeSet<usize>>,
     /// Whether this node elected itself a connector.
     is_connector: bool,
     /// Backbone edges this node is responsible for.
@@ -128,11 +123,11 @@ impl CdsNode {
             id,
             key,
             status: Status::White,
-            nbr_keys: VecMap::new(),
-            nbr_dominatee: VecSet::new(),
-            dominators: VecSet::new(),
-            heard_dominators: VecSet::new(),
-            announced: VecSet::new(),
+            nbr_keys: BTreeMap::new(),
+            nbr_dominatee: BTreeSet::new(),
+            dominators: BTreeSet::new(),
+            heard_dominators: BTreeSet::new(),
+            announced: BTreeSet::new(),
             my_tries: BTreeSet::new(),
             try_heard: BTreeMap::new(),
             stage2_winners: BTreeMap::new(),
@@ -150,7 +145,7 @@ impl CdsNode {
         let blocked = self
             .nbr_keys
             .iter()
-            .any(|(nbr, &k)| k < self.key && !self.nbr_dominatee.contains(nbr));
+            .any(|(&nbr, &k)| k < self.key && !self.nbr_dominatee.contains(&nbr));
         if !blocked {
             self.status = Status::Dominator;
             ctx.broadcast(CdsMsg::IamDominator);
@@ -167,7 +162,7 @@ impl CdsNode {
     fn wins(&self, key: (usize, usize, u8)) -> bool {
         self.try_heard
             .get(&key)
-            .is_none_or(|heard| heard.iter().all(|w| w > self.id))
+            .is_none_or(|heard| heard.iter().all(|&w| w > self.id))
     }
 }
 
@@ -221,7 +216,7 @@ impl Protocol for CdsNode {
                     return;
                 }
                 // Stage 1: a candidate for every pair of own dominators.
-                let ds: Vec<usize> = self.dominators.iter().collect();
+                let ds: Vec<usize> = self.dominators.iter().copied().collect();
                 for (i, &u) in ds.iter().enumerate() {
                     for &v in &ds[i + 1..] {
                         self.my_tries.insert((u, v, 1));
@@ -235,8 +230,8 @@ impl Protocol for CdsNode {
                 }
                 // Stage 2: own dominator toward each 2-hop dominator.
                 for &u in &ds {
-                    for v in &self.heard_dominators {
-                        if v != u && !self.dominators.contains(v) {
+                    for &v in &self.heard_dominators {
+                        if v != u && !self.dominators.contains(&v) {
                             self.my_tries.insert((u, v, 2));
                             ctx.broadcast(CdsMsg::TryConnector {
                                 u,
@@ -280,7 +275,9 @@ impl Protocol for CdsNode {
                     self.is_connector = true;
                     self.add_edge(self.id, v);
                     let w = self.stage2_winners[&(u, v)]
-                        .first()
+                        .iter()
+                        .copied()
+                        .next()
                         .expect("stage-3 candidacy implies a heard stage-2 winner");
                     self.add_edge(self.id, w);
                     ctx.broadcast(CdsMsg::IamConnector {
@@ -326,7 +323,7 @@ impl Protocol for CdsNode {
                     // Step 7: dominatees of v respond with a stage-3
                     // candidacy.
                     if self.status == Status::Dominatee
-                        && self.dominators.contains(*v)
+                        && self.dominators.contains(v)
                         && self.my_tries.insert((*u, *v, 3))
                     {
                         ctx.broadcast(CdsMsg::TryConnector {
@@ -395,7 +392,7 @@ fn run_cds_inner(
     }
     net.run_phases(5, budget)?;
     let (nodes, stats) = net.into_parts();
-    Ok((harvest(udg, &nodes, &VecSet::new(), false), stats))
+    Ok((harvest(udg, &nodes, &BTreeSet::new(), false), stats))
 }
 
 /// Runs the CDS construction under injected faults, with the link-layer
@@ -434,7 +431,7 @@ pub fn run_cds_faulty(
     net.run_phases(10, budget)?;
     let report = net.fault_report();
     let (nodes, stats) = net.into_parts();
-    let crashed: VecSet = report.crashed.iter().copied().collect();
+    let crashed: BTreeSet<usize> = report.crashed.iter().copied().collect();
     Ok((harvest(udg, &nodes, &crashed, true), stats, report))
 }
 
@@ -444,7 +441,7 @@ pub fn run_cds_faulty(
 /// entirely, dangling references to them are filtered out, and a node
 /// still white (possible only if it crashed mid-election — but kept as a
 /// safety net) becomes a standalone dominator instead of panicking.
-fn harvest(udg: &Graph, nodes: &[CdsNode], crashed: &VecSet, lenient: bool) -> CdsGraphs {
+fn harvest(udg: &Graph, nodes: &[CdsNode], crashed: &BTreeSet<usize>, lenient: bool) -> CdsGraphs {
     let n = udg.node_count();
     let mut dominators = Vec::new();
     let mut is_dominator = vec![false; n];
@@ -452,7 +449,7 @@ fn harvest(udg: &Graph, nodes: &[CdsNode], crashed: &VecSet, lenient: bool) -> C
     let mut connectors = Vec::new();
     let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
     for node in nodes {
-        if crashed.contains(node.id) {
+        if crashed.contains(&node.id) {
             continue;
         }
         match node.status {
@@ -461,7 +458,7 @@ fn harvest(udg: &Graph, nodes: &[CdsNode], crashed: &VecSet, lenient: bool) -> C
                 is_dominator[node.id] = true;
             }
             Status::Dominatee => {
-                dominators_of[node.id] = node.dominators.iter().collect();
+                dominators_of[node.id] = node.dominators.iter().copied().collect();
                 if node.is_connector {
                     connectors.push(node.id);
                 }
@@ -475,7 +472,7 @@ fn harvest(udg: &Graph, nodes: &[CdsNode], crashed: &VecSet, lenient: bool) -> C
         edges.extend(
             node.edges
                 .iter()
-                .filter(|(a, b)| !crashed.contains(*a) && !crashed.contains(*b)),
+                .filter(|(a, b)| !crashed.contains(a) && !crashed.contains(b)),
         );
     }
     if lenient {
@@ -509,169 +506,4 @@ pub fn same_structure(a: &CdsGraphs, b: &CdsGraphs) -> bool {
         && a.cds_prime == b.cds_prime
         && a.icds == b.icds
         && a.icds_prime == b.icds_prime
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::{build_cds, Role};
-    use geospan_graph::gen::connected_unit_disk;
-
-    #[test]
-    fn distributed_matches_centralized() {
-        for seed in 0..6 {
-            let (_pts, udg, _s) = connected_unit_disk(60, 150.0, 45.0, seed * 13 + 1);
-            for rank in [ClusterRank::LowestId, ClusterRank::HighestDegree] {
-                let central = build_cds(&udg, &rank);
-                let (dist, _stats) = run_cds(&udg, &rank).expect("protocol converges");
-                assert!(
-                    same_structure(&central, &dist),
-                    "seed {seed}, rank {rank:?}: structures differ"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn asynchronous_delivery_changes_nothing() {
-        // The election decisions are timing-independent, so arbitrary
-        // bounded per-message delays must yield the identical backbone.
-        for seed in 0..4 {
-            let (_pts, udg, _s) = connected_unit_disk(50, 150.0, 45.0, seed * 31 + 7);
-            let sync = build_cds(&udg, &ClusterRank::LowestId);
-            for delay_seed in 0..3 {
-                let (jittered, _stats) =
-                    run_cds_jittered(&udg, &ClusterRank::LowestId, 5, delay_seed * 997 + 1)
-                        .expect("protocol converges under jitter");
-                assert!(
-                    same_structure(&sync, &jittered),
-                    "seed {seed}, delay seed {delay_seed}: async run diverged"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn per_node_message_cost_is_bounded() {
-        // The paper's Lemma 3: constant messages per node. The constant is
-        // generous here; the experiments measure the actual values.
-        for seed in 0..4 {
-            let (_pts, udg, _s) = connected_unit_disk(80, 150.0, 40.0, seed * 29 + 5);
-            let (_g, stats) = run_cds(&udg, &ClusterRank::LowestId).unwrap();
-            assert!(
-                stats.max_sent() <= 120,
-                "seed {seed}: a node sent {} messages",
-                stats.max_sent()
-            );
-        }
-    }
-
-    #[test]
-    fn message_kind_accounting() {
-        let (_pts, udg, _s) = connected_unit_disk(50, 150.0, 50.0, 3);
-        let (g, stats) = run_cds(&udg, &ClusterRank::LowestId).unwrap();
-        let kinds = stats.per_kind();
-        assert_eq!(kinds["Hello"], 50);
-        assert_eq!(kinds["IamDominator"], g.dominators.len());
-        // Each dominatee announces once per adjacent dominator.
-        let expected: usize = g.dominators_of.iter().map(Vec::len).sum();
-        assert_eq!(kinds["IamDominatee"], expected);
-    }
-
-    #[test]
-    fn zero_fault_plan_matches_plain_run_exactly() {
-        let (_pts, udg, _s) = connected_unit_disk(50, 150.0, 45.0, 9);
-        let (plain, plain_stats) = run_cds(&udg, &ClusterRank::LowestId).unwrap();
-        let (faulty, faulty_stats, report) = run_cds_faulty(
-            &udg,
-            &ClusterRank::LowestId,
-            &FaultPlan::none(),
-            ReliabilityConfig::default(),
-        )
-        .unwrap();
-        assert!(same_structure(&plain, &faulty));
-        assert_eq!(
-            plain_stats, faulty_stats,
-            "message counts must be bit-identical"
-        );
-        assert_eq!(report, FaultReport::default());
-    }
-
-    #[test]
-    fn recovery_survives_loss_and_crashes() {
-        use geospan_graph::paths::bfs_hops;
-        for seed in 0..4 {
-            let (_pts, udg, _s) = connected_unit_disk(60, 150.0, 45.0, seed * 37 + 11);
-            let plan = FaultPlan::new(seed)
-                .with_loss(0.15)
-                .with_crash((seed as usize * 7 + 3) % 60, 4);
-            let rel = ReliabilityConfig {
-                max_retries: 8,
-                ack_timeout: 2,
-            };
-            let (g, stats, report) =
-                run_cds_faulty(&udg, &ClusterRank::LowestId, &plan, rel).unwrap();
-            assert!(report.dropped > 0, "seed {seed}: loss was injected");
-            assert!(stats.per_kind().contains_key("ack"));
-            let crashed: std::collections::BTreeSet<usize> =
-                report.crashed.iter().copied().collect();
-            // Every surviving node is covered: dominator, or has one.
-            for v in 0..udg.node_count() {
-                if crashed.contains(&v) {
-                    continue;
-                }
-                assert!(
-                    g.roles[v] == Role::Dominator || !g.dominators_of[v].is_empty(),
-                    "seed {seed}: node {v} uncovered after recovery"
-                );
-            }
-            // The surviving backbone connects every surviving UDG
-            // component: any two alive nodes connected in the alive UDG
-            // are connected in alive ICDS'.
-            let alive_udg = udg.filter_edges(|u, v| !crashed.contains(&u) && !crashed.contains(&v));
-            let alive_prime = g
-                .icds_prime
-                .filter_edges(|u, v| !crashed.contains(&u) && !crashed.contains(&v));
-            for comp in alive_udg.components() {
-                let inside: Vec<usize> = comp
-                    .iter()
-                    .copied()
-                    .filter(|v| !crashed.contains(v))
-                    .collect();
-                if inside.len() < 2 {
-                    continue;
-                }
-                let hops = bfs_hops(&alive_prime, inside[0]);
-                for &v in &inside[1..] {
-                    assert!(
-                        hops[v].is_some(),
-                        "seed {seed}: {v} cut off from {} in repaired backbone",
-                        inside[0]
-                    );
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn five_phase_chain() {
-        // A 4-chain exercises stages 2 and 3 (3-hop dominator pair).
-        use geospan_graph::{Graph, Point};
-        let udg = Graph::with_edges(
-            vec![
-                Point::new(0.0, 0.0),
-                Point::new(1.0, 0.0),
-                Point::new(2.0, 0.0),
-                Point::new(3.0, 0.0),
-            ],
-            [(0, 1), (1, 2), (2, 3)],
-        );
-        let rank = ClusterRank::Weight(vec![10, 0, 0, 10]);
-        let central = build_cds(&udg, &rank);
-        let (dist, stats) = run_cds(&udg, &rank).unwrap();
-        assert!(same_structure(&central, &dist));
-        assert_eq!(dist.connectors, vec![1, 2]);
-        assert!(stats.per_kind().contains_key("TryConnector"));
-        assert!(stats.per_kind().contains_key("IamConnector"));
-    }
 }

@@ -409,7 +409,7 @@ impl MobileBackbone {
 
         // Re-run the elections for pairs touching an affected dominator;
         // keep every still-valid edge of the untouched elections.
-        let affected_doms: BTreeSet<usize> = affected
+        let affected_doms: geospan_graph::collections::VecSet = affected
             .iter()
             .copied()
             .filter(|&w| clustering.is_dominator[w])

@@ -176,6 +176,22 @@ impl UniformGrid {
     /// the lexicographically smallest common cell.
     pub fn candidate_pairs(&self) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
+        self.for_each_candidate_pair(|i, j| out.push((i, j)));
+        out.sort_unstable();
+        out
+    }
+
+    /// Streams every candidate pair (see [`Self::candidate_pairs`]) to
+    /// `visit` as `(i, j)` with `i < j`, each exactly once, without
+    /// materializing the pair list.
+    ///
+    /// The visit order is deterministic (row-major by the pair's
+    /// reporting cell) but **not** globally sorted; use this for
+    /// order-insensitive aggregation — counting crossings, OR-ing
+    /// removal flags — where building and sorting the full pair vector
+    /// would dominate the running time (or, at 10⁵–10⁶ nodes, the
+    /// memory) of the actual geometric tests.
+    pub fn for_each_candidate_pair(&self, mut visit: impl FnMut(usize, usize)) {
         for r in 0..self.rows {
             for c in 0..self.cols {
                 let bucket = &self.cells[r * self.cols + c];
@@ -186,15 +202,12 @@ impl UniformGrid {
                         // Report in the min corner of the range overlap
                         // only, so shared-multi-cell pairs appear once.
                         if ic0.max(jc0) as usize == c && ir0.max(jr0) as usize == r {
-                            let (i, j) = (bi.min(bj) as usize, bi.max(bj) as usize);
-                            out.push((i, j));
+                            visit(bi.min(bj) as usize, bi.max(bj) as usize);
                         }
                     }
                 }
             }
         }
-        out.sort_unstable();
-        out
     }
 }
 
@@ -269,6 +282,37 @@ mod tests {
                     "hint {hint:?}: missing overlap pair {p:?}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn streaming_pairs_match_materialized_pairs() {
+        let mut s: u64 = 0x13198A2E03707344;
+        let mut rnd = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        let segs: Vec<(Point, Point)> = (0..150)
+            .map(|_| {
+                let x = rnd() * 60.0;
+                let y = rnd() * 60.0;
+                seg(x, y, x + rnd() * 6.0, y + rnd() * 6.0)
+            })
+            .collect();
+        for hint in [None, Some(3.0), Some(50.0)] {
+            let g = UniformGrid::from_segments(&segs, hint);
+            let mut streamed = Vec::new();
+            g.for_each_candidate_pair(|i, j| {
+                assert!(i < j);
+                streamed.push((i, j));
+            });
+            let sorted_len = streamed.len();
+            streamed.sort_unstable();
+            streamed.dedup();
+            assert_eq!(sorted_len, streamed.len(), "hint {hint:?}: duplicates");
+            assert_eq!(streamed, g.candidate_pairs(), "hint {hint:?}");
         }
     }
 

@@ -55,7 +55,9 @@ pub use predicates::{
     gabriel_test, in_circumcircle, incircle, orient2d, CirclePosition, Orientation,
 };
 pub use segment::{segments_cross, segments_properly_cross, SegmentIntersection};
-pub use triangulation::{delaunay_triangles, Triangle, Triangulation, TriangulationError};
+pub use triangulation::{
+    delaunay_triangles, DelaunayScratch, Triangle, Triangulation, TriangulationError,
+};
 
 /// Pseudo-angle of the vector `(dx, dy)`: a monotone surrogate for
 /// `atan2(dy, dx)` that maps the full turn to `[0, 4)` without

@@ -77,6 +77,7 @@ const ICC_ERR_BOUND: f64 = (10.0 + 96.0 * EPS) * EPS;
 /// assert_eq!(orient2d(a, b, Point::new(2.0, 0.0)), Orientation::Collinear);
 /// assert_eq!(orient2d(a, b, Point::new(0.0, -1.0)), Orientation::Clockwise);
 /// ```
+#[inline]
 pub fn orient2d(a: Point, b: Point, c: Point) -> Orientation {
     let detleft = (a.x - c.x) * (b.y - c.y);
     let detright = (a.y - c.y) * (b.x - c.x);
@@ -114,6 +115,12 @@ fn sign_of(v: f64) -> i32 {
 }
 
 /// Exact evaluation of the orientation determinant via expansions.
+///
+/// Out-of-line and cold: the static filter above resolves almost every
+/// call, so keeping the expansion arithmetic out of the inlined fast
+/// path is what makes `orient2d` cheap at its (hot) call sites.
+#[cold]
+#[inline(never)]
 fn orient2d_exact(a: Point, b: Point, c: Point) -> i32 {
     let acx = Expansion::from_diff(a.x, c.x);
     let acy = Expansion::from_diff(a.y, c.y);
@@ -141,6 +148,7 @@ fn orient2d_exact(a: Point, b: Point, c: Point) -> i32 {
 /// assert_eq!(incircle(a, b, c, Point::new(2.0, 2.0)), CirclePosition::On);
 /// assert_eq!(incircle(a, b, c, Point::new(3.0, 3.0)), CirclePosition::Outside);
 /// ```
+#[inline]
 pub fn incircle(a: Point, b: Point, c: Point, d: Point) -> CirclePosition {
     let adx = a.x - d.x;
     let ady = a.y - d.y;
@@ -180,6 +188,10 @@ pub fn incircle(a: Point, b: Point, c: Point, d: Point) -> CirclePosition {
 }
 
 /// Exact evaluation of the in-circle determinant via expansions.
+///
+/// Out-of-line and cold for the same reason as [`orient2d_exact`].
+#[cold]
+#[inline(never)]
 fn incircle_exact(a: Point, b: Point, c: Point, d: Point) -> i32 {
     let adx = Expansion::from_diff(a.x, d.x);
     let ady = Expansion::from_diff(a.y, d.y);
@@ -251,6 +263,7 @@ pub fn in_circumcircle(a: Point, b: Point, c: Point, p: Point) -> CirclePosition
 /// assert!(!gabriel_test(u, v, Point::new(1.0, 1.5)));
 /// assert!(!gabriel_test(u, v, u)); // endpoints never block
 /// ```
+#[inline]
 pub fn gabriel_test(u: Point, v: Point, p: Point) -> bool {
     if p == u || p == v {
         return false;
@@ -268,6 +281,15 @@ pub fn gabriel_test(u: Point, v: Point, p: Point) -> bool {
     if dot.abs() > CCW_ERR_BOUND * permanent {
         return dot < 0.0;
     }
+    gabriel_exact(u, v, p)
+}
+
+/// Exact evaluation of the Gabriel dot-product sign via expansions.
+///
+/// Out-of-line and cold for the same reason as [`orient2d_exact`].
+#[cold]
+#[inline(never)]
+fn gabriel_exact(u: Point, v: Point, p: Point) -> bool {
     let ex = Expansion::from_diff(u.x, p.x);
     let ey = Expansion::from_diff(u.y, p.y);
     let fx = Expansion::from_diff(v.x, p.x);

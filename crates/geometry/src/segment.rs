@@ -79,8 +79,21 @@ pub fn segments_cross(a: Point, b: Point, c: Point, d: Point) -> SegmentIntersec
 /// True when segments `ab` and `cd` intersect at a point interior to both
 /// (a *proper* crossing): exactly the situation a planar graph forbids
 /// between two edges that do not share an endpoint.
+///
+/// Equivalent to `segments_cross(a, b, c, d) == Proper` but skips the
+/// second orientation pair when the first one already rules a proper
+/// crossing out — collinear or same-side cases can at most touch.
+#[inline]
 pub fn segments_properly_cross(a: Point, b: Point, c: Point, d: Point) -> bool {
-    segments_cross(a, b, c, d) == SegmentIntersection::Proper
+    use Orientation::Collinear;
+    let o1 = orient2d(a, b, c);
+    let o2 = orient2d(a, b, d);
+    if o1 == Collinear || o2 == Collinear || o1 == o2 {
+        return false;
+    }
+    let o3 = orient2d(c, d, a);
+    let o4 = orient2d(c, d, b);
+    o3 != Collinear && o4 != Collinear && o3 != o4
 }
 
 /// Given that `p` is collinear with `a` and `b`, is `p` on the closed

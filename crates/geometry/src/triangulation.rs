@@ -82,13 +82,22 @@ impl fmt::Display for TriangulationError {
 impl std::error::Error for TriangulationError {}
 
 /// Internal triangle record: vertices (CCW; may contain [`GHOST`]) and the
-/// neighbor across the edge opposite each vertex.
+/// neighbor across the edge opposite each vertex. Vertex positions are
+/// cached inline (`p[ghost]` is a dummy for ghost triangles) so the hot
+/// predicates never chase the input slice, and `ghost` caches the ghost
+/// vertex's index (3 when the triangle is real) so conflict checks skip
+/// the vertex scan.
 #[derive(Debug, Clone, Copy)]
 struct Tri {
     v: [usize; 3],
+    p: [Point; 3],
     n: [usize; 3],
+    ghost: u8,
     alive: bool,
 }
+
+/// `ghost` value marking a real (non-ghost) triangle.
+const NOT_GHOST: u8 = 3;
 
 const NO_TRI: usize = usize::MAX;
 
@@ -135,7 +144,8 @@ impl Triangulation {
     /// infinite coordinates.
     pub fn build(points: &[Point]) -> Result<Self, TriangulationError> {
         check_distinct_finite(points)?;
-        let core = Core::run(points);
+        let mut scratch = DelaunayScratch::new();
+        let core = Core::run(points, &mut scratch);
         Ok(core.finish(points))
     }
 
@@ -263,62 +273,145 @@ fn check_distinct_finite(points: &[Point]) -> Result<(), TriangulationError> {
 /// # Errors
 /// Same contract as [`Triangulation::build`].
 pub fn delaunay_triangles(points: &[Point]) -> Result<Vec<Triangle>, TriangulationError> {
-    check_distinct_finite(points)?;
-    let core = Core::run(points);
-    if core.collinear_chain.is_some() {
-        return Ok(Vec::new());
+    let mut scratch = DelaunayScratch::new();
+    let mut out = Vec::new();
+    scratch.triangles_into(points, &mut out)?;
+    Ok(out)
+}
+
+/// Reusable Bowyer–Watson working memory.
+///
+/// One `DelaunayScratch` amortizes every internal buffer — the triangle
+/// arena, the epoch-stamped cavity marks, the flood-fill stack, the
+/// boundary fan — across an arbitrary number of triangulations, so a
+/// caller computing thousands of small local triangulations (the `ldel1`
+/// workload: one per node) allocates O(1) per insertion at steady state
+/// instead of rebuilding every buffer per call.
+///
+/// The mark epochs deliberately survive across calls: epochs only ever
+/// increase, so a stale mark from a previous triangulation can never
+/// equal the current epoch and clearing between calls is free.
+///
+/// # Example
+/// ```
+/// use geospan_geometry::{DelaunayScratch, Point};
+/// let mut scratch = DelaunayScratch::new();
+/// let mut tris = Vec::new();
+/// for dy in [0.5, 1.0, 2.0] {
+///     let pts = [
+///         Point::new(0.0, 0.0),
+///         Point::new(4.0, 0.0),
+///         Point::new(4.0, 4.0),
+///         Point::new(0.0, dy),
+///     ];
+///     scratch.triangles_into(&pts, &mut tris).unwrap();
+///     assert_eq!(tris.len(), 2);
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct DelaunayScratch {
+    tris: Vec<Tri>,
+    /// Per-triangle cavity mark, epoch-stamped so clearing is free:
+    /// `(epoch, in_conflict)`.
+    mark: Vec<(u32, bool)>,
+    /// Current mark epoch; strictly increasing across calls.
+    epoch: u32,
+    cavity: Vec<usize>,
+    stack: Vec<usize>,
+    boundary: Vec<BoundaryEdge>,
+}
+
+impl DelaunayScratch {
+    /// Creates an empty scratch; buffers grow to fit the largest input
+    /// seen and stay allocated.
+    pub fn new() -> Self {
+        DelaunayScratch::default()
     }
-    Ok(core
-        .tris
-        .iter()
-        .filter(|t| t.alive && !t.v.contains(&GHOST))
-        .map(|t| Triangle(t.v))
-        .collect())
+
+    /// Computes the Delaunay triangles of `points` into `out` (cleared
+    /// first), reusing this scratch's buffers.
+    ///
+    /// Produces exactly the triangles [`delaunay_triangles`] would — the
+    /// insertion order, and hence every cocircular tie-break, is
+    /// identical.
+    ///
+    /// # Errors
+    /// Same contract as [`Triangulation::build`].
+    pub fn triangles_into(
+        &mut self,
+        points: &[Point],
+        out: &mut Vec<Triangle>,
+    ) -> Result<(), TriangulationError> {
+        check_distinct_finite(points)?;
+        self.triangles_into_assuming_distinct(points, out);
+        Ok(())
+    }
+
+    /// [`DelaunayScratch::triangles_into`] minus the input validation,
+    /// for callers that have already established the points are finite
+    /// and pairwise distinct (e.g. once for a whole deployment rather
+    /// than once per local neighborhood).
+    ///
+    /// Feeding duplicate or non-finite points is a logic error; the
+    /// precondition is debug-asserted.
+    pub fn triangles_into_assuming_distinct(&mut self, points: &[Point], out: &mut Vec<Triangle>) {
+        debug_assert!(check_distinct_finite(points).is_ok());
+        out.clear();
+        let collinear = Core::run(points, self).collinear_chain.is_some();
+        if collinear {
+            return;
+        }
+        out.extend(
+            self.tris
+                .iter()
+                .filter(|t| t.alive && t.ghost == NOT_GHOST)
+                .map(|t| Triangle(t.v)),
+        );
+    }
 }
 
 /// A boundary edge of an insertion cavity, in the retired triangle's
-/// cyclic orientation, with the surviving neighbor across it.
+/// cyclic orientation, with the surviving neighbor across it. Endpoint
+/// positions are carried over from the retired triangle's cache.
+#[derive(Debug)]
 struct BoundaryEdge {
     u: usize,
     w: usize,
+    pu: Point,
+    pw: Point,
     outside: usize,
 }
 
-/// The mutable Bowyer–Watson state.
-struct Core<'a> {
+/// The mutable Bowyer–Watson state; all growable buffers live in the
+/// borrowed [`DelaunayScratch`] so they survive across builds.
+struct Core<'a, 's> {
     pts: &'a [Point],
-    tris: Vec<Tri>,
+    buf: &'s mut DelaunayScratch,
     /// Hint: a recently alive triangle to start walks from.
     last: usize,
     /// Indices inserted into the structure so far.
     inserted: usize,
     /// Entirely-collinear fallback: when `Some`, holds the chain order.
     collinear_chain: Option<Vec<usize>>,
-    /// Per-triangle cavity mark, epoch-stamped so clearing between
-    /// insertions is free: `(epoch, in_conflict)`.
-    mark: Vec<(u32, bool)>,
-    /// Current mark epoch.
-    epoch: u32,
-    /// Scratch buffers reused across insertions.
-    cavity: Vec<usize>,
-    stack: Vec<usize>,
-    boundary: Vec<BoundaryEdge>,
 }
 
-impl<'a> Core<'a> {
-    fn run(points: &'a [Point]) -> Core<'a> {
+impl<'a, 's> Core<'a, 's> {
+    fn run(points: &'a [Point], buf: &'s mut DelaunayScratch) -> Core<'a, 's> {
         let n = points.len();
+        buf.tris.clear();
+        // Epochs must stay strictly increasing within this run; if a
+        // long-lived scratch is anywhere near wrap-around, pay one full
+        // mark reset now.
+        if buf.epoch as u64 + n as u64 + 16 > u32::MAX as u64 {
+            buf.mark.clear();
+            buf.epoch = 0;
+        }
         let mut core = Core {
             pts: points,
-            tris: Vec::new(),
+            buf,
             last: NO_TRI,
             inserted: 0,
             collinear_chain: None,
-            mark: Vec::new(),
-            epoch: 0,
-            cavity: Vec::new(),
-            stack: Vec::new(),
-            boundary: Vec::new(),
         };
         if n < 3 {
             core.collinear_chain = Some(Self::chain_order(points));
@@ -360,25 +453,35 @@ impl<'a> Core<'a> {
             Orientation::Clockwise => (i, k, j),
             Orientation::Collinear => unreachable!("seed triangle is non-degenerate"),
         };
+        let (pa, pb, pc) = (self.pts[a], self.pts[b], self.pts[c]);
+        let dummy = Point::new(0.0, 0.0);
         // Triangle 0: (a, b, c). Ghosts: 1 across ab, 2 across bc, 3 across ca.
-        self.tris.push(Tri {
+        self.buf.tris.push(Tri {
             v: [a, b, c],
+            p: [pa, pb, pc],
             n: [2, 3, 1],
+            ghost: NOT_GHOST,
             alive: true,
         });
-        self.tris.push(Tri {
+        self.buf.tris.push(Tri {
             v: [b, a, GHOST],
+            p: [pb, pa, dummy],
             n: [3, 2, 0],
+            ghost: 2,
             alive: true,
         });
-        self.tris.push(Tri {
+        self.buf.tris.push(Tri {
             v: [c, b, GHOST],
+            p: [pc, pb, dummy],
             n: [1, 3, 0],
+            ghost: 2,
             alive: true,
         });
-        self.tris.push(Tri {
+        self.buf.tris.push(Tri {
             v: [a, c, GHOST],
+            p: [pa, pc, dummy],
             n: [2, 1, 0],
+            ghost: 2,
             alive: true,
         });
         self.last = 0;
@@ -386,66 +489,64 @@ impl<'a> Core<'a> {
     }
 
     /// Does triangle `t` conflict with (require removal upon inserting) `p`?
+    #[inline]
     fn in_conflict(&self, t: usize, p: Point) -> bool {
-        let tri = &self.tris[t];
-        if let Some(k) = tri.v.iter().position(|&v| v == GHOST) {
-            let u = tri.v[(k + 1) % 3];
-            let w = tri.v[(k + 2) % 3];
+        let tri = &self.buf.tris[t];
+        if tri.ghost != NOT_GHOST {
+            let k = tri.ghost as usize;
+            let pu = tri.p[(k + 1) % 3];
+            let pw = tri.p[(k + 2) % 3];
             // Stored edge (u, w) is the reversal of the CCW hull edge
             // w -> u; p conflicts when strictly outside that hull edge...
-            match orient2d(self.pts[u], self.pts[w], p) {
+            match orient2d(pu, pw, p) {
                 Orientation::CounterClockwise => true,
                 Orientation::Clockwise => false,
                 // ...or exactly on the open hull edge segment.
-                Orientation::Collinear => strictly_between(self.pts[u], self.pts[w], p),
+                Orientation::Collinear => strictly_between(pu, pw, p),
             }
         } else {
-            let [a, b, c] = tri.v;
-            incircle(self.pts[a], self.pts[b], self.pts[c], p) == CirclePosition::Inside
+            incircle(tri.p[0], tri.p[1], tri.p[2], p) == CirclePosition::Inside
         }
     }
 
     /// Finds some triangle in conflict with `p`, walking from the hint.
     fn locate(&self, p: Point) -> usize {
         let mut t = self.last;
-        if t == NO_TRI || !self.tris[t].alive {
+        if t == NO_TRI || !self.buf.tris[t].alive {
             t = self
+                .buf
                 .tris
                 .iter()
                 .position(|t| t.alive)
                 .expect("no alive triangle");
         }
         // If the hint is a ghost, step into its real neighbor.
-        if let Some(k) = self.tris[t].v.iter().position(|&v| v == GHOST) {
-            t = self.tris[t].n[k];
+        if self.buf.tris[t].ghost != NOT_GHOST {
+            t = self.buf.tris[t].n[self.buf.tris[t].ghost as usize];
         }
-        let limit = 4 * self.tris.len() + 16;
+        let limit = 4 * self.buf.tris.len() + 16;
         let mut steps = 0;
         'walk: while steps < limit {
             steps += 1;
-            let tri = &self.tris[t];
-            if tri.v.contains(&GHOST) {
+            let tri = &self.buf.tris[t];
+            if tri.ghost != NOT_GHOST {
                 // Reached the hull: p is outside. Walk the ghost ring
                 // until a conflicting ghost is found.
                 let mut g = t;
-                for _ in 0..self.tris.len() + 1 {
+                for _ in 0..self.buf.tris.len() + 1 {
                     if self.in_conflict(g, p) {
                         return g;
                     }
-                    let k = self.tris[g]
-                        .v
-                        .iter()
-                        .position(|&v| v == GHOST)
-                        .expect("ghost triangle has a ghost vertex");
-                    g = self.tris[g].n[(k + 1) % 3]; // next ghost around the hull
+                    let k = self.buf.tris[g].ghost as usize;
+                    g = self.buf.tris[g].n[(k + 1) % 3]; // next ghost around the hull
                 }
                 break 'walk;
             }
             // Step across the first edge that strictly separates p.
             for i in 0..3 {
-                let u = tri.v[(i + 1) % 3];
-                let w = tri.v[(i + 2) % 3];
-                if orient2d(self.pts[u], self.pts[w], p) == Orientation::Clockwise {
+                let pu = tri.p[(i + 1) % 3];
+                let pw = tri.p[(i + 2) % 3];
+                if orient2d(pu, pw, p) == Orientation::Clockwise {
                     t = tri.n[i];
                     continue 'walk;
                 }
@@ -454,8 +555,8 @@ impl<'a> Core<'a> {
             return t;
         }
         // Exceedingly rare fallback (degenerate walk cycles): scan.
-        (0..self.tris.len())
-            .find(|&t| self.tris[t].alive && self.in_conflict(t, p))
+        (0..self.buf.tris.len())
+            .find(|&t| self.buf.tris[t].alive && self.in_conflict(t, p))
             .expect("insertion point conflicts with no triangle")
     }
 
@@ -471,28 +572,29 @@ impl<'a> Core<'a> {
         debug_assert!(self.in_conflict(seed, p));
 
         // Flood-fill the conflict cavity.
-        self.epoch += 1;
-        let epoch = self.epoch;
-        if self.mark.len() < self.tris.len() {
-            self.mark.resize(self.tris.len(), (0, false));
+        self.buf.epoch += 1;
+        let epoch = self.buf.epoch;
+        if self.buf.mark.len() < self.buf.tris.len() {
+            let len = self.buf.tris.len();
+            self.buf.mark.resize(len, (0, false));
         }
-        let mut cavity = std::mem::take(&mut self.cavity);
+        let mut cavity = std::mem::take(&mut self.buf.cavity);
         cavity.clear();
         cavity.push(seed);
-        self.mark[seed] = (epoch, true);
-        self.stack.clear();
-        self.stack.push(seed);
-        while let Some(t) = self.stack.pop() {
-            for i in 0..3 {
-                let nb = self.tris[t].n[i];
-                if nb == NO_TRI || self.mark[nb].0 == epoch {
+        self.buf.mark[seed] = (epoch, true);
+        self.buf.stack.clear();
+        self.buf.stack.push(seed);
+        while let Some(t) = self.buf.stack.pop() {
+            let ns = self.buf.tris[t].n;
+            for &nb in &ns {
+                if nb == NO_TRI || self.buf.mark[nb].0 == epoch {
                     continue;
                 }
                 let c = self.in_conflict(nb, p);
-                self.mark[nb] = (epoch, c);
+                self.buf.mark[nb] = (epoch, c);
                 if c {
                     cavity.push(nb);
-                    self.stack.push(nb);
+                    self.buf.stack.push(nb);
                 }
             }
         }
@@ -500,16 +602,19 @@ impl<'a> Core<'a> {
         // Collect the boundary fan: edges of cavity triangles whose
         // neighbor lies outside the cavity, in the cavity triangle's
         // own cyclic orientation.
-        let mut boundary = std::mem::take(&mut self.boundary);
+        let mut boundary = std::mem::take(&mut self.buf.boundary);
         boundary.clear();
         for &t in &cavity {
+            let tri = self.buf.tris[t];
             for i in 0..3 {
-                let nb = self.tris[t].n[i];
-                let nb_in = nb != NO_TRI && self.mark[nb] == (epoch, true);
+                let nb = tri.n[i];
+                let nb_in = nb != NO_TRI && self.buf.mark[nb] == (epoch, true);
                 if !nb_in {
                     boundary.push(BoundaryEdge {
-                        u: self.tris[t].v[(i + 1) % 3],
-                        w: self.tris[t].v[(i + 2) % 3],
+                        u: tri.v[(i + 1) % 3],
+                        w: tri.v[(i + 2) % 3],
+                        pu: tri.p[(i + 1) % 3],
+                        pw: tri.p[(i + 2) % 3],
                         outside: nb,
                     });
                 }
@@ -519,19 +624,30 @@ impl<'a> Core<'a> {
 
         // Retire the cavity and fan new triangles (pi, u, w).
         for &t in &cavity {
-            self.tris[t].alive = false;
+            self.buf.tris[t].alive = false;
         }
-        let base = self.tris.len();
+        let base = self.buf.tris.len();
         for (off, e) in boundary.iter().enumerate() {
             let idx = base + off;
-            self.tris.push(Tri {
+            // `pi` is always a real vertex, so a ghost can only sit at
+            // fan slot 1 (from `e.u`) or 2 (from `e.w`).
+            let ghost = if e.u == GHOST {
+                1
+            } else if e.w == GHOST {
+                2
+            } else {
+                NOT_GHOST
+            };
+            self.buf.tris.push(Tri {
                 v: [pi, e.u, e.w],
+                p: [p, e.pu, e.pw],
                 n: [e.outside, NO_TRI, NO_TRI],
+                ghost,
                 alive: true,
             });
             // Point the outside neighbor back at the new triangle.
             if e.outside != NO_TRI {
-                let out = &mut self.tris[e.outside];
+                let out = &mut self.buf.tris[e.outside];
                 for j in 0..3 {
                     let a = out.v[(j + 1) % 3];
                     let b = out.v[(j + 2) % 3];
@@ -555,13 +671,13 @@ impl<'a> Core<'a> {
                 .iter()
                 .position(|e2| e2.w == e.u)
                 .expect("cavity boundary is a closed fan");
-            self.tris[idx].n[1] = base + across_wp; // across edge (w, p)
-            self.tris[idx].n[2] = base + across_pu; // across edge (p, u)
+            self.buf.tris[idx].n[1] = base + across_wp; // across edge (w, p)
+            self.buf.tris[idx].n[2] = base + across_pu; // across edge (p, u)
         }
         self.last = base;
         self.inserted += 1;
-        self.cavity = cavity;
-        self.boundary = boundary;
+        self.buf.cavity = cavity;
+        self.buf.boundary = boundary;
     }
 
     /// Converts the working state into the public structure.
@@ -578,8 +694,8 @@ impl<'a> Core<'a> {
                 edge_set.insert(ordered(w[0], w[1]));
             }
         } else {
-            for t in self.tris.iter().filter(|t| t.alive) {
-                if t.v.contains(&GHOST) {
+            for t in self.buf.tris.iter().filter(|t| t.alive) {
+                if t.ghost != NOT_GHOST {
                     continue;
                 }
                 triangles.push(Triangle(t.v));
@@ -590,20 +706,17 @@ impl<'a> Core<'a> {
             }
             // Walk the ghost ring to recover the hull in CCW order.
             if let Some(start) = self
+                .buf
                 .tris
                 .iter()
-                .position(|t| t.alive && t.v.contains(&GHOST))
+                .position(|t| t.alive && t.ghost != NOT_GHOST)
             {
                 let mut g = start;
                 loop {
-                    let k = self.tris[g]
-                        .v
-                        .iter()
-                        .position(|&v| v == GHOST)
-                        .expect("ghost triangle has a ghost vertex");
+                    let k = self.buf.tris[g].ghost as usize;
                     // Stored edge (u, w) reverses hull edge w -> u: emit w.
-                    hull.push(self.tris[g].v[(k + 2) % 3]);
-                    g = self.tris[g].n[(k + 1) % 3];
+                    hull.push(self.buf.tris[g].v[(k + 2) % 3]);
+                    g = self.buf.tris[g].n[(k + 1) % 3];
                     if g == start {
                         break;
                     }

@@ -181,10 +181,12 @@ impl UnitDiskBuilder {
     ///
     /// Edges connect pairs with Euclidean distance `<= radius`
     /// (boundary inclusive, matching the paper's "at most one unit").
+    /// The edge set is collected in bulk and assembled with
+    /// [`Graph::from_sorted_edges`], so construction never pays the
+    /// `O(degree)` sorted-insert shifting of per-edge `add_edge`.
     pub fn build(&self, points: &[Point]) -> Graph {
-        let mut g = Graph::new(points.to_vec());
         if points.is_empty() {
-            return g;
+            return Graph::new(Vec::new());
         }
         let r = self.radius;
         let r2 = r * r;
@@ -201,6 +203,7 @@ impl UnitDiskBuilder {
         for (i, &p) in points.iter().enumerate() {
             buckets.entry(cell(p)).or_default().push(i);
         }
+        let mut edges: Vec<(usize, usize)> = Vec::new();
         for (i, &p) in points.iter().enumerate() {
             let (cx, cy) = cell(p);
             for dx in -1..=1 {
@@ -208,14 +211,14 @@ impl UnitDiskBuilder {
                     if let Some(cands) = buckets.get(&(cx + dx, cy + dy)) {
                         for &j in cands {
                             if j > i && p.distance_sq(points[j]) <= r2 {
-                                g.add_edge(i, j);
+                                edges.push((i, j));
                             }
                         }
                     }
                 }
             }
         }
-        g
+        Graph::from_sorted_edges(points.to_vec(), edges)
     }
 }
 

@@ -60,6 +60,58 @@ impl Graph {
         g
     }
 
+    /// Creates a graph from a bulk edge list in one pass: canonicalize,
+    /// sort, dedup, then fill exact-capacity adjacency rows.
+    ///
+    /// This is the fast path for topology builders that already hold
+    /// their full edge set: `with_edges` pays `O(degree)` per insertion
+    /// for the sorted-insert shifting in [`Graph::add_edge`], while this
+    /// constructor pays one `O(m log m)` sort total and never moves an
+    /// adjacency entry twice. The edges may arrive in any order and
+    /// orientation; duplicates are ignored.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds endpoints or self-loops.
+    pub fn from_sorted_edges(points: Vec<Point>, edges: Vec<(usize, usize)>) -> Self {
+        let n = points.len();
+        let mut edges: Vec<(usize, usize)> = edges
+            .into_iter()
+            .map(|(u, v)| {
+                assert!(u != v, "self-loop {u} is not a wireless link");
+                assert!(
+                    u < n && v < n,
+                    "edge ({u}, {v}) out of bounds for {n} nodes"
+                );
+                (u.min(v), u.max(v))
+            })
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &edges {
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+        let mut adjacency: Vec<Vec<usize>> =
+            degree.iter().map(|&d| Vec::with_capacity(d)).collect();
+        // With edges sorted by (min, max), a forward pass over second
+        // components fills each row's smaller-than-self neighbors in
+        // ascending order, and a second forward pass appends the
+        // larger-than-self neighbors, also ascending — every row comes
+        // out sorted without a single shift or per-row sort.
+        for &(u, v) in &edges {
+            adjacency[v].push(u);
+        }
+        for &(u, v) in &edges {
+            adjacency[u].push(v);
+        }
+        Graph {
+            points,
+            edge_count: edges.len(),
+            adjacency,
+        }
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {
@@ -275,6 +327,18 @@ impl Graph {
     pub fn total_edge_length(&self) -> f64 {
         self.edges().map(|(u, v)| self.edge_length(u, v)).sum()
     }
+
+    /// Heap bytes held by this structure (points + adjacency capacity),
+    /// comparable with [`crate::CsrGraph::memory_bytes`].
+    pub fn memory_bytes(&self) -> usize {
+        self.points.len() * std::mem::size_of::<Point>()
+            + self.adjacency.capacity() * std::mem::size_of::<Vec<usize>>()
+            + self
+                .adjacency
+                .iter()
+                .map(|row| row.capacity() * std::mem::size_of::<usize>())
+                .sum::<usize>()
+    }
 }
 
 #[cfg(test)]
@@ -366,6 +430,47 @@ mod tests {
         assert_eq!(sub.node_count(), 4);
         let back = sub.union(&g);
         assert_eq!(back.edge_count(), 3);
+    }
+
+    #[test]
+    fn from_sorted_edges_matches_incremental_build() {
+        let pts: Vec<Point> = (0..40)
+            .map(|i| Point::new((i * 7 % 40) as f64, (i * 13 % 40) as f64))
+            .collect();
+        // Deterministic pseudo-random edge soup with duplicates and both
+        // orientations.
+        let mut edges = Vec::new();
+        let mut x = 0x2545_f491u64;
+        for _ in 0..200 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = (x >> 33) as usize % 40;
+            let v = (x >> 13) as usize % 40;
+            if u != v {
+                edges.push((u, v));
+                edges.push((v, u));
+            }
+        }
+        let bulk = Graph::from_sorted_edges(pts.clone(), edges.clone());
+        let incremental = Graph::with_edges(pts, edges);
+        assert_eq!(bulk, incremental);
+        for v in 0..bulk.node_count() {
+            assert!(bulk.neighbors(v).windows(2).all(|w| w[0] < w[1]));
+        }
+        assert!(bulk.memory_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn from_sorted_edges_rejects_self_loops() {
+        Graph::from_sorted_edges(vec![Point::ORIGIN, Point::new(1.0, 0.0)], vec![(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_sorted_edges_rejects_out_of_bounds() {
+        Graph::from_sorted_edges(vec![Point::ORIGIN], vec![(0, 3)]);
     }
 
     #[test]

@@ -33,6 +33,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod collections;
+mod csr;
 pub mod diameter;
 pub mod gen;
 mod graph;
@@ -43,5 +45,6 @@ pub mod stats;
 pub mod stretch;
 pub mod svg;
 
+pub use csr::CsrGraph;
 pub use geospan_geometry::Point;
 pub use graph::Graph;

@@ -25,8 +25,8 @@
 //! the construction is genuinely 1-localized.
 
 use geospan_geometry::{
-    delaunay_triangles, gabriel_test, in_circumcircle, segments_properly_cross, CirclePosition,
-    Point, UniformGrid,
+    gabriel_test, in_circumcircle, incircle, orient2d, segments_properly_cross, CirclePosition,
+    DelaunayScratch, Orientation, Point, Triangle, UniformGrid,
 };
 use geospan_graph::Graph;
 use rayon::prelude::*;
@@ -65,77 +65,240 @@ pub struct LocalDelaunay {
 /// assert!(ld.graph.edges().all(|(u, v)| udg.has_edge(u, v)));
 /// ```
 pub fn ldel1(g: &Graph) -> LocalDelaunay {
-    let n = g.node_count();
-    // Local Delaunay triangulation of N1(u) (including u) per node, kept
-    // as sorted global index triples for the three-way membership test.
-    // Each node's triangulation is independent — the paper's
-    // `O(d log d)`-work-per-node locality — so the loop is data-parallel;
-    // contiguous-chunk splitting keeps the result order deterministic.
-    let local_tris: Vec<Vec<[usize; 3]>> = (0..n)
-        .into_par_iter()
-        .map(|u| {
-            if g.degree(u) < 2 {
-                return Vec::new();
-            }
-            let mut ids: Vec<usize> = Vec::with_capacity(g.degree(u) + 1);
-            ids.push(u);
-            ids.extend_from_slice(g.neighbors(u));
-            let pts: Vec<_> = ids.iter().map(|&i| g.position(i)).collect();
-            let mut keys: Vec<[usize; 3]> = delaunay_triangles(&pts)
-                .expect("distinct node positions")
-                .iter()
-                .map(|t| {
-                    let [a, b, c] = t.indices();
-                    let mut key = [ids[a], ids[b], ids[c]];
-                    key.sort_unstable();
-                    key
-                })
-                .collect();
-            keys.sort_unstable();
-            keys
-        })
-        .collect();
-
-    // A triangle is accepted when it is a triangle of all three local
-    // triangulations and all three sides are graph edges. Each triple is
-    // considered once, at its least vertex, so concatenating the per-node
-    // accepted lists in node order yields a globally sorted list.
-    let accepted: Vec<Vec<[usize; 3]>> = (0..n)
-        .into_par_iter()
-        .map(|u| {
-            local_tris[u]
-                .iter()
-                .copied()
-                .filter(|&key| {
-                    let [a, b, c] = key;
-                    a == u
-                        && g.has_edge(a, b)
-                        && g.has_edge(b, c)
-                        && g.has_edge(a, c)
-                        && local_tris[b].binary_search(&key).is_ok()
-                        && local_tris[c].binary_search(&key).is_ok()
-                })
-                .collect()
-        })
-        .collect();
-    let triangles: Vec<[usize; 3]> = accepted.into_iter().flatten().collect();
-    debug_assert!(triangles.is_sorted());
-
-    let gabriel_edges = gabriel_edge_list(g);
-    let mut graph = g.same_vertices();
-    for &(u, v) in &gabriel_edges {
-        graph.add_edge(u, v);
-    }
-    for &[a, b, c] in &triangles {
-        graph.add_edge(a, b);
-        graph.add_edge(b, c);
-        graph.add_edge(a, c);
-    }
+    let (triangles, gabriel_edges) = ldel1_parts(g);
+    let graph = assemble_graph(g, &triangles, &gabriel_edges);
     LocalDelaunay {
         graph,
         triangles,
         gabriel_edges,
     }
+}
+
+/// The accepted `LDel¹` triangles (ascending triples, sorted) and Gabriel
+/// edges of `g`, without assembling the result graph — [`planarized`]
+/// discards triangles before ever needing one.
+fn ldel1_parts(g: &Graph) -> (Vec<[usize; 3]>, Vec<(usize, usize)>) {
+    let n = g.node_count();
+    assert_distinct_positions(g);
+
+    // Per node u, the triangles of Del(N1(u) ∪ {u}) *incident to u*, as
+    // sorted global index triples. A triangle △abc is a 1-localized
+    // Delaunay triangle exactly when all three vertices emit it:
+    // membership of the key [a,b,c] in node x's local triangulation is
+    // always witnessed by a triangle incident to x (the key contains x),
+    // and mutual emission implies every side is a graph edge (b, c ∈
+    // N1(a) whenever a emits). So the three-way membership + edge test
+    // of the definition reduces to "global multiplicity == 3", computed
+    // by one sort over ~6 emitted keys per node instead of per-node key
+    // sorting plus binary searches into neighbors' full key lists.
+    //
+    // Each node's triangulation is independent — the paper's
+    // `O(d log d)`-work-per-node locality — so the node range is split
+    // into one contiguous chunk per worker (deterministic regardless of
+    // thread count), each worker reusing one Bowyer–Watson scratch and
+    // one id/point/triangle buffer set across its nodes.
+    let workers = rayon::current_num_threads().max(1);
+    let chunk = n.div_ceil(workers).max(1);
+    let starts: Vec<usize> = (0..n.div_ceil(chunk)).map(|w| w * chunk).collect();
+    // Per-chunk output: packed triangle keys + Gabriel candidate half-edges.
+    type ChunkEmission = (Vec<u128>, Vec<(usize, usize)>);
+    let emitted: Vec<ChunkEmission> = starts
+        .into_par_iter()
+        .map(|lo| {
+            let hi = (lo + chunk).min(n);
+            let mut scratch = DelaunayScratch::new();
+            let mut ids: Vec<usize> = Vec::new();
+            let mut pts: Vec<Point> = Vec::new();
+            let mut tris: Vec<Triangle> = Vec::new();
+            let mut out: Vec<u128> = Vec::new();
+            // Gabriel candidate half-edges (see gabriel_from_candidates).
+            let mut cand: Vec<(usize, usize)> = Vec::new();
+            let mut local_edges: Vec<(usize, usize)> = Vec::new();
+            for u in lo..hi {
+                if g.degree(u) < 2 {
+                    // Degenerate neighborhood: every incident edge is a
+                    // Gabriel candidate, emitted twice so the two-sided
+                    // count rule below cannot drop it.
+                    for &v in g.neighbors(u) {
+                        let e = if u < v { (u, v) } else { (v, u) };
+                        cand.push(e);
+                        cand.push(e);
+                    }
+                    continue;
+                }
+                ids.clear();
+                ids.push(u);
+                ids.extend_from_slice(g.neighbors(u));
+                pts.clear();
+                pts.extend(ids.iter().map(|&i| g.position(i)));
+                scratch.triangles_into_assuming_distinct(&pts, &mut tris);
+                if tris.is_empty() {
+                    // Entirely collinear neighborhood: the triangulation
+                    // carries no triangles, so fall back to candidate
+                    // status for every incident edge (double emission,
+                    // as above).
+                    for &v in g.neighbors(u) {
+                        let e = if u < v { (u, v) } else { (v, u) };
+                        cand.push(e);
+                        cand.push(e);
+                    }
+                    continue;
+                }
+                local_edges.clear();
+                for t in &tris {
+                    let [a, b, c] = t.indices();
+                    // u is local index 0.
+                    if a == 0 || b == 0 || c == 0 {
+                        let mut key = [ids[a], ids[b], ids[c]];
+                        key.sort_unstable();
+                        out.push(pack_key(key));
+                        // The two triangle sides incident to u are local
+                        // Delaunay edges of u: Gabriel candidates.
+                        let (x, y) = if a == 0 {
+                            (ids[b], ids[c])
+                        } else if b == 0 {
+                            (ids[a], ids[c])
+                        } else {
+                            (ids[a], ids[b])
+                        };
+                        local_edges.push(if u < x { (u, x) } else { (x, u) });
+                        local_edges.push(if u < y { (u, y) } else { (y, u) });
+                    }
+                }
+                // An edge sits in up to two incident triangles; dedup so
+                // each endpoint contributes at most one emission.
+                local_edges.sort_unstable();
+                local_edges.dedup();
+                cand.extend_from_slice(&local_edges);
+            }
+            (out, cand)
+        })
+        .collect();
+    let mut keys: Vec<u128> = Vec::new();
+    let mut cand: Vec<(usize, usize)> = Vec::new();
+    for (k, c) in emitted {
+        keys.extend_from_slice(&k);
+        cand.extend_from_slice(&c);
+    }
+    keys.sort_unstable();
+
+    // Accept keys emitted by all three vertices (each vertex emits a
+    // given key at most once, so runs have length ≤ 3). `keys` is
+    // sorted, and the packing is order-preserving, so the accepted list
+    // comes out sorted.
+    let mut triangles: Vec<[usize; 3]> = Vec::new();
+    let mut i = 0;
+    while i < keys.len() {
+        let mut j = i + 1;
+        while j < keys.len() && keys[j] == keys[i] {
+            j += 1;
+        }
+        if j - i == 3 {
+            triangles.push(unpack_key(keys[i]));
+        }
+        i = j;
+    }
+    debug_assert!(triangles.is_sorted());
+
+    (triangles, gabriel_from_candidates(g, cand))
+}
+
+/// Filters Gabriel candidate half-edges down to the actual Gabriel edges.
+///
+/// Correctness of the candidate restriction: on a distance-closed graph
+/// every blocker of an edge `uv` lies within the transmission radius of
+/// both endpoints, so `uv` is Gabriel iff its diameter disk is empty of
+/// `N₁(u)` (equivalently `N₁(v)`) — and then `uv` is a Gabriel edge, hence
+/// a Delaunay edge, of *both* local triangulations. Every Delaunay edge
+/// incident to `u` lies in a triangle incident to `u`, so non-degenerate
+/// nodes emit all their Gabriel edges via `ldel1_parts`' incident
+/// triangles; degenerate (collinear or degree < 2) neighborhoods emit all
+/// incident edges twice instead. An edge emitted by fewer than two
+/// one-sided passes is therefore provably non-Gabriel and is never
+/// tested, which cuts the per-edge common-neighbor scans to the local
+/// Delaunay edge set instead of the whole graph.
+///
+/// Produces exactly the sorted edge list the full per-edge scan would.
+fn gabriel_from_candidates(g: &Graph, mut cand: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+    cand.sort_unstable();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < cand.len() {
+        let mut j = i + 1;
+        while j < cand.len() && cand[j] == cand[i] {
+            j += 1;
+        }
+        if j - i >= 2 {
+            edges.push(cand[i]);
+        }
+        i = j;
+    }
+    let keep: Vec<bool> = edges
+        .par_iter()
+        .map(|&(u, v)| {
+            let pu = g.position(u);
+            let pv = g.position(v);
+            !common_neighbors(g, u, v).any(|w| gabriel_test(pu, pv, g.position(w)))
+        })
+        .collect();
+    edges
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(e, k)| k.then_some(e))
+        .collect()
+}
+
+/// Packs an ascending index triple into one integer whose natural order
+/// matches the lexicographic triple order, so the global acceptance sort
+/// compares single `u128`s instead of `[usize; 3]`s element by element.
+/// Node ids are bounded by the `u32` arena id space.
+#[inline]
+fn pack_key([a, b, c]: [usize; 3]) -> u128 {
+    debug_assert!(c <= u32::MAX as usize);
+    ((a as u128) << 64) | ((b as u128) << 32) | (c as u128)
+}
+
+/// Inverse of [`pack_key`].
+#[inline]
+fn unpack_key(k: u128) -> [usize; 3] {
+    [
+        (k >> 64) as usize,
+        ((k >> 32) & 0xFFFF_FFFF) as usize,
+        (k & 0xFFFF_FFFF) as usize,
+    ]
+}
+
+/// Builds the result graph from triangle sides plus Gabriel edges in one
+/// bulk pass (no per-edge sorted inserts).
+fn assemble_graph(g: &Graph, triangles: &[[usize; 3]], gabriel_edges: &[(usize, usize)]) -> Graph {
+    let mut edges: Vec<(usize, usize)> =
+        Vec::with_capacity(gabriel_edges.len() + 3 * triangles.len());
+    edges.extend_from_slice(gabriel_edges);
+    for &[a, b, c] in triangles {
+        edges.push((a, b));
+        edges.push((b, c));
+        edges.push((a, c));
+    }
+    Graph::from_sorted_edges(g.points().to_vec(), edges)
+}
+
+/// Panics unless all node positions are pairwise distinct (the local
+/// triangulations assume it; checking once globally is `O(n log n)`
+/// instead of `O(deg²)` per node).
+fn assert_distinct_positions(g: &Graph) {
+    let mut bits: Vec<(u64, u64)> = g
+        .points()
+        .iter()
+        .map(|p| {
+            assert!(p.is_finite(), "node positions must be finite");
+            (p.x.to_bits(), p.y.to_bits())
+        })
+        .collect();
+    bits.sort_unstable();
+    assert!(
+        bits.windows(2).all(|w| w[0] != w[1]),
+        "distinct node positions required"
+    );
 }
 
 /// The planarized localized Delaunay graph `PLDel` (Algorithm 3 of the
@@ -149,55 +312,89 @@ pub fn ldel1(g: &Graph) -> LocalDelaunay {
 /// # Panics
 /// Panics if two participating nodes share a position.
 pub fn planarized(g: &Graph) -> LocalDelaunay {
-    planarize(g, ldel1(g))
+    let (triangles, gabriel_edges) = ldel1_parts(g);
+    planarize_parts(g, triangles, gabriel_edges)
 }
 
 /// Planarizes an already-computed `LDel¹` (useful when the caller needs
 /// both the raw and the planar structure).
 pub fn planarize(g: &Graph, raw: LocalDelaunay) -> LocalDelaunay {
-    let tris = &raw.triangles;
+    planarize_parts(g, raw.triangles, raw.gabriel_edges)
+}
+
+fn planarize_parts(
+    g: &Graph,
+    tris: Vec<[usize; 3]>,
+    gabriel_edges: Vec<(usize, usize)>,
+) -> LocalDelaunay {
     let m = tris.len();
+
+    // Vertex positions fetched once per triangle (the pair sweep below
+    // revisits each triangle many times), plus a CCW-oriented copy so the
+    // circumcircle test is a single `incircle` call instead of re-deriving
+    // the orientation pair by pair.
+    let tpts: Vec<[Point; 3]> = tris
+        .iter()
+        .map(|t| [g.position(t[0]), g.position(t[1]), g.position(t[2])])
+        .collect();
+    let ccw: Vec<[Point; 3]> = tpts
+        .iter()
+        .map(|&[a, b, c]| match orient2d(a, b, c) {
+            Orientation::CounterClockwise => [a, b, c],
+            Orientation::Clockwise => [a, c, b],
+            Orientation::Collinear => unreachable!("accepted Delaunay triangle is degenerate"),
+        })
+        .collect();
+
+    // Per-edge bounding boxes (edges (0,1), (1,2), (0,2)): a proper
+    // crossing implies overlapping closed boxes, so most of the 9 exact
+    // segment tests per candidate pair are rejected by four comparisons.
+    let eboxes: Vec<[EdgeBox; 3]> = tpts
+        .iter()
+        .map(|&[p0, p1, p2]| [edge_box(p0, p1), edge_box(p1, p2), edge_box(p0, p2)])
+        .collect();
 
     // Every LDel¹ triangle has sides within the transmission radius, so a
     // uniform grid over the triangle bounding boxes (cell ≈ that radius,
     // derived from the largest box) yields each potentially-crossing pair
     // exactly once, in near-linear total time.
-    let boxes: Vec<(Point, Point)> = tris
+    let boxes: Vec<(Point, Point)> = tpts
         .iter()
-        .map(|t| {
-            let p0 = g.position(t[0]);
-            let (mut lo, mut hi) = (p0, p0);
-            for &v in &t[1..] {
-                let p = g.position(v);
-                lo = Point::new(lo.x.min(p.x), lo.y.min(p.y));
-                hi = Point::new(hi.x.max(p.x), hi.y.max(p.y));
-            }
-            (lo, hi)
+        .map(|&[p0, p1, p2]| {
+            (
+                Point::new(p0.x.min(p1.x).min(p2.x), p0.y.min(p1.y).min(p2.y)),
+                Point::new(p0.x.max(p1.x).max(p2.x), p0.y.max(p1.y).max(p2.y)),
+            )
         })
         .collect();
-    let pairs = UniformGrid::from_boxes(&boxes, None).candidate_pairs();
 
-    // The removal test for a pair depends only on geometry, never on the
-    // other removal flags, so candidate pairs can be judged in parallel
-    // and the flags merged afterwards in any order.
-    let flags: Vec<(bool, bool)> = pairs
-        .par_iter()
-        .map(|&(i, j)| {
-            if triangles_cross(g, tris[i], tris[j]) {
-                (
-                    circum_contains_any(g, tris[i], tris[j]),
-                    circum_contains_any(g, tris[j], tris[i]),
-                )
-            } else {
-                (false, false)
-            }
-        })
-        .collect();
+    // Stream the candidate pairs straight into the removal flags: the
+    // removal condition is a monotone OR over pairs, so visit order
+    // cannot affect the outcome, and skipping the geometry once both
+    // flags are set (or when the boxes don't even intersect — a proper
+    // crossing implies overlapping bounding boxes) is output-preserving.
+    // Streaming keeps the planarize sweep allocation-free per pair where
+    // materializing + sorting the pair list dominated the old running
+    // time at scale.
     let mut removed = vec![false; m];
-    for (&(i, j), &(ri, rj)) in pairs.iter().zip(&flags) {
-        removed[i] |= ri;
-        removed[j] |= rj;
-    }
+    UniformGrid::from_boxes(&boxes, None).for_each_candidate_pair(|i, j| {
+        if removed[i] && removed[j] {
+            return;
+        }
+        let (ilo, ihi) = boxes[i];
+        let (jlo, jhi) = boxes[j];
+        if ilo.x > jhi.x || jlo.x > ihi.x || ilo.y > jhi.y || jlo.y > ihi.y {
+            return;
+        }
+        if triangles_cross(&tpts[i], &tpts[j], &eboxes[i], &eboxes[j]) {
+            if !removed[i] && circum_contains_any(&ccw[i], tris[i], tris[j], &tpts[j]) {
+                removed[i] = true;
+            }
+            if !removed[j] && circum_contains_any(&ccw[j], tris[j], tris[i], &tpts[i]) {
+                removed[j] = true;
+            }
+        }
+    });
 
     let triangles: Vec<[usize; 3]> = tris
         .iter()
@@ -205,15 +402,7 @@ pub fn planarize(g: &Graph, raw: LocalDelaunay) -> LocalDelaunay {
         .filter(|(_, &r)| !r)
         .map(|(&t, _)| t)
         .collect();
-    let mut graph = g.same_vertices();
-    for &(u, v) in &raw.gabriel_edges {
-        graph.add_edge(u, v);
-    }
-    for &[a, b, c] in &triangles {
-        graph.add_edge(a, b);
-        graph.add_edge(b, c);
-        graph.add_edge(a, c);
-    }
+    let graph = assemble_graph(g, &triangles, &gabriel_edges);
     #[cfg(feature = "invariant-checks")]
     assert!(
         geospan_graph::planarity::is_plane_embedding(&graph),
@@ -222,7 +411,7 @@ pub fn planarize(g: &Graph, raw: LocalDelaunay) -> LocalDelaunay {
     LocalDelaunay {
         graph,
         triangles,
-        gabriel_edges: raw.gabriel_edges,
+        gabriel_edges,
     }
 }
 
@@ -278,15 +467,7 @@ pub fn ldel_k(g: &Graph, k: usize) -> LocalDelaunay {
     triangles.sort_unstable();
 
     let gabriel_edges = gabriel_edge_list(g);
-    let mut graph = g.same_vertices();
-    for &(u, v) in &gabriel_edges {
-        graph.add_edge(u, v);
-    }
-    for &[a, b, c] in &triangles {
-        graph.add_edge(a, b);
-        graph.add_edge(b, c);
-        graph.add_edge(a, c);
-    }
+    let graph = assemble_graph(g, &triangles, &gabriel_edges);
     LocalDelaunay {
         graph,
         triangles,
@@ -315,18 +496,29 @@ fn gabriel_edge_list(g: &Graph) -> Vec<(usize, usize)> {
         .collect()
 }
 
-/// Do two triangles properly cross (some edge of one crosses some edge of
+/// Closed bounding box of a segment: `(min x, max x, min y, max y)`.
+type EdgeBox = (f64, f64, f64, f64);
+
+#[inline]
+fn edge_box(a: Point, b: Point) -> EdgeBox {
+    (a.x.min(b.x), a.x.max(b.x), a.y.min(b.y), a.y.max(b.y))
+}
+
+/// Do two triangles (given by cached vertex positions and per-edge
+/// bounding boxes) properly cross (some edge of one crosses some edge of
 /// the other)?
-fn triangles_cross(g: &Graph, t1: [usize; 3], t2: [usize; 3]) -> bool {
+fn triangles_cross(t1: &[Point; 3], t2: &[Point; 3], b1: &[EdgeBox; 3], b2: &[EdgeBox; 3]) -> bool {
     const E: [(usize, usize); 3] = [(0, 1), (1, 2), (0, 2)];
-    for &(i, j) in &E {
-        for &(p, q) in &E {
-            if segments_properly_cross(
-                g.position(t1[i]),
-                g.position(t1[j]),
-                g.position(t2[p]),
-                g.position(t2[q]),
-            ) {
+    for (ei, &(i, j)) in E.iter().enumerate() {
+        let (ix0, ix1, iy0, iy1) = b1[ei];
+        for (ej, &(p, q)) in E.iter().enumerate() {
+            let (jx0, jx1, jy0, jy1) = b2[ej];
+            // A proper crossing is a common point of both closed
+            // segments, so disjoint boxes cannot cross.
+            if ix0 > jx1 || jx0 > ix1 || iy0 > jy1 || jy0 > iy1 {
+                continue;
+            }
+            if segments_properly_cross(t1[i], t1[j], t2[p], t2[q]) {
                 return true;
             }
         }
@@ -334,20 +526,21 @@ fn triangles_cross(g: &Graph, t1: [usize; 3], t2: [usize; 3]) -> bool {
     false
 }
 
-/// Is any vertex of `other` inside or on the circumcircle of `t`?
+/// Is any vertex of `other` inside or on the circumcircle of the triangle
+/// whose CCW-oriented positions are `ccw_t` (vertex ids `t`)?
 ///
 /// Boundary points count as contained so that exactly-cocircular crossing
 /// pairs (possible on degenerate deployments such as perfect grids)
 /// remove each other and the planarity guarantee survives ties.
-fn circum_contains_any(g: &Graph, t: [usize; 3], other: [usize; 3]) -> bool {
-    other.iter().any(|&x| {
-        !t.contains(&x)
-            && in_circumcircle(
-                g.position(t[0]),
-                g.position(t[1]),
-                g.position(t[2]),
-                g.position(x),
-            ) != CirclePosition::Outside
+fn circum_contains_any(
+    ccw_t: &[Point; 3],
+    t: [usize; 3],
+    other: [usize; 3],
+    other_pts: &[Point; 3],
+) -> bool {
+    (0..3).any(|k| {
+        !t.contains(&other[k])
+            && incircle(ccw_t[0], ccw_t[1], ccw_t[2], other_pts[k]) != CirclePosition::Outside
     })
 }
 

@@ -19,6 +19,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use geospan_graph::collections::{VecMap, VecSet};
+
 use geospan_geometry::Triangulation;
 use geospan_graph::Graph;
 
@@ -112,9 +114,13 @@ pub struct RdgNode {
     id: usize,
     pos: geospan_geometry::Point,
     radius: f64,
-    known: BTreeMap<usize, geospan_geometry::Point>,
+    /// Sorted-vec map: ascending-by-id iteration, exactly like the
+    /// `BTreeMap` it replaced.
+    known: VecMap<geospan_geometry::Point>,
     local_edges: BTreeSet<(usize, usize)>,
-    approvals: BTreeMap<(usize, usize), BTreeSet<usize>>,
+    /// Edge-pair-keyed, so the outer `BTreeMap` stays (D06 targets
+    /// node-id keys); the per-edge voter sets are arenas.
+    approvals: BTreeMap<(usize, usize), VecSet>,
     surviving: Vec<(usize, usize)>,
     /// Communication-graph degree; isolated nodes stay silent.
     degree: usize,
@@ -135,7 +141,7 @@ impl geospan_sim::Protocol for RdgNode {
                 // Local computation + one Opinion per local Delaunay edge.
                 let mut ids: Vec<usize> = Vec::with_capacity(self.known.len() + 1);
                 ids.push(self.id);
-                ids.extend(self.known.keys().copied());
+                ids.extend(self.known.keys());
                 ids.sort_unstable();
                 let pts: Vec<_> = ids
                     .iter()
@@ -143,7 +149,7 @@ impl geospan_sim::Protocol for RdgNode {
                         if i == self.id {
                             self.pos
                         } else {
-                            self.known[&i]
+                            *self.known.get(i).expect("position learned from Hello")
                         }
                     })
                     .collect();
@@ -163,18 +169,18 @@ impl geospan_sim::Protocol for RdgNode {
                         continue;
                     }
                     let other = if x == self.id { y } else { x };
-                    let Some(&opos) = self.known.get(&other) else {
+                    let Some(&opos) = self.known.get(other) else {
                         continue;
                     };
                     let votes = &self.approvals[&(x, y)];
-                    if !votes.contains(&other) {
+                    if !votes.contains(other) {
                         continue;
                     }
                     // Witnesses: my neighbors within range of the other
                     // endpoint (distance-closedness makes this the full
                     // common neighborhood).
-                    let ok = self.known.iter().all(|(&w, &wpos)| {
-                        w == other || wpos.distance(opos) > self.radius || votes.contains(&w)
+                    let ok = self.known.iter().all(|(w, &wpos)| {
+                        w == other || wpos.distance(opos) > self.radius || votes.contains(w)
                     });
                     if ok {
                         self.surviving.push((x, y));
@@ -223,7 +229,7 @@ pub fn run_rdg(
         id,
         pos: g.position(id),
         radius,
-        known: BTreeMap::new(),
+        known: VecMap::new(),
         local_edges: BTreeSet::new(),
         approvals: BTreeMap::new(),
         surviving: Vec::new(),

@@ -1,0 +1,55 @@
+//! Arena-vs-BTree oracle equivalence for the distributed LDel protocols.
+//!
+//! The arena refactor replaced node-id-keyed `BTreeMap`/`BTreeSet`
+//! protocol state with sorted-vec containers (`VecMap`/`VecSet`). The
+//! modules under `oracle/` are verbatim pre-refactor copies of
+//! `distributed.rs` and `distributed2.rs`; these tests pin the live
+//! protocols against them — identical edge sets, triangles, Gabriel
+//! edges, and per-node / per-kind message counts — on random
+//! deployments.
+
+#[path = "oracle/ldel1.rs"]
+#[allow(dead_code)]
+mod oracle_ldel1;
+#[path = "oracle/ldel2.rs"]
+#[allow(dead_code)]
+mod oracle_ldel2;
+
+use geospan_graph::gen::{uniform_points, UnitDiskBuilder};
+use geospan_graph::Graph;
+use geospan_topology::{distributed, distributed2};
+use proptest::prelude::*;
+
+fn deployment() -> impl Strategy<Value = (Graph, f64)> {
+    (8usize..60, 25.0f64..60.0, any::<u64>()).prop_map(|(n, radius, seed)| {
+        let pts = uniform_points(n, 120.0, seed);
+        (UnitDiskBuilder::new(radius).build(&pts), radius)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ldel1_matches_btree_oracle((udg, r) in deployment()) {
+        let new = distributed::run_ldel(&udg, r).expect("arena protocol converges");
+        let old = oracle_ldel1::run_ldel(&udg, r).expect("oracle protocol converges");
+        prop_assert_eq!(
+            new.ldel.graph.edges().collect::<Vec<_>>(),
+            old.ldel.graph.edges().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(new.ldel.triangles, old.ldel.triangles);
+        prop_assert_eq!(new.ldel.gabriel_edges, old.ldel.gabriel_edges);
+        prop_assert_eq!(new.stats, old.stats);
+    }
+
+    #[test]
+    fn ldel2_matches_btree_oracle((udg, r) in deployment()) {
+        let (new, new_stats) =
+            distributed2::run_ldel2(&udg, r).expect("arena protocol converges");
+        let (old, old_stats) =
+            oracle_ldel2::run_ldel2(&udg, r).expect("oracle protocol converges");
+        prop_assert_eq!(new, old);
+        prop_assert_eq!(new_stats, old_stats);
+    }
+}

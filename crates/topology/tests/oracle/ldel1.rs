@@ -27,14 +27,13 @@ use std::collections::{BTreeMap, BTreeSet};
 use geospan_geometry::{
     gabriel_test, in_circumcircle, segments_properly_cross, CirclePosition, Point, Triangulation,
 };
-use geospan_graph::collections::{VecMap, VecSet};
 use geospan_graph::Graph;
 use geospan_sim::{
     Context, FaultPlan, FaultReport, MessageKind, MessageStats, Network, Protocol,
     QuiescenceTimeout, ReliabilityConfig,
 };
 
-use crate::ldel::LocalDelaunay;
+use geospan_topology::ldel::LocalDelaunay;
 
 /// Messages of the localized Delaunay protocol.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,20 +100,12 @@ pub struct LdelNode {
     /// dominatees when the protocol runs over the backbone) send nothing.
     active: bool,
     /// Positions learned from `Hello` messages (1-hop knowledge only).
-    /// Sorted-vec map: iteration order is ascending by neighbor id,
-    /// exactly like the `BTreeMap` it replaced.
-    known: VecMap<Point>,
+    known: BTreeMap<usize, Point>,
     /// Triangles of `Del(N₁(self))`, as ascending global triples.
-    ///
-    /// The triple-keyed containers below stay `BTree*`: their keys are
-    /// `[usize; 3]` triangles (not node ids), their sizes are bounded by
-    /// the local triangulation, and phase-2/3 message emission iterates
-    /// them in key order — that order is load-bearing for the
-    /// bit-identical message traces the tests pin.
     local_tris: BTreeSet<[usize; 3]>,
     /// Confirmations per triangle: which *other* vertices vouched for it
     /// (by proposing it or accepting it).
-    confirmations: BTreeMap<[usize; 3], VecSet>,
+    confirmations: BTreeMap<[usize; 3], BTreeSet<usize>>,
     /// Triangles rejected by some vertex.
     dead: BTreeSet<[usize; 3]>,
     /// Triples this node already responded to (proposal dedup).
@@ -128,7 +119,7 @@ pub struct LdelNode {
     /// Triangles surviving the local removal at this node.
     survived: BTreeSet<[usize; 3]>,
     /// Survivor confirmations from other vertices.
-    survivor_votes: BTreeMap<[usize; 3], VecSet>,
+    survivor_votes: BTreeMap<[usize; 3], BTreeSet<usize>>,
     /// Final triangles after Algorithm 3 step 4.
     final_tris: BTreeSet<[usize; 3]>,
 }
@@ -140,7 +131,7 @@ impl LdelNode {
             pos,
             radius,
             active,
-            known: VecMap::new(),
+            known: BTreeMap::new(),
             local_tris: BTreeSet::new(),
             confirmations: BTreeMap::new(),
             dead: BTreeSet::new(),
@@ -158,7 +149,7 @@ impl LdelNode {
         if v == self.id {
             self.pos
         } else {
-            *self.known.get(v).expect("position learned from Hello")
+            self.known[&v]
         }
     }
 
@@ -167,13 +158,13 @@ impl LdelNode {
     fn compute_local_structures(&mut self) {
         let mut ids: Vec<usize> = Vec::with_capacity(self.known.len() + 1);
         ids.push(self.id);
-        ids.extend(self.known.keys());
+        ids.extend(self.known.keys().copied());
         ids.sort_unstable();
         // Gabriel edges incident on self: the only possible witnesses are
         // common neighbors, and every node in the diametral disk of a
         // radius-bounded edge is a neighbor of both endpoints.
-        for (v, &pv) in self.known.iter() {
-            let blocked = self.known.iter().any(|(w, &pw)| {
+        for (&v, &pv) in &self.known {
+            let blocked = self.known.iter().any(|(&w, &pw)| {
                 w != v && pw.distance(pv) <= self.radius && gabriel_test(self.pos, pv, pw)
             });
             if !blocked {
@@ -250,7 +241,7 @@ impl LdelNode {
             if tri
                 .iter()
                 .filter(|&&x| x != self.id)
-                .all(|&x| votes.contains(x))
+                .all(|x| votes.contains(x))
             {
                 self.accepted.insert(tri);
             }
@@ -292,7 +283,7 @@ impl LdelNode {
             let ok = tri
                 .iter()
                 .filter(|&&x| x != self.id)
-                .all(|&x| votes.is_some_and(|v| v.contains(x)));
+                .all(|x| votes.is_some_and(|v| v.contains(x)));
             if ok {
                 self.final_tris.insert(tri);
             }
@@ -473,7 +464,7 @@ fn run_ldel_inner(
     }
     net.run_phases(5, budget)?;
     let (nodes, stats) = net.into_parts();
-    Ok(assemble_ldel(g, &nodes, stats, &VecSet::new()))
+    Ok(assemble_ldel(g, &nodes, stats, &BTreeSet::new()))
 }
 
 /// Runs Algorithms 2 & 3 under injected faults with the link-layer
@@ -509,7 +500,7 @@ pub fn run_ldel_faulty(
     net.run_phases(5, (g.node_count() + 16) * per_hop)?;
     let report = net.fault_report();
     let (nodes, stats) = net.into_parts();
-    let crashed: VecSet = report.crashed.iter().copied().collect();
+    let crashed: BTreeSet<usize> = report.crashed.iter().copied().collect();
     Ok((assemble_ldel(g, &nodes, stats, &crashed), report))
 }
 
@@ -519,22 +510,22 @@ fn assemble_ldel(
     g: &Graph,
     nodes: &[LdelNode],
     stats: MessageStats,
-    crashed: &VecSet,
+    crashed: &BTreeSet<usize>,
 ) -> DistributedOutcome {
     let mut graph = g.same_vertices();
     let mut gabriel: BTreeSet<(usize, usize)> = BTreeSet::new();
     let mut triangles: BTreeSet<[usize; 3]> = BTreeSet::new();
     for node in nodes {
-        if crashed.contains(node.id) {
+        if crashed.contains(&node.id) {
             continue;
         }
         for &(a, b) in &node.gabriel {
-            if !crashed.contains(a) && !crashed.contains(b) {
+            if !crashed.contains(&a) && !crashed.contains(&b) {
                 gabriel.insert((a, b));
             }
         }
         for &t in &node.final_tris {
-            if t.iter().all(|&v| !crashed.contains(v)) {
+            if t.iter().all(|v| !crashed.contains(v)) {
                 triangles.insert(t);
             }
         }
@@ -558,141 +549,5 @@ fn assemble_ldel(
             gabriel_edges,
         },
         stats,
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::ldel::planarized;
-    use geospan_graph::gen::connected_unit_disk;
-    use geospan_graph::planarity::is_plane_embedding;
-
-    #[test]
-    fn distributed_matches_centralized() {
-        for seed in 0..5 {
-            let (_pts, g, _s) = connected_unit_disk(45, 100.0, 35.0, seed * 17 + 3);
-            let central = planarized(&g);
-            let dist = run_ldel(&g, 35.0).expect("protocol converges");
-            assert_eq!(
-                dist.ldel.gabriel_edges, central.gabriel_edges,
-                "seed {seed}: Gabriel edges differ"
-            );
-            let ce: Vec<_> = central.graph.edges().collect();
-            let de: Vec<_> = dist.ldel.graph.edges().collect();
-            assert_eq!(de, ce, "seed {seed}: edges differ");
-            assert_eq!(dist.ldel.triangles, central.triangles, "seed {seed}");
-        }
-    }
-
-    #[test]
-    fn distributed_result_is_planar_and_connected() {
-        for seed in 0..4 {
-            let (_pts, g, _s) = connected_unit_disk(60, 100.0, 30.0, seed * 23 + 7);
-            let dist = run_ldel(&g, 30.0).expect("protocol converges");
-            assert!(is_plane_embedding(&dist.ldel.graph), "seed {seed}");
-            assert!(dist.ldel.graph.is_connected(), "seed {seed}");
-        }
-    }
-
-    #[test]
-    fn asynchronous_delivery_changes_nothing() {
-        for seed in 0..3 {
-            let (_pts, g, _s) = connected_unit_disk(40, 100.0, 35.0, seed * 41 + 9);
-            let sync = run_ldel(&g, 35.0).unwrap();
-            for delay_seed in 0..2 {
-                let jittered = run_ldel_jittered(&g, 35.0, 4, delay_seed * 31 + 1).unwrap();
-                assert_eq!(
-                    jittered.ldel.graph.edges().collect::<Vec<_>>(),
-                    sync.ldel.graph.edges().collect::<Vec<_>>(),
-                    "seed {seed}: async LDel diverged"
-                );
-                assert_eq!(jittered.ldel.triangles, sync.ldel.triangles);
-                // Same transmissions, different timing.
-                assert_eq!(jittered.stats.total_sent(), sync.stats.total_sent());
-            }
-        }
-    }
-
-    #[test]
-    fn message_cost_scales_with_degree_not_n() {
-        // Per-node cost stays flat as the network grows at fixed density.
-        let (_p1, g1, _s) = connected_unit_disk(40, 100.0, 35.0, 1);
-        let (_p2, g2, _s) = connected_unit_disk(160, 200.0, 35.0, 2);
-        let d1 = run_ldel(&g1, 35.0).unwrap();
-        let d2 = run_ldel(&g2, 35.0).unwrap();
-        let max1 = d1.stats.max_sent();
-        let max2 = d2.stats.max_sent();
-        // 4x the nodes at the same density: max per-node cost should not
-        // grow 4x (it is degree-driven). Allow generous slack.
-        assert!(
-            (max2 as f64) < 3.0 * (max1 as f64),
-            "per-node cost grew with n: {max1} -> {max2}"
-        );
-    }
-
-    #[test]
-    fn every_node_says_hello() {
-        let (_pts, g, _s) = connected_unit_disk(30, 100.0, 40.0, 11);
-        let dist = run_ldel(&g, 40.0).unwrap();
-        assert_eq!(dist.stats.per_kind()["Hello"], 30);
-    }
-
-    #[test]
-    fn zero_fault_plan_matches_plain_ldel_exactly() {
-        let (_pts, g, _s) = connected_unit_disk(40, 100.0, 35.0, 7);
-        let plain = run_ldel(&g, 35.0).unwrap();
-        let (faulty, report) =
-            run_ldel_faulty(&g, 35.0, &FaultPlan::none(), ReliabilityConfig::default()).unwrap();
-        assert_eq!(faulty.ldel.triangles, plain.ldel.triangles);
-        assert_eq!(faulty.ldel.gabriel_edges, plain.ldel.gabriel_edges);
-        assert_eq!(
-            faulty.ldel.graph.edges().collect::<Vec<_>>(),
-            plain.ldel.graph.edges().collect::<Vec<_>>()
-        );
-        assert_eq!(faulty.stats, plain.stats);
-        assert_eq!(report, FaultReport::default());
-    }
-
-    #[test]
-    fn survives_loss_with_retransmissions() {
-        // With enough retries the handshake sees every message despite
-        // loss, so the structure matches the fault-free run exactly.
-        for seed in 0..3 {
-            let (_pts, g, _s) = connected_unit_disk(35, 100.0, 35.0, seed * 23 + 5);
-            let plain = run_ldel(&g, 35.0).unwrap();
-            let plan = FaultPlan::new(seed + 1).with_loss(0.15);
-            let cfg = ReliabilityConfig {
-                max_retries: 8,
-                ack_timeout: 2,
-            };
-            let (faulty, report) = run_ldel_faulty(&g, 35.0, &plan, cfg).unwrap();
-            assert!(report.dropped > 0, "seed {seed}: loss should bite");
-            assert!(report.retransmissions > 0, "seed {seed}");
-            // The planarized union stays a plane embedding either way.
-            let planar = crate::ldel::planarize(&g, faulty.ldel.clone());
-            assert!(is_plane_embedding(&planar.graph), "seed {seed}");
-            assert_eq!(
-                faulty.ldel.triangles, plain.ldel.triangles,
-                "seed {seed}: retransmission should mask the loss"
-            );
-        }
-    }
-
-    #[test]
-    fn crashed_node_is_excised_from_the_structure() {
-        let (_pts, g, _s) = connected_unit_disk(40, 100.0, 35.0, 13);
-        let victim = 17;
-        let plan = FaultPlan::new(3).with_crash(victim, 0);
-        let (faulty, report) =
-            run_ldel_faulty(&g, 35.0, &plan, ReliabilityConfig::default()).unwrap();
-        assert_eq!(report.crashed, vec![victim]);
-        for &(a, b) in &faulty.ldel.gabriel_edges {
-            assert!(a != victim && b != victim);
-        }
-        for t in &faulty.ldel.triangles {
-            assert!(!t.contains(&victim));
-        }
-        assert_eq!(faulty.ldel.graph.degree(victim), 0);
     }
 }

@@ -19,14 +19,13 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use geospan_geometry::{in_circumcircle, CirclePosition, Point};
-use geospan_graph::collections::{VecMap, VecSet};
 use geospan_graph::Graph;
 use geospan_sim::{
     Context, FaultPlan, FaultReport, MessageKind, MessageStats, Network, Protocol,
     QuiescenceTimeout, ReliabilityConfig,
 };
 
-use crate::ldel::LocalDelaunay;
+use geospan_topology::ldel::LocalDelaunay;
 
 /// Messages of the `LDel²` protocol.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,14 +77,11 @@ pub struct Ldel2Node {
     pos: Point,
     radius: f64,
     active: bool,
-    /// 1-hop neighbors (from `Hello`), ascending by id like the
-    /// `BTreeMap` it replaced.
-    neighbors: VecMap<Point>,
+    /// 1-hop neighbors (from `Hello`).
+    neighbors: BTreeMap<usize, Point>,
     /// 2-hop knowledge (from `NeighborTable`), including the 1-hop ring.
-    known2: VecMap<Point>,
-    /// Triple-keyed, so `BTree*` stays: phase-3 finalization iterates in
-    /// triangle-key order, which the equivalence tests pin.
-    confirmations: BTreeMap<[usize; 3], VecSet>,
+    known2: BTreeMap<usize, Point>,
+    confirmations: BTreeMap<[usize; 3], BTreeSet<usize>>,
     dead: BTreeSet<[usize; 3]>,
     responded: BTreeSet<[usize; 3]>,
     gabriel: Vec<(usize, usize)>,
@@ -97,7 +93,7 @@ impl Ldel2Node {
         if v == self.id {
             self.pos
         } else {
-            *self.known2.get(v).expect("position learned from exchange")
+            self.known2[&v]
         }
     }
 
@@ -109,7 +105,7 @@ impl Ldel2Node {
             self.position_of(tri[1]),
             self.position_of(tri[2]),
         );
-        self.known2.iter().all(|(x, &p)| {
+        self.known2.iter().all(|(&x, &p)| {
             tri.contains(&x) || in_circumcircle(a, b, c, p) != CirclePosition::Inside
         }) && {
             // The node itself is also a witness.
@@ -140,14 +136,14 @@ impl Protocol for Ldel2Node {
             0 => ctx.broadcast(Ldel2Msg::Hello { pos: self.pos }),
             1 => {
                 let mut entries: Vec<(usize, Point)> =
-                    self.neighbors.iter().map(|(v, &p)| (v, p)).collect();
+                    self.neighbors.iter().map(|(&v, &p)| (v, p)).collect();
                 entries.sort_by_key(|(v, _)| *v);
                 ctx.broadcast(Ldel2Msg::NeighborTable { entries });
             }
             2 => {
                 // Gabriel edges (1-hop decidable) and triangle proposals.
                 let nbrs: Vec<(usize, Point)> =
-                    self.neighbors.iter().map(|(v, &p)| (v, p)).collect();
+                    self.neighbors.iter().map(|(&v, &p)| (v, p)).collect();
                 for &(v, pv) in &nbrs {
                     let blocked = nbrs.iter().any(|&(w, pw)| {
                         w != v
@@ -187,7 +183,7 @@ impl Protocol for Ldel2Node {
                     if !tri.contains(&self.id) || self.dead.contains(&tri) {
                         continue;
                     }
-                    if tri.iter().all(|&x| votes.contains(x)) {
+                    if tri.iter().all(|x| votes.contains(x)) {
                         self.final_tris.insert(tri);
                     }
                 }
@@ -223,7 +219,7 @@ impl Protocol for Ldel2Node {
                     // is in the proposer's table, hence known here.
                     let knows_all = tri
                         .iter()
-                        .all(|&x| x == self.id || self.known2.contains_key(x));
+                        .all(|&x| x == self.id || self.known2.contains_key(&x));
                     if knows_all && self.edges_short(*tri) && self.locally_empty(*tri) {
                         self.confirm(*tri, self.id);
                         ctx.broadcast(Ldel2Msg::Accept { tri: *tri });
@@ -258,7 +254,7 @@ pub fn run_ldel2(
     let mut net = Network::new(g, |id| new_node(g, id, radius));
     net.run_phases(4, g.node_count() + 16)?;
     let (nodes, stats) = net.into_parts();
-    Ok(assemble_ldel2(g, &nodes, stats, &VecSet::new()))
+    Ok(assemble_ldel2(g, &nodes, stats, &BTreeSet::new()))
 }
 
 /// Runs the `LDel²` protocol under injected faults with the link-layer
@@ -292,7 +288,7 @@ pub fn run_ldel2_faulty(
     net.run_phases(4, (g.node_count() + 16) * per_hop)?;
     let report = net.fault_report();
     let (nodes, stats) = net.into_parts();
-    let crashed: VecSet = report.crashed.iter().copied().collect();
+    let crashed: BTreeSet<usize> = report.crashed.iter().copied().collect();
     let (ldel, stats) = assemble_ldel2(g, &nodes, stats, &crashed);
     Ok((ldel, stats, report))
 }
@@ -303,8 +299,8 @@ fn new_node(g: &Graph, id: usize, radius: f64) -> Ldel2Node {
         pos: g.position(id),
         radius,
         active: g.degree(id) > 0,
-        neighbors: VecMap::new(),
-        known2: VecMap::new(),
+        neighbors: BTreeMap::new(),
+        known2: BTreeMap::new(),
         confirmations: BTreeMap::new(),
         dead: BTreeSet::new(),
         responded: BTreeSet::new(),
@@ -317,22 +313,22 @@ fn assemble_ldel2(
     g: &Graph,
     nodes: &[Ldel2Node],
     stats: MessageStats,
-    crashed: &VecSet,
+    crashed: &BTreeSet<usize>,
 ) -> (LocalDelaunay, MessageStats) {
     let mut graph = g.same_vertices();
     let mut gabriel: BTreeSet<(usize, usize)> = BTreeSet::new();
     let mut triangles: BTreeSet<[usize; 3]> = BTreeSet::new();
     for node in nodes {
-        if crashed.contains(node.id) {
+        if crashed.contains(&node.id) {
             continue;
         }
         for &(a, b) in &node.gabriel {
-            if !crashed.contains(a) && !crashed.contains(b) {
+            if !crashed.contains(&a) && !crashed.contains(&b) {
                 gabriel.insert((a, b));
             }
         }
         for &t in &node.final_tris {
-            if t.iter().all(|&v| !crashed.contains(v)) {
+            if t.iter().all(|v| !crashed.contains(v)) {
                 triangles.insert(t);
             }
         }
@@ -362,89 +358,4 @@ fn assemble_ldel2(
         },
         stats,
     )
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::ldel::ldel_k;
-    use geospan_graph::gen::connected_unit_disk;
-    use geospan_graph::planarity::is_plane_embedding;
-
-    #[test]
-    fn matches_centralized_ldel2() {
-        for seed in 0..4 {
-            let (_pts, g, _s) = connected_unit_disk(40, 100.0, 35.0, seed * 67 + 1);
-            let central = ldel_k(&g, 2);
-            let (dist, _stats) = run_ldel2(&g, 35.0).expect("protocol converges");
-            assert_eq!(dist.triangles, central.triangles, "seed {seed}");
-            assert_eq!(dist.gabriel_edges, central.gabriel_edges, "seed {seed}");
-            assert_eq!(
-                dist.graph.edges().collect::<Vec<_>>(),
-                central.graph.edges().collect::<Vec<_>>(),
-                "seed {seed}"
-            );
-        }
-    }
-
-    #[test]
-    fn planar_without_removal_pass() {
-        for seed in 0..4 {
-            let (_pts, g, _s) = connected_unit_disk(50, 100.0, 32.0, seed * 71 + 5);
-            let (dist, _stats) = run_ldel2(&g, 32.0).unwrap();
-            assert!(is_plane_embedding(&dist.graph), "seed {seed}");
-            assert!(dist.graph.is_connected(), "seed {seed}");
-        }
-    }
-
-    #[test]
-    fn zero_fault_plan_matches_plain_ldel2_exactly() {
-        use geospan_sim::{FaultPlan, FaultReport, ReliabilityConfig};
-        let (_pts, g, _s) = connected_unit_disk(40, 100.0, 35.0, 9);
-        let (plain, stats) = run_ldel2(&g, 35.0).unwrap();
-        let (faulty, fstats, report) =
-            run_ldel2_faulty(&g, 35.0, &FaultPlan::none(), ReliabilityConfig::default()).unwrap();
-        assert_eq!(faulty, plain);
-        assert_eq!(fstats, stats);
-        assert_eq!(report, FaultReport::default());
-    }
-
-    #[test]
-    fn stays_planar_under_loss_and_crash() {
-        use geospan_sim::{FaultPlan, ReliabilityConfig};
-        for seed in 0..3 {
-            let (_pts, g, _s) = connected_unit_disk(45, 100.0, 32.0, seed * 29 + 7);
-            let victim = (seed as usize * 13 + 5) % 45;
-            let plan = FaultPlan::new(seed + 11)
-                .with_loss(0.15)
-                .with_crash(victim, 2);
-            let cfg = ReliabilityConfig {
-                max_retries: 8,
-                ack_timeout: 2,
-            };
-            let (faulty, _stats, report) = run_ldel2_faulty(&g, 32.0, &plan, cfg).unwrap();
-            assert!(report.dropped > 0, "seed {seed}");
-            assert_eq!(report.crashed, vec![victim], "seed {seed}");
-            // LDel² is planar by construction; rejecting unvettable
-            // triangles and excising the crashed node must preserve that.
-            assert!(is_plane_embedding(&faulty.graph), "seed {seed}");
-            assert_eq!(faulty.graph.degree(victim), 0, "seed {seed}");
-            for t in &faulty.triangles {
-                assert!(!t.contains(&victim), "seed {seed}");
-            }
-        }
-    }
-
-    #[test]
-    fn ldel2_is_subset_of_ldel1() {
-        // More knowledge can only shrink the triangle set.
-        for seed in 0..3 {
-            let (_pts, g, _s) = connected_unit_disk(45, 100.0, 35.0, seed * 73 + 2);
-            let one = crate::ldel::ldel1(&g);
-            let (two, _stats) = run_ldel2(&g, 35.0).unwrap();
-            for t in &two.triangles {
-                assert!(one.triangles.contains(t), "seed {seed}: {t:?} not in LDel1");
-            }
-        }
-    }
 }
