@@ -1,4 +1,4 @@
-//! The determinism lint rules (D01–D05) plus directive hygiene (A00).
+//! The determinism lint rules (D01–D07) plus directive hygiene (A00).
 //!
 //! Every rule is a token-pattern check over the [`crate::lexer`] output.
 //! The rules are deliberately conservative heuristics: they know nothing
@@ -12,7 +12,7 @@ use crate::lexer::{lex, Directive, Lexed, Tok, TokKind};
 /// A single lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule id (`D01`..`D05`, `A00`).
+    /// Rule id (`D01`..`D07`, `A00`).
     pub rule: &'static str,
     /// Workspace-relative path, forward slashes.
     pub path: String,
@@ -62,7 +62,19 @@ pub const RULES: &[(&str, &str)] = &[
          iteration; BTree stays only where a non-usize key (pair/triple/tuple) encodes \
          message-emission order",
     ),
+    (
+        "D07",
+        "raw threading primitive (std::thread, Barrier, Condvar, mpsc channels) outside the \
+         sharded engine driver: bit-identical results are only proven for the barrier \
+         protocol in crates/traffic/src/shard.rs; everything else parallelizes through the \
+         rayon facade",
+    ),
 ];
+
+/// Files allowed to use raw threading primitives (rule D07): the
+/// sharded traffic engine's driver, whose two-barrier round protocol
+/// carries the determinism proof (see DESIGN.md §11).
+const D07_EXEMPT: &[&str] = &["crates/traffic/src/shard.rs"];
 
 /// Crates whose construction hot path is arena-backed (rule D06). Paths
 /// are workspace-relative with forward slashes; `src/` excludes the
@@ -146,6 +158,7 @@ pub fn check_source(path: &str, src: &str) -> Vec<Finding> {
     rule_d04(toks, &in_test, &mut emit);
     rule_d05(toks, &in_test, &mut emit);
     rule_d06(path, toks, &in_test, &mut emit);
+    rule_d07(path, toks, &in_test, &mut emit);
 
     apply_directives(findings, &lexed)
 }
@@ -636,6 +649,47 @@ fn rule_d06(
                 format!(
                     "`{name}` keyed by node id in a construction crate: use VecSet/VecMap \
                      from geospan-graph (same ascending iteration, flat storage)"
+                ),
+            );
+        }
+    }
+}
+
+/// D07 — raw threading primitives outside the blessed shard driver.
+/// Matches the `std::thread` module path (`thread ::` — scope, spawn,
+/// sleep, builders) and the synchronization idents `Barrier`,
+/// `Condvar`, and `mpsc`. `Mutex`/`Arc` alone are not flagged: without
+/// threads to race they cannot reorder anything.
+fn rule_d07(
+    path: &str,
+    toks: &[Tok],
+    in_test: &dyn Fn(u32) -> bool,
+    emit: &mut dyn FnMut(&'static str, u32, String),
+) {
+    if D07_EXEMPT.contains(&path) {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_test(t.line) {
+            continue;
+        }
+        let flagged = match t.text.as_str() {
+            "Barrier" | "Condvar" | "mpsc" => true,
+            "thread" => {
+                toks.get(i + 1).map(|u| u.text.as_str()) == Some(":")
+                    && toks.get(i + 2).map(|u| u.text.as_str()) == Some(":")
+            }
+            _ => false,
+        };
+        if flagged {
+            emit(
+                "D07",
+                t.line,
+                format!(
+                    "`{}` is a raw threading primitive: deterministic parallelism lives in \
+                     the sharded engine driver (crates/traffic/src/shard.rs) or behind the \
+                     rayon facade; anything else reorders events",
+                    t.text
                 ),
             );
         }

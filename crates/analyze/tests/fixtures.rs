@@ -292,6 +292,77 @@ pub struct NodeState {
     assert!(check_source("crates/graph/src/fixture.rs", src).is_empty());
 }
 
+// ---------------------------------------------------------------- D07
+
+#[test]
+fn d07_flags_raw_threading_primitives() {
+    let src = r#"
+use std::sync::Barrier;
+pub fn bad(n: usize) -> u32 {
+    let b = Barrier::new(n);
+    let (tx, rx) = std::sync::mpsc::channel::<u32>();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            b.wait();
+            tx.send(1).expect("receiver lives");
+        });
+    });
+    rx.recv().expect("sender sent")
+}
+"#;
+    let findings = check_source("crates/sim/src/fixture.rs", src);
+    let d07 = findings.iter().filter(|f| f.rule == "D07").count();
+    // `Barrier` twice (use + construction), `mpsc`, `thread::`.
+    assert_eq!(d07, 4, "{findings:?}");
+}
+
+#[test]
+fn d07_exempts_the_shard_driver_and_test_code() {
+    let src = r#"
+pub fn drive() {
+    std::thread::scope(|_s| {});
+}
+"#;
+    // The sharded engine driver carries the determinism proof.
+    assert!(check_source("crates/traffic/src/shard.rs", src).is_empty());
+    // The same code anywhere else is flagged.
+    assert_eq!(rules_hit(src), ["D07"]);
+
+    // Threads inside test code are the test harness's business.
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn concurrent_probe() {
+        std::thread::scope(|_s| {});
+    }
+}
+"#;
+    assert_eq!(rules_hit(src), Vec::<&str>::new());
+}
+
+#[test]
+fn d07_ignores_rayon_and_honors_allow_directive() {
+    let src = r#"
+use rayon::prelude::*;
+use std::sync::{Arc, Mutex};
+pub fn ok(v: &[u64]) -> u64 {
+    let m = Arc::new(Mutex::new(0u64));
+    let rows: Vec<u64> = v.par_iter().map(|x| x + 1).collect();
+    *m.lock().expect("no poisoned threads here") + rows.len() as u64
+}
+"#;
+    assert_eq!(rules_hit(src), Vec::<&str>::new());
+
+    let src = r#"
+pub fn cores() -> usize {
+    // geospan-analyze: allow(D07, reading the core count spawns nothing)
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+"#;
+    assert_eq!(rules_hit(src), Vec::<&str>::new());
+}
+
 // ------------------------------------------------- directives and A00
 
 #[test]

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod scale;
 pub mod traffic;
 
 use std::fmt::Write as _;

@@ -200,6 +200,7 @@ pub fn traffic_rows(cfg: &SweepConfig) -> Vec<TrafficRow> {
         reliability: None,
         overload: None,
         admission: AdmissionPolicy::Open,
+        shards: 1,
     };
 
     // Cell grid: trial-major, then load, then topology.
@@ -874,6 +875,10 @@ pub struct SaturationSweepConfig {
     pub overload: OverloadConfig,
     /// Source admission of the control-on half.
     pub admission: AdmissionPolicy,
+    /// Spatial shard count of the serving engine. Any value produces
+    /// byte-identical rows — the crown invariant of the sharded engine,
+    /// pinned by a test sweeping this knob over the E18 config.
+    pub shards: usize,
 }
 
 impl SaturationSweepConfig {
@@ -908,6 +913,7 @@ impl SaturationSweepConfig {
                 ticks_per_token: 100,
                 burst: 2,
             },
+            shards: 1,
         }
     }
 
@@ -934,6 +940,7 @@ impl SaturationSweepConfig {
                 ticks_per_token: 40,
                 burst: 2,
             },
+            shards: 1,
         }
     }
 
@@ -1067,6 +1074,7 @@ pub fn saturation_rows(cfg: &SaturationSweepConfig) -> Vec<SaturationRow> {
                 } else {
                     AdmissionPolicy::Open
                 },
+                shards: cfg.shards,
                 ..TrafficConfig::default()
             };
             let forwarding = Forwarding::Backbone { backbone, udg };
@@ -1414,6 +1422,23 @@ mod tests {
         assert_eq!(a.lines().count(), rows.len() + 1);
         assert!(a.starts_with("discipline,control,load,"));
         assert!(!format_saturation(&rows).is_empty());
+    }
+
+    #[test]
+    fn e18_csv_is_byte_identical_at_every_shard_count() {
+        // The crown invariant on the E18 saturation config itself:
+        // shards ∈ {1, 2, 4, 8} serve every (discipline × control ×
+        // load) cell of the sweep to byte-identical CSV rows.
+        let reference = saturation_csv(&saturation_rows(&SaturationSweepConfig::quick()));
+        for shards in [2, 4, 8] {
+            let mut cfg = SaturationSweepConfig::quick();
+            cfg.shards = shards;
+            let csv = saturation_csv(&saturation_rows(&cfg));
+            assert_eq!(
+                reference, csv,
+                "shards={shards}: E18 CSV diverged from single-shard"
+            );
+        }
     }
 
     #[test]

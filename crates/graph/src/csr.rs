@@ -141,6 +141,42 @@ impl CsrGraph {
             + self.targets.len() * std::mem::size_of::<u32>()
     }
 
+    /// Decomposition statistics of this adjacency under a node→shard
+    /// assignment: how many nodes and internal edges each shard owns,
+    /// and how many edges cross shard boundaries. The cut edges are
+    /// exactly the links over which a sharded traffic engine must
+    /// exchange boundary messages, so `cut_fraction` bounds its
+    /// communication-to-computation ratio.
+    ///
+    /// # Panics
+    /// Panics if `shard_of` does not cover every node or names a shard
+    /// `>= shards`.
+    pub fn shard_cut(&self, shard_of: &[u32], shards: usize) -> ShardCut {
+        let n = self.node_count();
+        assert_eq!(shard_of.len(), n, "shard_of must assign every node");
+        let mut per_shard_nodes = vec![0usize; shards];
+        let mut per_shard_edges = vec![0usize; shards];
+        let mut cut_edges = 0usize;
+        for (v, &shard) in shard_of.iter().enumerate() {
+            let s = shard as usize;
+            assert!(s < shards, "node {v} assigned to shard {s} >= {shards}");
+            per_shard_nodes[s] += 1;
+        }
+        for (u, v) in self.edges() {
+            if shard_of[u] == shard_of[v] {
+                per_shard_edges[shard_of[u] as usize] += 1;
+            } else {
+                cut_edges += 1;
+            }
+        }
+        ShardCut {
+            per_shard_nodes,
+            per_shard_edges,
+            cut_edges,
+            total_edges: self.edge_count,
+        }
+    }
+
     /// Thaws back into a mutable [`Graph`] (exact inverse of
     /// [`Graph::freeze`]).
     pub fn thaw(&self) -> Graph {
@@ -212,6 +248,43 @@ impl CsrGraph {
             }
         }
         dist
+    }
+}
+
+/// What a node→shard assignment does to this graph's edges — see
+/// [`CsrGraph::shard_cut`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardCut {
+    per_shard_nodes: Vec<usize>,
+    per_shard_edges: Vec<usize>,
+    cut_edges: usize,
+    total_edges: usize,
+}
+
+impl ShardCut {
+    /// Nodes owned by each shard.
+    pub fn per_shard_nodes(&self) -> &[usize] {
+        &self.per_shard_nodes
+    }
+
+    /// Edges internal to each shard (both endpoints owned by it).
+    pub fn per_shard_edges(&self) -> &[usize] {
+        &self.per_shard_edges
+    }
+
+    /// Edges whose endpoints live on different shards.
+    pub fn cut_edges(&self) -> usize {
+        self.cut_edges
+    }
+
+    /// Fraction of all edges crossing a shard boundary (`0.0` on an
+    /// edgeless graph).
+    pub fn cut_fraction(&self) -> f64 {
+        if self.total_edges == 0 {
+            0.0
+        } else {
+            self.cut_edges as f64 / self.total_edges as f64
+        }
     }
 }
 
@@ -296,6 +369,35 @@ mod tests {
         assert!(!c.has_edge(0, 2));
         assert_eq!(c.edge_length(0, 1), 5.0);
         assert!(c.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn shard_cut_accounts_for_every_edge() {
+        let pts = uniform_points(90, 150.0, 7);
+        let g = UnitDiskBuilder::new(40.0).build(&pts);
+        let c = g.freeze();
+        // Split by x coordinate into two halves.
+        let shard_of: Vec<u32> = pts.iter().map(|p| u32::from(p.x > 75.0)).collect();
+        let cut = c.shard_cut(&shard_of, 2);
+        assert_eq!(cut.per_shard_nodes().iter().sum::<usize>(), 90);
+        assert_eq!(
+            cut.per_shard_edges().iter().sum::<usize>() + cut.cut_edges(),
+            c.edge_count()
+        );
+        assert!(cut.cut_edges() > 0, "a geometric split cuts something");
+        assert!(cut.cut_fraction() > 0.0 && cut.cut_fraction() < 1.0);
+        // One shard owns everything: nothing is cut.
+        let all = c.shard_cut(&vec![0u32; 90], 1);
+        assert_eq!(all.cut_edges(), 0);
+        assert_eq!(all.per_shard_edges()[0], c.edge_count());
+        assert_eq!(all.cut_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned to shard")]
+    fn shard_cut_rejects_out_of_range_shards() {
+        let g = Graph::with_edges(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)], [(0, 1)]);
+        let _ = g.freeze().shard_cut(&[0, 5], 2);
     }
 
     #[test]

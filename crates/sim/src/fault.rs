@@ -259,6 +259,43 @@ impl FaultPlan {
         self.duplicates(sender, receiver, seq, attempt)
     }
 
+    /// True when transmission `attempt` of packet `packet` is lost to
+    /// radio noise.
+    ///
+    /// Unlike [`FaultPlan::drops_delivery`], the roll is keyed on the
+    /// packet identity and its transmission count alone — never on the
+    /// link endpoints. `(packet, attempt)` is a pure function of the
+    /// arrival schedule and the retry budget: it does not depend on
+    /// where the packet happens to be, which queue served it first, or
+    /// what order concurrent events were processed in. That makes the
+    /// loss decision invariant under *any* reordering of the engine
+    /// around it — sharded execution, phase restructuring, future
+    /// optimistic schedulers — while keeping per-packet failures
+    /// independent and bisectable exactly as before.
+    pub fn drops_packet(&self, packet: u64, attempt: u32) -> bool {
+        self.loss > 0.0 && self.packet_roll(EventKind::Data, packet, attempt) < self.loss
+    }
+
+    /// True when transmission `attempt` of packet `packet` arrives twice
+    /// (a stale MAC retransmission), keyed on `(packet, attempt)` only —
+    /// see [`FaultPlan::drops_packet`] for why the link endpoints are
+    /// deliberately absent.
+    pub fn duplicates_packet(&self, packet: u64, attempt: u32) -> bool {
+        self.duplicate > 0.0
+            && self.packet_roll(EventKind::Duplicate, packet, attempt) < self.duplicate
+    }
+
+    /// Stateless per-(packet, attempt) roll in `[0, 1)`: the
+    /// link-endpoint-free counterpart of [`FaultPlan::roll`]. A distinct
+    /// salt decorrelates it from the endpoint-keyed rolls so a plan
+    /// driving both engines never reuses a decision.
+    fn packet_roll(&self, kind: EventKind, packet: u64, attempt: u32) -> f64 {
+        let mut h = self.seed ^ kind.salt() ^ 0x7c9a_51b0_ee26_3d14;
+        h = splitmix(h ^ packet.wrapping_mul(0x1656_67b1_9e37_79f9));
+        h = splitmix(h ^ u64::from(attempt));
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
     /// Stateless per-event roll in `[0, 1)`.
     pub(crate) fn roll(
         &self,
@@ -538,6 +575,58 @@ mod tests {
                 plan.duplicates(1, 2, seq, 0)
             );
         }
+    }
+
+    #[test]
+    fn packet_rolls_are_deterministic_and_endpoint_free() {
+        let plan = FaultPlan::new(7).with_loss(0.5).with_duplication(0.5);
+        for packet in 0..50u64 {
+            for attempt in 0..4u32 {
+                assert_eq!(
+                    plan.drops_packet(packet, attempt),
+                    plan.drops_packet(packet, attempt),
+                    "re-rolling the same coordinates must agree"
+                );
+                assert_eq!(
+                    plan.duplicates_packet(packet, attempt),
+                    plan.duplicates_packet(packet, attempt)
+                );
+            }
+        }
+        // Distinct packets / attempts decide independently (at 50% loss a
+        // perfectly correlated pair would always match).
+        let distinct = (0..200u64)
+            .filter(|&p| plan.drops_packet(p, 0) != plan.drops_packet(p, 1))
+            .count();
+        assert!(distinct > 50, "attempts look correlated: {distinct}/200");
+    }
+
+    #[test]
+    fn packet_rolls_decorrelated_from_delivery_rolls() {
+        // Same numeric coordinates through the two keying schemes must not
+        // reuse the same underlying roll: a plan driving both the
+        // endpoint-keyed round simulator and the packet-keyed traffic
+        // engine would otherwise couple their fault decisions.
+        let plan = FaultPlan::new(42).with_loss(0.5);
+        let agree = (0..400u64)
+            .filter(|&p| plan.drops_packet(p, 0) == plan.drops_delivery(0, 0, p, 0))
+            .count();
+        assert!(
+            (120..280).contains(&agree),
+            "schemes look coupled: agree on {agree}/400"
+        );
+    }
+
+    #[test]
+    fn packet_loss_rate_roughly_respected() {
+        let plan = FaultPlan::new(99).with_loss(0.2);
+        let lost = (0..10_000u64).filter(|&p| plan.drops_packet(p, 0)).count();
+        assert!((1_600..2_400).contains(&lost), "lost {lost} of 10000");
+        assert!(
+            !FaultPlan::new(99).drops_packet(1, 0),
+            "zero loss never drops"
+        );
+        assert!(!FaultPlan::new(99).duplicates_packet(1, 0));
     }
 
     #[test]

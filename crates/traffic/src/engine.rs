@@ -1,6 +1,18 @@
-//! The discrete-event core: event queue, per-node transmit queues, and
-//! the packet lifecycle (enqueue → transmit → deliver/drop, with
-//! optional per-hop retransmission).
+//! The discrete-event core: per-shard event state, per-node transmit
+//! queues, and the packet lifecycle (enqueue → transmit → deliver/drop,
+//! with optional per-hop retransmission).
+//!
+//! Since the sharded rewrite the engine executes every tick in four
+//! canonical phases (arrivals → retries → service completions → merge of
+//! forwarded packets), and every per-event decision — queue tie-breaks,
+//! fault rolls, merge order — is keyed on schedule- or node-local
+//! coordinates rather than a global event counter. That makes a tick's
+//! outcome independent of how its node-local work is interleaved, which
+//! is exactly what lets [`crate::shard::ShardedEngine`] split the field
+//! into spatial shards and still produce bit-identical output at any
+//! shard or thread count. [`run`] is the front door; it drives the same
+//! [`ShardCore`] phase code through the shard driver with
+//! [`TrafficConfig::shards`] shards.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -11,6 +23,7 @@ use geospan_sim::{FaultPlan, OverloadConfig, ReliabilityConfig};
 
 use crate::queue::{Discipline, Pressure, PressureGauge, QueueDiscipline, QueuedPacket};
 use crate::report::{DropCause, DropCounts, PacketOutcome, PacketRecord, TrafficReport};
+use crate::shard::ShardedEngine;
 use crate::workload::Arrival;
 use crate::{Decision, Forwarding, Session};
 
@@ -85,6 +98,12 @@ pub struct TrafficConfig {
     /// default) admits every scheduled arrival and is bit-identical to
     /// the historical engine.
     pub admission: AdmissionPolicy,
+    /// Number of spatial shards [`run`] partitions the field into
+    /// (clamped to at least 1). Any value produces bit-identical
+    /// output — sharding is purely an execution strategy — but values
+    /// above 1 let the engine run shards on separate cores. See
+    /// [`crate::shard`] for the synchronization protocol.
+    pub shards: usize,
 }
 
 impl Default for TrafficConfig {
@@ -99,6 +118,7 @@ impl Default for TrafficConfig {
             reliability: None,
             overload: None,
             admission: AdmissionPolicy::Open,
+            shards: 1,
         }
     }
 }
@@ -113,29 +133,11 @@ pub struct TrafficOutcome {
     pub packets: Vec<PacketRecord>,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum EventKind {
-    /// A packet (by schedule index) is offered to its source node.
-    Arrival(usize),
-    /// A node's radio finishes transmitting its head-of-line packet.
-    Service(usize),
-    /// A packet's retransmission backoff expired: it rejoins its
-    /// holder's transmit queue.
-    Retry(usize),
-}
-
-/// Events order by `(time, seq)`: `seq` is a global insertion counter,
-/// so simultaneous events fire in creation order and the run is
-/// deterministic. (`kind` participates in the derived `Ord` only after
-/// `seq`, which is unique — it never actually decides.)
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct Event {
-    time: u64,
-    seq: u64,
-    kind: EventKind,
-}
-
-struct Packet {
+/// The live state of one in-flight packet. Owned by exactly one shard
+/// at a time: it lives in that shard's packet store while queued or
+/// awaiting a retry, and travels inside a [`BoundaryMsg`] when a
+/// service completion forwards it (possibly to another shard).
+pub(crate) struct Packet {
     src: usize,
     dst: usize,
     spawn: u64,
@@ -143,7 +145,7 @@ struct Packet {
     /// Total transmissions performed (hops + retransmissions): the
     /// fault-roll attempt coordinate, so every retry sees an
     /// independent loss roll. Without reliability this equals `hops`
-    /// at every roll, preserving the historical per-event decisions.
+    /// at every roll.
     tx: u32,
     /// Retransmissions already spent on the current hop.
     hop_attempt: u32,
@@ -161,6 +163,11 @@ struct NodeState {
     queue: Box<dyn QueueDiscipline>,
     busy: bool,
     peak: usize,
+    /// Per-node enqueue counter: the disciplines' deterministic FIFO
+    /// tie-breaker. Node-local (not global) so the sequence a queue
+    /// sees is a pure function of that node's event order, which is
+    /// identical at every shard count.
+    enqueue_seq: u64,
     /// Watermark hysteresis state (only consulted when
     /// [`TrafficConfig::overload`] is set).
     gauge: PressureGauge,
@@ -177,148 +184,287 @@ struct Bucket {
     refilled: u64,
 }
 
-struct Engine<'a, 'g> {
-    fw: &'a Forwarding<'g>,
-    udg: &'a Graph,
-    faults: &'a FaultPlan,
-    cfg: &'a TrafficConfig,
-    heap: BinaryHeap<Reverse<Event>>,
-    seq: u64,
-    /// Global enqueue counter: the disciplines' deterministic
-    /// tie-breaker.
-    enqueue_seq: u64,
-    packets: Vec<Packet>,
-    fates: Vec<Option<(PacketOutcome, u64)>>,
-    nodes: Vec<NodeState>,
-    /// Per-source token buckets, allocated only under
-    /// [`AdmissionPolicy::TokenBucket`].
-    buckets: Vec<Bucket>,
-    retransmissions: usize,
-    duplicates_suppressed: usize,
-    last_time: u64,
+/// A packet crossing a shard boundary (or re-entering its own shard —
+/// every successful forward goes through a message, so local and remote
+/// hops follow the identical code path).
+///
+/// Merge order is `(sender, emit)`: the forwarding node's id, then its
+/// per-tick emission counter. Both are intrinsic to the transmission —
+/// neither depends on which shard produced the message or how shards
+/// interleaved — so sorting an inbox on this key reconstructs the same
+/// canonical order at every shard count.
+pub(crate) struct BoundaryMsg {
+    /// Node that transmitted the packet.
+    pub(crate) sender: u32,
+    /// The sender's per-tick emission counter (only exceeds 0 when
+    /// `service_time == 0` lets one radio complete several
+    /// transmissions in a single tick).
+    pub(crate) emit: u32,
+    /// Packet id (arrival-schedule index).
+    pub(crate) packet: u32,
+    /// Node receiving the packet (the chosen next hop).
+    pub(crate) receiver: u32,
+    /// The packet itself: ownership moves with the message.
+    pub(crate) payload: Box<Packet>,
 }
 
-/// Serves `arrivals` over the forwarding scheme and returns the measured
-/// outcome.
+/// Everything the shard cores share read-only.
+pub(crate) struct Shared<'a, 'g> {
+    pub(crate) fw: &'a Forwarding<'g>,
+    pub(crate) udg: &'a Graph,
+    pub(crate) faults: &'a FaultPlan,
+    pub(crate) cfg: &'a TrafficConfig,
+    pub(crate) arrivals: &'a [Arrival],
+    /// Node id → owning shard.
+    pub(crate) shard_of: &'a [u32],
+    /// Node id → index within its owning shard's node table.
+    pub(crate) local_of: &'a [u32],
+}
+
+/// One shard's event engine: the nodes it owns, the packets it
+/// currently holds, and its arrival/retry/service event sources.
 ///
-/// `udg` supplies the shared node positions and the shortest-path
-/// baseline for per-packet stretch; the forwarding scheme must route
-/// over (sub)graphs of the same vertex set. The run is bit-reproducible:
-/// the same inputs give the same [`TrafficOutcome`] on every invocation
-/// and under any thread count (the engine itself is single-threaded).
+/// A tick executes in phases, each draining one event source to
+/// exhaustion before the next starts:
 ///
-/// # Panics
-/// Panics if an arrival endpoint is out of bounds or
-/// `cfg.ticks_per_round == 0`.
-pub fn run(
-    forwarding: &Forwarding<'_>,
-    udg: &Graph,
-    arrivals: &[Arrival],
-    faults: &FaultPlan,
-    cfg: &TrafficConfig,
-) -> TrafficOutcome {
-    assert!(cfg.ticks_per_round > 0, "ticks_per_round must be positive");
-    let n = udg.node_count();
-    let packets = arrivals
-        .iter()
-        .map(|a| {
-            assert!(a.src < n && a.dst < n, "arrival endpoints out of bounds");
-            Packet {
-                src: a.src,
-                dst: a.dst,
-                spawn: a.time,
-                hops: 0,
-                tx: 0,
-                hop_attempt: 0,
-                retx: 0,
-                length: 0.0,
-                holder: a.src,
-                next_hop: usize::MAX,
-                session: forwarding.new_session(),
-                path: Vec::new(),
-            }
-        })
-        .collect::<Vec<_>>();
-    let mut engine = Engine {
-        fw: forwarding,
-        udg,
-        faults,
-        cfg,
-        heap: BinaryHeap::with_capacity(arrivals.len()),
-        seq: 0,
-        enqueue_seq: 0,
-        fates: vec![None; packets.len()],
-        packets,
-        nodes: (0..n)
-            .map(|_| NodeState {
-                queue: cfg.discipline.new_queue(),
-                busy: false,
-                peak: 0,
-                gauge: PressureGauge::new(),
-            })
-            .collect(),
-        buckets: match cfg.admission {
-            AdmissionPolicy::Open => Vec::new(),
-            AdmissionPolicy::TokenBucket { burst, .. } => {
+/// 1. **Arrivals** at this tick, in schedule order — admission, then
+///    injection at the source node.
+/// 2. **Retries** whose backoff expires at this tick, in packet-id
+///    order — the packet rejoins its holder's queue.
+/// 3. **Service completions** at this tick, in `(time, node)` heap
+///    order — the radio emits its head-of-line packet, rolls the
+///    per-`(packet, attempt)` faults, and *defers* every successful
+///    forward into an outbox message instead of applying it.
+/// 4. **Merge** (after all shards finish phase 3): incoming messages,
+///    sorted by `(sender, emit)`, are applied — the packet arrives at
+///    its next hop and re-enters a queue or resolves.
+///
+/// Phases 1–3 touch only node-local state (each node's queue, gauge and
+/// counters; each packet's fields), so their intra-phase order across
+/// *different* nodes is immaterial — any partition of the nodes into
+/// shards executes them identically. Phase 4's sort key restores one
+/// global order for the only cross-node effects. Together that is the
+/// bit-identity argument for [`crate::shard::ShardedEngine`].
+pub(crate) struct ShardCore<'a, 'g> {
+    ctx: &'a Shared<'a, 'g>,
+    /// This shard's id.
+    pub(crate) id: u32,
+    /// Arrival-schedule indices whose source this shard owns, ascending.
+    my_arrivals: Vec<u32>,
+    cursor: usize,
+    /// Global ids of the nodes this shard owns, ascending.
+    owned: &'a [u32],
+    /// Pending service completions, keyed `(time, node)`. The `busy`
+    /// flag keeps at most one entry per node, so keys are unique.
+    services: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Pending retransmission backoffs, keyed `(time, packet)`. A
+    /// packet has at most one retry outstanding, so keys are unique.
+    retries: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Packet store, slot per offered packet: `Some` while this shard
+    /// holds the packet, `None` while it is elsewhere (or resolved).
+    /// Linear ownership doubles as the double-resolve check.
+    store: Vec<Option<Box<Packet>>>,
+    /// Node state, indexed by local id (position in `owned`).
+    nodes: Vec<NodeState>,
+    /// Token buckets by local id (empty under [`AdmissionPolicy::Open`]).
+    buckets: Vec<Bucket>,
+    /// Per local node `(tick, emissions)` — the phase-3 emission
+    /// counter behind [`BoundaryMsg::emit`], lazily reset on tick
+    /// change.
+    emit: Vec<(u64, u32)>,
+    /// Resolved packets as `(packet id, record)`.
+    pub(crate) done: Vec<(u32, PacketRecord)>,
+    pub(crate) retransmissions: usize,
+    pub(crate) duplicates_suppressed: usize,
+    /// Events this shard processed (arrivals + retries + services +
+    /// merged messages): the load-imbalance measure.
+    pub(crate) events: u64,
+    /// Barrier rounds participated in (equal across shards).
+    pub(crate) rounds: u64,
+    /// Rounds in which this shard had nothing scheduled at the round's
+    /// tick — the conservative-synchronization overhead analogue of
+    /// null messages.
+    pub(crate) idle_rounds: u64,
+    /// Merged messages whose sender lives on a different shard.
+    pub(crate) boundary_in: u64,
+    pub(crate) last_time: u64,
+}
+
+impl<'a, 'g> ShardCore<'a, 'g> {
+    pub(crate) fn new(
+        ctx: &'a Shared<'a, 'g>,
+        id: u32,
+        my_arrivals: Vec<u32>,
+        owned: &'a [u32],
+    ) -> Self {
+        let cfg = ctx.cfg;
+        ShardCore {
+            ctx,
+            id,
+            my_arrivals,
+            cursor: 0,
+            owned,
+            services: BinaryHeap::new(),
+            retries: BinaryHeap::new(),
+            store: (0..ctx.arrivals.len()).map(|_| None).collect(),
+            nodes: owned
+                .iter()
+                .map(|_| NodeState {
+                    queue: cfg.discipline.new_queue(),
+                    busy: false,
+                    peak: 0,
+                    enqueue_seq: 0,
+                    gauge: PressureGauge::new(),
+                })
+                .collect(),
+            buckets: match cfg.admission {
+                AdmissionPolicy::Open => Vec::new(),
                 // Buckets start full: an initial burst up to the depth
                 // is admitted before pacing engages.
-                vec![
-                    Bucket {
-                        tokens: burst,
-                        refilled: 0,
-                    };
-                    n
-                ]
-            }
-        },
-        retransmissions: 0,
-        duplicates_suppressed: 0,
-        last_time: 0,
-    };
-    for (p, a) in arrivals.iter().enumerate() {
-        engine.push(a.time, EventKind::Arrival(p));
-    }
-    while let Some(Reverse(ev)) = engine.heap.pop() {
-        engine.last_time = ev.time;
-        match ev.kind {
-            EventKind::Arrival(p) => {
-                let src = engine.packets[p].src;
-                if engine.admit(src, ev.time) {
-                    engine.arrive(p, src, ev.time);
-                } else {
-                    engine.resolve(p, PacketOutcome::Refused, ev.time);
+                AdmissionPolicy::TokenBucket { burst, .. } => {
+                    vec![
+                        Bucket {
+                            tokens: burst,
+                            refilled: 0,
+                        };
+                        owned.len()
+                    ]
                 }
-            }
-            EventKind::Service(u) => engine.service(u, ev.time),
-            EventKind::Retry(p) => engine.retry(p, ev.time),
+            },
+            emit: vec![(0, 0); owned.len()],
+            done: Vec::new(),
+            retransmissions: 0,
+            duplicates_suppressed: 0,
+            events: 0,
+            rounds: 0,
+            idle_rounds: 0,
+            boundary_in: 0,
+            last_time: 0,
         }
     }
-    engine.finish()
-}
 
-impl Engine<'_, '_> {
-    fn round(&self, time: u64) -> usize {
-        (time / self.cfg.ticks_per_round) as usize
+    /// The earliest tick at which this shard has anything scheduled
+    /// (`u64::MAX` when fully drained): its vote in the barrier round's
+    /// global-minimum computation.
+    pub(crate) fn next_time(&self) -> u64 {
+        let mut t = u64::MAX;
+        if let Some(&idx) = self.my_arrivals.get(self.cursor) {
+            t = t.min(self.ctx.arrivals[idx as usize].time);
+        }
+        if let Some(&Reverse((rt, _))) = self.retries.peek() {
+            t = t.min(rt);
+        }
+        if let Some(&Reverse((st, _))) = self.services.peek() {
+            t = t.min(st);
+        }
+        t
     }
 
-    fn push(&mut self, time: u64, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse(Event { time, seq, kind }));
+    /// `(global node id, queue peak)` for every owned node.
+    pub(crate) fn peaks(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.owned
+            .iter()
+            .zip(&self.nodes)
+            .map(|(&v, st)| (v as usize, st.peak))
+    }
+
+    /// Phases 1–3 of tick `t`: arrivals, retries, then service
+    /// completions. Successful forwards are pushed onto
+    /// `outboxes[destination shard]` instead of being applied.
+    pub(crate) fn phase_local(&mut self, t: u64, outboxes: &mut [Vec<BoundaryMsg>]) {
+        self.rounds += 1;
+        if self.next_time() != t {
+            self.idle_rounds += 1;
+        }
+        self.last_time = t;
+        while let Some(&idx) = self.my_arrivals.get(self.cursor) {
+            let a = self.ctx.arrivals[idx as usize];
+            if a.time != t {
+                break;
+            }
+            self.cursor += 1;
+            self.events += 1;
+            self.inject(idx as usize, a, t);
+        }
+        while let Some(&Reverse((rt, p))) = self.retries.peek() {
+            if rt != t {
+                break;
+            }
+            self.retries.pop();
+            self.events += 1;
+            self.retry(p as usize, t);
+        }
+        while let Some(&Reverse((st, u))) = self.services.peek() {
+            if st != t {
+                break;
+            }
+            self.services.pop();
+            self.events += 1;
+            self.service(u as usize, t, outboxes);
+        }
+    }
+
+    /// Phase 4 of tick `t`: apply the forwards addressed to this shard.
+    /// The `(sender, emit)` sort reconstructs the canonical order
+    /// whatever concatenation order the driver delivered.
+    pub(crate) fn phase_merge(&mut self, t: u64, mut inbox: Vec<BoundaryMsg>) {
+        inbox.sort_unstable_by_key(|m| (m.sender, m.emit));
+        for msg in inbox {
+            self.events += 1;
+            if self.ctx.shard_of[msg.sender as usize] != self.id {
+                self.boundary_in += 1;
+            }
+            let p = msg.packet as usize;
+            debug_assert!(self.store[p].is_none(), "packet {p} already present");
+            self.store[p] = Some(msg.payload);
+            self.arrive(p, msg.receiver as usize, t);
+        }
+    }
+
+    fn round(&self, time: u64) -> usize {
+        (time / self.ctx.cfg.ticks_per_round) as usize
+    }
+
+    fn local(&self, u: usize) -> usize {
+        debug_assert_eq!(self.ctx.shard_of[u], self.id, "node {u} not owned here");
+        self.ctx.local_of[u] as usize
+    }
+
+    /// Phase 1: a scheduled arrival is offered to its source node.
+    fn inject(&mut self, p: usize, a: Arrival, time: u64) {
+        self.store[p] = Some(Box::new(Packet {
+            src: a.src,
+            dst: a.dst,
+            spawn: a.time,
+            hops: 0,
+            tx: 0,
+            hop_attempt: 0,
+            retx: 0,
+            length: 0.0,
+            holder: a.src,
+            next_hop: usize::MAX,
+            session: self.ctx.fw.new_session(),
+            path: Vec::new(),
+        }));
+        if self.admit(a.src, time) {
+            self.arrive(p, a.src, time);
+        } else {
+            self.resolve(p, PacketOutcome::Refused, time);
+        }
     }
 
     /// Applies the admission policy to an arrival at source `src`.
     /// Deterministic: the decision depends only on the arrival schedule
     /// (tick and per-source order), never on network state.
     fn admit(&mut self, src: usize, time: u64) -> bool {
-        match self.cfg.admission {
+        match self.ctx.cfg.admission {
             AdmissionPolicy::Open => true,
             AdmissionPolicy::TokenBucket {
                 ticks_per_token,
                 burst,
             } => {
                 let period = ticks_per_token.max(1);
-                let bucket = &mut self.buckets[src];
+                let bucket = &mut self.buckets[self.ctx.local_of[src] as usize];
                 let credit = (time - bucket.refilled) / period;
                 if credit > 0 {
                     bucket.tokens = (bucket.tokens + credit).min(burst);
@@ -336,32 +482,61 @@ impl Engine<'_, '_> {
         }
     }
 
+    /// Ends packet `p`'s lifecycle. Taking the packet out of the store
+    /// enforces resolve-exactly-once structurally: a second resolve (or
+    /// one on a shard that doesn't hold the packet) has no packet to
+    /// take.
     fn resolve(&mut self, p: usize, outcome: PacketOutcome, time: u64) {
-        debug_assert!(self.fates[p].is_none(), "packet resolved twice");
-        #[cfg(feature = "invariant-checks")]
-        assert!(self.fates[p].is_none(), "packet {p} resolved twice");
-        self.fates[p] = Some((outcome, time));
+        let pk = *self.store[p]
+            .take()
+            .expect("a packet resolves exactly once, on the shard holding it");
+        self.done.push((
+            p as u32,
+            PacketRecord {
+                src: pk.src,
+                dst: pk.dst,
+                spawn: pk.spawn,
+                finish: time,
+                hops: pk.hops,
+                retries: pk.retx,
+                length: pk.length,
+                outcome,
+                path: pk.path,
+            },
+        ));
     }
 
     /// Packet `p` is now held by node `u`: decide its next hop and join
     /// `u`'s transmit queue (or end its lifecycle).
     fn arrive(&mut self, p: usize, u: usize, time: u64) {
-        if self.cfg.record_paths {
-            self.packets[p].path.push(u);
+        let record_paths = self.ctx.cfg.record_paths;
+        let crashed = self.ctx.faults.crashed(u, self.round(time));
+        {
+            let pk = self.store[p]
+                .as_mut()
+                .expect("arriving packet is held here");
+            if record_paths {
+                pk.path.push(u);
+            }
+            if !crashed {
+                pk.holder = u;
+                pk.hop_attempt = 0;
+            }
         }
-        if self.faults.crashed(u, self.round(time)) {
+        if crashed {
             return self.resolve(p, PacketOutcome::Dropped(DropCause::NodeCrash), time);
         }
-        self.packets[p].holder = u;
-        self.packets[p].hop_attempt = 0;
-        let dst = self.packets[p].dst;
-        let fw = self.fw;
-        let decision = fw.decide(&mut self.packets[p].session, u, dst);
+        let dst = self.store[p].as_ref().expect("held").dst;
+        let fw = self.ctx.fw;
+        let decision = {
+            let pk = self.store[p].as_mut().expect("held");
+            fw.decide(&mut pk.session, u, dst)
+        };
         match decision {
             Decision::Arrived => self.resolve(p, PacketOutcome::Delivered, time),
             Decision::Stuck => self.resolve(p, PacketOutcome::Dropped(DropCause::Stuck), time),
             Decision::Forward(v) => {
-                self.packets[p].next_hop = v;
+                self.store[p].as_mut().expect("held").next_hop = v;
                 self.enqueue(p, u, time);
             }
         }
@@ -371,85 +546,111 @@ impl Engine<'_, '_> {
     /// subject to the capacity check — retransmissions pass through here
     /// too, competing with fresh traffic for the same slots.
     fn enqueue(&mut self, p: usize, u: usize, time: u64) {
-        if self.nodes[u].queue.len() >= self.cfg.queue_capacity {
+        let lu = self.local(u);
+        if self.nodes[lu].queue.len() >= self.ctx.cfg.queue_capacity {
             return self.resolve(p, PacketOutcome::Dropped(DropCause::QueueFull), time);
         }
-        let dst = self.packets[p].dst;
-        let remaining = self.udg.position(u).distance(self.udg.position(dst));
-        let enqueue_seq = self.enqueue_seq;
-        self.enqueue_seq += 1;
-        self.nodes[u].queue.push(QueuedPacket {
+        let dst = self.store[p]
+            .as_ref()
+            .expect("enqueued packet is held here")
+            .dst;
+        let remaining = self
+            .ctx
+            .udg
+            .position(u)
+            .distance(self.ctx.udg.position(dst));
+        let node = &mut self.nodes[lu];
+        let enqueue_seq = node.enqueue_seq;
+        node.enqueue_seq += 1;
+        node.queue.push(QueuedPacket {
             id: p,
             dst,
             remaining,
             enqueue_seq,
         });
-        let occupancy = self.nodes[u].queue.len();
+        let occupancy = node.queue.len();
         #[cfg(feature = "invariant-checks")]
         assert!(
-            occupancy <= self.cfg.queue_capacity,
+            occupancy <= self.ctx.cfg.queue_capacity,
             "queue at node {u} exceeds capacity: {occupancy} > {}",
-            self.cfg.queue_capacity
+            self.ctx.cfg.queue_capacity
         );
-        self.nodes[u].peak = self.nodes[u].peak.max(occupancy);
-        if !self.nodes[u].busy {
-            self.nodes[u].busy = true;
-            self.push(time + self.cfg.service_time, EventKind::Service(u));
+        node.peak = node.peak.max(occupancy);
+        if !node.busy {
+            node.busy = true;
+            self.services
+                .push(Reverse((time + self.ctx.cfg.service_time, u as u32)));
         }
     }
 
-    /// A retransmission backoff expired: the packet rejoins its holder's
-    /// queue (unless the holder died while it waited).
+    /// Phase 2: a retransmission backoff expired — the packet rejoins
+    /// its holder's queue (unless the holder died while it waited).
     fn retry(&mut self, p: usize, time: u64) {
-        let u = self.packets[p].holder;
-        if self.faults.crashed(u, self.round(time)) {
+        let u = self.store[p]
+            .as_ref()
+            .expect("retrying packet is held here")
+            .holder;
+        if self.ctx.faults.crashed(u, self.round(time)) {
             return self.resolve(p, PacketOutcome::Dropped(DropCause::NodeCrash), time);
         }
         self.enqueue(p, u, time);
     }
 
-    /// Node `u`'s radio finished a transmission slot: emit the
-    /// head-of-line packet toward its chosen next hop.
-    fn service(&mut self, u: usize, time: u64) {
-        if self.faults.crashed(u, self.round(time)) {
+    /// Phase 3: node `u`'s radio finished a transmission slot — emit the
+    /// head-of-line packet toward its chosen next hop. A successful
+    /// transmission is *deferred* into `outboxes` rather than applied;
+    /// everything else here touches only `u`'s own state and the
+    /// packet's own fields.
+    fn service(&mut self, u: usize, time: u64, outboxes: &mut [Vec<BoundaryMsg>]) {
+        let lu = self.local(u);
+        if self.ctx.faults.crashed(u, self.round(time)) {
             // The node died with packets queued: they die with it.
-            for qp in self.nodes[u].queue.drain() {
+            let victims = self.nodes[lu].queue.drain();
+            for qp in victims {
                 self.resolve(qp.id, PacketOutcome::Dropped(DropCause::NodeCrash), time);
             }
-            self.nodes[u].busy = false;
+            self.nodes[lu].busy = false;
             return;
         }
-        let Some(qp) = self.nodes[u].queue.pop() else {
-            self.nodes[u].busy = false;
+        let Some(qp) = self.nodes[lu].queue.pop() else {
+            self.nodes[lu].busy = false;
             return;
         };
-        if self.nodes[u].queue.is_empty() {
-            self.nodes[u].busy = false;
+        if self.nodes[lu].queue.is_empty() {
+            self.nodes[lu].busy = false;
         } else {
-            self.push(time + self.cfg.service_time, EventKind::Service(u));
+            self.services
+                .push(Reverse((time + self.ctx.cfg.service_time, u as u32)));
         }
         // Work conservation: a node with queued packets always has a
         // service slot scheduled.
-        debug_assert!(self.nodes[u].busy || self.nodes[u].queue.is_empty());
+        debug_assert!(self.nodes[lu].busy || self.nodes[lu].queue.is_empty());
         let p = qp.id;
-        let v = self.packets[p].next_hop;
-        let attempt = self.packets[p].tx;
-        self.packets[p].tx += 1;
-        if self.packets[p].hop_attempt > 0 {
-            // This transmission slot is a link-layer retransmission.
-            self.retransmissions += 1;
-            self.packets[p].retx += 1;
-        }
+        let (v, attempt) = {
+            let pk = self.store[p]
+                .as_mut()
+                .expect("serviced packet is held here");
+            let v = pk.next_hop;
+            let attempt = pk.tx;
+            pk.tx += 1;
+            if pk.hop_attempt > 0 {
+                // This transmission slot is a link-layer retransmission.
+                pk.retx += 1;
+                self.retransmissions += 1;
+            }
+            (v, attempt)
+        };
         let round = self.round(time);
-        if self.faults.severed(u, v, round) || self.faults.drops_delivery(u, v, p as u64, attempt) {
-            if let Some(rel) = self.cfg.reliability {
-                if self.packets[p].hop_attempt < rel.max_retries {
+        if self.ctx.faults.severed(u, v, round) || self.ctx.faults.drops_packet(p as u64, attempt) {
+            if let Some(rel) = self.ctx.cfg.reliability {
+                let hop_attempt = self.store[p].as_ref().expect("held").hop_attempt;
+                if hop_attempt < rel.max_retries {
                     // Overload control: before committing to a retry,
                     // the sender reads its own queue pressure.
                     let mut backoff_factor = 1;
-                    if let Some(ov) = self.cfg.overload {
-                        let occupancy = self.nodes[u].queue.len();
-                        match self.nodes[u].gauge.observe(occupancy, &ov) {
+                    if let Some(ov) = self.ctx.cfg.overload {
+                        let occupancy = self.nodes[lu].queue.len();
+                        match self.nodes[lu].gauge.observe(occupancy, &ov) {
                             Pressure::Overloaded => {
                                 // Shed: the retry would only deepen the
                                 // overload. Not a retransmission — the
@@ -466,160 +667,206 @@ impl Engine<'_, '_> {
                     }
                     // The sender times out waiting for the ack, backs
                     // off, and re-queues the frame for the same hop.
-                    self.packets[p].hop_attempt += 1;
+                    let pk = self.store[p].as_mut().expect("held");
+                    pk.hop_attempt += 1;
                     let delay = rel.congested_retry_delay(
-                        self.packets[p].hop_attempt,
-                        self.cfg.service_time,
+                        pk.hop_attempt,
+                        self.ctx.cfg.service_time,
                         backoff_factor,
                     );
-                    self.push(time + delay, EventKind::Retry(p));
+                    debug_assert!(delay > 0, "retry delays keep phases 1-3 ahead of merges");
+                    self.retries.push(Reverse((time + delay, p as u32)));
                     return;
                 }
             }
             return self.resolve(p, PacketOutcome::Dropped(DropCause::LinkLoss), time);
         }
-        if self.faults.duplicates_delivery(u, v, p as u64, attempt) {
+        if self.ctx.faults.duplicates_packet(p as u64, attempt) {
             // The receiver sees the frame twice (stale MAC retransmit);
             // per-packet identity deduplicates, the copy is only counted.
             self.duplicates_suppressed += 1;
         }
-        self.packets[p].hops += 1;
-        if self.packets[p].hops > self.cfg.max_hops {
+        let over_budget = {
+            let pk = self.store[p].as_mut().expect("held");
+            pk.hops += 1;
+            pk.hops > self.ctx.cfg.max_hops
+        };
+        if over_budget {
             return self.resolve(p, PacketOutcome::Dropped(DropCause::HopLimit), time);
         }
-        let hop_len = self.udg.position(u).distance(self.udg.position(v));
-        self.packets[p].length += hop_len;
-        self.arrive(p, v, time);
+        let hop_len = self.ctx.udg.position(u).distance(self.ctx.udg.position(v));
+        let mut payload = self.store[p].take().expect("forwarded packet is held here");
+        payload.length += hop_len;
+        let emission = &mut self.emit[lu];
+        if emission.0 != time {
+            *emission = (time, 0);
+        }
+        let emit = emission.1;
+        emission.1 += 1;
+        outboxes[self.ctx.shard_of[v] as usize].push(BoundaryMsg {
+            sender: u as u32,
+            emit,
+            packet: p as u32,
+            receiver: v as u32,
+            payload,
+        });
     }
+}
 
-    /// Folds the per-packet fates into the aggregate report.
-    fn finish(self) -> TrafficOutcome {
-        let Engine {
-            udg,
-            packets,
-            fates,
-            nodes,
-            retransmissions,
-            duplicates_suppressed,
-            last_time,
-            ..
-        } = self;
-        let mut records = Vec::with_capacity(packets.len());
-        let mut drops = DropCounts::default();
-        let mut refused = 0usize;
-        let mut latencies: Vec<u64> = Vec::new();
-        let mut oracle = DistanceOracle::new(udg);
-        let mut hop_stretch_sum = 0.0;
-        let mut hop_stretch_max = 0.0f64;
-        let mut len_stretch_sum = 0.0;
-        let mut len_stretch_max = 0.0f64;
-        let mut stretch_pairs = 0usize;
-        for (pk, fate) in packets.into_iter().zip(fates) {
-            let (outcome, finish) =
-                fate.expect("every offered packet resolves before the event queue drains");
-            match outcome {
-                PacketOutcome::Delivered => {
-                    // Latency from first enqueue (the arrival tick), not
-                    // from any retransmission: backoff waits are part of
-                    // the packet's measured delay.
-                    latencies.push(finish - pk.spawn);
-                    if pk.src != pk.dst {
-                        let best_hops = oracle
-                            .hops(pk.src, pk.dst)
-                            .expect("delivered packets have connected endpoints");
-                        let best_len = oracle
-                            .length(pk.src, pk.dst)
-                            .expect("delivered packets have connected endpoints");
-                        let hs = f64::from(pk.hops) / f64::from(best_hops.max(1));
-                        let ls = if best_len > 0.0 {
-                            pk.length / best_len
-                        } else {
-                            1.0
-                        };
-                        hop_stretch_sum += hs;
-                        hop_stretch_max = hop_stretch_max.max(hs);
-                        len_stretch_sum += ls;
-                        len_stretch_max = len_stretch_max.max(ls);
-                        stretch_pairs += 1;
-                    }
-                }
-                PacketOutcome::Dropped(cause) => drops.record(cause),
-                PacketOutcome::Refused => refused += 1,
-            }
-            records.push(PacketRecord {
-                src: pk.src,
-                dst: pk.dst,
-                spawn: pk.spawn,
-                finish,
-                hops: pk.hops,
-                retries: pk.retx,
-                length: pk.length,
-                outcome,
-                path: pk.path,
-            });
+/// Folds the resolved packets and node peaks of all shards into the
+/// aggregate report. Records are scattered back into arrival-schedule
+/// order first, so the aggregation (and its tie-breaks) never sees the
+/// shard layout.
+pub(crate) fn aggregate(udg: &Graph, cores: Vec<ShardCore<'_, '_>>) -> TrafficOutcome {
+    let n = udg.node_count();
+    let mut peaks = vec![0usize; n];
+    let mut retransmissions = 0usize;
+    let mut duplicates_suppressed = 0usize;
+    let mut last_time = 0u64;
+    let mut slots: Vec<Option<PacketRecord>> = Vec::new();
+    for core in cores {
+        if slots.is_empty() {
+            slots = (0..core.store.len()).map(|_| None).collect();
         }
-        latencies.sort_unstable();
-        let percentile = |q: f64| -> u64 {
-            if latencies.is_empty() {
-                0
-            } else {
-                let rank = (q * latencies.len() as f64).ceil() as usize;
-                latencies[rank.clamp(1, latencies.len()) - 1]
-            }
-        };
-        let delivered = latencies.len();
-        let peak_max = nodes.iter().map(|s| s.peak).max().unwrap_or(0);
-        let peak_sum: usize = nodes.iter().map(|s| s.peak).sum();
-        let report = TrafficReport {
-            offered: records.len(),
-            delivered,
-            drops,
-            refused,
-            retransmissions,
-            duplicates_suppressed,
-            latency_p50: percentile(0.5),
-            latency_p99: percentile(0.99),
-            latency_max: latencies.last().copied().unwrap_or(0),
-            latency_mean: if delivered == 0 {
-                0.0
-            } else {
-                latencies.iter().sum::<u64>() as f64 / delivered as f64
-            },
-            hop_stretch_avg: if stretch_pairs == 0 {
-                0.0
-            } else {
-                hop_stretch_sum / stretch_pairs as f64
-            },
-            hop_stretch_max,
-            length_stretch_avg: if stretch_pairs == 0 {
-                0.0
-            } else {
-                len_stretch_sum / stretch_pairs as f64
-            },
-            length_stretch_max: len_stretch_max,
-            queue_peak_max: peak_max,
-            queue_peak_mean: if nodes.is_empty() {
-                0.0
-            } else {
-                peak_sum as f64 / nodes.len() as f64
-            },
-            duration: last_time,
-        };
-        debug_assert_eq!(
-            report.offered,
-            report.delivered + report.drops.total() + report.refused
-        );
-        #[cfg(feature = "invariant-checks")]
-        assert_eq!(
-            report.offered,
-            report.delivered + report.drops.total() + report.refused,
-            "packet conservation violated: offered != delivered + drops + refused"
-        );
-        TrafficOutcome {
-            report,
-            packets: records,
+        retransmissions += core.retransmissions;
+        duplicates_suppressed += core.duplicates_suppressed;
+        last_time = last_time.max(core.last_time);
+        for (v, peak) in core.peaks() {
+            peaks[v] = peak;
+        }
+        for (id, rec) in core.done {
+            let slot = &mut slots[id as usize];
+            debug_assert!(slot.is_none(), "packet {id} resolved on two shards");
+            *slot = Some(rec);
         }
     }
+    let mut records = Vec::with_capacity(slots.len());
+    let mut drops = DropCounts::default();
+    let mut refused = 0usize;
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut oracle = DistanceOracle::new(udg);
+    let mut hop_stretch_sum = 0.0;
+    let mut hop_stretch_max = 0.0f64;
+    let mut len_stretch_sum = 0.0;
+    let mut len_stretch_max = 0.0f64;
+    let mut stretch_pairs = 0usize;
+    for slot in slots {
+        let rec = slot.expect("every offered packet resolves before the engine quiesces");
+        match rec.outcome {
+            PacketOutcome::Delivered => {
+                // Latency from first enqueue (the arrival tick), not
+                // from any retransmission: backoff waits are part of
+                // the packet's measured delay.
+                latencies.push(rec.finish - rec.spawn);
+                if rec.src != rec.dst {
+                    let best_hops = oracle
+                        .hops(rec.src, rec.dst)
+                        .expect("delivered packets have connected endpoints");
+                    let best_len = oracle
+                        .length(rec.src, rec.dst)
+                        .expect("delivered packets have connected endpoints");
+                    let hs = f64::from(rec.hops) / f64::from(best_hops.max(1));
+                    let ls = if best_len > 0.0 {
+                        rec.length / best_len
+                    } else {
+                        1.0
+                    };
+                    hop_stretch_sum += hs;
+                    hop_stretch_max = hop_stretch_max.max(hs);
+                    len_stretch_sum += ls;
+                    len_stretch_max = len_stretch_max.max(ls);
+                    stretch_pairs += 1;
+                }
+            }
+            PacketOutcome::Dropped(cause) => drops.record(cause),
+            PacketOutcome::Refused => refused += 1,
+        }
+        records.push(rec);
+    }
+    latencies.sort_unstable();
+    let percentile = |q: f64| -> u64 {
+        if latencies.is_empty() {
+            0
+        } else {
+            let rank = (q * latencies.len() as f64).ceil() as usize;
+            latencies[rank.clamp(1, latencies.len()) - 1]
+        }
+    };
+    let delivered = latencies.len();
+    let peak_max = peaks.iter().copied().max().unwrap_or(0);
+    let peak_sum: usize = peaks.iter().sum();
+    let report = TrafficReport {
+        offered: records.len(),
+        delivered,
+        drops,
+        refused,
+        retransmissions,
+        duplicates_suppressed,
+        latency_p50: percentile(0.5),
+        latency_p99: percentile(0.99),
+        latency_max: latencies.last().copied().unwrap_or(0),
+        latency_mean: if delivered == 0 {
+            0.0
+        } else {
+            latencies.iter().sum::<u64>() as f64 / delivered as f64
+        },
+        hop_stretch_avg: if stretch_pairs == 0 {
+            0.0
+        } else {
+            hop_stretch_sum / stretch_pairs as f64
+        },
+        hop_stretch_max,
+        length_stretch_avg: if stretch_pairs == 0 {
+            0.0
+        } else {
+            len_stretch_sum / stretch_pairs as f64
+        },
+        length_stretch_max: len_stretch_max,
+        queue_peak_max: peak_max,
+        queue_peak_mean: if n == 0 {
+            0.0
+        } else {
+            peak_sum as f64 / n as f64
+        },
+        duration: last_time,
+    };
+    debug_assert_eq!(
+        report.offered,
+        report.delivered + report.drops.total() + report.refused
+    );
+    #[cfg(feature = "invariant-checks")]
+    assert_eq!(
+        report.offered,
+        report.delivered + report.drops.total() + report.refused,
+        "packet conservation violated: offered != delivered + drops + refused"
+    );
+    TrafficOutcome {
+        report,
+        packets: records,
+    }
+}
+
+/// Serves `arrivals` over the forwarding scheme and returns the measured
+/// outcome.
+///
+/// `udg` supplies the shared node positions and the shortest-path
+/// baseline for per-packet stretch; the forwarding scheme must route
+/// over (sub)graphs of the same vertex set. The run is bit-reproducible:
+/// the same inputs give the same [`TrafficOutcome`] on every invocation,
+/// under any thread count, and — by the phase structure documented on
+/// [`ShardCore`] — at any [`TrafficConfig::shards`] value.
+///
+/// # Panics
+/// Panics if an arrival endpoint is out of bounds or
+/// `cfg.ticks_per_round == 0`.
+pub fn run(
+    forwarding: &Forwarding<'_>,
+    udg: &Graph,
+    arrivals: &[Arrival],
+    faults: &FaultPlan,
+    cfg: &TrafficConfig,
+) -> TrafficOutcome {
+    ShardedEngine::new(cfg.shards).run(forwarding, udg, arrivals, faults, cfg)
 }
 
 #[cfg(test)]
@@ -740,8 +987,8 @@ mod tests {
     #[test]
     fn mid_flow_crash_drops_queued_packets() {
         let g = chain(4);
-        // Node 1 dies at round 2: the packet reaches it at t=1 and is
-        // still queued when the crash hits.
+        // Node 1 dies at round 2: the packet reaches it at t=5 and the
+        // crash predates it.
         let plan = FaultPlan::new(1).with_crash(1, 2);
         let cfg = TrafficConfig {
             service_time: 5,
@@ -1096,8 +1343,8 @@ mod tests {
     #[test]
     fn overload_disabled_is_bit_identical_to_fixed_budget_retransmit() {
         // `overload: None` + `admission: Open` must not perturb a
-        // single event: same outcome struct, bit for bit, as the PR-4
-        // configuration on a lossy contended run.
+        // single event: same outcome struct, bit for bit, on a lossy
+        // contended run.
         let g = chain(8);
         let arrivals = flood_arrivals(7, 40);
         let plan = FaultPlan::new(5).with_loss(0.2);
@@ -1114,11 +1361,13 @@ mod tests {
     }
 
     #[test]
-    fn default_config_is_bit_identical_to_the_pre_reliability_engine() {
-        // The attempt coordinate of the fault rolls must stay `hops`
-        // when reliability is off, so existing seeded artifacts
-        // (results/traffic_load.csv) are unchanged by the retransmit
-        // machinery.
+    fn loss_decisions_replay_from_packet_and_attempt_alone() {
+        // The fault-roll coordinates must be exactly (packet id,
+        // transmission attempt): replaying the per-hop decisions with
+        // no knowledge of the route, the queues, or the event order
+        // predicts every LinkLoss drop point. This is the property
+        // that makes sharded execution (and any engine reordering)
+        // bit-identical.
         let g = chain(8);
         let arrivals = Workload::uniform(0.8, 400).generate(8, 3);
         let plan = FaultPlan::new(5).with_loss(0.15);
@@ -1129,24 +1378,21 @@ mod tests {
             &plan,
             &TrafficConfig::default(),
         );
-        // Replay the per-hop loss decisions with attempt == hops.
+        let mut losses = 0;
         for (p, rec) in out.packets.iter().enumerate() {
             assert_eq!(rec.retries, 0, "no retries without reliability");
             if rec.outcome == PacketOutcome::Dropped(DropCause::LinkLoss) {
-                // The failing roll used attempt == hops at drop time.
-                let mut u = rec.src as i64;
-                let step: i64 = if rec.dst > rec.src { 1 } else { -1 };
+                // Without reliability, attempt == hops at every roll:
+                // the first failing attempt is the drop hop.
                 let mut hops = 0u32;
-                loop {
-                    let v = u + step; // greedy on a chain walks toward dst
-                    if plan.drops_delivery(u as usize, v as usize, p as u64, hops) {
-                        break;
-                    }
+                while !plan.drops_packet(p as u64, hops) {
                     hops += 1;
-                    u = v;
                 }
                 assert_eq!(hops, rec.hops, "packet {p} dropped at a different hop");
+                losses += 1;
             }
         }
+        assert_eq!(losses, out.report.drops.link_loss);
+        assert!(losses > 0, "the seed should lose something");
     }
 }

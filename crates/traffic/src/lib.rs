@@ -10,9 +10,12 @@
 //!
 //! The engine is event-driven rather than round-synchronous:
 //!
-//! * a binary-heap event queue orders events by `(time, seq)`, where
-//!   `seq` is a global insertion counter — ties are broken by insertion
-//!   order, so runs are bit-reproducible;
+//! * each tick executes in canonical phases (arrivals → retries →
+//!   service completions → merge of forwarded packets), every
+//!   tie-break keyed on schedule- or node-local coordinates — so runs
+//!   are bit-reproducible *and* independent of how the field is
+//!   partitioned, which lets the [`shard`] subsystem execute shards in
+//!   parallel ([`TrafficConfig::shards`]) with bit-identical output;
 //! * each node owns a finite-capacity transmit queue scheduled by a
 //!   pluggable [`QueueDiscipline`] — FIFO, priority by remaining
 //!   distance, or per-destination deficit round robin — and a radio
@@ -71,6 +74,7 @@ use geospan_graph::Graph;
 mod engine;
 mod queue;
 mod report;
+pub mod shard;
 mod workload;
 
 pub use engine::{run, AdmissionPolicy, TrafficConfig, TrafficOutcome};
@@ -79,6 +83,7 @@ pub use queue::{
     QueuedPacket,
 };
 pub use report::{DropCause, DropCounts, PacketOutcome, PacketRecord, TrafficReport};
+pub use shard::{RunStats, ShardMap, ShardedEngine};
 pub use workload::{Arrival, Workload, WorkloadKind};
 
 /// The forwarding scheme a traffic run drives, bound to the topology it

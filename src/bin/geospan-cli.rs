@@ -67,7 +67,8 @@ usage:
                        [--discipline fifo|priority|drr] [--quantum N]
                        [--retries N] [--ack-timeout T]
                        [--high-watermark N [--low-watermark N] [--backoff-factor F]]
-                       [--admit-ticks T [--admit-burst B]] [--out FILE.csv]
+                       [--admit-ticks T [--admit-burst B]] [--shards N]
+                       [--out FILE.csv]
 
 topologies:  udg, rng, gabriel, yao, theta, yao-sink, rdg, ldel, cds, ldel-icds,
              ldel-icds-prime
@@ -82,7 +83,9 @@ overload:    --high-watermark enables congestion-adaptive retransmit
              by --backoff-factor until the queue drains to
              --low-watermark); --admit-ticks enables token-bucket
              source admission (one packet per T ticks per source,
-             bursts up to --admit-burst)";
+             bursts up to --admit-burst)
+sharding:    --shards N runs the engine spatially sharded on up to N
+             cores; output is bit-identical at every shard count";
 
 /// Minimal flag map: `--key value` pairs plus boolean `--distributed`.
 struct Flags {
@@ -379,6 +382,7 @@ fn cmd_traffic(flags: &Flags) -> Result<(), String> {
         reliability,
         overload,
         admission,
+        shards: flags.get_or("shards", 1)?,
         ..TrafficConfig::default()
     };
 

@@ -357,6 +357,66 @@ fn traffic_overload_flags_shed_retries_and_refuse_admissions() {
 }
 
 #[test]
+fn traffic_sharded_run_is_byte_identical_to_single_shard() {
+    let dir = tempdir("shards");
+    let base = [
+        "traffic",
+        "--n",
+        "40",
+        "--side",
+        "130",
+        "--radius",
+        "45",
+        "--rate",
+        "3.2",
+        "--duration",
+        "400",
+        "--seed",
+        "11",
+        "--loss",
+        "0.08",
+        "--workload",
+        "hotspot",
+        "--bias",
+        "0.8",
+        "--capacity",
+        "8",
+        "--retries",
+        "3",
+        "--high-watermark",
+        "6",
+        "--low-watermark",
+        "2",
+    ];
+
+    let run = |out_name: &str, shards: &str| {
+        let csv = dir.join(out_name);
+        let out = cli()
+            .args(base)
+            .args(["--shards", shards])
+            .arg("--out")
+            .arg(&csv)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(&csv).unwrap()
+    };
+
+    let single = run("s1.csv", "1");
+    let sharded = run("s4.csv", "4");
+    assert_eq!(
+        single, sharded,
+        "--shards 4 must produce a byte-identical artifact to --shards 1"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     // No command.
     let out = cli().output().unwrap();
