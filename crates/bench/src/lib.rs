@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod churn;
 pub mod scale;
 pub mod traffic;
 

@@ -38,7 +38,7 @@ pub struct ConnectorResult {
 
 /// Runs the three election stages. See the module documentation.
 pub fn find_connectors(g: &Graph, clustering: &Clustering) -> ConnectorResult {
-    find_connectors_impl(g, clustering, None)
+    find_connectors_impl(g, clustering, None, None)
 }
 
 /// Runs the election stages only for dominator pairs touching `dominators`
@@ -53,18 +53,40 @@ pub fn find_connectors_for_pairs(
     clustering: &Clustering,
     dominators: &VecSet,
 ) -> ConnectorResult {
-    find_connectors_impl(g, clustering, Some(dominators))
+    find_connectors_impl(g, clustering, Some(dominators), None)
+}
+
+/// Runs the election stages for dominator pairs touching `include` but
+/// *not* touching `exclude` — i.e. pairs `{u, v}` with an endpoint in
+/// `include` and neither endpoint in `exclude`.
+///
+/// Local repair uses this to *rescue* elections when it subtracts a
+/// perturbed region's old elections: an edge can be contributed by
+/// several pairs at once, so after removing every election touching the
+/// re-run scope, the elections of *neighboring* pairs (which may share
+/// edges with the subtracted ones but are themselves unperturbed) are
+/// recomputed on the old topology and added back.
+pub fn find_connectors_for_pairs_excluding(
+    g: &Graph,
+    clustering: &Clustering,
+    include: &VecSet,
+    exclude: &VecSet,
+) -> ConnectorResult {
+    find_connectors_impl(g, clustering, Some(include), Some(exclude))
 }
 
 fn find_connectors_impl(
     g: &Graph,
     clustering: &Clustering,
     restrict: Option<&VecSet>,
+    exclude: Option<&VecSet>,
 ) -> ConnectorResult {
     let n = g.node_count();
     let doms = &clustering.dominators_of;
-    let pair_in_scope =
-        |u: usize, v: usize| restrict.is_none_or(|set| set.contains(u) || set.contains(v));
+    let pair_in_scope = |u: usize, v: usize| {
+        restrict.is_none_or(|set| set.contains(u) || set.contains(v))
+            && !exclude.is_some_and(|set| set.contains(u) || set.contains(v))
+    };
 
     // 2-hop dominators per dominatee: v such that some neighboring
     // dominatee is dominated by v, and v is not already adjacent.
@@ -308,6 +330,40 @@ mod tests {
             for w in &partial.connectors {
                 assert!(full.connectors.contains(w), "seed {seed}");
             }
+        }
+    }
+
+    #[test]
+    fn include_and_exclude_partition_the_election() {
+        // Elections are per-pair and pairs partition into touching-S vs
+        // not-touching-S, so running the two halves separately and
+        // uniting them reproduces the full election exactly. This is
+        // the property the repair splice relies on.
+        for seed in 0..4 {
+            let (_pts, g, _s) = connected_unit_disk(60, 150.0, 45.0, seed * 11 + 5);
+            let c = cluster(&g, &ClusterRank::LowestId);
+            let full = find_connectors(&g, &c);
+            let all: VecSet = c.dominators.iter().copied().collect();
+            let s: VecSet = c.dominators.iter().step_by(3).copied().collect();
+            let touching = find_connectors_for_pairs(&g, &c, &s);
+            let rest = find_connectors_for_pairs_excluding(&g, &c, &all, &s);
+            let mut edges: BTreeSet<(usize, usize)> = touching.edges.iter().copied().collect();
+            edges.extend(rest.edges.iter().copied());
+            assert_eq!(
+                edges.into_iter().collect::<Vec<_>>(),
+                full.edges,
+                "seed {seed}: edge union mismatch"
+            );
+            let mut conns: BTreeSet<usize> = touching.connectors.iter().copied().collect();
+            conns.extend(rest.connectors.iter().copied());
+            assert_eq!(
+                conns.into_iter().collect::<Vec<_>>(),
+                full.connectors,
+                "seed {seed}: connector union mismatch"
+            );
+            // Excluding everything elects nothing.
+            let none = find_connectors_for_pairs_excluding(&g, &c, &all, &all);
+            assert!(none.connectors.is_empty() && none.edges.is_empty());
         }
     }
 

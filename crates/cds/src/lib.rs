@@ -46,7 +46,10 @@ pub mod protocol;
 mod rank;
 
 pub use cluster::{cluster, dominators_within_hops, lemma2_bound, Clustering};
-pub use connector::{find_connectors, find_connectors_for_pairs, ConnectorResult};
+pub use connector::{
+    find_connectors, find_connectors_for_pairs, find_connectors_for_pairs_excluding,
+    ConnectorResult,
+};
 pub use dhop::{cluster_d, DHopClustering};
 pub use rank::ClusterRank;
 

@@ -286,6 +286,70 @@ impl Backbone {
         self.cds_graphs.dominators_of.push(doms);
         v
     }
+
+    /// Re-attaches a previously departed node `v` as a plain dominatee
+    /// of the given (adjacent) dominators — the cheap half of a node
+    /// re-joining under churn. The node already exists in every derived
+    /// graph (isolated, parked); only its logical links are restored.
+    ///
+    /// The parked position embedded in the derived graphs is *not*
+    /// rewritten: a plain dominatee is never a backbone node, so GPSR
+    /// over `LDel(ICDS)` never reads it, and ingress/egress decisions
+    /// are purely topological (`dominators_of`). Physical positions
+    /// always come from the caller's unit disk graph.
+    ///
+    /// # Panics
+    /// Panics if `dominators` is empty or if `v` is not an isolated
+    /// dominatee.
+    pub(crate) fn reattach_dominatee(&mut self, v: usize, dominators: &[usize]) {
+        assert!(
+            !dominators.is_empty(),
+            "an uncovered rejoiner requires a backbone rebuild"
+        );
+        assert_eq!(
+            self.cds_graphs.roles[v],
+            Role::Dominatee,
+            "only a departed dominatee can re-attach"
+        );
+        assert_eq!(
+            self.ldel_icds_prime.degree(v),
+            0,
+            "re-attaching node {v} still has logical links"
+        );
+        let mut doms = dominators.to_vec();
+        doms.sort_unstable();
+        for &d in &doms {
+            self.cds_graphs.cds_prime.add_edge(v, d);
+            self.cds_graphs.icds_prime.add_edge(v, d);
+            self.ldel_icds_prime.add_edge(v, d);
+        }
+        self.cds_graphs.dominators_of[v] = doms;
+    }
+
+    /// Demotes isolated nodes to plain dominatees, purging them from the
+    /// dominator and connector registries.
+    ///
+    /// A from-scratch rebuild clusters every index, and a departed
+    /// (parked, radio-silent) node is isolated in the unit disk graph —
+    /// so the greedy MIS dutifully crowns it dominator of its own empty
+    /// cluster, leaving a dangling rank entry with no coverage duty.
+    /// Maintenance calls this after every rebuild to scrub those ghosts.
+    ///
+    /// # Panics
+    /// Debug-panics if a node to demote still has backbone edges.
+    pub(crate) fn demote_isolated(&mut self, nodes: impl IntoIterator<Item = usize>) {
+        for v in nodes {
+            debug_assert_eq!(
+                self.ldel_icds_prime.degree(v),
+                0,
+                "demoting node {v} with live logical links"
+            );
+            self.cds_graphs.roles[v] = Role::Dominatee;
+            self.cds_graphs.dominators.retain(|&d| d != v);
+            self.cds_graphs.connectors.retain(|&c| c != v);
+            self.cds_graphs.dominators_of[v].clear();
+        }
+    }
 }
 
 /// Builds [`Backbone`]s from unit disk graphs.

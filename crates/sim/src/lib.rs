@@ -81,8 +81,10 @@ use std::fmt;
 
 use geospan_graph::Graph;
 
+mod churn;
 mod fault;
 
+pub use churn::{ChurnEvent, ChurnMix, ChurnPlan, TimedChurn};
 use fault::EventKind;
 pub use fault::{FaultPlan, FaultReport, OverloadConfig, Partition, ReliabilityConfig};
 

@@ -19,7 +19,7 @@ use std::collections::BinaryHeap;
 
 use geospan_graph::paths::DistanceOracle;
 use geospan_graph::Graph;
-use geospan_sim::{FaultPlan, OverloadConfig, ReliabilityConfig};
+use geospan_sim::{ChurnPlan, FaultPlan, OverloadConfig, ReliabilityConfig};
 
 use crate::queue::{Discipline, Pressure, PressureGauge, QueueDiscipline, QueuedPacket};
 use crate::report::{DropCause, DropCounts, PacketOutcome, PacketRecord, TrafficReport};
@@ -219,6 +219,22 @@ pub(crate) struct Shared<'a, 'g> {
     pub(crate) shard_of: &'a [u32],
     /// Node id → index within its owning shard's node table.
     pub(crate) local_of: &'a [u32],
+    /// Membership schedule under churn (`None` for static runs). A
+    /// departed node takes its queued and in-flight packets with it:
+    /// see the presence checks in [`ShardCore::inject`],
+    /// [`ShardCore::arrive`], [`ShardCore::retry`] and
+    /// [`ShardCore::service`].
+    pub(crate) churn: Option<&'a ChurnPlan>,
+}
+
+impl Shared<'_, '_> {
+    /// Whether node `v` is a network member at `time` (always true for
+    /// static runs). A pure function of the churn plan's timestamps —
+    /// never of network state — so every shard answers identically and
+    /// bit-identity across shard counts is preserved.
+    pub(crate) fn present(&self, v: usize, time: u64) -> bool {
+        self.churn.is_none_or(|plan| plan.present(v, time))
+    }
 }
 
 /// One shard's event engine: the nodes it owns, the packets it
@@ -245,8 +261,7 @@ pub(crate) struct Shared<'a, 'g> {
 /// shards executes them identically. Phase 4's sort key restores one
 /// global order for the only cross-node effects. Together that is the
 /// bit-identity argument for [`crate::shard::ShardedEngine`].
-pub(crate) struct ShardCore<'a, 'g> {
-    ctx: &'a Shared<'a, 'g>,
+pub(crate) struct ShardCore<'a> {
     /// This shard's id.
     pub(crate) id: u32,
     /// Arrival-schedule indices whose source this shard owns, ascending.
@@ -290,16 +305,20 @@ pub(crate) struct ShardCore<'a, 'g> {
     pub(crate) last_time: u64,
 }
 
-impl<'a, 'g> ShardCore<'a, 'g> {
+impl<'a> ShardCore<'a> {
+    /// `ctx` configures the core (queue disciplines, bucket depths,
+    /// store size) but is *not* retained: every phase method takes the
+    /// current context as a parameter, which is what lets a churn
+    /// driver swap the routed topology between epochs while queues,
+    /// stores and cursors persist.
     pub(crate) fn new(
-        ctx: &'a Shared<'a, 'g>,
+        ctx: &Shared<'_, '_>,
         id: u32,
         my_arrivals: Vec<u32>,
         owned: &'a [u32],
     ) -> Self {
         let cfg = ctx.cfg;
         ShardCore {
-            ctx,
             id,
             my_arrivals,
             cursor: 0,
@@ -346,10 +365,10 @@ impl<'a, 'g> ShardCore<'a, 'g> {
     /// The earliest tick at which this shard has anything scheduled
     /// (`u64::MAX` when fully drained): its vote in the barrier round's
     /// global-minimum computation.
-    pub(crate) fn next_time(&self) -> u64 {
+    pub(crate) fn next_time(&self, ctx: &Shared<'_, '_>) -> u64 {
         let mut t = u64::MAX;
         if let Some(&idx) = self.my_arrivals.get(self.cursor) {
-            t = t.min(self.ctx.arrivals[idx as usize].time);
+            t = t.min(ctx.arrivals[idx as usize].time);
         }
         if let Some(&Reverse((rt, _))) = self.retries.peek() {
             t = t.min(rt);
@@ -371,20 +390,25 @@ impl<'a, 'g> ShardCore<'a, 'g> {
     /// Phases 1–3 of tick `t`: arrivals, retries, then service
     /// completions. Successful forwards are pushed onto
     /// `outboxes[destination shard]` instead of being applied.
-    pub(crate) fn phase_local(&mut self, t: u64, outboxes: &mut [Vec<BoundaryMsg>]) {
+    pub(crate) fn phase_local(
+        &mut self,
+        ctx: &Shared<'_, '_>,
+        t: u64,
+        outboxes: &mut [Vec<BoundaryMsg>],
+    ) {
         self.rounds += 1;
-        if self.next_time() != t {
+        if self.next_time(ctx) != t {
             self.idle_rounds += 1;
         }
         self.last_time = t;
         while let Some(&idx) = self.my_arrivals.get(self.cursor) {
-            let a = self.ctx.arrivals[idx as usize];
+            let a = ctx.arrivals[idx as usize];
             if a.time != t {
                 break;
             }
             self.cursor += 1;
             self.events += 1;
-            self.inject(idx as usize, a, t);
+            self.inject(ctx, idx as usize, a, t);
         }
         while let Some(&Reverse((rt, p))) = self.retries.peek() {
             if rt != t {
@@ -392,7 +416,7 @@ impl<'a, 'g> ShardCore<'a, 'g> {
             }
             self.retries.pop();
             self.events += 1;
-            self.retry(p as usize, t);
+            self.retry(ctx, p as usize, t);
         }
         while let Some(&Reverse((st, u))) = self.services.peek() {
             if st != t {
@@ -400,38 +424,43 @@ impl<'a, 'g> ShardCore<'a, 'g> {
             }
             self.services.pop();
             self.events += 1;
-            self.service(u as usize, t, outboxes);
+            self.service(ctx, u as usize, t, outboxes);
         }
     }
 
     /// Phase 4 of tick `t`: apply the forwards addressed to this shard.
     /// The `(sender, emit)` sort reconstructs the canonical order
     /// whatever concatenation order the driver delivered.
-    pub(crate) fn phase_merge(&mut self, t: u64, mut inbox: Vec<BoundaryMsg>) {
+    pub(crate) fn phase_merge(
+        &mut self,
+        ctx: &Shared<'_, '_>,
+        t: u64,
+        mut inbox: Vec<BoundaryMsg>,
+    ) {
         inbox.sort_unstable_by_key(|m| (m.sender, m.emit));
         for msg in inbox {
             self.events += 1;
-            if self.ctx.shard_of[msg.sender as usize] != self.id {
+            if ctx.shard_of[msg.sender as usize] != self.id {
                 self.boundary_in += 1;
             }
             let p = msg.packet as usize;
             debug_assert!(self.store[p].is_none(), "packet {p} already present");
             self.store[p] = Some(msg.payload);
-            self.arrive(p, msg.receiver as usize, t);
+            self.arrive(ctx, p, msg.receiver as usize, t);
         }
     }
 
-    fn round(&self, time: u64) -> usize {
-        (time / self.ctx.cfg.ticks_per_round) as usize
+    fn round(&self, ctx: &Shared<'_, '_>, time: u64) -> usize {
+        (time / ctx.cfg.ticks_per_round) as usize
     }
 
-    fn local(&self, u: usize) -> usize {
-        debug_assert_eq!(self.ctx.shard_of[u], self.id, "node {u} not owned here");
-        self.ctx.local_of[u] as usize
+    fn local(&self, ctx: &Shared<'_, '_>, u: usize) -> usize {
+        debug_assert_eq!(ctx.shard_of[u], self.id, "node {u} not owned here");
+        ctx.local_of[u] as usize
     }
 
     /// Phase 1: a scheduled arrival is offered to its source node.
-    fn inject(&mut self, p: usize, a: Arrival, time: u64) {
+    fn inject(&mut self, ctx: &Shared<'_, '_>, p: usize, a: Arrival, time: u64) {
         self.store[p] = Some(Box::new(Packet {
             src: a.src,
             dst: a.dst,
@@ -443,11 +472,16 @@ impl<'a, 'g> ShardCore<'a, 'g> {
             length: 0.0,
             holder: a.src,
             next_hop: usize::MAX,
-            session: self.ctx.fw.new_session(),
+            session: ctx.fw.new_session(),
             path: Vec::new(),
         }));
-        if self.admit(a.src, time) {
-            self.arrive(p, a.src, time);
+        // A source that has left the network cannot originate traffic;
+        // its scheduled arrivals die at the (absent) radio.
+        if !ctx.present(a.src, time) {
+            return self.resolve(p, PacketOutcome::Dropped(DropCause::NodeDeparted), time);
+        }
+        if self.admit(ctx, a.src, time) {
+            self.arrive(ctx, p, a.src, time);
         } else {
             self.resolve(p, PacketOutcome::Refused, time);
         }
@@ -456,15 +490,15 @@ impl<'a, 'g> ShardCore<'a, 'g> {
     /// Applies the admission policy to an arrival at source `src`.
     /// Deterministic: the decision depends only on the arrival schedule
     /// (tick and per-source order), never on network state.
-    fn admit(&mut self, src: usize, time: u64) -> bool {
-        match self.ctx.cfg.admission {
+    fn admit(&mut self, ctx: &Shared<'_, '_>, src: usize, time: u64) -> bool {
+        match ctx.cfg.admission {
             AdmissionPolicy::Open => true,
             AdmissionPolicy::TokenBucket {
                 ticks_per_token,
                 burst,
             } => {
                 let period = ticks_per_token.max(1);
-                let bucket = &mut self.buckets[self.ctx.local_of[src] as usize];
+                let bucket = &mut self.buckets[ctx.local_of[src] as usize];
                 let credit = (time - bucket.refilled) / period;
                 if credit > 0 {
                     bucket.tokens = (bucket.tokens + credit).min(burst);
@@ -508,9 +542,9 @@ impl<'a, 'g> ShardCore<'a, 'g> {
 
     /// Packet `p` is now held by node `u`: decide its next hop and join
     /// `u`'s transmit queue (or end its lifecycle).
-    fn arrive(&mut self, p: usize, u: usize, time: u64) {
-        let record_paths = self.ctx.cfg.record_paths;
-        let crashed = self.ctx.faults.crashed(u, self.round(time));
+    fn arrive(&mut self, ctx: &Shared<'_, '_>, p: usize, u: usize, time: u64) {
+        let record_paths = ctx.cfg.record_paths;
+        let crashed = ctx.faults.crashed(u, self.round(ctx, time));
         {
             let pk = self.store[p]
                 .as_mut()
@@ -526,8 +560,15 @@ impl<'a, 'g> ShardCore<'a, 'g> {
         if crashed {
             return self.resolve(p, PacketOutcome::Dropped(DropCause::NodeCrash), time);
         }
+        // Churn: a transmission toward a node that has since departed is
+        // sent into the void, and a packet whose destination has left
+        // can never be delivered — both die here, before any forwarding
+        // decision consults the (possibly stale) topology.
         let dst = self.store[p].as_ref().expect("held").dst;
-        let fw = self.ctx.fw;
+        if !ctx.present(u, time) || !ctx.present(dst, time) {
+            return self.resolve(p, PacketOutcome::Dropped(DropCause::NodeDeparted), time);
+        }
+        let fw = ctx.fw;
         let decision = {
             let pk = self.store[p].as_mut().expect("held");
             fw.decide(&mut pk.session, u, dst)
@@ -537,7 +578,7 @@ impl<'a, 'g> ShardCore<'a, 'g> {
             Decision::Stuck => self.resolve(p, PacketOutcome::Dropped(DropCause::Stuck), time),
             Decision::Forward(v) => {
                 self.store[p].as_mut().expect("held").next_hop = v;
-                self.enqueue(p, u, time);
+                self.enqueue(ctx, p, u, time);
             }
         }
     }
@@ -545,20 +586,16 @@ impl<'a, 'g> ShardCore<'a, 'g> {
     /// Packet `p` (next hop already chosen) joins `u`'s transmit queue,
     /// subject to the capacity check — retransmissions pass through here
     /// too, competing with fresh traffic for the same slots.
-    fn enqueue(&mut self, p: usize, u: usize, time: u64) {
-        let lu = self.local(u);
-        if self.nodes[lu].queue.len() >= self.ctx.cfg.queue_capacity {
+    fn enqueue(&mut self, ctx: &Shared<'_, '_>, p: usize, u: usize, time: u64) {
+        let lu = self.local(ctx, u);
+        if self.nodes[lu].queue.len() >= ctx.cfg.queue_capacity {
             return self.resolve(p, PacketOutcome::Dropped(DropCause::QueueFull), time);
         }
         let dst = self.store[p]
             .as_ref()
             .expect("enqueued packet is held here")
             .dst;
-        let remaining = self
-            .ctx
-            .udg
-            .position(u)
-            .distance(self.ctx.udg.position(dst));
+        let remaining = ctx.udg.position(u).distance(ctx.udg.position(dst));
         let node = &mut self.nodes[lu];
         let enqueue_seq = node.enqueue_seq;
         node.enqueue_seq += 1;
@@ -571,29 +608,32 @@ impl<'a, 'g> ShardCore<'a, 'g> {
         let occupancy = node.queue.len();
         #[cfg(feature = "invariant-checks")]
         assert!(
-            occupancy <= self.ctx.cfg.queue_capacity,
+            occupancy <= ctx.cfg.queue_capacity,
             "queue at node {u} exceeds capacity: {occupancy} > {}",
-            self.ctx.cfg.queue_capacity
+            ctx.cfg.queue_capacity
         );
         node.peak = node.peak.max(occupancy);
         if !node.busy {
             node.busy = true;
             self.services
-                .push(Reverse((time + self.ctx.cfg.service_time, u as u32)));
+                .push(Reverse((time + ctx.cfg.service_time, u as u32)));
         }
     }
 
     /// Phase 2: a retransmission backoff expired — the packet rejoins
     /// its holder's queue (unless the holder died while it waited).
-    fn retry(&mut self, p: usize, time: u64) {
+    fn retry(&mut self, ctx: &Shared<'_, '_>, p: usize, time: u64) {
         let u = self.store[p]
             .as_ref()
             .expect("retrying packet is held here")
             .holder;
-        if self.ctx.faults.crashed(u, self.round(time)) {
+        if ctx.faults.crashed(u, self.round(ctx, time)) {
             return self.resolve(p, PacketOutcome::Dropped(DropCause::NodeCrash), time);
         }
-        self.enqueue(p, u, time);
+        if !ctx.present(u, time) {
+            return self.resolve(p, PacketOutcome::Dropped(DropCause::NodeDeparted), time);
+        }
+        self.enqueue(ctx, p, u, time);
     }
 
     /// Phase 3: node `u`'s radio finished a transmission slot — emit the
@@ -601,13 +641,29 @@ impl<'a, 'g> ShardCore<'a, 'g> {
     /// transmission is *deferred* into `outboxes` rather than applied;
     /// everything else here touches only `u`'s own state and the
     /// packet's own fields.
-    fn service(&mut self, u: usize, time: u64, outboxes: &mut [Vec<BoundaryMsg>]) {
-        let lu = self.local(u);
-        if self.ctx.faults.crashed(u, self.round(time)) {
+    fn service(
+        &mut self,
+        ctx: &Shared<'_, '_>,
+        u: usize,
+        time: u64,
+        outboxes: &mut [Vec<BoundaryMsg>],
+    ) {
+        let lu = self.local(ctx, u);
+        if ctx.faults.crashed(u, self.round(ctx, time)) {
             // The node died with packets queued: they die with it.
             let victims = self.nodes[lu].queue.drain();
             for qp in victims {
                 self.resolve(qp.id, PacketOutcome::Dropped(DropCause::NodeCrash), time);
+            }
+            self.nodes[lu].busy = false;
+            return;
+        }
+        if !ctx.present(u, time) {
+            // The node departed (churn) with packets queued: they leave
+            // with it — same drain as a crash, different attribution.
+            let victims = self.nodes[lu].queue.drain();
+            for qp in victims {
+                self.resolve(qp.id, PacketOutcome::Dropped(DropCause::NodeDeparted), time);
             }
             self.nodes[lu].busy = false;
             return;
@@ -620,7 +676,7 @@ impl<'a, 'g> ShardCore<'a, 'g> {
             self.nodes[lu].busy = false;
         } else {
             self.services
-                .push(Reverse((time + self.ctx.cfg.service_time, u as u32)));
+                .push(Reverse((time + ctx.cfg.service_time, u as u32)));
         }
         // Work conservation: a node with queued packets always has a
         // service slot scheduled.
@@ -640,15 +696,15 @@ impl<'a, 'g> ShardCore<'a, 'g> {
             }
             (v, attempt)
         };
-        let round = self.round(time);
-        if self.ctx.faults.severed(u, v, round) || self.ctx.faults.drops_packet(p as u64, attempt) {
-            if let Some(rel) = self.ctx.cfg.reliability {
+        let round = self.round(ctx, time);
+        if ctx.faults.severed(u, v, round) || ctx.faults.drops_packet(p as u64, attempt) {
+            if let Some(rel) = ctx.cfg.reliability {
                 let hop_attempt = self.store[p].as_ref().expect("held").hop_attempt;
                 if hop_attempt < rel.max_retries {
                     // Overload control: before committing to a retry,
                     // the sender reads its own queue pressure.
                     let mut backoff_factor = 1;
-                    if let Some(ov) = self.ctx.cfg.overload {
+                    if let Some(ov) = ctx.cfg.overload {
                         let occupancy = self.nodes[lu].queue.len();
                         match self.nodes[lu].gauge.observe(occupancy, &ov) {
                             Pressure::Overloaded => {
@@ -671,7 +727,7 @@ impl<'a, 'g> ShardCore<'a, 'g> {
                     pk.hop_attempt += 1;
                     let delay = rel.congested_retry_delay(
                         pk.hop_attempt,
-                        self.ctx.cfg.service_time,
+                        ctx.cfg.service_time,
                         backoff_factor,
                     );
                     debug_assert!(delay > 0, "retry delays keep phases 1-3 ahead of merges");
@@ -681,7 +737,7 @@ impl<'a, 'g> ShardCore<'a, 'g> {
             }
             return self.resolve(p, PacketOutcome::Dropped(DropCause::LinkLoss), time);
         }
-        if self.ctx.faults.duplicates_packet(p as u64, attempt) {
+        if ctx.faults.duplicates_packet(p as u64, attempt) {
             // The receiver sees the frame twice (stale MAC retransmit);
             // per-packet identity deduplicates, the copy is only counted.
             self.duplicates_suppressed += 1;
@@ -689,12 +745,12 @@ impl<'a, 'g> ShardCore<'a, 'g> {
         let over_budget = {
             let pk = self.store[p].as_mut().expect("held");
             pk.hops += 1;
-            pk.hops > self.ctx.cfg.max_hops
+            pk.hops > ctx.cfg.max_hops
         };
         if over_budget {
             return self.resolve(p, PacketOutcome::Dropped(DropCause::HopLimit), time);
         }
-        let hop_len = self.ctx.udg.position(u).distance(self.ctx.udg.position(v));
+        let hop_len = ctx.udg.position(u).distance(ctx.udg.position(v));
         let mut payload = self.store[p].take().expect("forwarded packet is held here");
         payload.length += hop_len;
         let emission = &mut self.emit[lu];
@@ -703,7 +759,7 @@ impl<'a, 'g> ShardCore<'a, 'g> {
         }
         let emit = emission.1;
         emission.1 += 1;
-        outboxes[self.ctx.shard_of[v] as usize].push(BoundaryMsg {
+        outboxes[ctx.shard_of[v] as usize].push(BoundaryMsg {
             sender: u as u32,
             emit,
             packet: p as u32,
@@ -717,7 +773,7 @@ impl<'a, 'g> ShardCore<'a, 'g> {
 /// aggregate report. Records are scattered back into arrival-schedule
 /// order first, so the aggregation (and its tie-breaks) never sees the
 /// shard layout.
-pub(crate) fn aggregate(udg: &Graph, cores: Vec<ShardCore<'_, '_>>) -> TrafficOutcome {
+pub(crate) fn aggregate(udg: &Graph, cores: Vec<ShardCore<'_>>) -> TrafficOutcome {
     let n = udg.node_count();
     let mut peaks = vec![0usize; n];
     let mut retransmissions = 0usize;
@@ -759,12 +815,17 @@ pub(crate) fn aggregate(udg: &Graph, cores: Vec<ShardCore<'_, '_>>) -> TrafficOu
                 // the packet's measured delay.
                 latencies.push(rec.finish - rec.spawn);
                 if rec.src != rec.dst {
-                    let best_hops = oracle
-                        .hops(rec.src, rec.dst)
-                        .expect("delivered packets have connected endpoints");
-                    let best_len = oracle
-                        .length(rec.src, rec.dst)
-                        .expect("delivered packets have connected endpoints");
+                    // Under churn the stretch baseline is the *static*
+                    // home-position UDG; a pair the baseline does not
+                    // connect (yet the evolving topology delivered)
+                    // has no defined stretch and is skipped.
+                    let (Some(best_hops), Some(best_len)) = (
+                        oracle.hops(rec.src, rec.dst),
+                        oracle.length(rec.src, rec.dst),
+                    ) else {
+                        records.push(rec);
+                        continue;
+                    };
                     let hs = f64::from(rec.hops) / f64::from(best_hops.max(1));
                     let ls = if best_len > 0.0 {
                         rec.length / best_len

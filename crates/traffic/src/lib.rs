@@ -71,12 +71,16 @@ use geospan_core::routing::{
 use geospan_core::Backbone;
 use geospan_graph::Graph;
 
+pub mod churn;
 mod engine;
 mod queue;
 mod report;
 pub mod shard;
 mod workload;
 
+pub use churn::{
+    run_churn, ChurnEngine, ChurnOutcome, ChurnReport, RepairStrategy, WindowDelivery,
+};
 pub use engine::{run, AdmissionPolicy, TrafficConfig, TrafficOutcome};
 pub use queue::{
     DeficitRoundRobin, Discipline, Fifo, NearestFirst, Pressure, PressureGauge, QueueDiscipline,

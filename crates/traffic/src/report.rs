@@ -22,6 +22,10 @@ pub enum DropCause {
     /// so instead of scheduling a retransmission the packet was dropped
     /// to protect the queue.
     RetryShed,
+    /// The node holding (or receiving) the packet — or the packet's
+    /// destination — had departed the network (churn), taking queued
+    /// and in-flight packets with it.
+    NodeDeparted,
 }
 
 /// Packet drops bucketed by cause.
@@ -39,6 +43,8 @@ pub struct DropCounts {
     pub hop_limit: usize,
     /// Retry shed by an overloaded sender (watermark overload control).
     pub retry_shed: usize,
+    /// Lost to a departed node (churn).
+    pub node_departed: usize,
 }
 
 impl DropCounts {
@@ -50,6 +56,7 @@ impl DropCounts {
             + self.node_crash
             + self.hop_limit
             + self.retry_shed
+            + self.node_departed
     }
 
     pub(crate) fn record(&mut self, cause: DropCause) {
@@ -60,6 +67,7 @@ impl DropCounts {
             DropCause::NodeCrash => self.node_crash += 1,
             DropCause::HopLimit => self.hop_limit += 1,
             DropCause::RetryShed => self.retry_shed += 1,
+            DropCause::NodeDeparted => self.node_departed += 1,
         }
     }
 }
@@ -210,13 +218,14 @@ impl TrafficReport {
         }
         let _ = writeln!(
             out,
-            "drops:            stuck {}, queue {}, loss {}, crash {}, hop-limit {}, retry-shed {}",
+            "drops:            stuck {}, queue {}, loss {}, crash {}, hop-limit {}, retry-shed {}, departed {}",
             self.drops.stuck,
             self.drops.queue_full,
             self.drops.link_loss,
             self.drops.node_crash,
             self.drops.hop_limit,
-            self.drops.retry_shed
+            self.drops.retry_shed,
+            self.drops.node_departed
         );
         let _ = writeln!(
             out,
@@ -261,13 +270,15 @@ mod tests {
             DropCause::NodeCrash,
             DropCause::HopLimit,
             DropCause::RetryShed,
+            DropCause::NodeDeparted,
         ] {
             d.record(c);
         }
         assert_eq!(d.stuck, 1);
         assert_eq!(d.queue_full, 2);
         assert_eq!(d.retry_shed, 1);
-        assert_eq!(d.total(), 7);
+        assert_eq!(d.node_departed, 1);
+        assert_eq!(d.total(), 8);
     }
 
     #[test]

@@ -241,21 +241,22 @@ impl ShardedEngine {
             arrivals,
             shard_of: map.shard_of(),
             local_of: map.local_of(),
+            churn: None,
         };
         let mut per_shard_arrivals: Vec<Vec<u32>> = vec![Vec::new(); s];
         for (i, a) in arrivals.iter().enumerate() {
             per_shard_arrivals[map.shard_of()[a.src] as usize].push(i as u32);
         }
-        let mut cores: Vec<ShardCore<'_, '_>> = per_shard_arrivals
+        let mut cores: Vec<ShardCore<'_>> = per_shard_arrivals
             .into_iter()
             .enumerate()
             .map(|(i, mine)| ShardCore::new(&shared, i as u32, mine, map.owned(i)))
             .collect();
         let threads = self.threads.unwrap_or_else(default_threads).min(s).max(1);
         if threads <= 1 {
-            drive_sequential(&mut cores);
+            drive_sequential(&shared, &mut cores, u64::MAX);
         } else {
-            cores = drive_threaded(cores, threads);
+            cores = drive_threaded(&shared, cores, threads, u64::MAX);
         }
         let stats = RunStats {
             shards: s,
@@ -274,7 +275,7 @@ impl ShardedEngine {
 /// workspace already honors, else the machine's parallelism. Thread
 /// count never affects results, so reading the environment here is not
 /// a determinism hazard.
-fn default_threads() -> usize {
+pub(crate) fn default_threads() -> usize {
     std::env::var("RAYON_NUM_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
@@ -289,7 +290,13 @@ fn default_threads() -> usize {
 /// One worker drives every shard: vote, execute the local phases,
 /// exchange, merge — the same protocol as the threaded driver minus
 /// the synchronization.
-fn drive_sequential(cores: &mut [ShardCore<'_, '_>]) {
+///
+/// Runs until every shard is drained or the global safe horizon
+/// reaches `until` (exclusive): ticks `>= until` are left unexecuted
+/// with all engine state (queues, stores, pending retries and
+/// services) intact, which is how the churn driver interleaves
+/// topology changes between epochs. `u64::MAX` runs to quiescence.
+pub(crate) fn drive_sequential(ctx: &Shared<'_, '_>, cores: &mut [ShardCore<'_>], until: u64) {
     let s = cores.len();
     // outboxes[src][dst] persists across rounds; `append` drains it.
     let mut outboxes: Vec<Vec<Vec<BoundaryMsg>>> = (0..s)
@@ -298,21 +305,21 @@ fn drive_sequential(cores: &mut [ShardCore<'_, '_>]) {
     loop {
         let t = cores
             .iter()
-            .map(|c| c.next_time())
+            .map(|c| c.next_time(ctx))
             .min()
             .unwrap_or(u64::MAX);
-        if t == u64::MAX {
+        if t >= until {
             return;
         }
         for (core, out) in cores.iter_mut().zip(outboxes.iter_mut()) {
-            core.phase_local(t, out);
+            core.phase_local(ctx, t, out);
         }
         for (dst, core) in cores.iter_mut().enumerate() {
             let mut inbox = Vec::new();
             for out in outboxes.iter_mut() {
                 inbox.append(&mut out[dst]);
             }
-            core.phase_merge(t, inbox);
+            core.phase_merge(ctx, t, inbox);
         }
     }
 }
@@ -326,7 +333,12 @@ fn drive_sequential(cores: &mut [ShardCore<'_, '_>]) {
 /// may then read them). A worker's first action of round `k+1` —
 /// storing votes — is ordered after every other worker's reads of
 /// round `k` by the second barrier, so two barriers suffice.
-fn drive_threaded<'a, 'g>(cores: Vec<ShardCore<'a, 'g>>, threads: usize) -> Vec<ShardCore<'a, 'g>> {
+pub(crate) fn drive_threaded<'a>(
+    ctx: &Shared<'_, '_>,
+    cores: Vec<ShardCore<'a>>,
+    threads: usize,
+    until: u64,
+) -> Vec<ShardCore<'a>> {
     let s = cores.len();
     let barrier = Barrier::new(threads);
     let votes: Vec<AtomicU64> = (0..s).map(|_| AtomicU64::new(u64::MAX)).collect();
@@ -338,20 +350,20 @@ fn drive_threaded<'a, 'g>(cores: Vec<ShardCore<'a, 'g>>, threads: usize) -> Vec<
         .map(|_| (0..s).map(|_| Mutex::new(Vec::new())).collect())
         .collect();
     // Contiguous chunks, same split rule as the rayon stub.
-    let mut chunks: Vec<Vec<ShardCore<'a, 'g>>> = Vec::with_capacity(threads);
+    let mut chunks: Vec<Vec<ShardCore<'a>>> = Vec::with_capacity(threads);
     let mut rest = cores;
     for w in (0..threads).rev() {
         chunks.push(rest.split_off(w * s / threads));
     }
     chunks.reverse();
     let (barrier, votes, mailboxes) = (&barrier, &votes, &mailboxes);
-    let finished: Vec<Vec<ShardCore<'a, 'g>>> = std::thread::scope(|scope| {
+    let finished: Vec<Vec<ShardCore<'a>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|mut mine| {
                 scope.spawn(move || loop {
                     for core in &mine {
-                        votes[core.id as usize].store(core.next_time(), Ordering::SeqCst);
+                        votes[core.id as usize].store(core.next_time(ctx), Ordering::SeqCst);
                     }
                     barrier.wait();
                     let t = votes
@@ -359,13 +371,16 @@ fn drive_threaded<'a, 'g>(cores: Vec<ShardCore<'a, 'g>>, threads: usize) -> Vec<
                         .map(|v| v.load(Ordering::SeqCst))
                         .min()
                         .unwrap_or(u64::MAX);
-                    if t == u64::MAX {
+                    if t >= until {
+                        // Every worker computed the same minimum, so all
+                        // exit on the same round and the barrier stays
+                        // balanced.
                         return mine;
                     }
                     for core in mine.iter_mut() {
                         let mut outbox: Vec<Vec<BoundaryMsg>> =
                             (0..s).map(|_| Vec::new()).collect();
-                        core.phase_local(t, &mut outbox);
+                        core.phase_local(ctx, t, &mut outbox);
                         for (dst, msgs) in outbox.into_iter().enumerate() {
                             if !msgs.is_empty() {
                                 *mailboxes[dst][core.id as usize]
@@ -384,7 +399,7 @@ fn drive_threaded<'a, 'g>(cores: Vec<ShardCore<'a, 'g>>, threads: usize) -> Vec<
                                     .expect("mailbox reader never panics holding the lock"),
                             );
                         }
-                        core.phase_merge(t, inbox);
+                        core.phase_merge(ctx, t, inbox);
                     }
                 })
             })

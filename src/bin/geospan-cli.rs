@@ -18,11 +18,14 @@ use geospan::core::{verify, BackboneBuilder, BackboneConfig};
 use geospan::graph::gen::UnitDiskBuilder;
 use geospan::graph::svg::{render_svg, NodeRole, SvgOptions};
 use geospan::graph::{Graph, Point};
-use geospan::sim::{FaultPlan, OverloadConfig, ReliabilityConfig};
+use geospan::sim::{ChurnMix, ChurnPlan, FaultPlan, OverloadConfig, ReliabilityConfig};
 use geospan::topology::{
     gabriel, ldel, relative_neighborhood, restricted_delaunay, theta, yao, yao_sink,
 };
-use geospan::traffic::{run, AdmissionPolicy, Discipline, Forwarding, TrafficConfig, Workload};
+use geospan::traffic::{
+    run, AdmissionPolicy, ChurnEngine, Discipline, Forwarding, RepairStrategy, TrafficConfig,
+    Workload,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -68,6 +71,7 @@ usage:
                        [--retries N] [--ack-timeout T]
                        [--high-watermark N [--low-watermark N] [--backoff-factor F]]
                        [--admit-ticks T [--admit-burst B]] [--shards N]
+                       [--churn-rate P [--churn-seed K]]
                        [--out FILE.csv]
 
 topologies:  udg, rng, gabriel, yao, theta, yao-sink, rdg, ldel, cds, ldel-icds,
@@ -85,7 +89,12 @@ overload:    --high-watermark enables congestion-adaptive retransmit
              source admission (one packet per T ticks per source,
              bursts up to --admit-burst)
 sharding:    --shards N runs the engine spatially sharded on up to N
-             cores; output is bit-identical at every shard count";
+             cores; output is bit-identical at every shard count
+churn:       --churn-rate P schedules ~P membership/mobility events per
+             tick (joins, leaves, moves in equal proportion, seeded by
+             --churn-seed) and maintains the backbone with the paper's
+             localized 2-hop repair while packets are in flight;
+             requires --policy backbone";
 
 /// Minimal flag map: `--key value` pairs plus boolean `--distributed`.
 struct Flags {
@@ -320,21 +329,14 @@ fn cmd_traffic(flags: &Flags) -> Result<(), String> {
         "bursty" => Workload::bursty(flags.get_or("burst", 8)?, rate, duration),
         other => return Err(format!("unknown workload `{other}`")),
     };
-    let arrivals = workload.generate(n, seed);
-
     let policy: String = flags.get_or("policy", "backbone".to_string())?;
-    let backbone = BackboneBuilder::new(BackboneConfig::new(radius))
-        .build(&udg)
-        .map_err(|e| e.to_string())?;
-    let forwarding = match policy.as_str() {
-        "backbone" => Forwarding::Backbone {
-            backbone: &backbone,
-            udg: &udg,
-        },
-        "gpsr" => Forwarding::Gpsr(backbone.ldel_icds_prime()),
-        "greedy" => Forwarding::Greedy(&udg),
-        other => return Err(format!("unknown policy `{other}`")),
-    };
+    let churn_rate: f64 = flags.get_or("churn-rate", 0.0)?;
+    if !(churn_rate >= 0.0 && churn_rate.is_finite()) {
+        return Err("churn-rate must be non-negative".into());
+    }
+    if churn_rate > 0.0 && policy != "backbone" {
+        return Err("churn maintenance requires --policy backbone".into());
+    }
 
     let loss: f64 = flags.get_or("loss", 0.0)?;
     let faults = if loss > 0.0 {
@@ -386,7 +388,44 @@ fn cmd_traffic(flags: &Flags) -> Result<(), String> {
         ..TrafficConfig::default()
     };
 
-    let outcome = run(&forwarding, &udg, &arrivals, &faults, &cfg);
+    let (outcome, churn) = if churn_rate > 0.0 {
+        // Churn events land in [1, duration]; joiners enter inside the
+        // deployment square (the generated field's --side, or the node
+        // file's bounding box).
+        let side: f64 =
+            flags.get_or("side", pts.iter().fold(radius, |m, p| m.max(p.x).max(p.y)))?;
+        let churn_seed: u64 = flags.get_or("churn-seed", seed ^ 0xc4u64)?;
+        let events = ((churn_rate * duration as f64).round() as usize).max(1);
+        let plan = ChurnPlan::generate(churn_seed, n, side, events, duration, ChurnMix::balanced());
+        let arrivals = workload.generate(plan.universe(), seed);
+        let out = ChurnEngine::new(cfg.shards)
+            .run(
+                &pts,
+                radius,
+                &plan,
+                &arrivals,
+                &faults,
+                &cfg,
+                RepairStrategy::LocalRepair,
+            )
+            .map_err(|e| e.to_string())?;
+        (out.traffic, Some(out.churn))
+    } else {
+        let arrivals = workload.generate(n, seed);
+        let backbone = BackboneBuilder::new(BackboneConfig::new(radius))
+            .build(&udg)
+            .map_err(|e| e.to_string())?;
+        let forwarding = match policy.as_str() {
+            "backbone" => Forwarding::Backbone {
+                backbone: &backbone,
+                udg: &udg,
+            },
+            "gpsr" => Forwarding::Gpsr(backbone.ldel_icds_prime()),
+            "greedy" => Forwarding::Greedy(&udg),
+            other => return Err(format!("unknown policy `{other}`")),
+        };
+        (run(&forwarding, &udg, &arrivals, &faults, &cfg), None)
+    };
     let report = &outcome.report;
     println!(
         "{workload_name} workload over `{policy}` ({n} nodes, rate {rate}, {duration} ticks, \
@@ -398,13 +437,36 @@ fn cmd_traffic(flags: &Flags) -> Result<(), String> {
         }
     );
     print!("{}", report.format());
+    if let Some(c) = &churn {
+        println!(
+            "churn: {} joins, {} leaves, {} moves; {} kept, {} local repairs, {} rebuilds; \
+             repair cost {}, {} stale ticks, worst window {:.1}% delivery",
+            c.joins,
+            c.leaves,
+            c.moves,
+            c.kept,
+            c.local_repairs,
+            c.full_rebuilds,
+            c.repair_cost,
+            c.staleness_ticks,
+            100.0
+                * c.windows
+                    .iter()
+                    .map(|w| w.delivery_ratio())
+                    .fold(1.0, f64::min)
+        );
+    }
     if let Some(path) = flags.kv.get("out") {
+        let (repair_cost, staleness) = churn
+            .as_ref()
+            .map_or((0, 0), |c| (c.repair_cost, c.staleness_ticks));
         let csv = format!(
             "policy,workload,discipline,retx,rate,duration,seed,offered,delivered,\
              delivery_ratio,drop_stuck,drop_queue,drop_loss,drop_crash,drop_hop_limit,\
              drop_retry_shed,refused,retransmissions,latency_p50,latency_p99,latency_mean,\
-             hop_stretch_avg,length_stretch_avg,queue_peak_max\n\
-             {policy},{workload_name},{},{},{rate},{duration},{seed},{},{},{:.6},{},{},{},{},{},{},{},{},{},{},{:.4},{:.4},{:.4},{}\n",
+             hop_stretch_avg,length_stretch_avg,queue_peak_max,drop_departed,churn_rate,\
+             repair_cost,staleness_ticks\n\
+             {policy},{workload_name},{},{},{rate},{duration},{seed},{},{},{:.6},{},{},{},{},{},{},{},{},{},{},{:.4},{:.4},{:.4},{},{},{churn_rate},{repair_cost},{staleness}\n",
             discipline.label(),
             if cfg.reliability.is_some() { "on" } else { "off" },
             report.offered,
@@ -423,7 +485,8 @@ fn cmd_traffic(flags: &Flags) -> Result<(), String> {
             report.latency_mean,
             report.hop_stretch_avg,
             report.length_stretch_avg,
-            report.queue_peak_max
+            report.queue_peak_max,
+            report.drops.node_departed
         );
         std::fs::write(path, csv).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote {path}");

@@ -417,6 +417,77 @@ fn traffic_sharded_run_is_byte_identical_to_single_shard() {
 }
 
 #[test]
+fn traffic_churn_flags_run_repair_and_stay_shard_identical() {
+    let dir = tempdir("churn");
+    let base = [
+        "traffic",
+        "--n",
+        "40",
+        "--side",
+        "120",
+        "--radius",
+        "45",
+        "--rate",
+        "0.2",
+        "--duration",
+        "400",
+        "--seed",
+        "1",
+        "--churn-rate",
+        "0.05",
+        "--churn-seed",
+        "9",
+    ];
+
+    let run = |out_name: &str, shards: &str| {
+        let csv = dir.join(out_name);
+        let out = cli()
+            .args(base)
+            .args(["--shards", shards])
+            .arg("--out")
+            .arg(&csv)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            std::fs::read_to_string(&csv).unwrap(),
+        )
+    };
+
+    let (text, single) = run("c1.csv", "1");
+    assert!(text.contains("churn:"), "{text}");
+    assert!(text.contains("local repairs"), "{text}");
+    // The run applied churn and the ledger columns carry its cost.
+    let header = single.lines().next().unwrap();
+    assert!(header.ends_with("drop_departed,churn_rate,repair_cost,staleness_ticks"));
+    let row: Vec<&str> = single.lines().nth(1).unwrap().split(',').collect();
+    assert_eq!(row[25], "0.05", "{single}");
+    assert_ne!(row[26], "0", "churn without repair cost: {single}");
+
+    let (_, sharded) = run("c4.csv", "4");
+    assert_eq!(
+        single, sharded,
+        "churn runs must stay byte-identical across shard counts"
+    );
+
+    // Churn maintenance only drives backbone routing.
+    let out = cli()
+        .args(base)
+        .args(["--policy", "greedy"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires --policy backbone"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     // No command.
     let out = cli().output().unwrap();
