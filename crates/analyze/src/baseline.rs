@@ -106,6 +106,22 @@ impl Baseline {
         }
     }
 
+    /// Renders existing entries back to baseline text, preserving their
+    /// reasons and order (for `--prune-baseline`).
+    pub fn render_entries(entries: &[BaselineEntry]) -> String {
+        let mut out = String::from(
+            "# geospan-analyze baseline: triaged legacy findings.\n\
+             # Format: rule<TAB>path<TAB>trimmed source line<TAB>reason\n",
+        );
+        for e in entries {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\n",
+                e.rule, e.path, e.snippet, e.reason
+            ));
+        }
+        out
+    }
+
     /// Renders findings as baseline text (for `--write-baseline`).
     pub fn render(findings: &[Finding], reason: &str) -> String {
         let mut out = String::from(
@@ -166,6 +182,15 @@ mod tests {
         assert!(Baseline::parse("D01 src/a.rs spaces not tabs reason\n").is_err());
         // Comments and blanks are fine.
         assert!(Baseline::parse("# comment\n\n").unwrap().entries.is_empty());
+    }
+
+    #[test]
+    fn render_entries_round_trips_through_parse() {
+        let text = "D01\tsrc/a.rs\tfor x in &set {\titeration feeds a sort\n";
+        let bl = Baseline::parse(text).expect("valid baseline");
+        let rendered = Baseline::render_entries(&bl.entries);
+        let reparsed = Baseline::parse(&rendered).expect("rendered baseline parses");
+        assert_eq!(reparsed.entries, bl.entries);
     }
 
     #[test]

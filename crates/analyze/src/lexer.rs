@@ -16,7 +16,8 @@ pub enum TokKind {
     Ident,
     /// A single punctuation character (`{`, `.`, `<`, ...).
     Punct,
-    /// String / char / numeric literal (contents collapsed).
+    /// String / char / numeric literal (text is the raw source slice,
+    /// so rule passes can inspect e.g. `cfg(feature = "...")` strings).
     Literal,
     /// A lifetime token (`'a`) — distinguished from char literals.
     Lifetime,
@@ -115,7 +116,7 @@ pub fn lex(src: &str) -> Lexed {
                 let (end, newlines) = skip_raw_string(b, i);
                 out.tokens.push(Tok {
                     kind: TokKind::Literal,
-                    text: String::from("\"raw\""),
+                    text: src[i..end.min(b.len())].to_string(),
                     line,
                 });
                 line += newlines;
@@ -125,7 +126,7 @@ pub fn lex(src: &str) -> Lexed {
                 let (end, newlines) = skip_string(b, i + 1);
                 out.tokens.push(Tok {
                     kind: TokKind::Literal,
-                    text: String::from("\"bytes\""),
+                    text: src[i..end.min(b.len())].to_string(),
                     line,
                 });
                 line += newlines;
@@ -135,7 +136,7 @@ pub fn lex(src: &str) -> Lexed {
                 let (end, newlines) = skip_string(b, i);
                 out.tokens.push(Tok {
                     kind: TokKind::Literal,
-                    text: String::from("\"str\""),
+                    text: src[i..end.min(b.len())].to_string(),
                     line,
                 });
                 line += newlines;
@@ -158,7 +159,7 @@ pub fn lex(src: &str) -> Lexed {
                     let end = skip_char_literal(b, i);
                     out.tokens.push(Tok {
                         kind: TokKind::Literal,
-                        text: String::from("'c'"),
+                        text: src[i..end.min(b.len())].to_string(),
                         line,
                     });
                     i = end;
@@ -382,7 +383,7 @@ mod tests {
         assert!(lx
             .tokens
             .iter()
-            .any(|t| t.kind == TokKind::Literal && t.text == "'c'"));
+            .any(|t| t.kind == TokKind::Literal && t.text == "'x'"));
     }
 
     #[test]

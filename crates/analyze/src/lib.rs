@@ -8,7 +8,13 @@
 //! read in a measurement path. This crate is a dependency-free,
 //! token-level static pass over the workspace's own source that turns
 //! those conventions into named, enforced lint rules — see
-//! [`rules::RULES`] and DESIGN.md §9.
+//! [`rules::RULES`] and DESIGN.md §13.
+//!
+//! The pass is layered: [`lexer`] (tokens + directives) → [`parser`]
+//! (item tree: fns with bodies, enums, structs, match arms, attribute
+//! regions) → rule passes — per-file token rules in [`rules`]
+//! (D01–D07, D11, A00) and cross-file coupling rules in [`xrules`]
+//! (D08–D10), which see the whole workspace at once.
 //!
 //! Suppression is always *with a reason*: inline
 //! `// geospan-analyze: allow(<rule>, <reason>)` directives for
@@ -18,13 +24,17 @@
 
 pub mod baseline;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
+pub mod xrules;
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
 pub use baseline::{Baseline, BaselineResult};
-pub use rules::{check_source, Finding, RULES};
+pub use rules::{check_source, Finding, RuleInfo, RULES};
+pub use sarif::findings_to_sarif;
 
 /// Directories never scanned, at any depth.
 const SKIP_DIRS: &[&str] = &[
@@ -92,6 +102,39 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
+/// Lints a set of `(path, source)` pairs as one workspace: per-file
+/// rules plus the cross-file coupling rules (D08–D10), with inline
+/// directives applied per path. Findings come back sorted by path,
+/// line, rule.
+///
+/// This is the whole pipeline behind [`analyze_workspace`], exposed so
+/// tests can lint synthetic workspaces (and mutated copies of real
+/// files) without touching the filesystem.
+pub fn analyze_sources(files: &[(String, String)]) -> Vec<Finding> {
+    let parsed: Vec<parser::ParsedFile> = files
+        .iter()
+        .map(|(path, src)| parser::parse(path, src))
+        .collect();
+    let mut findings = Vec::new();
+    for pf in &parsed {
+        findings.extend(rules::check_file(pf));
+    }
+    findings.extend(xrules::check_workspace(&parsed));
+    // Apply each file's inline directives to its findings (cross-file
+    // findings included: a directive next to the flagged line works the
+    // same whichever rule produced the finding).
+    let mut out = Vec::new();
+    for pf in &parsed {
+        let (mine, rest): (Vec<Finding>, Vec<Finding>) =
+            findings.into_iter().partition(|f| f.path == pf.path);
+        findings = rest;
+        out.extend(rules::apply_directives(mine, &pf.lexed));
+    }
+    out.extend(findings); // findings for paths not in the set (none today)
+    out.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    out
+}
+
 /// Lints the whole workspace under `root` and returns all raw findings
 /// (inline directives applied; baseline not yet applied), sorted by
 /// path, line, rule.
@@ -99,7 +142,7 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
 /// # Errors
 /// Returns an IO error message when a file cannot be read.
 pub fn analyze_workspace(root: &Path) -> Result<Vec<Finding>, String> {
-    let mut findings = Vec::new();
+    let mut files = Vec::new();
     for file in workspace_files(root)? {
         let src = fs::read_to_string(&file).map_err(|e| format!("read {}: {e}", file.display()))?;
         let rel = file
@@ -107,31 +150,32 @@ pub fn analyze_workspace(root: &Path) -> Result<Vec<Finding>, String> {
             .unwrap_or(&file)
             .to_string_lossy()
             .replace('\\', "/");
-        findings.extend(check_source(&rel, &src));
+        files.push((rel, src));
     }
-    findings
-        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
-    Ok(findings)
+    Ok(analyze_sources(&files))
+}
+
+/// JSON string escaping shared by the JSON and SARIF renderers.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Renders findings as a JSON array (machine-readable output; the crate
 /// is dependency-free, so the JSON is emitted by hand).
 pub fn findings_to_json(findings: &[Finding]) -> String {
-    fn esc(s: &str) -> String {
-        let mut out = String::with_capacity(s.len() + 2);
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\t' => out.push_str("\\t"),
-                '\r' => out.push_str("\\r"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out
-    }
+    let esc = json_escape;
     let mut out = String::from("[");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {

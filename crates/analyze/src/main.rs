@@ -11,17 +11,28 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use geospan_analyze::{analyze_workspace, findings_to_json, Baseline, RULES};
+use geospan_analyze::{analyze_workspace, findings_to_json, findings_to_sarif, Baseline, RULES};
 
 const DEFAULT_BASELINE: &str = "analyze-baseline.tsv";
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
+#[derive(Debug)]
 struct Options {
     root: PathBuf,
     baseline: Option<PathBuf>,
     check: bool,
-    json: bool,
+    format: Format,
     write_baseline: bool,
+    prune_baseline: bool,
     list_rules: bool,
+    explain: Option<String>,
+    help: bool,
 }
 
 const USAGE: &str = "\
@@ -36,23 +47,28 @@ OPTIONS:
     --root <DIR>         workspace root to scan (default: .)
     --baseline <FILE>    baseline file (default: <root>/analyze-baseline.tsv;
                          a missing default file means an empty baseline)
-    --format <text|json> output format (default: text)
+    --format <FMT>       output format: text, json, or sarif (default: text)
     --write-baseline     write all current findings to the baseline file
                          (with a TRIAGE-ME reason) and exit
+    --prune-baseline     remove stale baseline entries (matching nothing),
+                         print what was removed, and exit
     --list-rules         print the rule table and exit
+    --explain <RULE>     print one rule's summary and rationale and exit
     --help               this message
 ";
 
-fn parse_args() -> Result<Options, String> {
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
     let mut opts = Options {
         root: PathBuf::from("."),
         baseline: None,
         check: false,
-        json: false,
+        format: Format::Text,
         write_baseline: false,
+        prune_baseline: false,
         list_rules: false,
+        explain: None,
+        help: false,
     };
-    let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => opts.check = true,
@@ -65,16 +81,30 @@ fn parse_args() -> Result<Options, String> {
                 ));
             }
             "--format" => match args.next().as_deref() {
-                Some("text") => opts.json = false,
-                Some("json") => opts.json = true,
-                other => return Err(format!("--format expects text|json, got {other:?}")),
+                Some("text") => opts.format = Format::Text,
+                Some("json") => opts.format = Format::Json,
+                Some("sarif") => opts.format = Format::Sarif,
+                Some(other) => {
+                    return Err(format!("--format expects text|json|sarif, got `{other}`"))
+                }
+                None => return Err("--format needs a value (text|json|sarif)".to_string()),
             },
             "--write-baseline" => opts.write_baseline = true,
+            "--prune-baseline" => opts.prune_baseline = true,
             "--list-rules" => opts.list_rules = true,
-            "--help" | "-h" => {
-                print!("{USAGE}");
-                std::process::exit(0);
+            "--explain" => {
+                let rule = args
+                    .next()
+                    .ok_or("--explain needs a rule id (e.g. D08)")?
+                    .to_ascii_uppercase();
+                if !RULES.iter().any(|r| r.id == rule) {
+                    return Err(format!(
+                        "--explain: unknown rule `{rule}` (see --list-rules)"
+                    ));
+                }
+                opts.explain = Some(rule);
             }
+            "--help" | "-h" => opts.help = true,
             other => return Err(format!("unknown argument `{other}` (see --help)")),
         }
     }
@@ -82,11 +112,25 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn run() -> Result<ExitCode, String> {
-    let opts = parse_args()?;
+    let opts = parse_args(std::env::args().skip(1))?;
+    if opts.help {
+        print!("{USAGE}");
+        return Ok(ExitCode::SUCCESS);
+    }
     if opts.list_rules {
-        for (id, what) in RULES {
-            println!("{id}  {what}");
+        for r in RULES {
+            println!("{}  {}", r.id, r.summary);
         }
+        return Ok(ExitCode::SUCCESS);
+    }
+    if let Some(rule) = &opts.explain {
+        let r = RULES
+            .iter()
+            .find(|r| r.id == rule)
+            .expect("validated during arg parsing");
+        println!("{}  {}", r.id, r.summary);
+        println!();
+        println!("{}", r.rationale);
         return Ok(ExitCode::SUCCESS);
     }
     let findings = analyze_workspace(&opts.root)?;
@@ -116,15 +160,46 @@ fn run() -> Result<ExitCode, String> {
     };
     let res = baseline.apply(findings);
 
-    if opts.json {
-        println!("{}", findings_to_json(&res.unsuppressed));
-    } else {
-        for f in &res.unsuppressed {
-            println!("{}: {}:{}: {}", f.rule, f.path, f.line, f.message);
-            println!("    {}", f.snippet);
+    if opts.prune_baseline {
+        if res.stale.is_empty() {
+            eprintln!("nothing to prune: every baseline entry still matches a finding");
+            return Ok(ExitCode::SUCCESS);
         }
-        if res.suppressed > 0 {
-            eprintln!("note: baseline suppressed {} finding(s)", res.suppressed);
+        let retained: Vec<_> = baseline
+            .entries
+            .iter()
+            .filter(|e| !res.stale.contains(e))
+            .cloned()
+            .collect();
+        let text = Baseline::render_entries(&retained);
+        std::fs::write(&baseline_path, &text)
+            .map_err(|e| format!("write {}: {e}", baseline_path.display()))?;
+        for e in &res.stale {
+            eprintln!(
+                "pruned: {}\t{}\t{}\t{}",
+                e.rule, e.path, e.snippet, e.reason
+            );
+        }
+        eprintln!(
+            "pruned {} stale entr(ies) from {} ({} kept)",
+            res.stale.len(),
+            baseline_path.display(),
+            retained.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    match opts.format {
+        Format::Json => println!("{}", findings_to_json(&res.unsuppressed)),
+        Format::Sarif => println!("{}", findings_to_sarif(&res.unsuppressed)),
+        Format::Text => {
+            for f in &res.unsuppressed {
+                println!("{}: {}:{}: {}", f.rule, f.path, f.line, f.message);
+                println!("    {}", f.snippet);
+            }
+            if res.suppressed > 0 {
+                eprintln!("note: baseline suppressed {} finding(s)", res.suppressed);
+            }
         }
     }
     for e in &res.stale {
@@ -144,7 +219,7 @@ fn run() -> Result<ExitCode, String> {
         if opts.check {
             return Ok(ExitCode::from(2));
         }
-    } else if !opts.json {
+    } else if opts.format == Format::Text {
         eprintln!(
             "geospan-analyze: clean ({} suppressed by baseline)",
             res.suppressed
@@ -160,5 +235,55 @@ fn main() -> ExitCode {
             eprintln!("geospan-analyze: error: {msg}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn format_without_a_value_is_a_usage_error_not_a_panic() {
+        let err = parse(&["--format"]).expect_err("missing value must error");
+        assert!(err.contains("--format needs a value"), "{err}");
+    }
+
+    #[test]
+    fn format_accepts_the_three_renderers() {
+        assert_eq!(parse(&["--format", "text"]).unwrap().format, Format::Text);
+        assert_eq!(parse(&["--format", "json"]).unwrap().format, Format::Json);
+        assert_eq!(parse(&["--format", "sarif"]).unwrap().format, Format::Sarif);
+        let err = parse(&["--format", "xml"]).expect_err("xml is not supported");
+        assert!(err.contains("text|json|sarif"), "{err}");
+    }
+
+    #[test]
+    fn explain_validates_the_rule_id() {
+        assert_eq!(
+            parse(&["--explain", "d08"]).unwrap().explain.as_deref(),
+            Some("D08"),
+            "rule ids are case-insensitive"
+        );
+        assert!(parse(&["--explain", "D99"]).is_err());
+        assert!(parse(&["--explain"]).is_err());
+    }
+
+    #[test]
+    fn prune_and_check_flags_parse() {
+        let o = parse(&["--prune-baseline", "--check", "--root", "/tmp/x"]).unwrap();
+        assert!(o.prune_baseline);
+        assert!(o.check);
+        assert_eq!(o.root, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn missing_values_for_paths_are_errors() {
+        assert!(parse(&["--root"]).is_err());
+        assert!(parse(&["--baseline"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
     }
 }

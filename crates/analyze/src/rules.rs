@@ -1,18 +1,22 @@
-//! The determinism lint rules (D01–D07) plus directive hygiene (A00).
+//! The per-file lint rules (D01–D07, D11) plus directive hygiene (A00).
 //!
-//! Every rule is a token-pattern check over the [`crate::lexer`] output.
-//! The rules are deliberately conservative heuristics: they know nothing
-//! about types, only about names and shapes — which is exactly what the
-//! project's conventions are written in terms of. False positives are
-//! handled by inline `// geospan-analyze: allow(<rule>, reason)`
-//! directives or the committed baseline, both of which require a reason.
+//! Every rule is a token-pattern check over the [`crate::lexer`] output,
+//! scoped by the structural regions the [`crate::parser`] recovers
+//! (test items, `invariant-checks` items). The cross-file rules
+//! (D08–D10) live in [`crate::xrules`]. The rules are deliberately
+//! conservative heuristics: they know nothing about types, only about
+//! names and shapes — which is exactly what the project's conventions
+//! are written in terms of. False positives are handled by inline
+//! `// geospan-analyze: allow(<rule>, reason)` directives or the
+//! committed baseline, both of which require a reason.
 
-use crate::lexer::{lex, Directive, Lexed, Tok, TokKind};
+use crate::lexer::{Directive, Lexed, Tok, TokKind};
+use crate::parser::{parse, ParsedFile};
 
 /// A single lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule id (`D01`..`D07`, `A00`).
+    /// Rule id (`D01`..`D11`, `A00`).
     pub rule: &'static str,
     /// Workspace-relative path, forward slashes.
     pub path: String,
@@ -24,51 +28,146 @@ pub struct Finding {
     pub message: String,
 }
 
-/// Rule metadata for `--list-rules` and the docs.
-pub const RULES: &[(&str, &str)] = &[
-    (
-        "A00",
-        "malformed geospan-analyze directive (needs allow(<rule>, <reason>))",
-    ),
-    (
-        "D01",
-        "iteration over std HashMap/HashSet in non-test code: unordered iteration makes \
-         results order-dependent; use BTreeMap/BTreeSet or sort before consuming",
-    ),
-    (
-        "D02",
-        "wall-clock / OS-entropy / raw-thread API (Instant::now, SystemTime, thread_rng, \
-         std::thread::spawn): nondeterministic outside the sim clock and the rayon stub",
-    ),
-    (
-        "D03",
-        "partial_cmp(..).unwrap()/expect() float comparator: panics on NaN and invites \
-         inconsistent orderings; use f64::total_cmp",
-    ),
-    (
-        "D04",
-        "bare .unwrap() in non-test code: panics without a recorded reason; use \
-         expect(\"why\") or an allow directive",
-    ),
-    (
-        "D05",
-        "float accumulation through a parallel iterator (sum/fold/reduce after par_iter): \
-         reduction order depends on the scheduler; fold serially in a fixed order",
-    ),
-    (
-        "D06",
-        "node-id-keyed BTreeMap<usize, _>/BTreeSet<usize> in a construction crate: the hot \
-         path uses flat arenas (VecMap/VecSet from geospan-graph) with identical ascending \
-         iteration; BTree stays only where a non-usize key (pair/triple/tuple) encodes \
-         message-emission order",
-    ),
-    (
-        "D07",
-        "raw threading primitive (std::thread, Barrier, Condvar, mpsc channels) outside the \
-         sharded engine driver: bit-identical results are only proven for the barrier \
-         protocol in crates/traffic/src/shard.rs; everything else parallelizes through the \
-         rayon facade",
-    ),
+/// Rule metadata: a one-line summary for `--list-rules` and the longer
+/// rationale behind `--explain <RULE>`.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule id (`D01`..`D11`, `A00`).
+    pub id: &'static str,
+    /// One-line summary of what the rule matches.
+    pub summary: &'static str,
+    /// Why the rule exists — the invariant it protects.
+    pub rationale: &'static str,
+}
+
+/// The rule table, in id order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "A00",
+        summary: "malformed geospan-analyze directive (needs allow(<rule>, <reason>))",
+        rationale: "Suppressions are part of the reviewed source: a directive that fails to \
+                    parse would otherwise silently suppress nothing while looking like it \
+                    does. Malformed directives are findings so typos cannot create \
+                    unenforced exemptions.",
+    },
+    RuleInfo {
+        id: "D01",
+        summary: "iteration over std HashMap/HashSet in non-test code: unordered iteration \
+                  makes results order-dependent; use BTreeMap/BTreeSet or sort before \
+                  consuming",
+        rationale: "Every artifact the workspace ships (Table-1 rows, traffic CSVs, bench \
+                    JSON) is contractually byte-identical across runs. Hash iteration \
+                    order changes between processes (SipHash keys), so any hash-ordered \
+                    loop that feeds an output breaks the contract nondeterministically \
+                    and rarely — the worst kind of bug to bisect.",
+    },
+    RuleInfo {
+        id: "D02",
+        summary: "wall-clock / OS-entropy / raw-thread API (Instant::now, SystemTime, \
+                  thread_rng, std::thread::spawn): nondeterministic outside the sim clock \
+                  and the rayon stub",
+        rationale: "The simulator owns time (ticks) and randomness (seeded RNGs). Wall \
+                    clocks and OS entropy smuggle the host into the simulation, making \
+                    runs unreproducible; raw thread spawns reorder events. Measurement \
+                    code uses the bench harness's clock, never the library's.",
+    },
+    RuleInfo {
+        id: "D03",
+        summary: "partial_cmp(..).unwrap()/expect() float comparator: panics on NaN and \
+                  invites inconsistent orderings; use f64::total_cmp",
+        rationale: "A partial order resolved with unwrap() is a latent panic (NaN) and a \
+                    latent nondeterminism (sort implementations may compare in different \
+                    orders). f64::total_cmp is total, stable, and free.",
+    },
+    RuleInfo {
+        id: "D04",
+        summary: "bare .unwrap() in non-test code: panics without a recorded reason; use \
+                  expect(\"why\") or an allow directive",
+        rationale: "Every panic path in library code is a claim that the state is \
+                    impossible. expect(\"why\") records the claim so the panic message \
+                    carries it; a bare unwrap() records nothing and reads as an oversight.",
+    },
+    RuleInfo {
+        id: "D05",
+        summary: "float accumulation through a parallel iterator (sum/fold/reduce after \
+                  par_iter): reduction order depends on the scheduler; fold serially in a \
+                  fixed order",
+        rationale: "Float addition is not associative: parallel reduction order changes \
+                    the low bits, and the workspace's outputs are compared bit-for-bit \
+                    across thread counts in CI. Parallelize the map, collect, then fold \
+                    in index order.",
+    },
+    RuleInfo {
+        id: "D06",
+        summary: "node-id-keyed BTreeMap<usize, _>/BTreeSet<usize> in a construction \
+                  crate: the hot path uses flat arenas (VecMap/VecSet from geospan-graph) \
+                  with identical ascending iteration; BTree stays only where a non-usize \
+                  key (pair/triple/tuple) encodes message-emission order",
+        rationale: "PR 7 moved the million-node construction path to flat index-keyed \
+                    arenas; a node-id-keyed BTree reintroduces pointer-chasing and \
+                    per-node allocation on exactly the structures the arena refactor \
+                    flattened. VecMap/VecSet iterate in the same ascending order, so the \
+                    swap is behavior-preserving.",
+    },
+    RuleInfo {
+        id: "D07",
+        summary: "raw threading primitive (std::thread, Barrier, Condvar, mpsc channels) \
+                  outside the sharded engine driver: bit-identical results are only \
+                  proven for the barrier protocol in crates/traffic/src/shard.rs; \
+                  everything else parallelizes through the rayon facade",
+        rationale: "The shard driver's two-barrier round protocol carries the \
+                    determinism proof (DESIGN.md §11). Any other thread coordination \
+                    would need its own proof; until one exists, raw primitives anywhere \
+                    else are presumed to reorder events.",
+    },
+    RuleInfo {
+        id: "D08",
+        summary: "DropCause ledger coupling: every variant needs a DropCounts field, an \
+                  accounting site in engine.rs/shard.rs, and a drops.<field> CSV column \
+                  in crates/bench/src (and no orphan DropCounts fields)",
+        rationale: "The conservation ledger (offered == delivered + drops.total() + \
+                    refused) is the engine's ground truth, and every PR that adds a drop \
+                    cause must extend three files in lockstep. A variant missing its \
+                    field, accounting site, or CSV column silently under-reports drops — \
+                    the ledger still balances, so no runtime check catches it. Only a \
+                    cross-file structural check can.",
+    },
+    RuleInfo {
+        id: "D09",
+        summary: "RNG seed taint: from_entropy/thread_rng/rand::random banned; \
+                  seed_from_u64/from_seed arguments must be a named seed, a literal, or \
+                  a fn parameter that provably receives one (one level of indirection)",
+        rationale: "Bit-identical replay requires every RNG to be a pure function of \
+                    configuration. An RNG seeded from OS entropy — or from a helper \
+                    parameter nobody can trace back to a seed — makes a run \
+                    unreproducible in a way that only shows up when someone tries to \
+                    replay a failure. Seeds must be visibly named at the construction \
+                    site or one hop away.",
+    },
+    RuleInfo {
+        id: "D10",
+        summary: "phase confinement: engine shared state (queues, heaps, store, ledger \
+                  counters) mutated only inside phase_local/phase_merge or helpers \
+                  reachable from them in engine.rs/shard.rs",
+        rationale: "PR 8's shard byte-identity proof rests on the tick being exactly \
+                    four canonical phases: arrivals, retries, service completions, merge. \
+                    A mutation reachable from anywhere else (driver loops, aggregation, \
+                    accessors) executes at a point the proof never ordered, so any shard \
+                    or thread count could observe a different interleaving. The rule \
+                    makes the proof's premise structural.",
+    },
+    RuleInfo {
+        id: "D11",
+        summary: "panic!/unreachable!/todo!/unimplemented! in non-test library code must \
+                  be inside a #[cfg(feature = \"invariant-checks\")] item or carry an \
+                  allow directive (bin targets exempt)",
+        rationale: "A production engine serving traffic must degrade, not abort: panics \
+                    in library code are reserved for the invariant-checks build, where \
+                    hard assertions are the point. Everything else either returns an \
+                    error or documents — via the allow directive's reason — why the \
+                    state is truly impossible. CLI binaries may panic on bad arguments; \
+                    that is their error reporting.",
+    },
 ];
 
 /// Files allowed to use raw threading primitives (rule D07): the
@@ -114,30 +213,31 @@ const PAR_ITER: &[&str] = &[
 /// Order-sensitive reducers on a parallel chain (rule D05).
 const PAR_REDUCERS: &[&str] = &["sum", "product", "fold", "reduce", "reduce_with"];
 
-/// Runs every rule over one file's source and returns the raw findings
-/// (inline directives already applied; malformed directives reported).
+/// Runs every per-file rule over one file's source and returns the raw
+/// findings (inline directives already applied; malformed directives
+/// reported). The cross-file rules (D08–D10) need the whole workspace —
+/// see [`crate::analyze_sources`].
 pub fn check_source(path: &str, src: &str) -> Vec<Finding> {
-    let lexed = lex(src);
-    let test_lines = test_region_lines(&lexed.tokens);
-    let lines: Vec<&str> = src.lines().collect();
-    let snippet = |line: u32| -> String {
-        lines
-            .get(line as usize - 1)
-            .map_or(String::new(), |l| l.trim().to_string())
-    };
+    let pf = parse(path, src);
+    apply_directives(check_file(&pf), &pf.lexed)
+}
 
+/// Runs the per-file rules over one parsed file. Directives are *not*
+/// applied here — the caller applies them once, after the cross-file
+/// rules have contributed their findings for this path.
+pub fn check_file(pf: &ParsedFile) -> Vec<Finding> {
     let mut findings = Vec::new();
     let mut emit = |rule: &'static str, line: u32, message: String| {
         findings.push(Finding {
             rule,
-            path: path.to_string(),
+            path: pf.path.clone(),
             line,
-            snippet: snippet(line),
+            snippet: pf.snippet(line),
             message,
         });
     };
 
-    for d in &lexed.directives {
+    for d in &pf.lexed.directives {
         if d.malformed {
             emit(
                 "A00",
@@ -149,23 +249,24 @@ pub fn check_source(path: &str, src: &str) -> Vec<Finding> {
         }
     }
 
-    let toks = &lexed.tokens;
-    let in_test = |line: u32| test_lines.contains(&line);
+    let toks = &pf.lexed.tokens;
+    let in_test = |line: u32| pf.in_test(line);
 
     rule_d01(toks, &in_test, &mut emit);
     rule_d02(toks, &in_test, &mut emit);
     rule_d03(toks, &in_test, &mut emit);
     rule_d04(toks, &in_test, &mut emit);
     rule_d05(toks, &in_test, &mut emit);
-    rule_d06(path, toks, &in_test, &mut emit);
-    rule_d07(path, toks, &in_test, &mut emit);
+    rule_d06(&pf.path, toks, &in_test, &mut emit);
+    rule_d07(&pf.path, toks, &in_test, &mut emit);
+    rule_d11(pf, &mut emit);
 
-    apply_directives(findings, &lexed)
+    findings
 }
 
 /// Drops findings covered by a well-formed allow directive on the same
 /// line or the directly preceding line.
-fn apply_directives(findings: Vec<Finding>, lexed: &Lexed) -> Vec<Finding> {
+pub(crate) fn apply_directives(findings: Vec<Finding>, lexed: &Lexed) -> Vec<Finding> {
     let allows: Vec<&Directive> = lexed.directives.iter().filter(|d| !d.malformed).collect();
     findings
         .into_iter()
@@ -175,69 +276,6 @@ fn apply_directives(findings: Vec<Finding>, lexed: &Lexed) -> Vec<Finding> {
                 .any(|d| d.rule == f.rule && (d.line == f.line || d.line + 1 == f.line))
         })
         .collect()
-}
-
-/// Lines covered by `#[test]` functions and `#[cfg(test)]` items.
-///
-/// Found by scanning for the attribute, then brace-matching the next
-/// item. `#[cfg(any(.., test, ..))]` counts as a test attribute too.
-fn test_region_lines(toks: &[Tok]) -> std::collections::BTreeSet<u32> {
-    let mut out = std::collections::BTreeSet::new();
-    let mut i = 0;
-    while i < toks.len() {
-        if toks[i].text == "#" && i + 1 < toks.len() && toks[i + 1].text == "[" {
-            // Collect the attribute tokens up to the matching `]`.
-            let mut j = i + 2;
-            let mut depth = 1usize;
-            let mut attr: Vec<&str> = Vec::new();
-            while j < toks.len() && depth > 0 {
-                match toks[j].text.as_str() {
-                    "[" => depth += 1,
-                    "]" => depth -= 1,
-                    _ => {}
-                }
-                if depth > 0 {
-                    attr.push(toks[j].text.as_str());
-                }
-                j += 1;
-            }
-            let is_test_attr =
-                attr.first() == Some(&"test") || (attr.contains(&"cfg") && attr.contains(&"test"));
-            if is_test_attr {
-                // The region runs to the end of the next item: the
-                // matching `}` of its first depth-0 `{`, or a `;` that
-                // arrives first (e.g. `#[cfg(test)] use ...;`).
-                let start_line = toks[i].line;
-                let mut k = j;
-                let mut bdepth = 0usize;
-                let mut end_line = start_line;
-                while k < toks.len() {
-                    match toks[k].text.as_str() {
-                        "{" => bdepth += 1,
-                        "}" => {
-                            bdepth = bdepth.saturating_sub(1);
-                            if bdepth == 0 {
-                                end_line = toks[k].line;
-                                break;
-                            }
-                        }
-                        ";" if bdepth == 0 => {
-                            end_line = toks[k].line;
-                            break;
-                        }
-                        _ => {}
-                    }
-                    end_line = toks[k].line;
-                    k += 1;
-                }
-                out.extend(start_line..=end_line);
-                i = j;
-                continue;
-            }
-        }
-        i += 1;
-    }
-    out
 }
 
 /// D01 — iteration over `HashMap`/`HashSet`.
@@ -693,5 +731,41 @@ fn rule_d07(
                 ),
             );
         }
+    }
+}
+
+/// Panicking macros in scope for rule D11.
+const D11_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// D11 — panic policy. Panicking macros in non-test library code must
+/// sit inside a `#[cfg(feature = "invariant-checks")]` item (where hard
+/// assertions are the point) or carry an allow directive recording why
+/// the state is impossible. Binary targets (`src/bin/`, `main.rs`) are
+/// exempt: a CLI panicking on bad arguments is its error reporting.
+fn rule_d11(pf: &ParsedFile, emit: &mut dyn FnMut(&'static str, u32, String)) {
+    if pf.path.contains("/bin/") || pf.path.ends_with("/main.rs") || pf.path == "main.rs" {
+        return;
+    }
+    let toks = &pf.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !D11_MACROS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if toks.get(i + 1).map(|u| u.text.as_str()) != Some("!") {
+            continue;
+        }
+        if pf.in_test(t.line) || pf.invariant_lines.contains(&t.line) {
+            continue;
+        }
+        emit(
+            "D11",
+            t.line,
+            format!(
+                "`{}!` in non-test library code: gate it behind \
+                 #[cfg(feature = \"invariant-checks\")], return an error, or record why \
+                 the state is impossible with an allow(D11, ...) directive",
+                t.text
+            ),
+        );
     }
 }

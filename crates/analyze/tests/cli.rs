@@ -1,0 +1,188 @@
+//! End-to-end tests of the `geospan-analyze` binary: argument errors,
+//! the three output formats, rule explanation, the `--check` gate, and
+//! `--prune-baseline` against a scratch workspace.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_geospan-analyze"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Creates a scratch workspace (`crates/pkg/src/lib.rs` holding `src`)
+/// under the target directory and returns its root.
+fn scratch(name: &str, src: &str) -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let pkg_src = root.join("crates/pkg/src");
+    if root.exists() {
+        std::fs::remove_dir_all(&root).expect("reset scratch root");
+    }
+    std::fs::create_dir_all(&pkg_src).expect("create scratch tree");
+    std::fs::write(pkg_src.join("lib.rs"), src).expect("write scratch source");
+    root
+}
+
+#[test]
+fn format_without_a_value_exits_with_a_usage_error() {
+    let out = run(&["--format"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(
+        stderr(&out).contains("--format needs a value"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn unknown_format_and_unknown_flag_are_usage_errors() {
+    let out = run(&["--format", "xml"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("text|json|sarif"), "{}", stderr(&out));
+
+    let out = run(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("unknown argument"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn explain_prints_the_rationale_and_rejects_unknown_rules() {
+    let out = run(&["--explain", "d08"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("D08"), "{text}");
+    assert!(text.contains("DropCause"), "rationale missing: {text}");
+
+    let out = run(&["--explain", "D99"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("unknown rule"), "{}", stderr(&out));
+}
+
+#[test]
+fn list_rules_covers_the_full_table() {
+    let out = run(&["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    for id in ["A00", "D01", "D08", "D09", "D10", "D11"] {
+        assert!(text.contains(id), "missing {id} in {text}");
+    }
+}
+
+#[test]
+fn check_exits_2_on_findings_and_0_when_clean() {
+    let root = scratch(
+        "cli-check-dirty",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let out = run(&["--check", "--root", root.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(stdout(&out).contains("D04"), "{}", stdout(&out));
+
+    let root = scratch(
+        "cli-check-clean",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n",
+    );
+    let out = run(&["--check", "--root", root.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn sarif_output_is_a_2_1_0_log_with_the_finding() {
+    let root = scratch(
+        "cli-sarif",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let out = run(&[
+        "--format",
+        "sarif",
+        "--root",
+        root.to_str().expect("utf-8 path"),
+    ]);
+    let text = stdout(&out);
+    assert!(text.contains("\"version\": \"2.1.0\""), "{text}");
+    assert!(text.contains("geospan-analyze"), "{text}");
+    assert!(text.contains("\"ruleId\": \"D04\""), "{text}");
+    assert!(text.contains("crates/pkg/src/lib.rs"), "{text}");
+}
+
+#[test]
+fn json_output_is_the_pinned_array_schema() {
+    let root = scratch(
+        "cli-json",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let out = run(&[
+        "--format",
+        "json",
+        "--root",
+        root.to_str().expect("utf-8 path"),
+    ]);
+    let text = stdout(&out);
+    assert!(text.starts_with("[\n  {\"rule\":\"D04\""), "{text}");
+    assert!(
+        text.contains("\"snippet\":\"pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\""),
+        "{text}"
+    );
+}
+
+#[test]
+fn prune_baseline_removes_only_stale_entries() {
+    let root = scratch(
+        "cli-prune",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let baseline = root.join("analyze-baseline.tsv");
+    std::fs::write(
+        &baseline,
+        "D04\tcrates/pkg/src/lib.rs\tpub fn f(x: Option<u32>) -> u32 { x.unwrap() }\tstill live\n\
+         D04\tcrates/pkg/src/lib.rs\tgone.unwrap()\tcode was deleted\n",
+    )
+    .expect("write baseline");
+
+    let out = run(&[
+        "--prune-baseline",
+        "--root",
+        root.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let err = stderr(&out);
+    assert!(err.contains("pruned: D04"), "{err}");
+    assert!(err.contains("gone.unwrap()"), "{err}");
+    assert!(err.contains("1 kept"), "{err}");
+
+    let kept = std::fs::read_to_string(&baseline).expect("baseline still exists");
+    assert!(kept.contains("still live"), "{kept}");
+    assert!(!kept.contains("gone.unwrap()"), "{kept}");
+
+    // The pruned baseline still gates: the surviving entry suppresses
+    // the finding, so --check is clean.
+    let out = run(&["--check", "--root", root.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // A second prune is a no-op.
+    let out = run(&[
+        "--prune-baseline",
+        "--root",
+        root.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(
+        stderr(&out).contains("nothing to prune"),
+        "{}",
+        stderr(&out)
+    );
+}

@@ -5,7 +5,7 @@
 
 use std::path::Path;
 
-use geospan_analyze::{analyze_workspace, Baseline};
+use geospan_analyze::{analyze_workspace, workspace_files, Baseline};
 
 #[test]
 fn workspace_is_clean_modulo_committed_baseline() {
@@ -44,6 +44,28 @@ fn workspace_is_clean_modulo_committed_baseline() {
             .collect::<Vec<_>>()
             .join("\n")
     );
+}
+
+#[test]
+fn the_analyzer_lints_its_own_crate() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analyze sits two levels under the workspace root")
+        .to_path_buf();
+    let files = workspace_files(&root).expect("workspace scan succeeds");
+    let own: Vec<_> = files
+        .iter()
+        .filter(|p| p.starts_with(root.join("crates/analyze/src")))
+        .collect();
+    // No self-exemption: the linter's own sources are in the scan set
+    // and subject to every rule, same as any other crate.
+    for must in ["lexer.rs", "parser.rs", "rules.rs", "xrules.rs", "sarif.rs"] {
+        assert!(
+            own.iter().any(|p| p.ends_with(must)),
+            "crates/analyze/src/{must} missing from the scan set: {own:?}"
+        );
+    }
 }
 
 #[test]

@@ -407,6 +407,7 @@ impl CliArgs {
         while let Some(a) = args.next() {
             let mut next = |what: &str| {
                 args.next()
+                    // geospan-analyze: allow(D11, documented CLI usage panic: this helper exists only for bin targets)
                     .unwrap_or_else(|| panic!("missing value after {what}"))
             };
             match a.as_str() {
@@ -414,6 +415,7 @@ impl CliArgs {
                 "--seed" => out.seed = Some(next("--seed").parse().expect("seed: integer")),
                 "--out" => out.out = Some(next("--out").into()),
                 other => {
+                    // geospan-analyze: allow(D11, documented CLI usage panic: this helper exists only for bin targets)
                     panic!("unknown argument {other}; supported: --trials N --seed S --out DIR")
                 }
             }

@@ -234,6 +234,7 @@ pub fn in_circumcircle(a: Point, b: Point, c: Point, p: Point) -> CirclePosition
         Orientation::CounterClockwise => incircle(a, b, c, p),
         Orientation::Clockwise => incircle(a, c, b, p),
         Orientation::Collinear => {
+            // geospan-analyze: allow(D11, documented precondition panic: the docs above require a non-degenerate triangle)
             panic!("in_circumcircle: degenerate (collinear) triangle {a}, {b}, {c}")
         }
     }

@@ -246,6 +246,7 @@ pub fn connected_unit_disk(
             return (pts, g, s);
         }
     }
+    // geospan-analyze: allow(D11, documented connectivity-threshold panic: scenario parameters are author errors caught at generation time)
     panic!(
         "no connected deployment found for n={n}, side={side}, radius={radius} \
          after 10000 attempts: parameters are below the connectivity threshold"
